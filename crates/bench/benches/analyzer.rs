@@ -1,0 +1,84 @@
+//! Criterion microbenches for the program analyzer itself: call graph
+//! construction, reference dataflow, web identification, coloring, cluster
+//! identification, and the full analysis — on the summary of the largest
+//! workload (paopt) and on a synthetic wide graph.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ipra_core::analyzer::{analyze, AnalyzerOptions};
+use ipra_core::callgraph::CallGraph;
+use ipra_core::cluster::{identify_clusters, ClusterHeuristics};
+use ipra_core::color::{color_webs, prioritize, ColoringStrategy, DiscardHeuristics};
+use ipra_core::dataflow::{Eligibility, RefSets};
+use ipra_core::webs::identify_webs;
+use ipra_summary::{summarize_module, ProgramSummary};
+
+/// Phase-1 summary of every workload, concatenated — the analyzer's
+/// realistic whole-program input.
+fn suite_summary() -> ProgramSummary {
+    let mut summary = ProgramSummary::default();
+    for w in ipra_workloads::all() {
+        for (module, info) in ipra_driver::frontend(&w.sources).expect("workloads compile") {
+            let mut ir = cmin_ir::lower_module(&module, &info);
+            cmin_ir::optimize_module(&mut ir);
+            // Qualify procedure names per workload to avoid `main` clashes.
+            for f in &mut ir.functions {
+                f.name = format!("{}${}", w.name, f.name);
+            }
+            let mut ms = summarize_module(&ir);
+            for p in &mut ms.procs {
+                for c in &mut p.calls {
+                    c.callee = format!("{}${}", w.name, c.callee);
+                }
+                for t in &mut p.taken_addresses {
+                    *t = format!("{}${}", w.name, t);
+                }
+            }
+            summary.modules.push(ms);
+        }
+    }
+    summary
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let summary = suite_summary();
+    let mut group = c.benchmark_group("analyzer");
+    group.sample_size(20);
+
+    group.bench_function("call_graph_build", |b| {
+        b.iter(|| CallGraph::build(&summary, None))
+    });
+
+    let graph = CallGraph::build(&summary, None);
+    let elig = Eligibility::compute(&graph, &summary);
+
+    group.bench_function("ref_set_dataflow", |b| {
+        b.iter(|| RefSets::compute(&graph, &elig))
+    });
+
+    let refs = RefSets::compute(&graph, &elig);
+    group.bench_function("web_identification", |b| {
+        b.iter(|| identify_webs(&graph, &elig, &refs))
+    });
+
+    let (webs, _) = identify_webs(&graph, &elig, &refs);
+    group.bench_function("web_coloring_6regs", |b| {
+        b.iter_batched(
+            || prioritize(&webs, &graph, &elig, &DiscardHeuristics::default()),
+            |prio| color_webs(&webs, &prio, ColoringStrategy::Reserved { count: 6 }, &graph),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("cluster_identification", |b| {
+        b.iter(|| identify_clusters(&graph, &ClusterHeuristics::default()))
+    });
+
+    group.bench_function("full_analysis", |b| {
+        b.iter(|| analyze(&summary, &AnalyzerOptions::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the surrounding toolchain: the full two-pass
+//! compile of a workload, simulator throughput, and the paper's Table 4/5
+//! measurement loop on the smallest benchmark (so `cargo bench` exercises
+//! the same code path the tables harness uses).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipra_core::PaperConfig;
+use ipra_driver::{compile, run_program, CompileOptions};
+
+fn bench_compile(c: &mut Criterion) {
+    let w = ipra_workloads::protoc();
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    group.bench_function("protoc_l2", |b| {
+        b.iter(|| compile(&w.sources, &CompileOptions::paper(PaperConfig::L2)).unwrap())
+    });
+    group.bench_function("protoc_config_c", |b| {
+        b.iter(|| compile(&w.sources, &CompileOptions::paper(PaperConfig::C)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = ipra_workloads::dhrystone();
+    let program = compile(&w.sources, &CompileOptions::paper(PaperConfig::C)).unwrap();
+    let cycles = run_program(&program, &w.training_input).unwrap().stats.cycles;
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("dhrystone_training", |b| {
+        b.iter(|| run_program(&program, &w.training_input).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_table_cell(c: &mut Criterion) {
+    let w = ipra_workloads::dhrystone();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("dhrystone_measure_fast", |b| {
+        b.iter(|| ipra_bench::measure_workload(&w, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_simulator, bench_table_cell);
+criterion_main!(benches);

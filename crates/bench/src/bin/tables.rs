@@ -1,0 +1,61 @@
+//! Regenerates the paper's evaluation tables.
+//!
+//! ```sh
+//! cargo run --release -p ipra-bench --bin tables            # all tables
+//! cargo run --release -p ipra-bench --bin tables -- --table 4
+//! cargo run --release -p ipra-bench --bin tables -- --fast  # training inputs
+//! ```
+
+use ipra_bench::{ablation_table, measure_workload, stats_table, table3, table4, table5};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let workloads = ipra_workloads::all();
+
+    if which == "3" {
+        print!("{}", table3(&workloads));
+        return;
+    }
+    if which == "ablation" {
+        print!("{}", ablation_table(&workloads, fast));
+        return;
+    }
+
+    eprintln!(
+        "measuring {} workloads x 7 configurations ({} inputs)...",
+        workloads.len(),
+        if fast { "training" } else { "full" }
+    );
+    let rows: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            eprintln!("  {}", w.name);
+            measure_workload(w, fast)
+        })
+        .collect();
+
+    match which.as_str() {
+        "4" => print!("{}", table4(&rows)),
+        "5" => print!("{}", table5(&rows)),
+        "stats" => print!("{}", stats_table(&rows)),
+        "all" => {
+            println!("{}", table3(&workloads));
+            println!("{}", table4(&rows));
+            println!("{}", table5(&rows));
+            println!("{}", stats_table(&rows));
+            println!("{}", ablation_table(&workloads, fast));
+        }
+        other => {
+            eprintln!("unknown table `{other}` (expected 3, 4, 5, stats, ablation, all)");
+            std::process::exit(2);
+        }
+    }
+}

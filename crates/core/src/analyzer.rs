@@ -1,0 +1,531 @@
+//! The program analyzer (paper §4): orchestrates call graph construction,
+//! global variable promotion, spill code motion, and program database
+//! generation.
+
+use crate::callgraph::CallGraph;
+use crate::cluster::{identify_clusters, ClusterHeuristics, Clustering};
+use crate::color::{
+    blanket_webs, color_webs, prioritize, Coloring, ColoringStrategy, DiscardHeuristics,
+    Prioritization,
+};
+use crate::database::{ProcDirectives, ProgramDatabase, Promotion};
+use crate::dataflow::{Eligibility, RefSets};
+use crate::profile::ProfileData;
+use crate::regsets::compute_register_sets;
+use crate::webs::{identify_webs, Web, WebStats};
+use ipra_summary::ProgramSummary;
+use serde::{Deserialize, Serialize};
+use vpr::regs::RegSet;
+
+/// How (and whether) global variables are promoted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromotionMode {
+    /// No interprocedural promotion.
+    Off,
+    /// Web coloring with `registers` reserved callee-saves registers
+    /// (Table 4 columns C/F; the paper reserves 6).
+    Coloring {
+        /// Reserved register count.
+        registers: u32,
+    },
+    /// Greedy coloring: any callee-saves register not needed locally by a
+    /// member procedure (column D).
+    Greedy,
+    /// Blanket promotion of the `count` hottest globals program-wide, the
+    /// [Wall 86] baseline (column E).
+    Blanket {
+        /// Number of globals promoted program-wide.
+        count: usize,
+    },
+}
+
+/// The paper's measured configurations (Table 4 legend). `L2` is the
+/// baseline: level-2 optimization with no interprocedural allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperConfig {
+    /// Baseline: no interprocedural register allocation.
+    L2,
+    /// Spill code motion only.
+    A,
+    /// Spill code motion with profile data.
+    B,
+    /// Spill motion + web coloring with 6 reserved registers.
+    C,
+    /// Spill motion + greedy coloring.
+    D,
+    /// Spill motion + blanket promotion of the 6 hottest globals.
+    E,
+    /// Configuration C with profile data.
+    F,
+}
+
+impl PaperConfig {
+    /// All configurations, in table order.
+    pub const ALL: [PaperConfig; 7] = [
+        PaperConfig::L2,
+        PaperConfig::A,
+        PaperConfig::B,
+        PaperConfig::C,
+        PaperConfig::D,
+        PaperConfig::E,
+        PaperConfig::F,
+    ];
+
+    /// Does this configuration consume profile data?
+    pub fn wants_profile(self) -> bool {
+        matches!(self, PaperConfig::B | PaperConfig::F)
+    }
+
+    /// The table column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperConfig::L2 => "L2",
+            PaperConfig::A => "A",
+            PaperConfig::B => "B",
+            PaperConfig::C => "C",
+            PaperConfig::D => "D",
+            PaperConfig::E => "E",
+            PaperConfig::F => "F",
+        }
+    }
+}
+
+impl std::fmt::Display for PaperConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Analyzer options.
+#[derive(Debug, Clone)]
+pub struct AnalyzerOptions {
+    /// Perform spill code motion (clusters + register usage sets)?
+    pub spill_motion: bool,
+    /// Promotion strategy.
+    pub promotion: PromotionMode,
+    /// Profile data (configurations B/F); `None` = heuristic counts.
+    pub profile: Option<ProfileData>,
+    /// Web discard thresholds.
+    pub discard: DiscardHeuristics,
+    /// Cluster root selection thresholds.
+    pub cluster: ClusterHeuristics,
+    /// Use the §7.6.2 refinement for web/cluster register interaction.
+    pub precise_web_cluster_interaction: bool,
+    /// Enable the §7.6.2 caller-saves preallocation extension ([Chow 88]
+    /// style bottom-up claim propagation).
+    pub caller_preallocation: bool,
+}
+
+impl Default for AnalyzerOptions {
+    fn default() -> AnalyzerOptions {
+        AnalyzerOptions {
+            spill_motion: true,
+            promotion: PromotionMode::Coloring { registers: 6 },
+            profile: None,
+            discard: DiscardHeuristics::default(),
+            cluster: ClusterHeuristics::default(),
+            precise_web_cluster_interaction: false,
+            caller_preallocation: false,
+        }
+    }
+}
+
+impl AnalyzerOptions {
+    /// Options matching one of the paper's measured configurations.
+    /// Configurations B and F require `profile` to be supplied.
+    pub fn paper_config(config: PaperConfig, profile: Option<ProfileData>) -> AnalyzerOptions {
+        let base = AnalyzerOptions::default();
+        match config {
+            PaperConfig::L2 => AnalyzerOptions {
+                spill_motion: false,
+                promotion: PromotionMode::Off,
+                profile: None,
+                ..base
+            },
+            PaperConfig::A => AnalyzerOptions {
+                promotion: PromotionMode::Off,
+                profile: None,
+                ..base
+            },
+            PaperConfig::B => AnalyzerOptions {
+                promotion: PromotionMode::Off,
+                profile,
+                ..base
+            },
+            PaperConfig::C => AnalyzerOptions {
+                promotion: PromotionMode::Coloring { registers: 6 },
+                profile: None,
+                ..base
+            },
+            PaperConfig::D => AnalyzerOptions {
+                promotion: PromotionMode::Greedy,
+                profile: None,
+                ..base
+            },
+            PaperConfig::E => AnalyzerOptions {
+                promotion: PromotionMode::Blanket { count: 6 },
+                profile: None,
+                ..base
+            },
+            PaperConfig::F => AnalyzerOptions {
+                promotion: PromotionMode::Coloring { registers: 6 },
+                profile,
+                ..base
+            },
+        }
+    }
+}
+
+/// Statistics from one analyzer run (the paper's §6.2 reporting).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerStats {
+    /// Call graph nodes.
+    pub nodes: usize,
+    /// Call graph edges.
+    pub edges: usize,
+    /// Eligible globals.
+    pub eligible_globals: usize,
+    /// Webs identified.
+    pub webs_total: usize,
+    /// Webs surviving the discard heuristics.
+    pub webs_considered: usize,
+    /// Webs successfully colored.
+    pub webs_colored: usize,
+    /// Webs discarded as sparse.
+    pub discarded_sparse: usize,
+    /// Webs discarded as trivial singletons.
+    pub discarded_trivial: usize,
+    /// Webs discarded as unprofitable.
+    pub discarded_unprofitable: usize,
+    /// Webs discarded for crossing a static's module boundary.
+    pub discarded_static: usize,
+    /// Clusters identified.
+    pub clusters: usize,
+    /// Average cluster size (root + members).
+    pub avg_cluster_size: f64,
+}
+
+/// A human-readable record of one identified web (reporting only; the
+/// second phase works from the [`ProgramDatabase`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WebReport {
+    /// The promoted global's link name.
+    pub sym: String,
+    /// Member procedure names, ascending by call-graph id.
+    pub nodes: Vec<String>,
+    /// Entry procedure names.
+    pub entries: Vec<String>,
+    /// The register the web was colored to, if any.
+    pub reg: Option<vpr::regs::Reg>,
+    /// Does any member write the global?
+    pub written: bool,
+}
+
+/// The analyzer result: the database the second phase consumes plus the
+/// run's statistics and reporting.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-procedure directives.
+    pub database: ProgramDatabase,
+    /// Reporting statistics.
+    pub stats: AnalyzerStats,
+    /// The identified webs with their coloring (empty when promotion is
+    /// off; covers discarded/uncolored webs too, with `reg: None`).
+    pub webs: Vec<WebReport>,
+}
+
+/// Runs the program analyzer over a program's summary files.
+pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
+    let graph = CallGraph::build(summary, opts.profile.as_ref());
+    let elig = Eligibility::compute(&graph, summary);
+    let refs = RefSets::compute(&graph, &elig);
+
+    let mut stats = AnalyzerStats {
+        nodes: graph.len(),
+        edges: graph.edges().len(),
+        eligible_globals: elig.len(),
+        ..AnalyzerStats::default()
+    };
+
+    // --- Global variable promotion (§4.1) ---
+    let (webs, coloring): (Vec<Web>, Coloring) = match opts.promotion {
+        PromotionMode::Off => (Vec::new(), Coloring::default()),
+        PromotionMode::Coloring { registers } => {
+            let (webs, wstats) = identify_webs(&graph, &elig, &refs);
+            let prio = prioritize(&webs, &graph, &elig, &opts.discard);
+            record_web_stats(&mut stats, &wstats, &prio);
+            let coloring =
+                color_webs(&webs, &prio, ColoringStrategy::Reserved { count: registers }, &graph);
+            stats.webs_colored = coloring.colored;
+            (webs, coloring)
+        }
+        PromotionMode::Greedy => {
+            let (webs, wstats) = identify_webs(&graph, &elig, &refs);
+            let prio = prioritize(&webs, &graph, &elig, &opts.discard);
+            record_web_stats(&mut stats, &wstats, &prio);
+            let coloring = color_webs(&webs, &prio, ColoringStrategy::Greedy, &graph);
+            stats.webs_colored = coloring.colored;
+            (webs, coloring)
+        }
+        PromotionMode::Blanket { count } => {
+            let webs = blanket_webs(&graph, &elig, count);
+            stats.webs_total = webs.len();
+            stats.webs_considered = webs.len();
+            // Blanket webs all interfere pairwise; reserving one register
+            // per web colors them deterministically.
+            let prio = Prioritization {
+                considered: (0..webs.len())
+                    .map(|i| crate::color::PrioritizedWeb { web: i, priority: 0 })
+                    .collect(),
+                ..Prioritization::default()
+            };
+            let coloring = color_webs(
+                &webs,
+                &prio,
+                ColoringStrategy::Reserved { count: webs.len() as u32 },
+                &graph,
+            );
+            stats.webs_colored = coloring.colored;
+            (webs, coloring)
+        }
+    };
+
+    // Registers dedicated to promoted globals, per node.
+    let mut web_regs: Vec<RegSet> = vec![RegSet::new(); graph.len()];
+    for (w, reg) in webs.iter().zip(&coloring.assignment) {
+        if let Some(r) = reg {
+            for &n in &w.nodes {
+                web_regs[n.index()].insert(*r);
+            }
+        }
+    }
+    let web_reports: Vec<WebReport> = webs
+        .iter()
+        .zip(&coloring.assignment)
+        .map(|(w, reg)| WebReport {
+            sym: elig.global(w.global).sym.clone(),
+            nodes: w.nodes.iter().map(|&n| graph.node(n).name.clone()).collect(),
+            entries: w.entries.iter().map(|&n| graph.node(n).name.clone()).collect(),
+            reg: *reg,
+            written: w.written,
+        })
+        .collect();
+
+    // --- Spill code motion (§4.2) ---
+    let clustering = if opts.spill_motion {
+        identify_clusters(&graph, &opts.cluster)
+    } else {
+        Clustering::default()
+    };
+    stats.clusters = clustering.clusters.len();
+    stats.avg_cluster_size = clustering.average_size();
+
+    let usage = compute_register_sets(
+        &graph,
+        &clustering,
+        &web_regs,
+        opts.precise_web_cluster_interaction,
+    );
+
+    // --- Caller-saves preallocation (§7.6.2 extension) ---
+    let tree_caller = if opts.caller_preallocation {
+        Some(crate::caller_prealloc::compute_tree_caller(&graph))
+    } else {
+        None
+    };
+
+    // --- Program database (§4.3) ---
+    let mut database = ProgramDatabase::new();
+    for n in graph.node_ids() {
+        if !graph.node(n).defined {
+            continue;
+        }
+        let mut promotions = Vec::new();
+        for (w, reg) in webs.iter().zip(&coloring.assignment) {
+            let Some(r) = reg else { continue };
+            if w.contains(n) {
+                let is_entry = w.is_entry(n);
+                promotions.push(Promotion {
+                    sym: elig.global(w.global).sym.clone(),
+                    reg: *r,
+                    is_entry,
+                    store_at_exit: is_entry && w.written,
+                });
+            }
+        }
+        promotions.sort_by(|a, b| a.sym.cmp(&b.sym));
+        let (claimed_caller, safe_caller_across) = match &tree_caller {
+            Some(tree) => (
+                crate::caller_prealloc::own_claim(&graph, n),
+                crate::caller_prealloc::claim_pool_set() - tree[n.index()],
+            ),
+            None => (crate::caller_prealloc::claim_pool_set(), vpr::regs::RegSet::new()),
+        };
+        database.insert(ProcDirectives {
+            name: graph.node(n).name.clone(),
+            promotions,
+            usage: usage[n.index()],
+            is_cluster_root: clustering.is_root(n),
+            claimed_caller,
+            safe_caller_across,
+        });
+    }
+    Analysis { database, stats, webs: web_reports }
+}
+
+fn record_web_stats(stats: &mut AnalyzerStats, wstats: &WebStats, prio: &Prioritization) {
+    stats.webs_total = wstats.webs_total;
+    stats.discarded_static = wstats.discarded_static;
+    stats.webs_considered = prio.considered.len();
+    stats.discarded_sparse = prio.discarded_sparse;
+    stats.discarded_trivial = prio.discarded_trivial;
+    stats.discarded_unprofitable = prio.discarded_unprofitable;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::testutil::{figure3, summary};
+    use vpr::regs::Reg;
+
+    #[test]
+    fn figure3_full_analysis_matches_table2() {
+        let s = figure3();
+        let analysis = analyze(&s, &AnalyzerOptions::default());
+        let st = &analysis.stats;
+        assert_eq!(st.eligible_globals, 3);
+        assert_eq!(st.webs_total, 4);
+        assert_eq!(st.webs_colored, 4);
+
+        let db = &analysis.database;
+        // B is an entry of g1's web (Table 2 commentary).
+        let b = db.lookup("B");
+        let g1 = b.promotions.iter().find(|p| p.sym == "g1").unwrap();
+        assert!(g1.is_entry);
+        assert!(g1.store_at_exit);
+        // D holds g1 in the same register, not as an entry.
+        let d = db.lookup("D");
+        let g1d = d.promotions.iter().find(|p| p.sym == "g1").unwrap();
+        assert_eq!(g1d.reg, g1.reg);
+        assert!(!g1d.is_entry);
+        // C carries both g3 and g2 in different registers.
+        let c = db.lookup("C");
+        assert_eq!(c.promotions.len(), 2);
+        assert_ne!(c.promotions[0].reg, c.promotions[1].reg);
+        // H has no promotions.
+        assert!(db.lookup("H").promotions.is_empty());
+        // Web registers are excluded from the node's usage sets.
+        for p in &c.promotions {
+            assert!(!c.usage.callee.contains(p.reg));
+            assert!(!c.usage.caller.contains(p.reg));
+            assert!(!c.usage.free.contains(p.reg));
+        }
+    }
+
+    #[test]
+    fn l2_config_produces_standard_directives() {
+        let s = figure3();
+        let analysis = analyze(&s, &AnalyzerOptions::paper_config(PaperConfig::L2, None));
+        for d in analysis.database.iter() {
+            assert!(d.promotions.is_empty());
+            assert!(!d.is_cluster_root);
+            assert_eq!(d.usage, crate::regsets::RegUsage::standard());
+        }
+        assert_eq!(analysis.stats.webs_total, 0);
+        assert_eq!(analysis.stats.clusters, 0);
+    }
+
+    #[test]
+    fn spill_only_config_has_no_promotions() {
+        let s = summary(
+            &[
+                ("main", &[("r", 1)], &["g"]),
+                ("r", &[("s", 100), ("t", 100)], &[]),
+                ("s", &[], &["g"]),
+                ("t", &[], &[]),
+            ],
+            &["g"],
+        );
+        let analysis = analyze(&s, &AnalyzerOptions::paper_config(PaperConfig::A, None));
+        assert_eq!(analysis.stats.webs_total, 0);
+        assert!(analysis.stats.clusters >= 1);
+        let r = analysis.database.lookup("r");
+        assert!(r.is_cluster_root);
+        assert!(!r.usage.mspill.is_empty());
+        let s_ = analysis.database.lookup("s");
+        assert!(!s_.usage.free.is_empty());
+        assert!(s_.promotions.is_empty());
+    }
+
+    #[test]
+    fn blanket_config_promotes_program_wide() {
+        let s = figure3();
+        let analysis = analyze(&s, &AnalyzerOptions::paper_config(PaperConfig::E, None));
+        assert_eq!(analysis.stats.webs_colored, 3); // g1, g2, g3
+        // Every defined node carries all three promotions.
+        for name in ["A", "B", "C", "D", "E", "F", "G", "H"] {
+            let d = analysis.database.lookup(name);
+            assert_eq!(d.promotions.len(), 3, "{name}: {:?}", d.promotions);
+            // Only the start node A is an entry.
+            for p in &d.promotions {
+                assert_eq!(p.is_entry, name == "A");
+            }
+        }
+        // Three distinct registers.
+        let a = analysis.database.lookup("A");
+        let regs: std::collections::HashSet<Reg> =
+            a.promotions.iter().map(|p| p.reg).collect();
+        assert_eq!(regs.len(), 3);
+    }
+
+    #[test]
+    fn greedy_config_runs() {
+        let s = figure3();
+        let analysis = analyze(&s, &AnalyzerOptions::paper_config(PaperConfig::D, None));
+        assert_eq!(analysis.stats.webs_total, 4);
+        assert!(analysis.stats.webs_colored >= 1);
+    }
+
+    #[test]
+    fn paper_config_profile_plumbing() {
+        assert!(PaperConfig::B.wants_profile());
+        assert!(PaperConfig::F.wants_profile());
+        assert!(!PaperConfig::C.wants_profile());
+        let mut p = ProfileData::new();
+        p.record_edge("A", "B", 42);
+        let opts = AnalyzerOptions::paper_config(PaperConfig::F, Some(p.clone()));
+        assert_eq!(opts.profile, Some(p));
+        let opts = AnalyzerOptions::paper_config(PaperConfig::C, Some(ProfileData::new()));
+        assert_eq!(opts.profile, None, "C must ignore profile data");
+    }
+
+    #[test]
+    fn database_covers_only_defined_procs() {
+        let s = summary(&[("main", &[("libc_read", 5)], &["g"])], &["g"]);
+        let analysis = analyze(&s, &AnalyzerOptions::default());
+        assert!(analysis.database.get("main").is_some());
+        assert!(analysis.database.get("libc_read").is_none());
+    }
+
+    #[test]
+    fn web_reports_cover_all_webs() {
+        let s = figure3();
+        let analysis = analyze(&s, &AnalyzerOptions::default());
+        assert_eq!(analysis.webs.len(), 4);
+        let g3 = analysis.webs.iter().find(|w| w.sym == "g3").unwrap();
+        assert_eq!(g3.nodes, vec!["A", "B", "C"]);
+        assert_eq!(g3.entries, vec!["A"]);
+        assert!(g3.reg.is_some());
+        assert!(g3.written);
+        // Promotion off: no reports.
+        let analysis = analyze(&s, &AnalyzerOptions::paper_config(PaperConfig::A, None));
+        assert!(analysis.webs.is_empty());
+    }
+
+    #[test]
+    fn stats_config_labels() {
+        assert_eq!(PaperConfig::ALL.len(), 7);
+        assert_eq!(PaperConfig::C.to_string(), "C");
+        assert_eq!(PaperConfig::L2.to_string(), "L2");
+    }
+}

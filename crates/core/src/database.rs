@@ -1,0 +1,186 @@
+//! The program database (paper §4.3).
+//!
+//! The analyzer's output: one entry per procedure, holding the promoted
+//! globals (with their dedicated registers and web-entry flags) and the
+//! four register usage sets. The compiler second phase queries this
+//! database by procedure name — in any order, which is the point of the
+//! two-pass design: "since the directives are stored in a single program
+//! database, the compiler second phase can be run on each source module
+//! independently".
+
+use crate::regsets::RegUsage;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vpr::regs::Reg;
+
+/// One promoted global in one procedure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Promotion {
+    /// The global's link name.
+    pub sym: String,
+    /// The callee-saves register dedicated to it in this procedure.
+    pub reg: Reg,
+    /// Is this procedure a web entry node (load the global at entry)?
+    pub is_entry: bool,
+    /// Must web entries store the global back at exit? `false` when no web
+    /// member writes it (§5's store suppression).
+    pub store_at_exit: bool,
+}
+
+/// All directives for one procedure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcDirectives {
+    /// Procedure link name.
+    pub name: String,
+    /// Promoted globals visible in this procedure.
+    pub promotions: Vec<Promotion>,
+    /// The FREE/CALLER/CALLEE/MSPILL register sets.
+    pub usage: RegUsage,
+    /// Is this procedure a cluster root (spills its MSPILL set
+    /// unconditionally)?
+    pub is_cluster_root: bool,
+    /// Claim-pool registers this procedure may use as caller-saves scratch
+    /// (§7.6.2 caller-saves preallocation; the full pool when the extension
+    /// is off).
+    #[serde(default = "full_claim")]
+    pub claimed_caller: vpr::regs::RegSet,
+    /// Claim-pool registers guaranteed untouched by any call to this
+    /// procedure, transitively (empty when the extension is off).
+    #[serde(default)]
+    pub safe_caller_across: vpr::regs::RegSet,
+}
+
+fn full_claim() -> vpr::regs::RegSet {
+    crate::caller_prealloc::claim_pool_set()
+}
+
+impl ProcDirectives {
+    /// Directives equivalent to the standard linkage convention (what a
+    /// procedure gets when interprocedural allocation is off or the
+    /// database has no entry for it).
+    pub fn standard(name: impl Into<String>) -> ProcDirectives {
+        ProcDirectives {
+            name: name.into(),
+            promotions: Vec::new(),
+            usage: RegUsage::standard(),
+            is_cluster_root: false,
+            claimed_caller: crate::caller_prealloc::claim_pool_set(),
+            safe_caller_across: vpr::regs::RegSet::new(),
+        }
+    }
+}
+
+/// The whole-program register allocation database.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramDatabase {
+    entries: BTreeMap<String, ProcDirectives>,
+}
+
+impl ProgramDatabase {
+    /// An empty database (every query falls back to the standard
+    /// convention).
+    pub fn new() -> ProgramDatabase {
+        ProgramDatabase::default()
+    }
+
+    /// Inserts or replaces a procedure's directives.
+    pub fn insert(&mut self, d: ProcDirectives) {
+        self.entries.insert(d.name.clone(), d);
+    }
+
+    /// The directives for `name`, if the analyzer produced any.
+    pub fn get(&self, name: &str) -> Option<&ProcDirectives> {
+        self.entries.get(name)
+    }
+
+    /// The directives for `name`, falling back to the standard convention.
+    pub fn lookup(&self, name: &str) -> ProcDirectives {
+        self.entries.get(name).cloned().unwrap_or_else(|| ProcDirectives::standard(name))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcDirectives> {
+        self.entries.values()
+    }
+
+    /// Serializes the database (the paper's on-disk program database).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("database serialization cannot fail")
+    }
+
+    /// Reads a database back.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed input.
+    pub fn from_json(s: &str) -> Result<ProgramDatabase, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpr::regs::RegSet;
+
+    #[test]
+    fn lookup_falls_back_to_standard() {
+        let db = ProgramDatabase::new();
+        let d = db.lookup("anything");
+        assert_eq!(d.usage.callee, RegSet::callee_saves());
+        assert_eq!(d.usage.caller, RegSet::caller_saves());
+        assert!(d.usage.free.is_empty() && d.usage.mspill.is_empty());
+        assert!(d.promotions.is_empty());
+        assert!(!d.is_cluster_root);
+        assert!(db.get("anything").is_none());
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = ProgramDatabase::new();
+        let mut d = ProcDirectives::standard("f");
+        d.promotions.push(Promotion {
+            sym: "g".into(),
+            reg: Reg::new(3),
+            is_entry: true,
+            store_at_exit: true,
+        });
+        d.is_cluster_root = true;
+        db.insert(d.clone());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get("f"), Some(&d));
+        assert_eq!(db.lookup("f"), d);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut db = ProgramDatabase::new();
+        let mut d = ProcDirectives::standard("f");
+        d.usage.free.insert(Reg::new(5));
+        d.usage.mspill.insert(Reg::new(6));
+        db.insert(d);
+        db.insert(ProcDirectives::standard("g"));
+        let back = ProgramDatabase::from_json(&db.to_json()).unwrap();
+        assert_eq!(db, back);
+        assert!(ProgramDatabase::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut db = ProgramDatabase::new();
+        db.insert(ProcDirectives::standard("zeta"));
+        db.insert(ProcDirectives::standard("alpha"));
+        let names: Vec<&str> = db.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,471 @@
+//! Promotion eligibility and the interprocedural reference dataflow.
+//!
+//! Implements the paper's §4.1.2: a global is *eligible* for promotion when
+//! it fits a register (scalar, not an array) and is never aliased (its
+//! address is never taken); then the `L_REF`/`P_REF`/`C_REF` sets are
+//! propagated over the call graph:
+//!
+//! * `L_REF[P]` — eligible globals referenced locally in `P`,
+//! * `P_REF[P]` — eligible globals referenced somewhere on a call chain
+//!   from a start node to `P` (exclusive),
+//! * `C_REF[P]` — eligible globals referenced somewhere on a call chain
+//!   starting at `P` (exclusive).
+//!
+//! `C_REF` propagates bottom-up (reverse condensation order) and `P_REF`
+//! top-down, both iterated to a fixpoint, exactly as the paper prescribes
+//! for faster convergence.
+
+use crate::bitset::BitSet;
+use crate::callgraph::{CallGraph, NodeId};
+use ipra_summary::ProgramSummary;
+use std::collections::HashMap;
+
+/// An index into the eligible-global table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    /// Index accessor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Why a global was rejected for promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IneligibleReason {
+    /// Arrays do not fit in a register.
+    Array,
+    /// The global's address is taken somewhere (may be aliased).
+    Aliased,
+    /// Referenced but defined in no summarized module (outside the partial
+    /// call graph, §7.2).
+    Undefined,
+}
+
+/// One eligible global.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EligibleGlobal {
+    /// Link name.
+    pub sym: String,
+    /// Defining module.
+    pub module: String,
+    /// Declared `static` (module-private, §7.4)?
+    pub is_static: bool,
+}
+
+/// The eligibility analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct Eligibility {
+    globals: Vec<EligibleGlobal>,
+    by_sym: HashMap<String, GlobalId>,
+    rejected: Vec<(String, IneligibleReason)>,
+    /// Per (node, global): local reference frequency.
+    ref_freq: HashMap<(NodeId, GlobalId), u64>,
+    /// Per (node, global): does the node write the global?
+    written: HashMap<(NodeId, GlobalId), bool>,
+}
+
+impl Eligibility {
+    /// Determines the promotable globals of a program.
+    pub fn compute(graph: &CallGraph, summary: &ProgramSummary) -> Eligibility {
+        let mut aliased: Vec<String> = Vec::new();
+        let mut referenced: Vec<String> = Vec::new();
+        for p in summary.procs() {
+            for r in &p.global_refs {
+                if r.address_taken && !aliased.contains(&r.sym) {
+                    aliased.push(r.sym.clone());
+                }
+                if !referenced.contains(&r.sym) {
+                    referenced.push(r.sym.clone());
+                }
+            }
+        }
+        let mut e = Eligibility::default();
+        let mut defined: Vec<&str> = Vec::new();
+        for g in summary.globals() {
+            defined.push(&g.sym);
+            if g.is_array {
+                e.rejected.push((g.sym.clone(), IneligibleReason::Array));
+            } else if aliased.contains(&g.sym) {
+                e.rejected.push((g.sym.clone(), IneligibleReason::Aliased));
+            } else {
+                let id = GlobalId(e.globals.len() as u32);
+                e.by_sym.insert(g.sym.clone(), id);
+                e.globals.push(EligibleGlobal {
+                    sym: g.sym.clone(),
+                    module: g.module.clone(),
+                    is_static: g.is_static,
+                });
+            }
+        }
+        for r in referenced {
+            if !defined.contains(&r.as_str()) {
+                e.rejected.push((r, IneligibleReason::Undefined));
+            }
+        }
+        // Local reference frequencies, weighted by estimated invocations
+        // later; store raw here.
+        for p in summary.procs() {
+            let Some(node) = graph.by_name(&p.name) else { continue };
+            for r in &p.global_refs {
+                if let Some(&gid) = e.by_sym.get(&r.sym) {
+                    *e.ref_freq.entry((node, gid)).or_insert(0) += r.freq;
+                    *e.written.entry((node, gid)).or_insert(false) |= r.written;
+                }
+            }
+        }
+        e
+    }
+
+    /// Number of eligible globals.
+    pub fn len(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Is anything eligible?
+    pub fn is_empty(&self) -> bool {
+        self.globals.is_empty()
+    }
+
+    /// Ids of all eligible globals.
+    pub fn ids(&self) -> impl Iterator<Item = GlobalId> {
+        (0..self.globals.len() as u32).map(GlobalId)
+    }
+
+    /// The eligible global for `id`.
+    pub fn global(&self, id: GlobalId) -> &EligibleGlobal {
+        &self.globals[id.index()]
+    }
+
+    /// Looks an eligible global up by link name.
+    pub fn by_sym(&self, sym: &str) -> Option<GlobalId> {
+        self.by_sym.get(sym).copied()
+    }
+
+    /// Rejected globals with reasons (for the analyzer's statistics).
+    pub fn rejected(&self) -> &[(String, IneligibleReason)] {
+        &self.rejected
+    }
+
+    /// Local reference frequency of `g` in `node`.
+    pub fn ref_freq(&self, node: NodeId, g: GlobalId) -> u64 {
+        self.ref_freq.get(&(node, g)).copied().unwrap_or(0)
+    }
+
+    /// Does `node` write `g`?
+    pub fn writes(&self, node: NodeId, g: GlobalId) -> bool {
+        self.written.get(&(node, g)).copied().unwrap_or(false)
+    }
+}
+
+/// The three per-node reference sets.
+#[derive(Debug, Clone)]
+pub struct RefSets {
+    /// `L_REF` per node.
+    pub l_ref: Vec<BitSet>,
+    /// `P_REF` per node.
+    pub p_ref: Vec<BitSet>,
+    /// `C_REF` per node.
+    pub c_ref: Vec<BitSet>,
+}
+
+impl RefSets {
+    /// Computes the sets over the call graph.
+    pub fn compute(graph: &CallGraph, elig: &Eligibility) -> RefSets {
+        let n = graph.len();
+        let cap = elig.len();
+        let mut l_ref: Vec<BitSet> = (0..n).map(|_| BitSet::new(cap)).collect();
+        for node in graph.node_ids() {
+            for g in elig.ids() {
+                if elig.ref_freq(node, g) > 0 {
+                    l_ref[node.index()].insert(g.index());
+                }
+            }
+        }
+
+        // C_REF: bottom-up (reverse condensation topological order),
+        // iterated to fixpoint for cycles.
+        let mut c_ref: Vec<BitSet> = (0..n).map(|_| BitSet::new(cap)).collect();
+        let bottom_up: Vec<NodeId> = graph.topo_order().iter().rev().copied().collect();
+        loop {
+            let mut changed = false;
+            for &p in &bottom_up {
+                let mut acc = c_ref[p.index()].clone();
+                for s in graph.successors(p) {
+                    // Self-edges participate: a self-recursive node sees its
+                    // own L_REF in C_REF (and in P_REF below), which is what
+                    // routes recursive chains into the cycle-web handling.
+                    let (a, b) = (&c_ref[s.index()], &l_ref[s.index()]);
+                    let mut add = a.clone();
+                    add.union_with(b);
+                    acc.union_with(&add);
+                }
+                if acc != c_ref[p.index()] {
+                    c_ref[p.index()] = acc;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // P_REF: top-down (condensation topological order), to fixpoint.
+        let mut p_ref: Vec<BitSet> = (0..n).map(|_| BitSet::new(cap)).collect();
+        let top_down = graph.topo_order().to_vec();
+        loop {
+            let mut changed = false;
+            for &p in &top_down {
+                let mut acc = p_ref[p.index()].clone();
+                for i in graph.predecessors(p) {
+                    let (a, b) = (&p_ref[i.index()], &l_ref[i.index()]);
+                    let mut add = a.clone();
+                    add.union_with(b);
+                    acc.union_with(&add);
+                }
+                if acc != p_ref[p.index()] {
+                    p_ref[p.index()] = acc;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        RefSets { l_ref, p_ref, c_ref }
+    }
+
+    /// `g ∈ L_REF[n]`?
+    pub fn in_l(&self, n: NodeId, g: GlobalId) -> bool {
+        self.l_ref[n.index()].contains(g.index())
+    }
+
+    /// `g ∈ P_REF[n]`?
+    pub fn in_p(&self, n: NodeId, g: GlobalId) -> bool {
+        self.p_ref[n.index()].contains(g.index())
+    }
+
+    /// `g ∈ C_REF[n]`?
+    pub fn in_c(&self, n: NodeId, g: GlobalId) -> bool {
+        self.c_ref[n.index()].contains(g.index())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ipra_summary::*;
+
+    /// Builds a one-module program summary from a compact description:
+    /// `(proc, [(callee, freq)], [global syms referenced])`.
+    pub fn summary(
+        procs: &[(&str, &[(&str, u64)], &[&str])],
+        globals: &[&str],
+    ) -> ProgramSummary {
+        let procs = procs
+            .iter()
+            .map(|(name, calls, refs)| ProcSummary {
+                name: name.to_string(),
+                module: "m".to_string(),
+                global_refs: refs
+                    .iter()
+                    .map(|g| GlobalRef {
+                        sym: g.to_string(),
+                        freq: 10,
+                        written: true,
+                        address_taken: false,
+                    })
+                    .collect(),
+                calls: calls
+                    .iter()
+                    .map(|(c, f)| CallRef { callee: c.to_string(), freq: *f })
+                    .collect(),
+                taken_addresses: vec![],
+                makes_indirect_calls: false,
+                callee_saves_estimate: 2,
+                caller_saves_estimate: 2,
+            })
+            .collect();
+        let globals = globals
+            .iter()
+            .map(|g| GlobalFact {
+                sym: g.to_string(),
+                size: 1,
+                is_array: false,
+                is_static: false,
+                module: "m".to_string(),
+                init: vec![],
+            })
+            .collect();
+        ProgramSummary {
+            modules: vec![ModuleSummary { module: "m".into(), procs, globals }],
+        }
+    }
+
+    /// The paper's Figure 3 example: nodes A–H, globals g1–g3, with the
+    /// L_REF sets of Table 1.
+    pub fn figure3() -> ProgramSummary {
+        summary(
+            &[
+                ("A", &[("B", 1), ("C", 1)], &["g3"]),
+                ("B", &[("D", 1), ("E", 1)], &["g1", "g3"]),
+                ("C", &[("F", 1), ("G", 1)], &["g2", "g3"]),
+                ("D", &[], &["g1"]),
+                ("E", &[], &["g1", "g2"]),
+                ("F", &[], &["g2"]),
+                ("G", &[("H", 1)], &["g2"]),
+                ("H", &[], &[]),
+            ],
+            &["g1", "g2", "g3"],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{figure3, summary};
+    use super::*;
+    use ipra_summary::{GlobalFact, GlobalRef, ModuleSummary, ProcSummary, ProgramSummary};
+
+    fn build(s: &ProgramSummary) -> (CallGraph, Eligibility, RefSets) {
+        let g = CallGraph::build(s, None);
+        let e = Eligibility::compute(&g, s);
+        let r = RefSets::compute(&g, &e);
+        (g, e, r)
+    }
+
+    #[test]
+    fn figure3_reproduces_table1() {
+        let s = figure3();
+        let (g, e, r) = build(&s);
+        let node = |n: &str| g.by_name(n).unwrap();
+        let gid = |s: &str| e.by_sym(s).unwrap();
+        let (g1, g2, g3) = (gid("g1"), gid("g2"), gid("g3"));
+
+        // Table 1, C_REF column.
+        let c = |n: &str| {
+            let id = node(n);
+            e.ids().filter(|&x| r.in_c(id, x)).map(|x| e.global(x).sym.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(c("A"), vec!["g1", "g2", "g3"]);
+        assert_eq!(c("B"), vec!["g1", "g2"]);
+        assert_eq!(c("C"), vec!["g2"]);
+        assert_eq!(c("D"), Vec::<String>::new());
+        assert_eq!(c("E"), Vec::<String>::new());
+        assert_eq!(c("H"), Vec::<String>::new());
+
+        // Table 1, P_REF column.
+        let p = |n: &str| {
+            let id = node(n);
+            e.ids().filter(|&x| r.in_p(id, x)).map(|x| e.global(x).sym.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(p("A"), Vec::<String>::new());
+        assert_eq!(p("B"), vec!["g3"]);
+        assert_eq!(p("C"), vec!["g3"]);
+        assert_eq!(p("D"), vec!["g1", "g3"]);
+        assert_eq!(p("E"), vec!["g1", "g3"]);
+        assert_eq!(p("F"), vec!["g2", "g3"]);
+        assert_eq!(p("G"), vec!["g2", "g3"]);
+        assert_eq!(p("H"), vec!["g2", "g3"]);
+
+        // L_REF spot checks.
+        assert!(r.in_l(node("B"), g1) && r.in_l(node("B"), g3));
+        assert!(!r.in_l(node("H"), g1) && !r.in_l(node("H"), g2) && !r.in_l(node("H"), g3));
+        assert!(r.in_l(node("E"), g2));
+    }
+
+    #[test]
+    fn aliased_and_array_globals_rejected() {
+        let mut s = summary(&[("main", &[], &["g", "h"])], &["g", "h"]);
+        // g's address is taken; h stays eligible. Add an array too.
+        s.modules[0].procs[0].global_refs[0].address_taken = true;
+        s.modules[0].globals.push(GlobalFact {
+            sym: "arr".into(),
+            size: 10,
+            is_array: true,
+            is_static: false,
+            module: "m".into(),
+            init: vec![],
+        });
+        let g = CallGraph::build(&s, None);
+        let e = Eligibility::compute(&g, &s);
+        assert_eq!(e.len(), 1);
+        assert!(e.by_sym("h").is_some());
+        assert!(e.by_sym("g").is_none());
+        assert!(e
+            .rejected()
+            .iter()
+            .any(|(s, r)| s == "g" && *r == IneligibleReason::Aliased));
+        assert!(e
+            .rejected()
+            .iter()
+            .any(|(s, r)| s == "arr" && *r == IneligibleReason::Array));
+    }
+
+    #[test]
+    fn undefined_extern_rejected() {
+        let s = ProgramSummary {
+            modules: vec![ModuleSummary {
+                module: "m".into(),
+                procs: vec![ProcSummary {
+                    name: "main".into(),
+                    module: "m".into(),
+                    global_refs: vec![GlobalRef {
+                        sym: "ctype".into(),
+                        freq: 1,
+                        written: false,
+                        address_taken: false,
+                    }],
+                    calls: vec![],
+                    taken_addresses: vec![],
+                    makes_indirect_calls: false,
+                    callee_saves_estimate: 0,
+                    caller_saves_estimate: 2,
+                }],
+                globals: vec![],
+            }],
+        };
+        let g = CallGraph::build(&s, None);
+        let e = Eligibility::compute(&g, &s);
+        assert!(e.is_empty());
+        assert!(e
+            .rejected()
+            .iter()
+            .any(|(sy, r)| sy == "ctype" && *r == IneligibleReason::Undefined));
+    }
+
+    #[test]
+    fn recursive_cycle_propagates_both_ways() {
+        // main -> a <-> b; b refs g. Inside the cycle both P_REF and C_REF
+        // must include g (reachable through the cycle).
+        let s = summary(
+            &[("main", &[("a", 1)], &[]), ("a", &[("b", 1)], &[]), ("b", &[("a", 1)], &["g"])],
+            &["g"],
+        );
+        let (g, e, r) = build(&s);
+        let gid = e.by_sym("g").unwrap();
+        let a = g.by_name("a").unwrap();
+        let b = g.by_name("b").unwrap();
+        let main = g.by_name("main").unwrap();
+        assert!(r.in_c(main, gid));
+        assert!(r.in_c(a, gid));
+        // b's own C_REF: along chains starting at b: b -> a -> b refs g.
+        assert!(r.in_c(b, gid));
+        // P_REF: a is reachable from b (which refs g), so g ∈ P_REF[a].
+        assert!(r.in_p(a, gid));
+        assert!(r.in_p(b, gid));
+        assert!(!r.in_p(main, gid));
+    }
+
+    #[test]
+    fn ref_freq_and_writes_recorded() {
+        let s = summary(&[("main", &[], &["g"])], &["g"]);
+        let (g, e, _) = build(&s);
+        let m = g.by_name("main").unwrap();
+        let gid = e.by_sym("g").unwrap();
+        assert_eq!(e.ref_freq(m, gid), 10);
+        assert!(e.writes(m, gid));
+        assert_eq!(e.ref_freq(m, GlobalId(0)), 10);
+    }
+}

@@ -1,0 +1,51 @@
+//! # ipra-core — interprocedural register allocation
+//!
+//! The primary contribution of *Register Allocation Across Procedure and
+//! Module Boundaries* (Santhanam & Odnert, PLDI 1990): a **program
+//! analyzer** that reads per-module summary files, builds the program call
+//! graph, and computes register allocation directives that a compiler
+//! second phase applies while compiling each module independently.
+//!
+//! Two algorithms do the work:
+//!
+//! * **Global variable promotion** ([`dataflow`], [`webs`], [`color`]) —
+//!   eligible globals are partitioned into call-graph *webs* and colored
+//!   onto callee-saves registers, so one register serves different globals
+//!   in disjoint program regions (§4.1).
+//! * **Spill code motion** ([`cluster`], [`regsets`]) — call-intensive
+//!   regions become *clusters* whose root executes the callee-saves
+//!   save/restore code for all members, giving members free registers
+//!   (§4.2).
+//!
+//! The entry point is [`analyzer::analyze`]; its output is a
+//! [`database::ProgramDatabase`] of per-procedure directives.
+//!
+//! ```
+//! use ipra_core::analyzer::{analyze, AnalyzerOptions};
+//! use ipra_summary::ProgramSummary;
+//!
+//! // Empty program: the analyzer still runs and yields an empty database.
+//! let analysis = analyze(&ProgramSummary::default(), &AnalyzerOptions::default());
+//! assert!(analysis.database.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod bitset;
+pub mod caller_prealloc;
+pub mod callgraph;
+pub mod cluster;
+pub mod color;
+pub mod database;
+pub mod dataflow;
+pub mod dot;
+pub mod profile;
+pub mod regsets;
+pub mod webs;
+
+pub use analyzer::{analyze, Analysis, AnalyzerOptions, AnalyzerStats, PaperConfig, PromotionMode, WebReport};
+pub use callgraph::{CallGraph, NodeId};
+pub use database::{ProcDirectives, ProgramDatabase, Promotion};
+pub use profile::ProfileData;
+pub use regsets::RegUsage;

@@ -1,0 +1,104 @@
+//! Dynamic profile data for the analyzer.
+//!
+//! The paper's configurations B and F feed `gprof` call-graph profiles to
+//! the program analyzer. Here the equivalent data comes from the `vpr`
+//! simulator's exact per-edge call counts; the driver converts a profiling
+//! run's `RunStats` into a [`ProfileData`] keyed by link names.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Procedure-level call profile: per-callee and per-edge call counts.
+///
+/// Serializes as a flat edge list (JSON object keys must be strings, and
+/// edges are `(caller, callee)` pairs).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(into = "ProfileRepr", from = "ProfileRepr")]
+pub struct ProfileData {
+    calls: HashMap<String, u64>,
+    edges: HashMap<(String, String), u64>,
+}
+
+/// On-disk form of [`ProfileData`].
+#[derive(Serialize, Deserialize)]
+struct ProfileRepr {
+    edges: Vec<(String, String, u64)>,
+}
+
+impl From<ProfileData> for ProfileRepr {
+    fn from(p: ProfileData) -> ProfileRepr {
+        let mut edges: Vec<(String, String, u64)> =
+            p.edges.into_iter().map(|((a, b), c)| (a, b, c)).collect();
+        edges.sort();
+        ProfileRepr { edges }
+    }
+}
+
+impl From<ProfileRepr> for ProfileData {
+    fn from(r: ProfileRepr) -> ProfileData {
+        let mut p = ProfileData::new();
+        for (a, b, c) in r.edges {
+            p.record_edge(&a, &b, c);
+        }
+        p
+    }
+}
+
+impl ProfileData {
+    /// Creates an empty profile.
+    pub fn new() -> ProfileData {
+        ProfileData::default()
+    }
+
+    /// Adds `count` traversals of the `caller → callee` edge (and to the
+    /// callee's total).
+    pub fn record_edge(&mut self, caller: &str, callee: &str, count: u64) {
+        *self.edges.entry((caller.to_string(), callee.to_string())).or_insert(0) += count;
+        *self.calls.entry(callee.to_string()).or_insert(0) += count;
+    }
+
+    /// Total recorded calls of `callee`.
+    pub fn calls(&self, callee: &str) -> u64 {
+        self.calls.get(callee).copied().unwrap_or(0)
+    }
+
+    /// Recorded traversals of `caller → callee`.
+    pub fn edge(&self, caller: &str, callee: &str) -> u64 {
+        self.edges.get(&(caller.to_string(), callee.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Is the profile empty?
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty() && self.calls.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let mut p = ProfileData::new();
+        p.record_edge("a", "b", 3);
+        p.record_edge("c", "b", 1);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProfileData = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(back.calls("b"), 4);
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut p = ProfileData::new();
+        p.record_edge("a", "b", 3);
+        p.record_edge("a", "b", 2);
+        p.record_edge("c", "b", 1);
+        assert_eq!(p.edge("a", "b"), 5);
+        assert_eq!(p.edge("b", "a"), 0);
+        assert_eq!(p.calls("b"), 6);
+        assert_eq!(p.calls("zzz"), 0);
+        assert!(!p.is_empty());
+        assert!(ProfileData::new().is_empty());
+    }
+}

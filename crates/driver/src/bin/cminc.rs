@@ -1,0 +1,340 @@
+//! `cminc` — the two-pass `cmin` compiler driver, file based.
+//!
+//! Mirrors the paper's Figure 1 as an actual command-line workflow, with
+//! summary files, intermediate files, and a program database on disk:
+//!
+//! ```sh
+//! cminc phase1 a.cmin --summary a.sum --ir a.ir
+//! cminc phase1 b.cmin --summary b.sum --ir b.ir
+//! cminc analyze a.sum b.sum --config C -o program.db
+//! cminc phase2 a.ir --db program.db -o a.obj
+//! cminc phase2 b.ir --db program.db -o b.obj
+//! cminc link a.obj b.obj -o prog.exe
+//! cminc run prog.exe --input "3 4 5" --stats
+//! ```
+//!
+//! or, in one step:
+//!
+//! ```sh
+//! cminc build a.cmin b.cmin --config C --run --stats
+//! ```
+
+use ipra_core::analyzer::{analyze, AnalyzerOptions, PaperConfig};
+use ipra_core::{ProfileData, ProgramDatabase};
+use ipra_driver::SourceFile;
+use ipra_summary::{summarize_module, ModuleSummary, ProgramSummary};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "phase1" => phase1(rest),
+        "analyze" => analyze_cmd(rest),
+        "phase2" => phase2(rest),
+        "link" => link_cmd(rest),
+        "run" => run_cmd(rest),
+        "build" => build_cmd(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cminc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cminc phase1 <src.cmin> [--summary <out.sum>] [--ir <out.ir>]
+  cminc analyze <mod.sum>... [--config L2|A|B|C|D|E|F] [--profile <prof.json>] [--report] [--dot <graph.dot>] -o <program.db>
+  cminc phase2 <mod.ir> --db <program.db> -o <mod.obj>
+  cminc link <mod.obj>... -o <prog.exe>
+  cminc run <prog.exe> [--input \"v v v\"] [--stats] [--profile-out <prof.json>] [--asm]
+  cminc build <src.cmin>... [--config ...] [--run] [--stats] [--input \"v v v\"]";
+
+/// Pulls the value following `flag` out of `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Positional arguments: everything not a flag or a flag value.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Flags with values:
+            let takes_value = matches!(
+                a.as_str(),
+                "--summary" | "--ir" | "--config" | "--profile" | "--db" | "-o" | "--input"
+                    | "--profile-out" | "--dot"
+            );
+            skip = takes_value && args.get(i + 1).is_some();
+            continue;
+        }
+        if a == "-o" {
+            skip = true;
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
+}
+
+fn module_name(path: &str) -> String {
+    Path::new(path).file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_else(|| "module".into())
+}
+
+fn parse_config(args: &[String]) -> Result<PaperConfig, String> {
+    match flag_value(args, "--config").as_deref() {
+        None | Some("L2") => Ok(PaperConfig::L2),
+        Some("A") => Ok(PaperConfig::A),
+        Some("B") => Ok(PaperConfig::B),
+        Some("C") => Ok(PaperConfig::C),
+        Some("D") => Ok(PaperConfig::D),
+        Some("E") => Ok(PaperConfig::E),
+        Some("F") => Ok(PaperConfig::F),
+        Some(other) => Err(format!("unknown config `{other}`")),
+    }
+}
+
+fn parse_input(args: &[String]) -> Result<Vec<i64>, String> {
+    match flag_value(args, "--input") {
+        None => Ok(Vec::new()),
+        Some(text) => text
+            .split_whitespace()
+            .map(|t| t.parse::<i64>().map_err(|e| format!("bad input value `{t}`: {e}")))
+            .collect(),
+    }
+}
+
+/// Frontend + optimizer for one file; returns the optimized IR and summary.
+fn front_one(path: &str) -> Result<(cmin_ir::IrModule, ModuleSummary), String> {
+    let text = read(path)?;
+    let name = module_name(path);
+    let module = cmin_frontend::parse_module(&name, &text).map_err(|e| e.to_string())?;
+    let info = cmin_frontend::analyze(&module).map_err(|e| e.to_string())?;
+    let mut ir = cmin_ir::lower_module(&module, &info);
+    cmin_ir::optimize_module(&mut ir);
+    let summary = summarize_module(&ir);
+    Ok((ir, summary))
+}
+
+fn phase1(args: &[String]) -> Result<(), String> {
+    let files = positionals(args);
+    let [src] = files.as_slice() else {
+        return Err("phase1 takes exactly one source file".into());
+    };
+    let (ir, summary) = front_one(src)?;
+    let stem = module_name(src);
+    let sum_path = flag_value(args, "--summary").unwrap_or(format!("{stem}.sum"));
+    let ir_path = flag_value(args, "--ir").unwrap_or(format!("{stem}.ir"));
+    let sum_json = serde_json::to_string_pretty(&summary).expect("serialize");
+    write(&sum_path, &sum_json)?;
+    let ir_json = serde_json::to_string(&ir).expect("serialize");
+    write(&ir_path, &ir_json)?;
+    eprintln!("phase1: {src} -> {sum_path}, {ir_path}");
+    Ok(())
+}
+
+fn analyze_cmd(args: &[String]) -> Result<(), String> {
+    let sums = positionals(args);
+    if sums.is_empty() {
+        return Err("analyze needs at least one summary file".into());
+    }
+    let out = flag_value(args, "-o").ok_or("analyze needs -o <program.db>")?;
+    let mut program = ProgramSummary::default();
+    for s in &sums {
+        let module: ModuleSummary =
+            serde_json::from_str(&read(s)?).map_err(|e| format!("{s}: {e}"))?;
+        program.modules.push(module);
+    }
+    let config = parse_config(args)?;
+    let profile = match flag_value(args, "--profile") {
+        Some(p) => Some(
+            serde_json::from_str::<ProfileData>(&read(&p)?).map_err(|e| format!("{p}: {e}"))?,
+        ),
+        None => {
+            if config.wants_profile() {
+                return Err(format!("config {config} needs --profile <prof.json>"));
+            }
+            None
+        }
+    };
+    let analysis = analyze(&program, &AnalyzerOptions::paper_config(config, profile));
+    write(&out, &analysis.database.to_json())?;
+    let s = &analysis.stats;
+    eprintln!(
+        "analyze: {} nodes, {} eligible globals, {}/{} webs colored, {} clusters -> {out}",
+        s.nodes, s.eligible_globals, s.webs_colored, s.webs_total, s.clusters
+    );
+    if let Some(path) = flag_value(args, "--dot") {
+        write(&path, &ipra_core::dot::call_graph_dot(&program, &analysis))?;
+        eprintln!("dot: -> {path}");
+    }
+    if has_flag(args, "--report") {
+        for w in &analysis.webs {
+            println!(
+                "web {:<14} reg {:<4} entries [{}] nodes [{}]{}",
+                w.sym,
+                w.reg.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+                w.entries.join(" "),
+                w.nodes.join(" "),
+                if w.written { "" } else { " (read-only)" }
+            );
+        }
+        for d in analysis.database.iter() {
+            if d.is_cluster_root {
+                println!("cluster root {:<14} MSPILL {}", d.name, d.usage.mspill);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn phase2(args: &[String]) -> Result<(), String> {
+    let files = positionals(args);
+    let [ir_path] = files.as_slice() else {
+        return Err("phase2 takes exactly one .ir file".into());
+    };
+    let out = flag_value(args, "-o").ok_or("phase2 needs -o <mod.obj>")?;
+    let db = match flag_value(args, "--db") {
+        Some(p) => ProgramDatabase::from_json(&read(&p)?).map_err(|e| format!("{p}: {e}"))?,
+        None => ProgramDatabase::new(),
+    };
+    let ir: cmin_ir::IrModule =
+        serde_json::from_str(&read(ir_path)?).map_err(|e| format!("{ir_path}: {e}"))?;
+    let object = cmin_codegen::compile_module(&ir, &db);
+    write(&out, &serde_json::to_string(&object).expect("serialize"))?;
+    eprintln!("phase2: {ir_path} -> {out} ({} procedures)", object.functions.len());
+    Ok(())
+}
+
+fn link_cmd(args: &[String]) -> Result<(), String> {
+    let objs = positionals(args);
+    if objs.is_empty() {
+        return Err("link needs at least one object file".into());
+    }
+    let out = flag_value(args, "-o").ok_or("link needs -o <prog.exe>")?;
+    let mut modules = Vec::new();
+    for o in &objs {
+        let m: vpr::ObjectModule =
+            serde_json::from_str(&read(o)?).map_err(|e| format!("{o}: {e}"))?;
+        modules.push(m);
+    }
+    let exe = vpr::link(&modules).map_err(|e| e.to_string())?;
+    write(&out, &serde_json::to_string(&exe).expect("serialize"))?;
+    eprintln!("link: {} instructions -> {out}", exe.code_len());
+    Ok(())
+}
+
+fn run_cmd(args: &[String]) -> Result<(), String> {
+    let files = positionals(args);
+    let [exe_path] = files.as_slice() else {
+        return Err("run takes exactly one executable".into());
+    };
+    let exe: vpr::Executable =
+        serde_json::from_str(&read(exe_path)?).map_err(|e| format!("{exe_path}: {e}"))?;
+    if has_flag(args, "--asm") {
+        print!("{}", vpr::asm::executable_asm(&exe));
+        return Ok(());
+    }
+    let input = parse_input(args)?;
+    let opts = vpr::SimOptions { input, ..vpr::SimOptions::default() };
+    let result = vpr::run_with(&exe, &opts).map_err(|e| e.to_string())?;
+    for v in &result.output {
+        println!("{v}");
+    }
+    eprintln!("exit: {}", result.exit);
+    if has_flag(args, "--stats") {
+        let s = &result.stats;
+        eprintln!(
+            "cycles: {}  loads: {}  stores: {}  singleton refs: {}  calls: {}",
+            s.cycles,
+            s.loads,
+            s.stores,
+            s.singleton_refs(),
+            s.calls
+        );
+    }
+    if let Some(path) = flag_value(args, "--profile-out") {
+        let mut profile = ProfileData::new();
+        for (&(caller, callee), &count) in &result.stats.call_edges {
+            if let (Some(cr), Some(ce)) = (exe.funcs().get(caller), exe.funcs().get(callee)) {
+                profile.record_edge(&cr.name, &ce.name, count);
+            }
+        }
+        write(&path, &serde_json::to_string_pretty(&profile).expect("serialize"))?;
+        eprintln!("profile: -> {path}");
+    }
+    Ok(())
+}
+
+fn build_cmd(args: &[String]) -> Result<(), String> {
+    let srcs = positionals(args);
+    if srcs.is_empty() {
+        return Err("build needs at least one source file".into());
+    }
+    let config = parse_config(args)?;
+    let input = parse_input(args)?;
+    let mut sources = Vec::new();
+    for s in &srcs {
+        sources.push(SourceFile::new(module_name(s), read(s)?));
+    }
+    let program = if config.wants_profile() {
+        ipra_driver::compile_with_profile(&sources, config, &input)
+            .map_err(|e| e.to_string())?
+            .map_err(|e| format!("training run trapped: {e}"))?
+    } else {
+        ipra_driver::compile(&sources, &ipra_driver::CompileOptions::paper(config))
+            .map_err(|e| e.to_string())?
+    };
+    let s = &program.stats;
+    eprintln!(
+        "build: config {config}; {} nodes, {}/{} webs colored, {} clusters",
+        s.nodes, s.webs_colored, s.webs_total, s.clusters
+    );
+    if has_flag(args, "--run") {
+        let result = ipra_driver::run_program(&program, &input).map_err(|e| e.to_string())?;
+        for v in &result.output {
+            println!("{v}");
+        }
+        eprintln!("exit: {}", result.exit);
+        if has_flag(args, "--stats") {
+            let st = &result.stats;
+            eprintln!(
+                "cycles: {}  singleton refs: {}  calls: {}",
+                st.cycles,
+                st.singleton_refs(),
+                st.calls
+            );
+        }
+    }
+    Ok(())
+}

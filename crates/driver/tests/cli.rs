@@ -1,0 +1,184 @@
+//! End-to-end test of the `cminc` command-line driver: the full file-based
+//! Figure 1 pipeline — phase1 per module, analyze, phase2 per module, link,
+//! run — plus the profile round trip and the one-shot `build`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cminc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cminc"))
+}
+
+fn write(dir: &std::path::Path, name: &str, text: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, text).unwrap();
+    p
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cminc-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const LIB_SRC: &str = "static int calls;
+int total;
+int add_in(int v) { calls = calls + 1; total = total + v; return total; }
+int call_count() { return calls; }";
+
+const MAIN_SRC: &str = "extern int total;
+extern int add_in(int);
+extern int call_count();
+int main() {
+    int v = in();
+    while (v >= 0) { add_in(v); v = in(); }
+    out(total);
+    out(call_count());
+    return total;
+}";
+
+#[test]
+fn file_based_pipeline_end_to_end() {
+    let dir = tempdir("pipeline");
+    let lib = write(&dir, "counterlib.cmin", LIB_SRC);
+    let app = write(&dir, "app.cmin", MAIN_SRC);
+
+    // Phase 1 on each module.
+    for src in [&lib, &app] {
+        let out = cminc().current_dir(&dir).args(["phase1", src.to_str().unwrap()]).output().unwrap();
+        assert!(out.status.success(), "phase1: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    assert!(dir.join("counterlib.sum").exists());
+    assert!(dir.join("app.ir").exists());
+
+    // Analyzer over the summary files.
+    let out = cminc()
+        .current_dir(&dir)
+        .args(["analyze", "counterlib.sum", "app.sum", "--config", "C", "-o", "program.db"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "analyze: {}", String::from_utf8_lossy(&out.stderr));
+    let db_text = std::fs::read_to_string(dir.join("program.db")).unwrap();
+    assert!(db_text.contains("add_in"));
+
+    // Phase 2 on each intermediate file — deliberately in the opposite
+    // order, which the paper's design explicitly allows.
+    for stem in ["app", "counterlib"] {
+        let out = cminc()
+            .current_dir(&dir)
+            .args([
+                "phase2",
+                &format!("{stem}.ir"),
+                "--db",
+                "program.db",
+                "-o",
+                &format!("{stem}.obj"),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "phase2: {}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    // Link and run.
+    let out = cminc()
+        .current_dir(&dir)
+        .args(["link", "counterlib.obj", "app.obj", "-o", "prog.exe"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "link: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cminc()
+        .current_dir(&dir)
+        .args(["run", "prog.exe", "--input", "5 10 15", "--stats", "--profile-out", "prof.json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "run: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim().lines().collect::<Vec<_>>(), vec!["30", "3"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cycles:"), "{stderr}");
+
+    // Profile file exists and names the hot procedure.
+    let prof = std::fs::read_to_string(dir.join("prof.json")).unwrap();
+    assert!(prof.contains("add_in"));
+
+    // Profile-fed analysis (config F) consumes it.
+    let out = cminc()
+        .current_dir(&dir)
+        .args([
+            "analyze",
+            "counterlib.sum",
+            "app.sum",
+            "--config",
+            "F",
+            "--profile",
+            "prof.json",
+            "-o",
+            "program_f.db",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "analyze F: {}", String::from_utf8_lossy(&out.stderr));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn build_one_shot_matches_pipeline() {
+    let dir = tempdir("build");
+    write(&dir, "counterlib.cmin", LIB_SRC);
+    write(&dir, "app.cmin", MAIN_SRC);
+    let out = cminc()
+        .current_dir(&dir)
+        .args([
+            "build",
+            "counterlib.cmin",
+            "app.cmin",
+            "--config",
+            "C",
+            "--run",
+            "--stats",
+            "--input",
+            "1 2 3 4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "build: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim().lines().collect::<Vec<_>>(), vec!["10", "4"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let dir = tempdir("errors");
+    let bad = write(&dir, "bad.cmin", "int f( {");
+    let out = cminc().args(["phase1", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad"));
+
+    let out = cminc().args(["analyze", "-o", "x.db"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = cminc().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_b_requires_profile() {
+    let dir = tempdir("needprof");
+    write(&dir, "m.cmin", "int main() { return 0; }");
+    let out = cminc().current_dir(&dir).args(["phase1", "m.cmin"]).output().unwrap();
+    assert!(out.status.success());
+    let out = cminc()
+        .current_dir(&dir)
+        .args(["analyze", "m.sum", "--config", "B", "-o", "x.db"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

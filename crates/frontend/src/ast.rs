@@ -1,0 +1,334 @@
+//! Abstract syntax for `cmin`.
+//!
+//! `cmin` is a deliberately small C subset with exactly the features the
+//! paper's algorithms care about:
+//!
+//! * one data type, the machine word (`int`);
+//! * global scalar variables and global arrays, with optional `static`
+//!   linkage (module-private, paper §7.4) and `extern` declarations for
+//!   cross-module references;
+//! * procedures, direct calls, and indirect calls through function
+//!   addresses taken with `&f` (paper §7.3);
+//! * address-of on globals (`&g`) plus `*p` loads and `*p = v` stores, the
+//!   aliasing that makes a global ineligible for promotion (§4.1.2);
+//! * structured control flow (`if`/`else`, `while`, `for`, `break`,
+//!   `continue`), whose nesting drives the frontend's reference-frequency
+//!   heuristics (§3);
+//! * `out(e)` / `in()` builtins for observable I/O.
+
+use crate::token::Span;
+use serde::{Deserialize, Serialize};
+
+/// A parsed source module (one compilation unit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (drives `static` name qualification).
+    pub name: String,
+    /// Globals defined in this module.
+    pub globals: Vec<GlobalDecl>,
+    /// `extern` declarations of symbols defined elsewhere.
+    pub externs: Vec<ExternDecl>,
+    /// Procedure definitions.
+    pub functions: Vec<Function>,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalDecl {
+    /// Source name.
+    pub name: String,
+    /// Module-private (`static`)?
+    pub is_static: bool,
+    /// `Some(n)` for an array of `n` words, `None` for a scalar.
+    pub size: Option<u32>,
+    /// Static initializer values (zero-padded to the declared size).
+    pub init: Vec<i64>,
+    /// Definition site.
+    pub span: Span,
+}
+
+/// What an `extern` declaration declares.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExternKind {
+    /// `extern int g;`
+    Scalar,
+    /// `extern int a[];`
+    Array,
+    /// `extern int f(n params);`
+    Func {
+        /// Declared parameter count.
+        arity: usize,
+    },
+}
+
+/// An `extern` declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExternDecl {
+    /// Declared name.
+    pub name: String,
+    /// Scalar, array, or function.
+    pub kind: ExternKind,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A procedure definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Source name.
+    pub name: String,
+    /// Module-private (`static`)?
+    pub is_static: bool,
+    /// Parameter names (all parameters are `int`).
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Block,
+    /// Definition site.
+    pub span: Span,
+}
+
+/// A `{ ... }` statement list.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `int x;` or `int x = e;`
+    Local {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Site.
+        span: Span,
+    },
+    /// `lv = e;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+        /// Site.
+        span: Span,
+    },
+    /// `if (c) { ... } else { ... }` (an `else if` parses as an `else`
+    /// block containing a single `if`).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_blk: Block,
+        /// Optional else-branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (c) { ... }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for (init; cond; step) { ... }` — each header part optional.
+    For {
+        /// Initializer (a `Local` or `Assign`).
+        init: Option<Box<Stmt>>,
+        /// Loop condition (`true` when absent).
+        cond: Option<Expr>,
+        /// Step statement (an `Assign`).
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return;` or `return e;`
+    Return {
+        /// Optional return value (0 when absent).
+        value: Option<Expr>,
+        /// Site.
+        span: Span,
+    },
+    /// `break;`
+    Break {
+        /// Site.
+        span: Span,
+    },
+    /// `continue;`
+    Continue {
+        /// Site.
+        span: Span,
+    },
+    /// `out(e);`
+    Out {
+        /// Emitted value.
+        value: Expr,
+        /// Site.
+        span: Span,
+    },
+    /// An expression statement (usually a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Site.
+        span: Span,
+    },
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    /// A scalar variable (local, parameter, or global).
+    Name(String, Span),
+    /// An array element, `a[i]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Element index.
+        index: Expr,
+        /// Site.
+        span: Span,
+    },
+    /// A store through a pointer, `*p = e`.
+    Deref {
+        /// Address expression.
+        addr: Expr,
+        /// Site.
+        span: Span,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!e` is 1 if `e == 0`, else 0).
+    Not,
+    /// Load through a pointer (`*p`).
+    Deref,
+}
+
+/// Binary operators. `And`/`Or` short-circuit.
+#[allow(missing_docs)] // variant names are the operators themselves
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64, Span),
+    /// Scalar variable reference.
+    Name(String, Span),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Site.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Site.
+        span: Span,
+    },
+    /// A call. Whether it is direct or indirect is decided during semantic
+    /// analysis: if `callee` names a variable, the call goes through the
+    /// function address stored in it.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Site.
+        span: Span,
+    },
+    /// Array element read, `a[i]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Element index.
+        index: Box<Expr>,
+        /// Site.
+        span: Span,
+    },
+    /// `&name`: address of a global variable or of a procedure.
+    AddrOf {
+        /// Target name.
+        name: String,
+        /// Site.
+        span: Span,
+    },
+    /// `in()`: read the next input value.
+    In {
+        /// Site.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s) | Expr::Name(_, s) => *s,
+            Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::AddrOf { span, .. }
+            | Expr::In { span } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_span_accessor_covers_all_variants() {
+        let s = Span::new(1, 2);
+        let exprs = vec![
+            Expr::Num(1, s),
+            Expr::Name("x".into(), s),
+            Expr::Unary { op: UnOp::Neg, expr: Box::new(Expr::Num(1, s)), span: s },
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Num(1, s)),
+                rhs: Box::new(Expr::Num(2, s)),
+                span: s,
+            },
+            Expr::Call { callee: "f".into(), args: vec![], span: s },
+            Expr::Index { name: "a".into(), index: Box::new(Expr::Num(0, s)), span: s },
+            Expr::AddrOf { name: "g".into(), span: s },
+            Expr::In { span: s },
+        ];
+        for e in exprs {
+            assert_eq!(e.span(), s);
+        }
+    }
+}

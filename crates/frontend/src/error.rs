@@ -1,0 +1,44 @@
+//! Compilation diagnostics.
+
+use crate::token::Span;
+use std::fmt;
+
+/// An error produced by the lexer, parser or semantic analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Source position of the offending text.
+    pub span: Span,
+    /// Name of the module being compiled.
+    pub module: String,
+}
+
+impl CompileError {
+    /// Creates an error at `span` in `module`.
+    pub fn new(module: impl Into<String>, span: Span, message: impl Into<String>) -> CompileError {
+        CompileError { message: message.into(), span, module: module.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.module, self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Convenience alias for frontend results.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_module_and_position() {
+        let e = CompileError::new("m.cmin", Span::new(2, 5), "unexpected `;`");
+        assert_eq!(e.to_string(), "m.cmin:2:5: unexpected `;`");
+    }
+}

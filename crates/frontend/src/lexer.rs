@@ -1,0 +1,322 @@
+//! The `cmin` lexer.
+//!
+//! Hand-written single-pass scanner. Supports `//` line comments and
+//! `/* ... */` block comments (non-nesting, like C).
+
+use crate::error::{CompileError, Result};
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Tokenizes `source`, which belongs to module `module` (for diagnostics).
+///
+/// The returned vector always ends with a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on an unterminated block comment, an integer
+/// literal that overflows `i64`, a stray `|`, or any byte that cannot begin
+/// a token.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tokens = cmin_frontend::lexer::lex("m", "int x = 42;")?;
+/// assert_eq!(tokens.len(), 6); // int, x, =, 42, ;, EOF
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(module: &str, source: &str) -> Result<Vec<Token>> {
+    Lexer { module, src: source.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    module: &'a str,
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn error(&self, span: Span, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.module, span, msg)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.error(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, span });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.number(span)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.punct(span)?,
+            };
+            out.push(Token { kind, span });
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<TokenKind> {
+        let mut value: i64 = 0;
+        while let Some(c @ b'0'..=b'9') = self.peek() {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((c - b'0') as i64))
+                .ok_or_else(|| self.error(span, "integer literal overflows 64 bits"))?;
+            self.bump();
+        }
+        Ok(TokenKind::Num(value))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn punct(&mut self, span: Span) -> Result<TokenKind> {
+        let c = self.bump().expect("peeked");
+        Ok(match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AmpAmp
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::PipePipe
+                } else {
+                    return Err(self.error(span, "expected `||` (bitwise `|` is not supported)"));
+                }
+            }
+            other => {
+                return Err(self.error(span, format!("unexpected character `{}`", other as char)))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex("t", src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::Kw(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Num(42),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || = < > ! &"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Bang,
+                TokenKind::Amp,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\nb /* block\n still */ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("t", "int\n  x").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let err = lex("t", "/* oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.span, Span::new(1, 1));
+    }
+
+    #[test]
+    fn overflowing_literal_is_an_error() {
+        let err = lex("t", "99999999999999999999").unwrap_err();
+        assert!(err.message.contains("overflows"));
+    }
+
+    #[test]
+    fn stray_pipe_is_an_error() {
+        assert!(lex("t", "a | b").is_err());
+        assert!(lex("t", "a @ b").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("if iff")[0], TokenKind::Kw(Keyword::If));
+        assert_eq!(kinds("if iff")[1], TokenKind::Ident("iff".into()));
+        // `in` and `out` are keywords (builtin I/O).
+        assert_eq!(kinds("in")[0], TokenKind::Kw(Keyword::In));
+        assert_eq!(kinds("out")[0], TokenKind::Kw(Keyword::Out));
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+}

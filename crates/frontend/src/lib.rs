@@ -1,0 +1,42 @@
+//! # cmin-frontend — lexer, parser and semantic analysis for `cmin`
+//!
+//! `cmin` is the small C-like source language of this reproduction of
+//! *Register Allocation Across Procedure and Module Boundaries* (PLDI 1990).
+//! The paper's prototype modified HP's PA-RISC C compiler; `cmin` keeps the
+//! language features its algorithms are sensitive to — global scalars,
+//! `static` linkage, `extern` declarations, function pointers and indirect
+//! calls, address-taken (aliased) globals, and loop-nested reference
+//! frequencies — while staying small enough to own end to end.
+//!
+//! The typical pipeline is [`parser::parse_module`] followed by
+//! [`sema::analyze`]:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cmin_frontend::{parser::parse_module, sema::analyze};
+//!
+//! let module = parse_module("counter", "
+//!     static int count;
+//!     int bump() { count = count + 1; return count; }
+//!     int main() { bump(); bump(); return count; }
+//! ")?;
+//! let info = analyze(&module)?;
+//! assert_eq!(info.global_link_name("count"), Some("counter$count"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+
+pub use ast::Module;
+pub use error::CompileError;
+pub use parser::parse_module;
+pub use sema::{analyze, ModuleInfo};

@@ -1,0 +1,702 @@
+//! The `cmin` recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::{CompileError, Result};
+use crate::lexer::lex;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Parses one source module.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error encountered.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let module = cmin_frontend::parser::parse_module("m", "int g; int main() { return g; }")?;
+/// assert_eq!(module.globals.len(), 1);
+/// assert_eq!(module.functions.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_module(name: &str, source: &str) -> Result<Module> {
+    let tokens = lex(name, source)?;
+    Parser { module: name.to_string(), tokens, pos: 0, depth: 0 }.module()
+}
+
+/// Nesting bound for expressions and blocks: parsing is recursive descent,
+/// so pathological inputs (thousands of `(`s) must fail cleanly instead of
+/// overflowing the stack.
+const MAX_DEPTH: u32 = 400;
+
+struct Parser {
+    module: String,
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(&self.module, self.span(), msg)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Ident(s) => Ok((s, span)),
+            other => Err(CompileError::new(
+                &self.module,
+                span,
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn expect_num(&mut self) -> Result<i64> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Num(n) => Ok(n),
+            TokenKind::Minus => match self.bump() {
+                TokenKind::Num(n) => Ok(-n),
+                other => Err(CompileError::new(
+                    &self.module,
+                    span,
+                    format!("expected number, found {other}"),
+                )),
+            },
+            other => {
+                Err(CompileError::new(&self.module, span, format!("expected number, found {other}")))
+            }
+        }
+    }
+
+    fn module(mut self) -> Result<Module> {
+        let mut m = Module {
+            name: self.module.clone(),
+            globals: Vec::new(),
+            externs: Vec::new(),
+            functions: Vec::new(),
+        };
+        while self.peek() != &TokenKind::Eof {
+            if self.eat(&TokenKind::Kw(Keyword::Extern)) {
+                m.externs.push(self.extern_decl()?);
+                continue;
+            }
+            let is_static = self.eat(&TokenKind::Kw(Keyword::Static));
+            self.expect(&TokenKind::Kw(Keyword::Int))?;
+            let (name, span) = self.expect_ident()?;
+            if self.peek() == &TokenKind::LParen {
+                m.functions.push(self.function(name, is_static, span)?);
+            } else {
+                m.globals.push(self.global(name, is_static, span)?);
+            }
+        }
+        Ok(m)
+    }
+
+    fn extern_decl(&mut self) -> Result<ExternDecl> {
+        self.expect(&TokenKind::Kw(Keyword::Int))?;
+        let (name, span) = self.expect_ident()?;
+        let kind = if self.eat(&TokenKind::LBracket) {
+            if let TokenKind::Num(_) = self.peek() {
+                self.bump();
+            }
+            self.expect(&TokenKind::RBracket)?;
+            ExternKind::Array
+        } else if self.eat(&TokenKind::LParen) {
+            let mut arity = 0;
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    self.expect(&TokenKind::Kw(Keyword::Int))?;
+                    // Parameter name is optional in a declaration.
+                    if let TokenKind::Ident(_) = self.peek() {
+                        self.bump();
+                    }
+                    arity += 1;
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            ExternKind::Func { arity }
+        } else {
+            ExternKind::Scalar
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(ExternDecl { name, kind, span })
+    }
+
+    fn global(&mut self, name: String, is_static: bool, span: Span) -> Result<GlobalDecl> {
+        let size = if self.eat(&TokenKind::LBracket) {
+            let n = self.expect_num()?;
+            if n <= 0 {
+                return Err(CompileError::new(&self.module, span, "array size must be positive"));
+            }
+            self.expect(&TokenKind::RBracket)?;
+            Some(n as u32)
+        } else {
+            None
+        };
+        let mut init = Vec::new();
+        if self.eat(&TokenKind::Assign) {
+            if self.eat(&TokenKind::LBrace) {
+                if size.is_none() {
+                    return Err(CompileError::new(
+                        &self.module,
+                        span,
+                        "brace initializer requires an array",
+                    ));
+                }
+                if !self.eat(&TokenKind::RBrace) {
+                    loop {
+                        init.push(self.expect_num()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RBrace)?;
+                }
+            } else {
+                init.push(self.expect_num()?);
+            }
+        }
+        if let Some(n) = size {
+            if init.len() > n as usize {
+                return Err(CompileError::new(
+                    &self.module,
+                    span,
+                    format!("{} initializers for array of {n}", init.len()),
+                ));
+            }
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(GlobalDecl { name, is_static, size, init, span })
+    }
+
+    fn function(&mut self, name: String, is_static: bool, span: Span) -> Result<Function> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                self.expect(&TokenKind::Kw(Keyword::Int))?;
+                let (p, _) = self.expect_ident()?;
+                params.push(p);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(Function { name, is_static, params, body, span })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("block nesting too deep"));
+        }
+        let r = self.block_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn block_inner(&mut self) -> Result<Block> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.error("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Kw(Keyword::Int) => {
+                let s = self.simple_stmt(true)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+            TokenKind::Kw(Keyword::If) => self.if_stmt(),
+            TokenKind::Kw(Keyword::While) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Kw(Keyword::For) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt(true)?))
+                };
+                self.expect(&TokenKind::Semi)?;
+                let cond =
+                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                let step = if self.peek() == &TokenKind::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt(false)?))
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            TokenKind::Kw(Keyword::Return) => {
+                self.bump();
+                let value =
+                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Kw(Keyword::Break) => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break { span })
+            }
+            TokenKind::Kw(Keyword::Continue) => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue { span })
+            }
+            TokenKind::Kw(Keyword::Out) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Out { value, span })
+            }
+            _ => {
+                let s = self.simple_stmt(false)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        self.expect(&TokenKind::Kw(Keyword::If))?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat(&TokenKind::Kw(Keyword::Else)) {
+            if self.peek() == &TokenKind::Kw(Keyword::If) {
+                // Desugar `else if` into an else-block holding the if.
+                let nested = self.if_stmt()?;
+                Some(Block { stmts: vec![nested] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_blk, else_blk })
+    }
+
+    /// A declaration, assignment or expression statement, *without* the
+    /// trailing semicolon (shared by ordinary statements and `for` headers).
+    fn simple_stmt(&mut self, allow_decl: bool) -> Result<Stmt> {
+        let span = self.span();
+        if self.peek() == &TokenKind::Kw(Keyword::Int) {
+            if !allow_decl {
+                return Err(self.error("declaration not allowed here"));
+            }
+            self.bump();
+            let (name, span) = self.expect_ident()?;
+            let init =
+                if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Local { name, init, span });
+        }
+        let e = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let target = match e {
+                Expr::Name(name, s) => LValue::Name(name, s),
+                Expr::Index { name, index, span: s } => {
+                    LValue::Index { name, index: *index, span: s }
+                }
+                Expr::Unary { op: UnOp::Deref, expr, span: s } => {
+                    LValue::Deref { addr: *expr, span: s }
+                }
+                other => {
+                    return Err(CompileError::new(
+                        &self.module,
+                        other.span(),
+                        "expression is not assignable",
+                    ))
+                }
+            };
+            let value = self.expr()?;
+            Ok(Stmt::Assign { target, value, span })
+        } else {
+            Ok(Stmt::Expr { expr: e, span })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("expression nesting too deep"));
+        }
+        let r = self.or_expr();
+        self.depth -= 1;
+        r
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &TokenKind::PipePipe {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality()?;
+        while self.peek() == &TokenKind::AmpAmp {
+            let span = self.span();
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e), span })
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e), span })
+            }
+            TokenKind::Star => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Unary { op: UnOp::Deref, expr: Box::new(e), span })
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                Ok(Expr::AddrOf { name, span })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Num(n) => Ok(Expr::Num(n, span)),
+            TokenKind::Kw(Keyword::In) => {
+                self.expect(&TokenKind::LParen)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::In { span })
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    Ok(Expr::Call { callee: name, args, span })
+                } else if self.eat(&TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::Index { name, index: Box::new(index), span })
+                } else {
+                    Ok(Expr::Name(name, span))
+                }
+            }
+            other => Err(CompileError::new(
+                &self.module,
+                span,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Module {
+        parse_module("t", src).unwrap()
+    }
+
+    #[test]
+    fn parses_globals_and_externs() {
+        let m = parse(
+            "int g; static int s = 3; int a[4] = {1, 2}; extern int x; extern int b[]; extern int f(int, int);",
+        );
+        assert_eq!(m.globals.len(), 3);
+        assert!(m.globals[1].is_static);
+        assert_eq!(m.globals[1].init, vec![3]);
+        assert_eq!(m.globals[2].size, Some(4));
+        assert_eq!(m.globals[2].init, vec![1, 2]);
+        assert_eq!(m.externs.len(), 3);
+        assert_eq!(m.externs[2].kind, ExternKind::Func { arity: 2 });
+    }
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let m = parse(
+            "int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { s = s + i; } else { continue; }
+                }
+                while (s > 100) { s = s - 1; break; }
+                return s;
+            }",
+        );
+        assert_eq!(m.functions.len(), 1);
+        let f = &m.functions[0];
+        assert_eq!(f.params, vec!["n"]);
+        assert_eq!(f.body.stmts.len(), 4);
+        assert!(matches!(f.body.stmts[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let m = parse("int f() { return 1 + 2 * 3 < 7 && 4 == 4 || 0; }");
+        let Stmt::Return { value: Some(e), .. } = &m.functions[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        // Top must be ||.
+        let Expr::Binary { op: BinOp::Or, lhs, .. } = e else { panic!("expected Or at top") };
+        let Expr::Binary { op: BinOp::And, lhs: cmp, .. } = lhs.as_ref() else {
+            panic!("expected And below Or")
+        };
+        let Expr::Binary { op: BinOp::Lt, lhs: sum, .. } = cmp.as_ref() else {
+            panic!("expected Lt below And")
+        };
+        let Expr::Binary { op: BinOp::Add, rhs: prod, .. } = sum.as_ref() else {
+            panic!("expected Add below Lt")
+        };
+        assert!(matches!(prod.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn else_if_desugars() {
+        let m = parse("int f(int x) { if (x) { return 1; } else if (x < 0) { return 2; } else { return 3; } }");
+        let Stmt::If { else_blk: Some(b), .. } = &m.functions[0].body.stmts[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(b.stmts.len(), 1);
+        assert!(matches!(b.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn pointer_and_address_forms() {
+        let m = parse("int g; int f(int p) { *p = 4; int y = *(p + 1); return &g + 0; }");
+        let f = &m.functions[0];
+        assert!(matches!(&f.body.stmts[0], Stmt::Assign { target: LValue::Deref { .. }, .. }));
+        let Stmt::Local { init: Some(Expr::Unary { op: UnOp::Deref, .. }), .. } = &f.body.stmts[1]
+        else {
+            panic!("expected deref initializer");
+        };
+    }
+
+    #[test]
+    fn array_assignment_and_read() {
+        let m = parse("int a[10]; int f(int i) { a[i] = a[i + 1] + 2; return a[0]; }");
+        assert!(matches!(
+            &m.functions[0].body.stmts[0],
+            Stmt::Assign { target: LValue::Index { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn calls_direct_and_via_variable() {
+        let m = parse("int f() { g(1, 2); int p = &g; p(); return 0; }");
+        assert!(matches!(&m.functions[0].body.stmts[0], Stmt::Expr { expr: Expr::Call { .. }, .. }));
+        assert!(matches!(&m.functions[0].body.stmts[2], Stmt::Expr { expr: Expr::Call { .. }, .. }));
+    }
+
+    #[test]
+    fn io_builtins() {
+        let m = parse("int main() { out(in() + 1); return 0; }");
+        assert!(matches!(&m.functions[0].body.stmts[0], Stmt::Out { .. }));
+    }
+
+    #[test]
+    fn for_header_parts_optional() {
+        let m = parse("int f() { for (;;) { break; } return 0; }");
+        let Stmt::For { init, cond, step, .. } = &m.functions[0].body.stmts[0] else {
+            panic!("expected for");
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn negative_initializer() {
+        let m = parse("int g = -5; int a[2] = {-1, -2};");
+        assert_eq!(m.globals[0].init, vec![-5]);
+        assert_eq!(m.globals[1].init, vec![-1, -2]);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse_module("t", "int f( { }").is_err());
+        assert!(parse_module("t", "int f() { 1 + ; }").is_err());
+        assert!(parse_module("t", "int f() { return 1 }").is_err());
+        assert!(parse_module("t", "int f() { (1 + 2 = 3); }").is_err());
+        assert!(parse_module("t", "int a[0];").is_err());
+        assert!(parse_module("t", "int g = {1};").is_err());
+        assert!(parse_module("t", "int a[1] = {1, 2};").is_err());
+        assert!(parse_module("t", "int f() {").is_err());
+        assert!(parse_module("t", "int f() { for (int i = 0; ; int j = 1) {} }").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_fails_cleanly() {
+        let deep = format!("int f() {{ return {}1{}; }}", "(".repeat(5000), ")".repeat(5000));
+        let err = parse_module("t", &deep).unwrap_err();
+        assert!(err.message.contains("too deep"), "{err}");
+
+        let blocks = format!("int f() {{ {} return 0; {} }}", "if (1) {".repeat(5000), "}".repeat(5000));
+        let err = parse_module("t", &blocks).unwrap_err();
+        assert!(err.message.contains("too deep"), "{err}");
+
+        // Reasonable nesting still parses.
+        let ok = format!("int f() {{ return {}1{}; }}", "(".repeat(300), ")".repeat(300));
+        assert!(parse_module("t", &ok).is_ok());
+    }
+
+    #[test]
+    fn error_position_is_meaningful() {
+        let err = parse_module("t", "int f() {\n  return 1\n}").unwrap_err();
+        assert_eq!(err.span.line, 3);
+    }
+}

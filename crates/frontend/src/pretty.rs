@@ -1,0 +1,312 @@
+//! Pretty-printing of `cmin` ASTs back to parseable source.
+//!
+//! Guarantees the round-trip property `parse(pretty(ast)) == ast`, which the
+//! property-test suite exercises; also handy for dumping generated random
+//! programs when a differential test fails.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a module as compilable `cmin` source.
+pub fn module_to_string(m: &Module) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    for e in &m.externs {
+        p.extern_decl(e);
+    }
+    for g in &m.globals {
+        p.global(g);
+    }
+    for f in &m.functions {
+        p.function(f);
+    }
+    p.out
+}
+
+/// Renders a single expression (used in diagnostics).
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.expr(e);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn extern_decl(&mut self, e: &ExternDecl) {
+        match &e.kind {
+            ExternKind::Scalar => self.line(&format!("extern int {};", e.name)),
+            ExternKind::Array => self.line(&format!("extern int {}[];", e.name)),
+            ExternKind::Func { arity } => {
+                let params = vec!["int"; *arity].join(", ");
+                self.line(&format!("extern int {}({});", e.name, params));
+            }
+        }
+    }
+
+    fn global(&mut self, g: &GlobalDecl) {
+        let mut s = String::new();
+        if g.is_static {
+            s.push_str("static ");
+        }
+        let _ = write!(s, "int {}", g.name);
+        if let Some(n) = g.size {
+            let _ = write!(s, "[{n}]");
+        }
+        if !g.init.is_empty() {
+            if g.size.is_some() {
+                let items: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
+                let _ = write!(s, " = {{{}}}", items.join(", "));
+            } else {
+                let _ = write!(s, " = {}", g.init[0]);
+            }
+        }
+        s.push(';');
+        self.line(&s);
+    }
+
+    fn function(&mut self, f: &Function) {
+        let mut s = String::new();
+        if f.is_static {
+            s.push_str("static ");
+        }
+        let params: Vec<String> = f.params.iter().map(|p| format!("int {p}")).collect();
+        let _ = write!(s, "int {}({}) {{", f.name, params.join(", "));
+        self.line(&s);
+        self.indent += 1;
+        for st in &f.body.stmts {
+            self.stmt(st);
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.indent += 1;
+        for st in &b.stmts {
+            self.stmt(st);
+        }
+        self.indent -= 1;
+    }
+
+    fn simple_stmt_str(&mut self, s: &Stmt) -> String {
+        match s {
+            Stmt::Local { name, init, .. } => match init {
+                Some(e) => format!("int {name} = {}", self.expr_str(e)),
+                None => format!("int {name}"),
+            },
+            Stmt::Assign { target, value, .. } => {
+                let t = match target {
+                    LValue::Name(n, _) => n.clone(),
+                    LValue::Index { name, index, .. } => {
+                        format!("{name}[{}]", self.expr_str(index))
+                    }
+                    LValue::Deref { addr, .. } => format!("*{}", self.atom_str(addr)),
+                };
+                format!("{t} = {}", self.expr_str(value))
+            }
+            Stmt::Expr { expr, .. } => self.expr_str(expr),
+            other => unreachable!("not a simple statement: {other:?}"),
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Local { .. } | Stmt::Assign { .. } | Stmt::Expr { .. } => {
+                let text = self.simple_stmt_str(s);
+                self.line(&format!("{text};"));
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                let c = self.expr_str(cond);
+                self.line(&format!("if ({c}) {{"));
+                self.block(then_blk);
+                match else_blk {
+                    Some(b) => {
+                        self.line("} else {");
+                        self.block(b);
+                        self.line("}");
+                    }
+                    None => self.line("}"),
+                }
+            }
+            Stmt::While { cond, body } => {
+                let c = self.expr_str(cond);
+                self.line(&format!("while ({c}) {{"));
+                self.block(body);
+                self.line("}");
+            }
+            Stmt::For { init, cond, step, body } => {
+                let i = init.as_ref().map(|s| self.simple_stmt_str(s)).unwrap_or_default();
+                let c = cond.as_ref().map(|e| self.expr_str(e)).unwrap_or_default();
+                let st = step.as_ref().map(|s| self.simple_stmt_str(s)).unwrap_or_default();
+                self.line(&format!("for ({i}; {c}; {st}) {{"));
+                self.block(body);
+                self.line("}");
+            }
+            Stmt::Return { value, .. } => match value {
+                Some(e) => {
+                    let t = self.expr_str(e);
+                    self.line(&format!("return {t};"));
+                }
+                None => self.line("return;"),
+            },
+            Stmt::Break { .. } => self.line("break;"),
+            Stmt::Continue { .. } => self.line("continue;"),
+            Stmt::Out { value, .. } => {
+                let t = self.expr_str(value);
+                self.line(&format!("out({t});"));
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        let s = self.expr_str(e);
+        self.out.push_str(&s);
+    }
+
+    fn expr_str(&mut self, e: &Expr) -> String {
+        // Fully parenthesize compound subexpressions: simple and guarantees
+        // the round trip regardless of precedence subtleties.
+        match e {
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.atom_str(lhs);
+                let r = self.atom_str(rhs);
+                format!("{l} {} {r}", binop_str(*op))
+            }
+            _ => self.atom_str(e),
+        }
+    }
+
+    fn atom_str(&mut self, e: &Expr) -> String {
+        match e {
+            Expr::Num(n, _) => {
+                if *n < 0 {
+                    format!("(0 - {})", -(*n as i128))
+                } else {
+                    n.to_string()
+                }
+            }
+            Expr::Name(n, _) => n.clone(),
+            Expr::Unary { op, expr, .. } => {
+                let inner = self.atom_str(expr);
+                match op {
+                    UnOp::Neg => format!("-{inner}"),
+                    UnOp::Not => format!("!{inner}"),
+                    UnOp::Deref => format!("*{inner}"),
+                }
+            }
+            Expr::Binary { .. } => {
+                let s = self.expr_str(e);
+                format!("({s})")
+            }
+            Expr::Call { callee, args, .. } => {
+                let args: Vec<String> = args.iter().map(|a| self.expr_str(a)).collect();
+                format!("{callee}({})", args.join(", "))
+            }
+            Expr::Index { name, index, .. } => {
+                let i = self.expr_str(index);
+                format!("{name}[{i}]")
+            }
+            Expr::AddrOf { name, .. } => format!("&{name}"),
+            Expr::In { .. } => "in()".to_string(),
+        }
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    /// Strips spans so round-trip comparison ignores layout differences.
+    fn normalize(m: &Module) -> String {
+        let dbg = format!("{m:?}");
+        let mut out = String::with_capacity(dbg.len());
+        let mut rest = dbg.as_str();
+        while let Some(i) = rest.find("Span {") {
+            out.push_str(&rest[..i]);
+            out.push_str("Span");
+            let after = &rest[i..];
+            let close = after.find('}').expect("Span debug always closes");
+            rest = &after[close + 1..];
+        }
+        out.push_str(rest);
+        out
+    }
+
+    #[test]
+    fn round_trips_representative_module() {
+        let src = "
+            extern int lib_fn(int);
+            extern int shared;
+            static int s = 4;
+            int a[3] = {1, 2, 3};
+            int g;
+            int helper(int x, int y) {
+                int t = x * y + s;
+                if (t > 10 && x != 0) { t = t - 1; } else if (t < -5) { t = 0 - t; } else { t = t + shared; }
+                for (int i = 0; i < 3; i = i + 1) { a[i] = a[i] * 2; }
+                while (!(t == 0)) { t = t / 2; if (t < 0) { break; } }
+                return t;
+            }
+            int main() {
+                int p = &helper;
+                out(p(in(), 2));
+                *(&g + 0) = 7;
+                return lib_fn(g % 3) || s;
+            }
+        ";
+        let m1 = parse_module("m", src).unwrap();
+        let printed = module_to_string(&m1);
+        let m2 = parse_module("m", &printed).unwrap();
+        assert_eq!(normalize(&m1), normalize(&m2), "round trip changed the AST:\n{printed}");
+        // Printing is idempotent.
+        assert_eq!(printed, module_to_string(&m2));
+    }
+
+    #[test]
+    fn negative_literal_round_trips() {
+        let m1 = parse_module("m", "int f() { return -9223372036854775807; }").unwrap();
+        let printed = module_to_string(&m1);
+        let m2 = parse_module("m", &printed).unwrap();
+        assert_eq!(normalize(&m1), normalize(&m2));
+    }
+
+    #[test]
+    fn expr_to_string_smoke() {
+        let m = parse_module("m", "int f(int x) { return (x + 1) * 2; }").unwrap();
+        let crate::ast::Stmt::Return { value: Some(e), .. } = &m.functions[0].body.stmts[0]
+        else {
+            panic!()
+        };
+        assert_eq!(expr_to_string(e), "(x + 1) * 2");
+    }
+}

@@ -1,0 +1,557 @@
+//! Semantic analysis for `cmin` modules.
+//!
+//! One module at a time (the paper's compiler first phase is strictly
+//! module-at-a-time), `analyze` checks name binding and produces a
+//! [`ModuleInfo`]: the symbol table the IR lowering and summary collection
+//! consult. `static` symbols get module-qualified *link names*
+//! (`module$name`), the paper's §7.4 requirement that "static identifiers
+//! need to be sufficiently qualified by the compiler first phase".
+
+use crate::ast::*;
+use crate::error::{CompileError, Result};
+use crate::token::Span;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// A global variable known to a module (defined here or `extern`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalSymbol {
+    /// Program-wide link name (module-qualified for `static`s).
+    pub link_name: String,
+    /// Size in words (1 for scalars; 0 for externs of unknown size).
+    pub size: u32,
+    /// Is this an array?
+    pub is_array: bool,
+    /// Module-private?
+    pub is_static: bool,
+    /// Defined in this module (as opposed to `extern`)?
+    pub defined: bool,
+}
+
+/// A procedure known to a module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuncSymbol {
+    /// Program-wide link name (module-qualified for `static`s).
+    pub link_name: String,
+    /// Parameter count, when declared or defined. Implicitly declared
+    /// functions (called without declaration, K&R style) have `None`.
+    pub arity: Option<usize>,
+    /// Module-private?
+    pub is_static: bool,
+    /// Defined in this module?
+    pub defined: bool,
+}
+
+/// The result of semantic analysis: per-module symbol tables.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModuleInfo {
+    /// Module name.
+    pub module: String,
+    /// Globals by source name.
+    pub globals: HashMap<String, GlobalSymbol>,
+    /// Procedures by source name (including implicitly declared callees).
+    pub funcs: HashMap<String, FuncSymbol>,
+}
+
+impl ModuleInfo {
+    /// The link name for global `name`, if known.
+    pub fn global_link_name(&self, name: &str) -> Option<&str> {
+        self.globals.get(name).map(|g| g.link_name.as_str())
+    }
+
+    /// The link name for procedure `name`, if known.
+    pub fn func_link_name(&self, name: &str) -> Option<&str> {
+        self.funcs.get(name).map(|f| f.link_name.as_str())
+    }
+}
+
+/// Checks `module` and builds its [`ModuleInfo`].
+///
+/// # Errors
+///
+/// Returns the first semantic error: duplicate definitions, unbound names,
+/// arity mismatches on declared functions, array/scalar confusion,
+/// address-of on locals, or `break`/`continue` outside a loop.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cmin_frontend::{parser::parse_module, sema::analyze};
+/// let m = parse_module("m", "static int s; int f() { return s; }")?;
+/// let info = analyze(&m)?;
+/// assert_eq!(info.global_link_name("s"), Some("m$s"));
+/// assert_eq!(info.func_link_name("f"), Some("f"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(module: &Module) -> Result<ModuleInfo> {
+    let mut info = ModuleInfo {
+        module: module.name.clone(),
+        globals: HashMap::new(),
+        funcs: HashMap::new(),
+    };
+    let err = |span: Span, msg: String| CompileError::new(&module.name, span, msg);
+
+    for g in &module.globals {
+        let link_name = if g.is_static {
+            format!("{}${}", module.name, g.name)
+        } else {
+            g.name.clone()
+        };
+        let sym = GlobalSymbol {
+            link_name,
+            size: g.size.unwrap_or(1),
+            is_array: g.size.is_some(),
+            is_static: g.is_static,
+            defined: true,
+        };
+        if info.globals.insert(g.name.clone(), sym).is_some() {
+            return Err(err(g.span, format!("global `{}` defined more than once", g.name)));
+        }
+    }
+    for f in &module.functions {
+        let link_name = if f.is_static {
+            format!("{}${}", module.name, f.name)
+        } else {
+            f.name.clone()
+        };
+        let sym = FuncSymbol {
+            link_name,
+            arity: Some(f.params.len()),
+            is_static: f.is_static,
+            defined: true,
+        };
+        if info.funcs.insert(f.name.clone(), sym).is_some() {
+            return Err(err(f.span, format!("procedure `{}` defined more than once", f.name)));
+        }
+        if info.globals.contains_key(&f.name) {
+            return Err(err(f.span, format!("`{}` is both a global and a procedure", f.name)));
+        }
+    }
+    for e in &module.externs {
+        match &e.kind {
+            ExternKind::Scalar | ExternKind::Array => {
+                let is_array = e.kind == ExternKind::Array;
+                match info.globals.entry(e.name.clone()) {
+                    Entry::Occupied(o) => {
+                        if o.get().is_array != is_array {
+                            return Err(err(
+                                e.span,
+                                format!("extern `{}` conflicts with its definition", e.name),
+                            ));
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(GlobalSymbol {
+                            link_name: e.name.clone(),
+                            size: 0,
+                            is_array,
+                            is_static: false,
+                            defined: false,
+                        });
+                    }
+                }
+                if info.funcs.contains_key(&e.name) {
+                    return Err(err(e.span, format!("`{}` is both a variable and a procedure", e.name)));
+                }
+            }
+            ExternKind::Func { arity } => {
+                match info.funcs.entry(e.name.clone()) {
+                    Entry::Occupied(o) => {
+                        if o.get().arity != Some(*arity) {
+                            return Err(err(
+                                e.span,
+                                format!("extern `{}` arity conflicts with its definition", e.name),
+                            ));
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(FuncSymbol {
+                            link_name: e.name.clone(),
+                            arity: Some(*arity),
+                            is_static: false,
+                            defined: false,
+                        });
+                    }
+                }
+                if info.globals.contains_key(&e.name) {
+                    return Err(err(e.span, format!("`{}` is both a variable and a procedure", e.name)));
+                }
+            }
+        }
+    }
+
+    // Check function bodies; this may add implicitly-declared callees.
+    for f in &module.functions {
+        let mut ck = Checker {
+            module: &module.name,
+            info: &mut info,
+            scopes: Vec::new(),
+            loop_depth: 0,
+        };
+        ck.push_scope();
+        let mut seen = HashSet::new();
+        for p in &f.params {
+            if !seen.insert(p.clone()) {
+                return Err(err(f.span, format!("duplicate parameter `{p}`")));
+            }
+            ck.declare(p.clone());
+        }
+        ck.block(&f.body)?;
+    }
+    Ok(info)
+}
+
+struct Checker<'a> {
+    module: &'a str,
+    info: &'a mut ModuleInfo,
+    scopes: Vec<HashSet<String>>,
+    loop_depth: u32,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&self, span: Span, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.module, span, msg)
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashSet::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: String) {
+        self.scopes.last_mut().expect("scope").insert(name);
+    }
+
+    fn is_local(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains(name))
+    }
+
+    fn block(&mut self, b: &Block) -> Result<()> {
+        self.push_scope();
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        self.pop_scope();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<()> {
+        match s {
+            Stmt::Local { name, init, span } => {
+                if let Some(e) = init {
+                    self.expr(e)?;
+                }
+                if self.scopes.last().expect("scope").contains(name) {
+                    return Err(self.err(*span, format!("`{name}` redeclared in this scope")));
+                }
+                self.declare(name.clone());
+                Ok(())
+            }
+            Stmt::Assign { target, value, .. } => {
+                self.lvalue(target)?;
+                self.expr(value)
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                self.expr(cond)?;
+                self.block(then_blk)?;
+                if let Some(b) = else_blk {
+                    self.block(b)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                self.expr(cond)?;
+                self.loop_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::For { init, cond, step, body } => {
+                // The `for` header introduces its own scope for `int i = ...`.
+                self.push_scope();
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.expr(c)?;
+                }
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.loop_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                self.pop_scope();
+                r
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    self.expr(e)?;
+                }
+                Ok(())
+            }
+            Stmt::Break { span } | Stmt::Continue { span } => {
+                if self.loop_depth == 0 {
+                    Err(self.err(*span, "`break`/`continue` outside a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Out { value, .. } => self.expr(value),
+            Stmt::Expr { expr, .. } => self.expr(expr),
+        }
+    }
+
+    fn lvalue(&mut self, lv: &LValue) -> Result<()> {
+        match lv {
+            LValue::Name(name, span) => {
+                if self.is_local(name) {
+                    return Ok(());
+                }
+                match self.info.globals.get(name) {
+                    Some(g) if !g.is_array => Ok(()),
+                    Some(_) => Err(self.err(*span, format!("cannot assign to array `{name}`"))),
+                    None if self.info.funcs.contains_key(name) => {
+                        Err(self.err(*span, format!("cannot assign to procedure `{name}`")))
+                    }
+                    None => Err(self.err(*span, format!("unknown variable `{name}`"))),
+                }
+            }
+            LValue::Index { name, index, span } => {
+                self.expr(index)?;
+                self.check_array(name, *span)
+            }
+            LValue::Deref { addr, .. } => self.expr(addr),
+        }
+    }
+
+    fn check_array(&mut self, name: &str, span: Span) -> Result<()> {
+        if self.is_local(name) {
+            return Err(self.err(span, format!("`{name}` is a scalar, not an array")));
+        }
+        match self.info.globals.get(name) {
+            Some(g) if g.is_array => Ok(()),
+            Some(_) => Err(self.err(span, format!("`{name}` is a scalar, not an array"))),
+            None => Err(self.err(span, format!("unknown array `{name}`"))),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<()> {
+        match e {
+            Expr::Num(..) | Expr::In { .. } => Ok(()),
+            Expr::Name(name, span) => {
+                if self.is_local(name) {
+                    return Ok(());
+                }
+                match self.info.globals.get(name) {
+                    Some(g) if !g.is_array => Ok(()),
+                    Some(_) => Err(self.err(
+                        *span,
+                        format!("array `{name}` used as a value; take `&{name}` or index it"),
+                    )),
+                    None if self.info.funcs.contains_key(name) => Err(self.err(
+                        *span,
+                        format!("procedure `{name}` used as a value; take its address with `&{name}`"),
+                    )),
+                    None => Err(self.err(*span, format!("unknown variable `{name}`"))),
+                }
+            }
+            Expr::Unary { expr, .. } => self.expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs)?;
+                self.expr(rhs)
+            }
+            Expr::Index { name, index, span } => {
+                self.expr(index)?;
+                self.check_array(name, *span)
+            }
+            Expr::AddrOf { name, span } => {
+                if self.is_local(name) {
+                    return Err(self.err(
+                        *span,
+                        format!("cannot take the address of local `{name}` (locals may live in registers)"),
+                    ));
+                }
+                if self.info.globals.contains_key(name) || self.info.funcs.contains_key(name) {
+                    Ok(())
+                } else {
+                    // `&f` of an undeclared procedure: implicit declaration.
+                    self.info.funcs.insert(
+                        name.clone(),
+                        FuncSymbol {
+                            link_name: name.clone(),
+                            arity: None,
+                            is_static: false,
+                            defined: false,
+                        },
+                    );
+                    Ok(())
+                }
+            }
+            Expr::Call { callee, args, span } => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                // A variable holding a function address makes this an
+                // indirect call.
+                if self.is_local(callee) {
+                    return Ok(());
+                }
+                if let Some(g) = self.info.globals.get(callee) {
+                    if g.is_array {
+                        return Err(self.err(*span, format!("cannot call array `{callee}`")));
+                    }
+                    return Ok(()); // indirect through a global scalar
+                }
+                match self.info.funcs.get(callee) {
+                    Some(f) => {
+                        if let Some(n) = f.arity {
+                            if n != args.len() {
+                                return Err(self.err(
+                                    *span,
+                                    format!(
+                                        "`{callee}` takes {n} argument(s), {} given",
+                                        args.len()
+                                    ),
+                                ));
+                            }
+                        }
+                        Ok(())
+                    }
+                    None => {
+                        // K&R-style implicit declaration of an external
+                        // procedure; arity recorded from this first call.
+                        self.info.funcs.insert(
+                            callee.clone(),
+                            FuncSymbol {
+                                link_name: callee.clone(),
+                                arity: Some(args.len()),
+                                is_static: false,
+                                defined: false,
+                            },
+                        );
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn check(src: &str) -> Result<ModuleInfo> {
+        analyze(&parse_module("m", src)?)
+    }
+
+    #[test]
+    fn static_names_are_qualified() {
+        let info = check("static int s; int g; static int f() { return s + g; }").unwrap();
+        assert_eq!(info.global_link_name("s"), Some("m$s"));
+        assert_eq!(info.global_link_name("g"), Some("g"));
+        assert_eq!(info.func_link_name("f"), Some("m$f"));
+    }
+
+    #[test]
+    fn implicit_function_declaration() {
+        let info = check("int f() { return helper(1, 2); }").unwrap();
+        let h = &info.funcs["helper"];
+        assert!(!h.defined);
+        assert_eq!(h.arity, Some(2));
+    }
+
+    #[test]
+    fn extern_merges_with_definition() {
+        let info = check("extern int g; int f() { return g; }").unwrap();
+        assert!(!info.globals["g"].defined);
+        // Extern then definition elsewhere in the same module is a conflict
+        // only when shapes disagree.
+        assert!(check("extern int a[]; int f() { return a[0]; }").is_ok());
+        assert!(check("int g; extern int g[];").is_err());
+    }
+
+    #[test]
+    fn scoping_and_shadowing() {
+        // A for-loop introduces a scope, so two loops can both declare `i`.
+        assert!(check(
+            "int f() { for (int i = 0; i < 3; i = i + 1) {} for (int i = 9; i > 0; i = i - 1) {} return 0; }"
+        )
+        .is_ok());
+        // Inner block shadows outer local.
+        assert!(check("int f() { int x = 1; if (x) { int x = 2; out(x); } return x; }").is_ok());
+        // Same-scope redeclaration rejected.
+        assert!(check("int f() { int x; int x; return 0; }").is_err());
+        // Locals are not visible after their block.
+        assert!(check("int f() { if (1) { int y = 1; } return y; }").is_err());
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!(check("int f() { return zzz; }").is_err());
+        assert!(check("int f() { qqq = 3; return 0; }").is_err());
+        assert!(check("int f() { return qqq[3]; }").is_err());
+    }
+
+    #[test]
+    fn array_scalar_confusion_rejected() {
+        assert!(check("int a[3]; int f() { return a; }").is_err());
+        assert!(check("int a[3]; int f() { a = 1; return 0; }").is_err());
+        assert!(check("int g; int f() { return g[0]; }").is_err());
+        assert!(check("int a[3]; int f() { return a(1); }").is_err());
+    }
+
+    #[test]
+    fn address_of_rules() {
+        assert!(check("int g; int f() { return &g; }").is_ok());
+        assert!(check("int a[3]; int f() { return &a; }").is_ok());
+        assert!(check("int f() { return &f; }").is_ok());
+        assert!(check("int f() { int x; return &x; }").is_err());
+        assert!(check("int f(int p) { return &p; }").is_err());
+        // &undeclared implies a function address.
+        let info = check("int f() { return &mystery; }").unwrap();
+        assert_eq!(info.funcs["mystery"].arity, None);
+    }
+
+    #[test]
+    fn call_arity_checked_when_known() {
+        assert!(check("int g(int a, int b) { return a + b; } int f() { return g(1); }").is_err());
+        assert!(check("extern int e(int); int f() { return e(1, 2); }").is_err());
+        assert!(check("int g(int a) { return a; } int f() { return g(1); }").is_ok());
+    }
+
+    #[test]
+    fn indirect_calls_through_variables_allowed() {
+        assert!(check("int t() { return 1; } int f() { int p = &t; return p(); }").is_ok());
+        assert!(check("int hook; int t() { return 1; } int f() { return hook(); }").is_ok());
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        assert!(check("int g; int g;").is_err());
+        assert!(check("int f() { return 0; } int f() { return 1; }").is_err());
+        assert!(check("int f(int a, int a) { return 0; }").is_err());
+        assert!(check("int x; int x() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn break_continue_only_in_loops() {
+        assert!(check("int f() { break; return 0; }").is_err());
+        assert!(check("int f() { if (1) { continue; } return 0; }").is_err());
+        assert!(check("int f() { while (1) { if (1) { break; } } return 0; }").is_ok());
+    }
+
+    #[test]
+    fn function_as_value_rejected() {
+        assert!(check("int t() { return 1; } int f() { return t; }").is_err());
+        assert!(check("int t() { return 1; } int f() { t = 3; return 0; }").is_err());
+    }
+}

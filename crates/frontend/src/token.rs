@@ -1,0 +1,206 @@
+//! Tokens and source positions for the `cmin` language.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open source region, tracked as `line:column` of its start.
+///
+/// `cmin` sources are small enough that diagnostics only need the starting
+/// position; spans exist so every AST node and error can point back at text.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at `line:col`.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords of the language.
+#[allow(missing_docs)] // variant names are the keywords themselves
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Keyword {
+    Int,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Static,
+    Extern,
+    Out,
+    In,
+}
+
+impl Keyword {
+    /// The keyword's source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Int => "int",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Static => "static",
+            Keyword::Extern => "extern",
+            Keyword::Out => "out",
+            Keyword::In => "in",
+        }
+    }
+
+    /// Looks a keyword up by spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "int" => Keyword::Int,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "static" => Keyword::Static,
+            "extern" => Keyword::Extern,
+            "out" => Keyword::Out,
+            "in" => Keyword::In,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[allow(missing_docs)] // punctuation variants are self-describing
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Num(i64),
+    /// A keyword.
+    Kw(Keyword),
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Num(n) => write!(f, "number `{n}`"),
+            TokenKind::Kw(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::AmpAmp => write!(f, "`&&`"),
+            TokenKind::PipePipe => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Int,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::While,
+            Keyword::For,
+            Keyword::Return,
+            Keyword::Break,
+            Keyword::Continue,
+            Keyword::Static,
+            Keyword::Extern,
+            Keyword::Out,
+            Keyword::In,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("float"), None);
+    }
+
+    #[test]
+    fn span_displays() {
+        assert_eq!(Span::new(3, 14).to_string(), "3:14");
+    }
+
+    #[test]
+    fn token_display_nonempty() {
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

@@ -1,0 +1,311 @@
+//! Control-flow graph analyses: predecessors, reverse postorder,
+//! dominators, and natural-loop nesting depth.
+//!
+//! Loop depth drives the compiler first phase's frequency heuristics (the
+//! paper §3/§6: "usage counts and call frequencies were determined based on
+//! the location of each reference or call in the control flow hierarchy").
+
+use crate::ir::{BlockId, Function};
+
+/// Predecessor/successor structure and a reverse postorder for a function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `f`.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for id in f.block_ids() {
+            for s in f.block(id).term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        // Iterative DFS postorder from entry.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+        visited[f.entry.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i);
+        }
+        Cfg { preds, succs, rpo, rpo_index }
+    }
+
+    /// Immediate predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Immediate successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry (unreachable blocks are
+    /// absent).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse postorder, `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index[b.index()]
+    }
+
+    /// Is `b` reachable from the entry?
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+}
+
+/// Immediate dominators, computed with the Cooper–Harvey–Kennedy iterative
+/// algorithm. `idom[entry] == entry`; unreachable blocks get `None`.
+pub fn dominators(f: &Function, cfg: &Cfg) -> Vec<Option<BlockId>> {
+    let n = f.blocks.len();
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[f.entry.index()] = Some(f.entry);
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while cfg.rpo_index(a).expect("reachable") > cfg.rpo_index(b).expect("reachable") {
+                a = idom[a.index()].expect("processed");
+            }
+            while cfg.rpo_index(b).expect("reachable") > cfg.rpo_index(a).expect("reachable") {
+                b = idom[b.index()].expect("processed");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo().iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in cfg.preds(b) {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if new_idom != idom[b.index()] {
+                idom[b.index()] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// Does `a` dominate `b`? (Both must be reachable.)
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.index()] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+/// Natural-loop nesting depth for every block (0 = not in any loop).
+///
+/// A back edge `u → v` (where `v` dominates `u`) defines the natural loop of
+/// `v`: all blocks that reach `u` without passing through `v`, plus `v`.
+pub fn loop_depths(f: &Function, cfg: &Cfg, idom: &[Option<BlockId>]) -> Vec<u32> {
+    let n = f.blocks.len();
+    let mut depth = vec![0u32; n];
+    for u in f.block_ids() {
+        if !cfg.is_reachable(u) {
+            continue;
+        }
+        for &v in cfg.succs(u) {
+            if !dominates(idom, v, u) {
+                continue;
+            }
+            // Collect the natural loop of back edge u -> v.
+            let mut in_loop = vec![false; n];
+            in_loop[v.index()] = true;
+            let mut work = Vec::new();
+            if !in_loop[u.index()] {
+                in_loop[u.index()] = true;
+                work.push(u);
+            }
+            while let Some(b) = work.pop() {
+                for &p in cfg.preds(b) {
+                    if !in_loop[p.index()] {
+                        in_loop[p.index()] = true;
+                        work.push(p);
+                    }
+                }
+            }
+            for (i, &inside) in in_loop.iter().enumerate() {
+                if inside {
+                    depth[i] += 1;
+                }
+            }
+        }
+    }
+    depth
+}
+
+/// A static execution-frequency estimate for a block at loop `depth`:
+/// `10^min(depth, 4)`. This is the frequency heuristic the compiler first
+/// phase uses for reference and call counts.
+pub fn depth_weight(depth: u32) -> u64 {
+    10u64.pow(depth.min(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Block, Function, Operand, Term};
+
+    /// Builds a function with the given edges; block 0 is entry. Blocks with
+    /// two successors use a dummy branch, one successor a jump, none a ret.
+    fn graph(n: usize, edges: &[(u32, u32)]) -> Function {
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            succs[a as usize].push(BlockId(b));
+        }
+        let blocks = succs
+            .into_iter()
+            .map(|s| Block {
+                insts: vec![],
+                term: match s.len() {
+                    0 => Term::Ret(None),
+                    1 => Term::Jump(s[0]),
+                    2 => Term::Branch {
+                        cond: BinOp::Eq,
+                        lhs: Operand::Const(0),
+                        rhs: Operand::Const(0),
+                        then_b: s[0],
+                        else_b: s[1],
+                    },
+                    _ => panic!("at most 2 successors in tests"),
+                },
+            })
+            .collect();
+        Function { name: "t".into(), params: vec![], blocks, entry: BlockId(0), temp_count: 0 }
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::new(&f);
+        let idom = dominators(&f, &cfg);
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+        assert_eq!(idom[3], Some(BlockId(0)));
+        assert!(dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(!dominates(&idom, BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = graph(5, &[(0, 1), (1, 2), (2, 1), (1, 3)]); // block 4 unreachable
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn simple_loop_depth() {
+        // 0 -> 1; 1 -> 2, 3; 2 -> 1 (loop on 1,2); 3 exit
+        let f = graph(4, &[(0, 1), (1, 2), (1, 3), (2, 1)]);
+        let cfg = Cfg::new(&f);
+        let idom = dominators(&f, &cfg);
+        let d = loop_depths(&f, &cfg, &idom);
+        assert_eq!(d, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn nested_loop_depth() {
+        // 0 -> 1; 1 -> 2; 2 -> 3, 2 -> 1back? build:
+        // outer: 1..4, inner: 2..3
+        // 0->1, 1->2, 2->3, 3->2 (inner back), 3->4, 4->1 (outer back), 1->5 exit? need branch arity <=2
+        let f = graph(6, &[(0, 1), (1, 2), (1, 5), (2, 3), (3, 2), (3, 4), (4, 1)]);
+        let cfg = Cfg::new(&f);
+        let idom = dominators(&f, &cfg);
+        let d = loop_depths(&f, &cfg, &idom);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], 2);
+        assert_eq!(d[4], 1);
+        assert_eq!(d[5], 0);
+    }
+
+    #[test]
+    fn self_loop() {
+        let f = graph(3, &[(0, 1), (1, 1), (1, 2)]);
+        let cfg = Cfg::new(&f);
+        let idom = dominators(&f, &cfg);
+        let d = loop_depths(&f, &cfg, &idom);
+        assert_eq!(d, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn irreducible_graph_does_not_panic() {
+        // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1: a cycle not dominated by either.
+        let f = graph(3, &[(0, 1), (0, 2), (1, 2), (2, 1)]);
+        let cfg = Cfg::new(&f);
+        let idom = dominators(&f, &cfg);
+        let d = loop_depths(&f, &cfg, &idom);
+        // No back edge in the dominance sense, so no natural loop.
+        assert_eq!(d, vec![0, 0, 0]);
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+    }
+
+    #[test]
+    fn depth_weight_saturates() {
+        assert_eq!(depth_weight(0), 1);
+        assert_eq!(depth_weight(2), 100);
+        assert_eq!(depth_weight(9), 10_000);
+    }
+
+    #[test]
+    fn preds_are_inverse_of_succs() {
+        let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::new(&f);
+        for b in f.block_ids() {
+            for &s in cfg.succs(b) {
+                assert!(cfg.preds(s).contains(&b));
+            }
+            for &p in cfg.preds(b) {
+                assert!(cfg.succs(p).contains(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,704 @@
+//! A reference interpreter over the `cmin` AST.
+//!
+//! The differential-testing oracle: it executes the *source* of a
+//! multi-module program directly, sharing no code with the lowering,
+//! optimizer, analyzer, code generator or simulator. If a compiled program
+//! (under any analyzer configuration) produces different observable output
+//! from this interpreter, some phase miscompiled.
+//!
+//! To make pointer arithmetic and out-of-bounds indexing behave identically
+//! to compiled code, the interpreter lays globals out in a flat word memory
+//! using the *same documented convention as the linker*: scalars first, then
+//! aggregates, in module definition order, starting at
+//! [`GLOBALS_BASE`]. Procedure addresses are
+//! opaque tokens; programs may store, pass and call them, but printing one
+//! is outside the differential contract.
+
+use cmin_frontend::ast::{self, Expr, LValue, Module, Stmt};
+use cmin_frontend::sema::ModuleInfo;
+use std::collections::HashMap;
+use std::fmt;
+
+/// First global address — identical to `vpr::program::GLOBALS_BASE`.
+pub const GLOBALS_BASE: i64 = 16;
+
+/// Function-address tokens live far outside the data address space.
+const FUNC_ADDR_BASE: i64 = 1 << 40;
+
+/// Interpreter limits and input.
+#[derive(Debug, Clone)]
+pub struct InterpOptions {
+    /// Addressable words (accesses outside `[0, mem_words)` trap).
+    pub mem_words: usize,
+    /// Abort after this many evaluation steps.
+    pub fuel: u64,
+    /// Maximum call depth. The interpreter recurses on the Rust stack, so
+    /// this default stays well under typical thread stack sizes; raise it
+    /// only on threads with enlarged stacks.
+    pub max_depth: usize,
+    /// Values for `in()`.
+    pub input: Vec<i64>,
+}
+
+impl Default for InterpOptions {
+    fn default() -> InterpOptions {
+        InterpOptions {
+            mem_words: 1 << 21,
+            fuel: 500_000_000,
+            max_depth: 900,
+            input: Vec::new(),
+        }
+    }
+}
+
+/// Observable result of an interpreted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpResult {
+    /// Values emitted by `out`.
+    pub output: Vec<i64>,
+    /// `main`'s return value.
+    pub exit: i64,
+}
+
+/// Interpreter failures (setup errors and runtime traps).
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// No `main` procedure in any module.
+    NoMain,
+    /// A referenced global was defined in no module.
+    UnresolvedGlobal(String),
+    /// A called procedure was defined in no module.
+    UnknownFunction(String),
+    /// An indirect call reached a value that is not a procedure address.
+    NotAFunction(i64),
+    /// An indirect call's argument count did not match the target.
+    ArityMismatch { func: String, expected: usize, given: usize },
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Memory access outside the address space.
+    MemFault(i64),
+    /// The step budget was exhausted.
+    FuelExhausted,
+    /// The call-depth limit was exceeded.
+    DepthExceeded,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::NoMain => write!(f, "no `main` procedure"),
+            InterpError::UnresolvedGlobal(s) => write!(f, "unresolved global `{s}`"),
+            InterpError::UnknownFunction(s) => write!(f, "unknown procedure `{s}`"),
+            InterpError::NotAFunction(v) => write!(f, "indirect call through non-function {v}"),
+            InterpError::ArityMismatch { func, expected, given } => {
+                write!(f, "`{func}` takes {expected} argument(s), {given} given")
+            }
+            InterpError::DivByZero => write!(f, "division by zero"),
+            InterpError::MemFault(a) => write!(f, "memory fault at address {a}"),
+            InterpError::FuelExhausted => write!(f, "interpreter fuel exhausted"),
+            InterpError::DepthExceeded => write!(f, "call depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Interprets a multi-module program with default options.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn interpret(modules: &[(Module, ModuleInfo)]) -> Result<InterpResult, InterpError> {
+    interpret_with(modules, &InterpOptions::default())
+}
+
+/// Interprets a multi-module program.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn interpret_with(
+    modules: &[(Module, ModuleInfo)],
+    opts: &InterpOptions,
+) -> Result<InterpResult, InterpError> {
+    let mut interp = Interp::new(modules, opts)?;
+    let main = interp
+        .funcs
+        .get("main")
+        .copied()
+        .ok_or(InterpError::NoMain)?;
+    let exit = interp.call(main, &[])?;
+    Ok(InterpResult { output: interp.output, exit })
+}
+
+#[derive(Clone, Copy)]
+struct FuncRef {
+    module: usize,
+    func: usize,
+}
+
+struct Interp<'a> {
+    modules: &'a [(Module, ModuleInfo)],
+    /// link name -> function
+    funcs: HashMap<&'a str, FuncRef>,
+    func_list: Vec<FuncRef>,
+    /// link name -> word address
+    global_addr: HashMap<&'a str, i64>,
+    mem: HashMap<i64, i64>,
+    mem_words: i64,
+    fuel: u64,
+    depth: usize,
+    max_depth: usize,
+    input: &'a [i64],
+    input_pos: usize,
+    output: Vec<i64>,
+}
+
+impl<'a> Interp<'a> {
+    fn new(modules: &'a [(Module, ModuleInfo)], opts: &'a InterpOptions) -> Result<Interp<'a>, InterpError> {
+        // Global layout: scalars first, then aggregates, definition order —
+        // the linker's convention.
+        let mut defs: Vec<(&'a str, u32, &'a [i64])> = Vec::new();
+        for (m, info) in modules {
+            for g in &m.globals {
+                let link = info.global_link_name(&g.name).expect("sema ran");
+                defs.push((link, g.size.unwrap_or(1), &g.init));
+            }
+        }
+        defs.sort_by_key(|&(_, size, _)| size > 1);
+        let mut global_addr = HashMap::new();
+        let mut mem = HashMap::new();
+        let mut next = GLOBALS_BASE;
+        for (link, size, init) in defs {
+            global_addr.insert(link, next);
+            for (i, &v) in init.iter().enumerate().take(size as usize) {
+                if v != 0 {
+                    mem.insert(next + i as i64, v);
+                }
+            }
+            next += size as i64;
+        }
+
+        let mut funcs = HashMap::new();
+        let mut func_list = Vec::new();
+        for (mi, (m, info)) in modules.iter().enumerate() {
+            for (fi, f) in m.functions.iter().enumerate() {
+                let link = info.func_link_name(&f.name).expect("sema ran");
+                let r = FuncRef { module: mi, func: fi };
+                funcs.insert(link, r);
+                func_list.push(r);
+            }
+        }
+
+        Ok(Interp {
+            modules,
+            funcs,
+            func_list,
+            global_addr,
+            mem,
+            mem_words: opts.mem_words as i64,
+            fuel: opts.fuel,
+            depth: 0,
+            max_depth: opts.max_depth,
+            input: &opts.input,
+            input_pos: 0,
+            output: Vec::new(),
+        })
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        if self.fuel == 0 {
+            return Err(InterpError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn func_token(&self, r: FuncRef) -> i64 {
+        let idx = self
+            .func_list
+            .iter()
+            .position(|x| x.module == r.module && x.func == r.func)
+            .expect("registered");
+        FUNC_ADDR_BASE + idx as i64
+    }
+
+    fn load(&mut self, addr: i64) -> Result<i64, InterpError> {
+        if addr < 0 || addr >= self.mem_words {
+            return Err(InterpError::MemFault(addr));
+        }
+        Ok(self.mem.get(&addr).copied().unwrap_or(0))
+    }
+
+    fn store(&mut self, addr: i64, v: i64) -> Result<(), InterpError> {
+        if addr < 0 || addr >= self.mem_words {
+            return Err(InterpError::MemFault(addr));
+        }
+        self.mem.insert(addr, v);
+        Ok(())
+    }
+
+    fn call(&mut self, r: FuncRef, args: &[i64]) -> Result<i64, InterpError> {
+        if self.depth >= self.max_depth {
+            return Err(InterpError::DepthExceeded);
+        }
+        self.depth += 1;
+        let (module, _) = &self.modules[r.module];
+        let f = &module.functions[r.func];
+        if f.params.len() != args.len() {
+            self.depth -= 1;
+            return Err(InterpError::ArityMismatch {
+                func: f.name.clone(),
+                expected: f.params.len(),
+                given: args.len(),
+            });
+        }
+        let mut frame = Frame { scopes: vec![HashMap::new()], module: r.module };
+        for (p, &v) in f.params.iter().zip(args) {
+            frame.scopes[0].insert(p.clone(), v);
+        }
+        let flow = self.exec_block(&f.body, &mut frame)?;
+        self.depth -= 1;
+        Ok(match flow {
+            Flow::Return(v) => v,
+            _ => 0, // fell off the end
+        })
+    }
+
+    fn exec_block(&mut self, b: &ast::Block, frame: &mut Frame) -> Result<Flow, InterpError> {
+        frame.scopes.push(HashMap::new());
+        let mut result = Flow::Normal;
+        for s in &b.stmts {
+            match self.exec_stmt(s, frame)? {
+                Flow::Normal => {}
+                other => {
+                    result = other;
+                    break;
+                }
+            }
+        }
+        frame.scopes.pop();
+        Ok(result)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, frame: &mut Frame) -> Result<Flow, InterpError> {
+        self.tick()?;
+        match s {
+            Stmt::Local { name, init, .. } => {
+                let v = match init {
+                    Some(e) => self.eval(e, frame)?,
+                    None => 0,
+                };
+                frame.scopes.last_mut().expect("scope").insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, value, .. } => {
+                match target {
+                    LValue::Name(name, _) => {
+                        let v = self.eval(value, frame)?;
+                        if let Some(slot) = frame.lookup_mut(name) {
+                            *slot = v;
+                        } else {
+                            let addr = self.global_address(frame.module, name)?;
+                            self.store(addr, v)?;
+                        }
+                    }
+                    LValue::Index { name, index, .. } => {
+                        let i = self.eval(index, frame)?;
+                        let v = self.eval(value, frame)?;
+                        let base = self.global_address(frame.module, name)?;
+                        self.store(base.wrapping_add(i), v)?;
+                    }
+                    LValue::Deref { addr, .. } => {
+                        let a = self.eval(addr, frame)?;
+                        let v = self.eval(value, frame)?;
+                        self.store(a, v)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                if self.eval(cond, frame)? != 0 {
+                    self.exec_block(then_blk, frame)
+                } else if let Some(b) = else_blk {
+                    self.exec_block(b, frame)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body } => {
+                loop {
+                    self.tick()?;
+                    if self.eval(cond, frame)? == 0 {
+                        break;
+                    }
+                    match self.exec_block(body, frame)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, step, body } => {
+                frame.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    let f = self.exec_stmt(i, frame)?;
+                    debug_assert!(matches!(f, Flow::Normal));
+                }
+                let result = loop {
+                    self.tick()?;
+                    if let Some(c) = cond {
+                        if self.eval(c, frame)? == 0 {
+                            break Flow::Normal;
+                        }
+                    }
+                    match self.exec_block(body, frame)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break Flow::Normal,
+                        r @ Flow::Return(_) => break r,
+                    }
+                    if let Some(st) = step {
+                        let f = self.exec_stmt(st, frame)?;
+                        debug_assert!(matches!(f, Flow::Normal));
+                    }
+                };
+                frame.scopes.pop();
+                Ok(result)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => self.eval(e, frame)?,
+                    None => 0,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break { .. } => Ok(Flow::Break),
+            Stmt::Continue { .. } => Ok(Flow::Continue),
+            Stmt::Out { value, .. } => {
+                let v = self.eval(value, frame)?;
+                self.output.push(v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr { expr, .. } => {
+                self.eval(expr, frame)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn global_address(&self, module: usize, name: &str) -> Result<i64, InterpError> {
+        let info = &self.modules[module].1;
+        let link = info.global_link_name(name).expect("sema checked");
+        self.global_addr
+            .get(link)
+            .copied()
+            .ok_or_else(|| InterpError::UnresolvedGlobal(link.to_string()))
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &mut Frame) -> Result<i64, InterpError> {
+        self.tick()?;
+        match e {
+            Expr::Num(n, _) => Ok(*n),
+            Expr::Name(name, _) => {
+                if let Some(&v) = frame.lookup(name) {
+                    return Ok(v);
+                }
+                let addr = self.global_address(frame.module, name)?;
+                self.load(addr)
+            }
+            Expr::Unary { op, expr, .. } => {
+                let v = self.eval(expr, frame)?;
+                Ok(match op {
+                    ast::UnOp::Neg => v.wrapping_neg(),
+                    ast::UnOp::Not => (v == 0) as i64,
+                    ast::UnOp::Deref => return self.load(v),
+                })
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                match op {
+                    ast::BinOp::And => {
+                        let l = self.eval(lhs, frame)?;
+                        if l == 0 {
+                            return Ok(0);
+                        }
+                        return Ok((self.eval(rhs, frame)? != 0) as i64);
+                    }
+                    ast::BinOp::Or => {
+                        let l = self.eval(lhs, frame)?;
+                        if l != 0 {
+                            return Ok(1);
+                        }
+                        return Ok((self.eval(rhs, frame)? != 0) as i64);
+                    }
+                    _ => {}
+                }
+                let a = self.eval(lhs, frame)?;
+                let b = self.eval(rhs, frame)?;
+                Ok(match op {
+                    ast::BinOp::Add => a.wrapping_add(b),
+                    ast::BinOp::Sub => a.wrapping_sub(b),
+                    ast::BinOp::Mul => a.wrapping_mul(b),
+                    ast::BinOp::Div => {
+                        if b == 0 {
+                            return Err(InterpError::DivByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    ast::BinOp::Rem => {
+                        if b == 0 {
+                            return Err(InterpError::DivByZero);
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    ast::BinOp::Eq => (a == b) as i64,
+                    ast::BinOp::Ne => (a != b) as i64,
+                    ast::BinOp::Lt => (a < b) as i64,
+                    ast::BinOp::Le => (a <= b) as i64,
+                    ast::BinOp::Gt => (a > b) as i64,
+                    ast::BinOp::Ge => (a >= b) as i64,
+                    ast::BinOp::And | ast::BinOp::Or => unreachable!("handled above"),
+                })
+            }
+            Expr::Index { name, index, .. } => {
+                let i = self.eval(index, frame)?;
+                let base = self.global_address(frame.module, name)?;
+                self.load(base.wrapping_add(i))
+            }
+            Expr::AddrOf { name, .. } => {
+                let info = &self.modules[frame.module].1;
+                if let Some(link) = info.global_link_name(name) {
+                    return self
+                        .global_addr
+                        .get(link)
+                        .copied()
+                        .ok_or_else(|| InterpError::UnresolvedGlobal(link.to_string()));
+                }
+                let link = info.func_link_name(name).expect("sema checked");
+                match self.funcs.get(link) {
+                    Some(&r) => Ok(self.func_token(r)),
+                    None => Err(InterpError::UnknownFunction(link.to_string())),
+                }
+            }
+            Expr::In { .. } => {
+                let v = self.input.get(self.input_pos).copied().unwrap_or(-1);
+                self.input_pos += 1;
+                Ok(v)
+            }
+            Expr::Call { callee, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, frame)?);
+                }
+                // Resolution mirrors lowering: local/param, then global
+                // scalar (indirect), then procedure (direct).
+                let target: FuncRef = if let Some(&v) = frame.lookup(callee) {
+                    self.resolve_token(v)?
+                } else {
+                    let info = &self.modules[frame.module].1;
+                    if let Some(link) = info.global_link_name(callee) {
+                        let addr = self
+                            .global_addr
+                            .get(link)
+                            .copied()
+                            .ok_or_else(|| InterpError::UnresolvedGlobal(link.to_string()))?;
+                        let v = self.load(addr)?;
+                        self.resolve_token(v)?
+                    } else {
+                        let link = info.func_link_name(callee).expect("sema checked");
+                        self.funcs
+                            .get(link)
+                            .copied()
+                            .ok_or_else(|| InterpError::UnknownFunction(link.to_string()))?
+                    }
+                };
+                self.call(target, &vals)
+            }
+        }
+    }
+
+    fn resolve_token(&self, v: i64) -> Result<FuncRef, InterpError> {
+        let idx = v - FUNC_ADDR_BASE;
+        if idx < 0 || idx as usize >= self.func_list.len() {
+            return Err(InterpError::NotAFunction(v));
+        }
+        Ok(self.func_list[idx as usize])
+    }
+}
+
+struct Frame {
+    scopes: Vec<HashMap<String, i64>>,
+    module: usize,
+}
+
+impl Frame {
+    fn lookup(&self, name: &str) -> Option<&i64> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn lookup_mut(&mut self, name: &str) -> Option<&mut i64> {
+        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(name))
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(i64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmin_frontend::{analyze, parse_module};
+
+    fn program(sources: &[(&str, &str)]) -> Vec<(Module, ModuleInfo)> {
+        sources
+            .iter()
+            .map(|(name, src)| {
+                let m = parse_module(name, src).unwrap();
+                let info = analyze(&m).unwrap();
+                (m, info)
+            })
+            .collect()
+    }
+
+    fn run(src: &str) -> InterpResult {
+        interpret(&program(&[("m", src)])).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_exit() {
+        let r = run("int main() { return 6 * 7; }");
+        assert_eq!(r.exit, 42);
+    }
+
+    #[test]
+    fn loops_and_output() {
+        let r = run("int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) { s = s + i; } out(s); return s; }");
+        assert_eq!(r.output, vec![55]);
+        assert_eq!(r.exit, 55);
+    }
+
+    #[test]
+    fn globals_cross_module() {
+        let r = interpret(&program(&[
+            ("a", "int shared = 5; int bump(int k) { shared = shared + k; return shared; }"),
+            ("b", "extern int shared; extern int bump(int); int main() { bump(2); bump(3); return shared; }"),
+        ]))
+        .unwrap();
+        assert_eq!(r.exit, 10);
+    }
+
+    #[test]
+    fn statics_are_module_private() {
+        let r = interpret(&program(&[
+            ("a", "static int c; int inc_a() { c = c + 1; return c; }"),
+            ("b", "static int c = 100; extern int inc_a(); int main() { inc_a(); inc_a(); return c; }"),
+        ]))
+        .unwrap();
+        // b's static c is untouched by a's increments.
+        assert_eq!(r.exit, 100);
+    }
+
+    #[test]
+    fn function_pointers_and_indirect_calls() {
+        let r = run(
+            "int add(int a, int b) { return a + b; }
+             int mul(int a, int b) { return a * b; }
+             int apply(int f, int x, int y) { return f(x, y); }
+             int main() { return apply(&add, 3, 4) + apply(&mul, 3, 4); }",
+        );
+        assert_eq!(r.exit, 19);
+    }
+
+    #[test]
+    fn pointer_arithmetic_matches_layout() {
+        // Two scalars laid out in definition order: x then y.
+        let r = run("int x = 10; int y = 20; int main() { return *(&x + 1); }");
+        assert_eq!(r.exit, 20);
+    }
+
+    #[test]
+    fn array_out_of_bounds_reads_neighbor() {
+        // a and b are aggregates laid out in order after scalars.
+        let r = run("int a[2] = {1, 2}; int b[2] = {3, 4}; int main() { return a[2]; }");
+        assert_eq!(r.exit, 3);
+    }
+
+    #[test]
+    fn recursion() {
+        let r = run("int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } int main() { return fib(12); }");
+        assert_eq!(r.exit, 144);
+    }
+
+    #[test]
+    fn input_stream() {
+        let prog = program(&[("m", "int main() { int s = 0; int v = in(); while (v >= 0) { s = s + v; v = in(); } return s; }")]);
+        let opts = InterpOptions { input: vec![3, 4, 5], ..InterpOptions::default() };
+        let r = interpret_with(&prog, &opts).unwrap();
+        assert_eq!(r.exit, 12);
+    }
+
+    #[test]
+    fn traps() {
+        let p = program(&[("m", "int main() { int z = 0; return 1 / z; }")]);
+        assert_eq!(interpret(&p), Err(InterpError::DivByZero));
+
+        let p = program(&[("m", "int main() { return *(0 - 5); }")]);
+        assert!(matches!(interpret(&p), Err(InterpError::MemFault(_))));
+
+        let p = program(&[("m", "int main() { while (1) {} return 0; }")]);
+        let opts = InterpOptions { fuel: 1000, ..InterpOptions::default() };
+        assert_eq!(interpret_with(&p, &opts), Err(InterpError::FuelExhausted));
+
+        let p = program(&[("m", "int r() { return r(); } int main() { return r(); }")]);
+        assert_eq!(interpret(&p), Err(InterpError::DepthExceeded));
+    }
+
+    #[test]
+    fn missing_main_and_unresolved_symbols() {
+        let p = program(&[("m", "int f() { return 0; }")]);
+        assert_eq!(interpret(&p), Err(InterpError::NoMain));
+
+        let p = program(&[("m", "extern int ghost; int main() { return ghost; }")]);
+        assert!(matches!(interpret(&p), Err(InterpError::UnresolvedGlobal(_))));
+
+        let p = program(&[("m", "int main() { return ghost_fn(); }")]);
+        assert!(matches!(interpret(&p), Err(InterpError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // RHS with side effect must not run when LHS decides.
+        let r = run(
+            "int g; int touch() { g = g + 1; return 1; }
+             int main() { int a = 0 && touch(); int b = 1 || touch(); return g * 10 + a + b; }",
+        );
+        assert_eq!(r.exit, 1); // g == 0, a == 0, b == 1
+    }
+
+    #[test]
+    fn scope_shadowing() {
+        let r = run("int main() { int x = 1; if (x) { int x = 2; out(x); } out(x); return 0; }");
+        assert_eq!(r.output, vec![2, 1]);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let r = run(
+            "int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    if (i == 2) { continue; }
+                    if (i == 5) { break; }
+                    s = s + i;
+                }
+                return s;
+            }",
+        );
+        assert_eq!(r.exit, 0 + 1 + 3 + 4);
+    }
+}

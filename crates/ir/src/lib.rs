@@ -1,0 +1,37 @@
+//! # cmin-ir — intermediate representation and global optimizer for `cmin`
+//!
+//! The middle of the reproduction's compiler: a three-address, basic-block
+//! IR ([`ir`]), the lowering from the AST ([`lower`]), CFG analyses
+//! ([`mod@cfg`]), liveness ([`liveness`]), the "level 2" global optimizer the
+//! paper baselines against ([`opt`]), and a source-level reference
+//! interpreter used as the differential-testing oracle ([`interp`]).
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cmin_frontend::{analyze, parse_module};
+//! use cmin_ir::{lower::lower_module, opt::optimize_module};
+//!
+//! let m = parse_module("m", "int g; int main() { g = 2 + 3; return g; }")?;
+//! let info = analyze(&m)?;
+//! let mut ir = lower_module(&m, &info);
+//! optimize_module(&mut ir);
+//! let main = ir.function("main").expect("defined");
+//! assert_eq!(main.blocks.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod interp;
+pub mod ir;
+pub mod liveness;
+pub mod lower;
+pub mod opt;
+
+pub use ir::{BinOp, Block, BlockId, Callee, Function, Inst, IrGlobal, IrModule, Operand, Temp, Term, UnOp};
+pub use lower::lower_module;
+pub use opt::{optimize_function, optimize_module};

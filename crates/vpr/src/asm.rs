@@ -1,0 +1,140 @@
+//! Textual assembly rendering for VPR code.
+//!
+//! Purely diagnostic: the driver's `--emit asm` mode and failing-test output
+//! use this to show what the code generator produced.
+
+use crate::inst::Inst;
+use crate::program::{Executable, MachineFunction};
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Ldi { rd, imm } => write!(f, "ldi     {rd}, {imm}"),
+            Inst::Copy { rd, rs } => write!(f, "copy    {rd}, {rs}"),
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op:<7} {rd}, {rs1}, {rs2}"),
+            Inst::Alui { op, rd, rs1, imm } => write!(f, "{op}i{:<width$} {rd}, {rs1}, {imm}", "", width = 6usize.saturating_sub(op.to_string().len() + 1)),
+            Inst::Cmp { cond, rd, rs1, rs2 } => write!(f, "cmp{cond:<4} {rd}, {rs1}, {rs2}"),
+            Inst::Ldw { rd, base, disp, class } => {
+                write!(f, "ldw     {rd}, {disp}({base})  ; {class:?}")
+            }
+            Inst::Stw { rs, base, disp, class } => {
+                write!(f, "stw     {rs}, {disp}({base})  ; {class:?}")
+            }
+            Inst::Ldg { rd, sym, offset, class } => {
+                write!(f, "ldg     {rd}, {sym}+{offset}  ; {class:?}")
+            }
+            Inst::Stg { rs, sym, offset, class } => {
+                write!(f, "stg     {rs}, {sym}+{offset}  ; {class:?}")
+            }
+            Inst::Lga { rd, sym, offset } => write!(f, "lga     {rd}, {sym}+{offset}"),
+            Inst::Ldfa { rd, func } => write!(f, "ldfa    {rd}, {func}"),
+            Inst::Call { target } => write!(f, "call    {target}"),
+            Inst::CallAbs { entry } => write!(f, "call    @{entry}"),
+            Inst::CallInd { base } => write!(f, "callind ({base})"),
+            Inst::Bv { base } => write!(f, "bv      ({base})"),
+            Inst::B { target } => write!(f, "b       {target}"),
+            Inst::Comb { cond, rs1, rs2, target } => {
+                write!(f, "comb{cond:<3} {rs1}, {rs2}, {target}")
+            }
+            Inst::Out { rs } => write!(f, "out     {rs}"),
+            Inst::In { rd } => write!(f, "in      {rd}"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Renders a single pre-link function, with label markers.
+pub fn function_asm(f: &MachineFunction) -> String {
+    use std::fmt::Write;
+    let mut labels_at: Vec<Vec<usize>> = vec![Vec::new(); f.insts().len() + 1];
+    for l in 0..f.label_count() {
+        if let Some(idx) = f.label_target(crate::inst::Label(l as u32)) {
+            labels_at[idx].push(l);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", f.name());
+    for (i, inst) in f.insts().iter().enumerate() {
+        for l in &labels_at[i] {
+            let _ = writeln!(out, "  L{l}:");
+        }
+        let _ = writeln!(out, "    {inst}");
+    }
+    for l in &labels_at[f.insts().len()] {
+        let _ = writeln!(out, "  L{l}:");
+    }
+    out
+}
+
+/// Renders a full linked executable with function headers and addresses.
+pub fn executable_asm(exe: &Executable) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "; --- startup stub ---");
+    for (pc, inst) in exe.insts().iter().enumerate() {
+        if let Some(fi) = exe.funcs().iter().find(|fi| fi.entry == pc) {
+            let _ = writeln!(out, "\n{}:  ; @{}", fi.name, fi.entry);
+        }
+        let _ = writeln!(out, "  {pc:6}  {inst}");
+    }
+    let _ = writeln!(out, "\n; --- data ---");
+    for g in exe.globals() {
+        let _ = writeln!(out, ";   {} @ {} ({} words)", g.sym, g.addr, g.size);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Cond, Label};
+    use crate::program::{link, ObjectModule};
+    use crate::regs::Reg;
+
+    #[test]
+    fn instruction_display_is_nonempty_and_distinct() {
+        let insts = vec![
+            Inst::Ldi { rd: Reg::RV, imm: 1 },
+            Inst::Copy { rd: Reg::RV, rs: Reg::ZERO },
+            Inst::Alu { op: AluOp::Add, rd: Reg::RV, rs1: Reg::ZERO, rs2: Reg::ZERO },
+            Inst::Comb { cond: Cond::Lt, rs1: Reg::ZERO, rs2: Reg::RV, target: Label(0) },
+            Inst::Halt,
+            Inst::Nop,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for i in &insts {
+            let s = i.to_string();
+            assert!(!s.is_empty());
+            assert!(seen.insert(s));
+        }
+    }
+
+    #[test]
+    fn function_asm_shows_labels() {
+        let mut f = MachineFunction::new("loopy");
+        let top = f.new_label();
+        f.bind_label(top);
+        f.push(Inst::B { target: top });
+        let text = function_asm(&f);
+        assert!(text.contains("loopy:"));
+        assert!(text.contains("L0:"));
+        assert!(text.contains("b       L0"));
+    }
+
+    #[test]
+    fn executable_asm_lists_functions_and_globals() {
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Bv { base: Reg::RP });
+        let m = ObjectModule {
+            name: "m".into(),
+            functions: vec![f],
+            globals: vec![crate::program::GlobalDef { sym: "g".into(), size: 2, init: vec![] }],
+        };
+        let exe = link(&[m]).unwrap();
+        let text = executable_asm(&exe);
+        assert!(text.contains("main:"));
+        assert!(text.contains("g @ 16 (2 words)"));
+    }
+}

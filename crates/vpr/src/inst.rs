@@ -1,0 +1,358 @@
+//! The VPR instruction set.
+//!
+//! VPR is a word-addressed load/store architecture in the spirit of PA-RISC:
+//! every instruction executes in a single cycle, ALU operations are
+//! three-operand register-to-register, memory is reached only through
+//! `LDW`/`STW` with a base register and an immediate displacement, and
+//! compare-and-branch is a single instruction (`COMB`).
+//!
+//! Instructions referring to symbols (globals, procedure entries, local
+//! branch labels) are *relocatable pseudo instructions*; the
+//! [linker](crate::program::link) rewrites them into their absolute forms, so
+//! a linked [`Executable`](crate::program::Executable) contains only
+//! resolved instructions.
+
+use crate::regs::Reg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A branch target local to one [`MachineFunction`](crate::program::MachineFunction).
+///
+/// Before linking a `Label` is an index into the function's label table;
+/// after linking every label has been rewritten to an absolute instruction
+/// address, so executables never contain `Label`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Three-operand ALU operations.
+#[allow(missing_docs)] // variant names are the operations themselves
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two word values.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for division or remainder by zero (the simulator
+    /// converts this into a trap).
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        })
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Signed comparison conditions for `COMB` and `CMP`.
+#[allow(missing_docs)] // variant names are the conditions themselves
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two word values.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The condition testing the opposite outcome.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// The condition with operands swapped (`a ? b` ⇔ `b ?.swap() a`).
+    pub fn swap(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+            Cond::Lt => Cond::Gt,
+            Cond::Le => Cond::Ge,
+            Cond::Gt => Cond::Lt,
+            Cond::Ge => Cond::Le,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "=",
+            Cond::Ne => "<>",
+            Cond::Lt => "<",
+            Cond::Le => "<=",
+            Cond::Gt => ">",
+            Cond::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a memory reference for the simulator's accounting.
+///
+/// The paper's Table 5 counts *singleton* memory references: accesses of a
+/// simple scalar variable (not an array or structure element). Spill
+/// save/restore traffic targets a named scalar home location, so it counts as
+/// singleton too — that is exactly the traffic spill code motion removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemClass {
+    /// A named scalar global variable.
+    ScalarGlobal,
+    /// A named scalar local (home location in the frame).
+    ScalarLocal,
+    /// Register save/restore or spill traffic.
+    Spill,
+    /// Array or aggregate element access.
+    Aggregate,
+    /// Access through a computed pointer.
+    Indirect,
+    /// Frame bookkeeping (saved RP, outgoing argument slots).
+    Frame,
+}
+
+impl MemClass {
+    /// Does this reference count as a *singleton* memory reference
+    /// in the sense of the paper's Table 5?
+    pub fn is_singleton(self) -> bool {
+        matches!(
+            self,
+            MemClass::ScalarGlobal | MemClass::ScalarLocal | MemClass::Spill | MemClass::Frame
+        )
+    }
+}
+
+/// A single VPR instruction.
+///
+/// Variants marked *pseudo* carry unresolved symbols and may only appear in
+/// a [`MachineFunction`](crate::program::MachineFunction); the linker
+/// replaces them. Variants marked *resolved* may only appear in an
+/// [`Executable`](crate::program::Executable).
+#[allow(missing_docs)] // operand fields (rd, rs, base, disp, …) are self-describing
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `rd ← imm`.
+    Ldi { rd: Reg, imm: i64 },
+    /// `rd ← rs`.
+    Copy { rd: Reg, rs: Reg },
+    /// `rd ← rs1 op rs2`.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd ← rs1 op imm`.
+    Alui { op: AluOp, rd: Reg, rs1: Reg, imm: i64 },
+    /// `rd ← (rs1 cond rs2) ? 1 : 0`.
+    Cmp { cond: Cond, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd ← mem[rs(base) + disp]`.
+    Ldw { rd: Reg, base: Reg, disp: i64, class: MemClass },
+    /// `mem[rs(base) + disp] ← rs`.
+    Stw { rs: Reg, base: Reg, disp: i64, class: MemClass },
+    /// *pseudo*: load the word of global `sym` (+`offset` words).
+    Ldg { rd: Reg, sym: String, offset: i64, class: MemClass },
+    /// *pseudo*: store to the word of global `sym` (+`offset` words).
+    Stg { rs: Reg, sym: String, offset: i64, class: MemClass },
+    /// *pseudo*: `rd ← &sym + offset` (address of a global).
+    Lga { rd: Reg, sym: String, offset: i64 },
+    /// *pseudo*: `rd ← entry address of procedure `func``.
+    Ldfa { rd: Reg, func: String },
+    /// *pseudo*: direct call; deposits the return address in `RP`.
+    Call { target: String },
+    /// *resolved*: direct call to absolute address `entry`.
+    CallAbs { entry: u32 },
+    /// Indirect call through `base`; deposits the return address in `RP`.
+    CallInd { base: Reg },
+    /// Indirect jump through `base` (procedure return is `Bv RP`).
+    Bv { base: Reg },
+    /// Unconditional branch to a local label (absolute address once linked).
+    B { target: Label },
+    /// Compare-and-branch: `if rs1 cond rs2 goto target`.
+    Comb { cond: Cond, rs1: Reg, rs2: Reg, target: Label },
+    /// Emit the value of `rs` to the output stream.
+    Out { rs: Reg },
+    /// Read the next input value into `rd` (−1 at end of input).
+    In { rd: Reg },
+    /// Stop execution (only the startup stub uses this).
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// Is this a relocatable pseudo instruction that the linker must resolve?
+    pub fn is_pseudo(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ldg { .. }
+                | Inst::Stg { .. }
+                | Inst::Lga { .. }
+                | Inst::Ldfa { .. }
+                | Inst::Call { .. }
+        )
+    }
+
+    /// Does this instruction reference memory (and with what class)?
+    pub fn mem_class(&self) -> Option<MemClass> {
+        match self {
+            Inst::Ldw { class, .. }
+            | Inst::Stw { class, .. }
+            | Inst::Ldg { class, .. }
+            | Inst::Stg { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// The register written by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Inst::Ldi { rd, .. }
+            | Inst::Copy { rd, .. }
+            | Inst::Alu { rd, .. }
+            | Inst::Alui { rd, .. }
+            | Inst::Cmp { rd, .. }
+            | Inst::Ldw { rd, .. }
+            | Inst::Ldg { rd, .. }
+            | Inst::Lga { rd, .. }
+            | Inst::Ldfa { rd, .. }
+            | Inst::In { rd } => Some(rd),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_basics() {
+        assert_eq!(AluOp::Add.eval(2, 3), Some(5));
+        assert_eq!(AluOp::Sub.eval(2, 3), Some(-1));
+        assert_eq!(AluOp::Mul.eval(-4, 3), Some(-12));
+        assert_eq!(AluOp::Div.eval(7, 2), Some(3));
+        assert_eq!(AluOp::Rem.eval(7, 2), Some(1));
+        assert_eq!(AluOp::Div.eval(7, 0), None);
+        assert_eq!(AluOp::Rem.eval(7, 0), None);
+        assert_eq!(AluOp::Shl.eval(1, 4), Some(16));
+        assert_eq!(AluOp::Shr.eval(-16, 2), Some(-4));
+    }
+
+    #[test]
+    fn alu_eval_wraps() {
+        assert_eq!(AluOp::Add.eval(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(AluOp::Mul.eval(i64::MAX, 2), Some(-2));
+        // i64::MIN / -1 overflows in two's complement; wrapping_div yields MIN.
+        assert_eq!(AluOp::Div.eval(i64::MIN, -1), Some(i64::MIN));
+    }
+
+    #[test]
+    fn cond_negate_is_involutive_and_exact() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(c.negate().negate(), c);
+            for (a, b) in [(1, 2), (2, 1), (3, 3)] {
+                assert_eq!(c.eval(a, b), !c.negate().eval(a, b));
+                assert_eq!(c.eval(a, b), c.swap().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_classification() {
+        assert!(MemClass::ScalarGlobal.is_singleton());
+        assert!(MemClass::ScalarLocal.is_singleton());
+        assert!(MemClass::Spill.is_singleton());
+        assert!(MemClass::Frame.is_singleton());
+        assert!(!MemClass::Aggregate.is_singleton());
+        assert!(!MemClass::Indirect.is_singleton());
+    }
+
+    #[test]
+    fn pseudo_detection() {
+        assert!(Inst::Call { target: "f".into() }.is_pseudo());
+        assert!(Inst::Ldg {
+            rd: Reg::RV,
+            sym: "g".into(),
+            offset: 0,
+            class: MemClass::ScalarGlobal
+        }
+        .is_pseudo());
+        assert!(!Inst::CallAbs { entry: 3 }.is_pseudo());
+        assert!(!Inst::Nop.is_pseudo());
+    }
+
+    #[test]
+    fn def_register() {
+        assert_eq!(Inst::Ldi { rd: Reg::RV, imm: 1 }.def(), Some(Reg::RV));
+        assert_eq!(Inst::Out { rs: Reg::RV }.def(), None);
+        assert_eq!(Inst::Halt.def(), None);
+    }
+}

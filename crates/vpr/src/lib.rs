@@ -1,0 +1,49 @@
+//! # vpr — the Virtual Precision RISC
+//!
+//! The measurement substrate for the PLDI'90 interprocedural register
+//! allocation reproduction: a PA-RISC-flavoured 32-register load/store
+//! machine, an object-module linker, and a counting simulator.
+//!
+//! The paper evaluated on HP PA-RISC using a cycle-accurate simulator that
+//! excluded cache effects; `vpr` plays that role here. It provides:
+//!
+//! * [`regs`] — the register file, the callee/caller-saves linkage
+//!   convention, and the [`regs::RegSet`] bitset used throughout the
+//!   analyzer,
+//! * [`inst`] — the instruction set, including relocatable pseudo
+//!   instructions for global and procedure references,
+//! * [`program`] — machine functions, object modules, and the
+//!   [linker](program::link),
+//! * [`sim`] — the simulator, with cycle, memory-reference (singleton vs.
+//!   other), and call-profile accounting,
+//! * [`asm`] — diagnostic assembly rendering.
+//!
+//! # Examples
+//!
+//! ```
+//! # use vpr::program::{link, MachineFunction, ObjectModule};
+//! # use vpr::inst::Inst;
+//! # use vpr::regs::Reg;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut f = MachineFunction::new("main");
+//! f.push(Inst::Ldi { rd: Reg::RV, imm: 42 });
+//! f.push(Inst::Bv { base: Reg::RP });
+//! let exe = link(&[ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] }])?;
+//! let result = vpr::sim::run(&exe)?;
+//! assert_eq!(result.exit, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod inst;
+pub mod program;
+pub mod regs;
+pub mod sim;
+
+pub use inst::{AluOp, Cond, Inst, Label, MemClass};
+pub use program::{link, Executable, GlobalDef, LinkError, MachineFunction, ObjectModule};
+pub use regs::{Reg, RegSet};
+pub use sim::{run, run_with, RunResult, RunStats, SimError, SimOptions};

@@ -1,0 +1,488 @@
+//! The VPR simulator.
+//!
+//! An interpreter over a linked [`Executable`] that charges one cycle per
+//! instruction (the paper's Table 4 measures "total cycles measured by a
+//! simulator, excluding cache miss penalties" on a single-cycle RISC) and
+//! keeps the dynamic accounting the paper's evaluation needs:
+//!
+//! * total cycles / instructions,
+//! * dynamic loads and stores, split into *singleton* and other references
+//!   (Table 5),
+//! * per-procedure and per-call-graph-edge call counts — the moral
+//!   equivalent of the paper's `gprof` profile feed for analyzer
+//!   configurations B and F.
+
+use crate::inst::Inst;
+use crate::program::{Executable, DEFAULT_MEM_WORDS, GLOBALS_BASE};
+use crate::regs::Reg;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Options controlling a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Simulated memory size in words.
+    pub mem_words: usize,
+    /// Abort after this many executed instructions.
+    pub max_steps: u64,
+    /// Values returned by `IN` instructions, in order (then −1).
+    pub input: Vec<i64>,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions { mem_words: DEFAULT_MEM_WORDS, max_steps: 2_000_000_000, input: Vec::new() }
+    }
+}
+
+/// Dynamic execution statistics for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total cycles (= instructions, on this single-cycle machine).
+    pub cycles: u64,
+    /// Dynamic load count.
+    pub loads: u64,
+    /// Dynamic store count.
+    pub stores: u64,
+    /// Dynamic loads classified as singleton references.
+    pub singleton_loads: u64,
+    /// Dynamic stores classified as singleton references.
+    pub singleton_stores: u64,
+    /// Total procedure calls executed.
+    pub calls: u64,
+    /// Calls per callee, indexed by the executable's function index.
+    pub call_counts: HashMap<usize, u64>,
+    /// Calls per `(caller, callee)` function-index pair. The startup stub's
+    /// call of `main` uses `usize::MAX` as the caller.
+    pub call_edges: HashMap<(usize, usize), u64>,
+}
+
+impl RunStats {
+    /// Total dynamic memory references.
+    pub fn mem_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total dynamic singleton memory references (the paper's Table 5 metric).
+    pub fn singleton_refs(&self) -> u64 {
+        self.singleton_loads + self.singleton_stores
+    }
+}
+
+/// The observable outcome of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Values emitted by `OUT`, in order.
+    pub output: Vec<i64>,
+    /// `main`'s return value (the `RV` register at `HALT`).
+    pub exit: i64,
+    /// Dynamic statistics.
+    pub stats: RunStats,
+}
+
+/// A runtime trap or simulator resource error.
+#[allow(missing_docs)] // field names (pc, addr, limit) are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Integer division or remainder by zero.
+    DivByZero { pc: usize },
+    /// Memory access outside the simulated address space.
+    MemFault { pc: usize, addr: i64 },
+    /// Control transferred outside the code segment.
+    BadPc { pc: usize },
+    /// The step budget was exhausted (likely an infinite loop).
+    StepLimit { limit: u64 },
+    /// An unresolved pseudo instruction reached the simulator
+    /// (indicates an unlinked or corrupted executable).
+    UnresolvedPseudo { pc: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DivByZero { pc } => write!(f, "division by zero at pc {pc}"),
+            SimError::MemFault { pc, addr } => {
+                write!(f, "memory fault at pc {pc}: address {addr}")
+            }
+            SimError::BadPc { pc } => write!(f, "control transfer outside code at pc {pc}"),
+            SimError::StepLimit { limit } => write!(f, "step limit of {limit} exhausted"),
+            SimError::UnresolvedPseudo { pc } => {
+                write!(f, "unresolved pseudo instruction at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs `exe` to completion with default options.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn run(exe: &Executable) -> Result<RunResult, SimError> {
+    run_with(exe, &SimOptions::default())
+}
+
+/// Runs `exe` with explicit [`SimOptions`].
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn run_with(exe: &Executable, opts: &SimOptions) -> Result<RunResult, SimError> {
+    Machine::new(exe, opts).run()
+}
+
+struct Machine<'a> {
+    exe: &'a Executable,
+    regs: [i64; Reg::COUNT],
+    mem: Vec<i64>,
+    pc: usize,
+    steps: u64,
+    max_steps: u64,
+    input: &'a [i64],
+    input_pos: usize,
+    output: Vec<i64>,
+    stats: RunStats,
+    // Shadow stack of function indices for call-edge accounting.
+    shadow: Vec<usize>,
+}
+
+impl<'a> Machine<'a> {
+    fn new(exe: &'a Executable, opts: &'a SimOptions) -> Machine<'a> {
+        let mut mem = vec![0i64; opts.mem_words];
+        for &(addr, v) in exe.data_init() {
+            if (addr as usize) < mem.len() {
+                mem[addr as usize] = v;
+            }
+        }
+        let mut regs = [0i64; Reg::COUNT];
+        regs[Reg::DP.index()] = GLOBALS_BASE;
+        regs[Reg::SP.index()] = opts.mem_words as i64;
+        Machine {
+            exe,
+            regs,
+            mem,
+            pc: 0,
+            steps: 0,
+            max_steps: opts.max_steps,
+            input: &opts.input,
+            input_pos: 0,
+            output: Vec::new(),
+            stats: RunStats::default(),
+            shadow: vec![usize::MAX],
+        }
+    }
+
+    fn get(&self, r: Reg) -> i64 {
+        if r == Reg::ZERO {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: i64) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn load(&mut self, base: Reg, disp: i64, singleton: bool) -> Result<i64, SimError> {
+        let addr = self.get(base).wrapping_add(disp);
+        let v = *self
+            .mem
+            .get(addr as usize)
+            .filter(|_| addr >= 0)
+            .ok_or(SimError::MemFault { pc: self.pc, addr })?;
+        self.stats.loads += 1;
+        if singleton {
+            self.stats.singleton_loads += 1;
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, base: Reg, disp: i64, v: i64, singleton: bool) -> Result<(), SimError> {
+        let addr = self.get(base).wrapping_add(disp);
+        if addr < 0 || addr as usize >= self.mem.len() {
+            return Err(SimError::MemFault { pc: self.pc, addr });
+        }
+        self.mem[addr as usize] = v;
+        self.stats.stores += 1;
+        if singleton {
+            self.stats.singleton_stores += 1;
+        }
+        Ok(())
+    }
+
+    fn record_call(&mut self, entry: usize) {
+        self.stats.calls += 1;
+        let callee = self.exe.func_at_entry(entry).unwrap_or(usize::MAX);
+        let caller = *self.shadow.last().unwrap_or(&usize::MAX);
+        *self.stats.call_counts.entry(callee).or_insert(0) += 1;
+        *self.stats.call_edges.entry((caller, callee)).or_insert(0) += 1;
+        self.shadow.push(callee);
+    }
+
+    fn run(mut self) -> Result<RunResult, SimError> {
+        let code = self.exe.insts();
+        loop {
+            if self.steps >= self.max_steps {
+                return Err(SimError::StepLimit { limit: self.max_steps });
+            }
+            let inst = code.get(self.pc).ok_or(SimError::BadPc { pc: self.pc })?;
+            self.steps += 1;
+            self.stats.cycles += 1;
+            let mut next = self.pc + 1;
+            match inst {
+                Inst::Ldi { rd, imm } => self.set(*rd, *imm),
+                Inst::Copy { rd, rs } => {
+                    let v = self.get(*rs);
+                    self.set(*rd, v);
+                }
+                Inst::Alu { op, rd, rs1, rs2 } => {
+                    let v = op
+                        .eval(self.get(*rs1), self.get(*rs2))
+                        .ok_or(SimError::DivByZero { pc: self.pc })?;
+                    self.set(*rd, v);
+                }
+                Inst::Alui { op, rd, rs1, imm } => {
+                    let v = op
+                        .eval(self.get(*rs1), *imm)
+                        .ok_or(SimError::DivByZero { pc: self.pc })?;
+                    self.set(*rd, v);
+                }
+                Inst::Cmp { cond, rd, rs1, rs2 } => {
+                    let v = cond.eval(self.get(*rs1), self.get(*rs2)) as i64;
+                    self.set(*rd, v);
+                }
+                Inst::Ldw { rd, base, disp, class } => {
+                    let v = self.load(*base, *disp, class.is_singleton())?;
+                    self.set(*rd, v);
+                }
+                Inst::Stw { rs, base, disp, class } => {
+                    let v = self.get(*rs);
+                    self.store(*base, *disp, v, class.is_singleton())?;
+                }
+                Inst::CallAbs { entry } => {
+                    self.set(Reg::RP, next as i64);
+                    self.record_call(*entry as usize);
+                    next = *entry as usize;
+                }
+                Inst::CallInd { base } => {
+                    let entry = self.get(*base);
+                    if entry < 0 || entry as usize >= code.len() {
+                        return Err(SimError::BadPc { pc: self.pc });
+                    }
+                    self.set(Reg::RP, next as i64);
+                    self.record_call(entry as usize);
+                    next = entry as usize;
+                }
+                Inst::Bv { base } => {
+                    let target = self.get(*base);
+                    if target < 0 || target as usize >= code.len() {
+                        return Err(SimError::BadPc { pc: self.pc });
+                    }
+                    self.shadow.pop();
+                    next = target as usize;
+                }
+                Inst::B { target } => next = target.0 as usize,
+                Inst::Comb { cond, rs1, rs2, target } => {
+                    if cond.eval(self.get(*rs1), self.get(*rs2)) {
+                        next = target.0 as usize;
+                    }
+                }
+                Inst::Out { rs } => self.output.push(self.get(*rs)),
+                Inst::In { rd } => {
+                    let v = self.input.get(self.input_pos).copied().unwrap_or(-1);
+                    self.input_pos += 1;
+                    self.set(*rd, v);
+                }
+                Inst::Halt => {
+                    let exit = self.get(Reg::RV);
+                    return Ok(RunResult { output: self.output, exit, stats: self.stats });
+                }
+                Inst::Nop => {}
+                Inst::Ldg { .. }
+                | Inst::Stg { .. }
+                | Inst::Lga { .. }
+                | Inst::Ldfa { .. }
+                | Inst::Call { .. } => {
+                    return Err(SimError::UnresolvedPseudo { pc: self.pc });
+                }
+            }
+            self.pc = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Cond, MemClass};
+    use crate::program::{link, GlobalDef, MachineFunction, ObjectModule};
+
+    fn exe_of(functions: Vec<MachineFunction>, globals: Vec<GlobalDef>) -> Executable {
+        link(&[ObjectModule { name: "t".into(), functions, globals }]).unwrap()
+    }
+
+    #[test]
+    fn returns_value_in_rv() {
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Ldi { rd: Reg::RV, imm: 17 });
+        f.push(Inst::Bv { base: Reg::RP });
+        let r = run(&exe_of(vec![f], vec![])).unwrap();
+        assert_eq!(r.exit, 17);
+        assert!(r.output.is_empty());
+        // stub call + ldi + bv + halt
+        assert_eq!(r.stats.cycles, 4);
+    }
+
+    #[test]
+    fn arithmetic_loop_and_output() {
+        // sum 1..=10 via a COMB loop, print, return.
+        let mut f = MachineFunction::new("main");
+        let r_i = Reg::new(19);
+        let r_sum = Reg::new(20);
+        let r_lim = Reg::new(21);
+        f.push(Inst::Ldi { rd: r_i, imm: 1 });
+        f.push(Inst::Ldi { rd: r_sum, imm: 0 });
+        f.push(Inst::Ldi { rd: r_lim, imm: 10 });
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind_label(top);
+        f.push(Inst::Comb { cond: Cond::Gt, rs1: r_i, rs2: r_lim, target: done });
+        f.push(Inst::Alu { op: AluOp::Add, rd: r_sum, rs1: r_sum, rs2: r_i });
+        f.push(Inst::Alui { op: AluOp::Add, rd: r_i, rs1: r_i, imm: 1 });
+        f.push(Inst::B { target: top });
+        f.bind_label(done);
+        f.push(Inst::Out { rs: r_sum });
+        f.push(Inst::Copy { rd: Reg::RV, rs: r_sum });
+        f.push(Inst::Bv { base: Reg::RP });
+        let r = run(&exe_of(vec![f], vec![])).unwrap();
+        assert_eq!(r.output, vec![55]);
+        assert_eq!(r.exit, 55);
+    }
+
+    #[test]
+    fn globals_load_store_and_accounting() {
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Ldg { rd: Reg::new(19), sym: "g".into(), offset: 0, class: MemClass::ScalarGlobal });
+        f.push(Inst::Alui { op: AluOp::Add, rd: Reg::new(19), rs1: Reg::new(19), imm: 5 });
+        f.push(Inst::Stg { rs: Reg::new(19), sym: "g".into(), offset: 0, class: MemClass::ScalarGlobal });
+        f.push(Inst::Ldg { rd: Reg::RV, sym: "g".into(), offset: 0, class: MemClass::ScalarGlobal });
+        f.push(Inst::Bv { base: Reg::RP });
+        let g = GlobalDef { sym: "g".into(), size: 1, init: vec![37] };
+        let r = run(&exe_of(vec![f], vec![g])).unwrap();
+        assert_eq!(r.exit, 42);
+        assert_eq!(r.stats.loads, 2);
+        assert_eq!(r.stats.stores, 1);
+        assert_eq!(r.stats.singleton_refs(), 3);
+    }
+
+    #[test]
+    fn calls_are_profiled() {
+        let mut leaf = MachineFunction::new("leaf");
+        leaf.push(Inst::Alui { op: AluOp::Add, rd: Reg::RV, rs1: Reg::ARGS[0], imm: 1 });
+        leaf.push(Inst::Bv { base: Reg::RP });
+
+        let mut f = MachineFunction::new("main");
+        // Save RP in a callee-saves register (we know leaf doesn't touch it).
+        f.push(Inst::Copy { rd: Reg::new(3), rs: Reg::RP });
+        f.push(Inst::Ldi { rd: Reg::ARGS[0], imm: 1 });
+        f.push(Inst::Call { target: "leaf".into() });
+        f.push(Inst::Copy { rd: Reg::ARGS[0], rs: Reg::RV });
+        f.push(Inst::Call { target: "leaf".into() });
+        f.push(Inst::Copy { rd: Reg::RP, rs: Reg::new(3) });
+        f.push(Inst::Bv { base: Reg::RP });
+
+        let exe = exe_of(vec![leaf, f], vec![]);
+        let r = run(&exe).unwrap();
+        assert_eq!(r.exit, 3);
+        assert_eq!(r.stats.calls, 3); // stub->main, main->leaf ×2
+        let leaf_idx = exe.funcs().iter().position(|fi| fi.name == "leaf").unwrap();
+        let main_idx = exe.funcs().iter().position(|fi| fi.name == "main").unwrap();
+        assert_eq!(r.stats.call_counts[&leaf_idx], 2);
+        assert_eq!(r.stats.call_counts[&main_idx], 1);
+        assert_eq!(r.stats.call_edges[&(main_idx, leaf_idx)], 2);
+        assert_eq!(r.stats.call_edges[&(usize::MAX, main_idx)], 1);
+    }
+
+    #[test]
+    fn indirect_call_through_function_address() {
+        let mut target = MachineFunction::new("target");
+        target.push(Inst::Ldi { rd: Reg::RV, imm: 99 });
+        target.push(Inst::Bv { base: Reg::RP });
+
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Copy { rd: Reg::new(3), rs: Reg::RP });
+        f.push(Inst::Ldfa { rd: Reg::new(19), func: "target".into() });
+        f.push(Inst::CallInd { base: Reg::new(19) });
+        f.push(Inst::Copy { rd: Reg::RP, rs: Reg::new(3) });
+        f.push(Inst::Bv { base: Reg::RP });
+        let r = run(&exe_of(vec![target, f], vec![])).unwrap();
+        assert_eq!(r.exit, 99);
+    }
+
+    #[test]
+    fn input_stream_then_minus_one() {
+        let mut f = MachineFunction::new("main");
+        for _ in 0..3 {
+            f.push(Inst::In { rd: Reg::new(19) });
+            f.push(Inst::Out { rs: Reg::new(19) });
+        }
+        f.push(Inst::Bv { base: Reg::RP });
+        let exe = exe_of(vec![f], vec![]);
+        let opts = SimOptions { input: vec![7, 8], ..SimOptions::default() };
+        let r = run_with(&exe, &opts).unwrap();
+        assert_eq!(r.output, vec![7, 8, -1]);
+    }
+
+    #[test]
+    fn traps() {
+        // Division by zero.
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Alu { op: AluOp::Div, rd: Reg::RV, rs1: Reg::ZERO, rs2: Reg::ZERO });
+        assert!(matches!(run(&exe_of(vec![f], vec![])), Err(SimError::DivByZero { .. })));
+
+        // Memory fault.
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Ldw { rd: Reg::RV, base: Reg::ZERO, disp: -1, class: MemClass::Indirect });
+        assert!(matches!(run(&exe_of(vec![f], vec![])), Err(SimError::MemFault { .. })));
+
+        // Step limit.
+        let mut f = MachineFunction::new("main");
+        let l = f.new_label();
+        f.bind_label(l);
+        f.push(Inst::B { target: l });
+        let exe = exe_of(vec![f], vec![]);
+        let opts = SimOptions { max_steps: 100, ..SimOptions::default() };
+        assert_eq!(run_with(&exe, &opts), Err(SimError::StepLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn tiny_memory_faults_cleanly_on_stack_use() {
+        // A function that needs a frame cannot run in a 32-word machine
+        // whose stack pointer starts at 32 but whose frame store lands
+        // in-bounds... shrink further so the global segment collides.
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Alui { op: AluOp::Sub, rd: Reg::SP, rs1: Reg::SP, imm: 8 });
+        f.push(Inst::Stw { rs: Reg::RP, base: Reg::SP, disp: 0, class: MemClass::Frame });
+        f.push(Inst::Ldw { rd: Reg::RV, base: Reg::SP, disp: 100, class: MemClass::Frame });
+        f.push(Inst::Bv { base: Reg::RP });
+        let exe = exe_of(vec![f], vec![]);
+        let opts = SimOptions { mem_words: 64, ..SimOptions::default() };
+        assert!(matches!(run_with(&exe, &opts), Err(SimError::MemFault { .. })));
+    }
+
+    #[test]
+    fn writes_to_r0_are_ignored() {
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Ldi { rd: Reg::ZERO, imm: 123 });
+        f.push(Inst::Copy { rd: Reg::RV, rs: Reg::ZERO });
+        f.push(Inst::Bv { base: Reg::RP });
+        let r = run(&exe_of(vec![f], vec![])).unwrap();
+        assert_eq!(r.exit, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Model-based property tests for [`vpr::regs::RegSet`]: every operation
+//! must agree with a `HashSet<usize>` reference model. The analyzer's
+//! register-set algebra (AVAIL intersections, MSPILL migrations) rides on
+//! this type, so it gets the heavy treatment.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use vpr::regs::{Reg, RegSet};
+
+fn reg_vec() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..32, 0..20)
+}
+
+fn build(regs: &[u8]) -> (RegSet, HashSet<usize>) {
+    let mut s = RegSet::new();
+    let mut m = HashSet::new();
+    for &r in regs {
+        s.insert(Reg::new(r));
+        m.insert(r as usize);
+    }
+    (s, m)
+}
+
+proptest! {
+    #[test]
+    fn insert_remove_contains_match_model(ops in prop::collection::vec((0u8..32, any::<bool>()), 0..50)) {
+        let mut s = RegSet::new();
+        let mut m: HashSet<usize> = HashSet::new();
+        for (r, insert) in ops {
+            let reg = Reg::new(r);
+            if insert {
+                prop_assert_eq!(s.insert(reg), m.insert(r as usize));
+            } else {
+                prop_assert_eq!(s.remove(reg), m.remove(&(r as usize)));
+            }
+            prop_assert_eq!(s.contains(reg), m.contains(&(r as usize)));
+            prop_assert_eq!(s.len(), m.len());
+            prop_assert_eq!(s.is_empty(), m.is_empty());
+        }
+    }
+
+    #[test]
+    fn set_algebra_matches_model(a in reg_vec(), b in reg_vec()) {
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+
+        let union: HashSet<usize> = (sa | sb).iter().map(Reg::index).collect();
+        prop_assert_eq!(&union, &ma.union(&mb).copied().collect::<HashSet<_>>());
+
+        let inter: HashSet<usize> = (sa & sb).iter().map(Reg::index).collect();
+        prop_assert_eq!(&inter, &ma.intersection(&mb).copied().collect::<HashSet<_>>());
+
+        let diff: HashSet<usize> = (sa - sb).iter().map(Reg::index).collect();
+        prop_assert_eq!(&diff, &ma.difference(&mb).copied().collect::<HashSet<_>>());
+
+        prop_assert_eq!(sa.is_subset(sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(sb), ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete(a in reg_vec()) {
+        let (s, m) = build(&a);
+        let items: Vec<usize> = s.iter().map(Reg::index).collect();
+        let mut sorted = items.clone();
+        sorted.sort();
+        prop_assert_eq!(&items, &sorted, "iteration must ascend");
+        prop_assert_eq!(items.into_iter().collect::<HashSet<_>>(), m);
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops(a in reg_vec(), b in reg_vec()) {
+        let (sa, _) = build(&a);
+        let (sb, _) = build(&b);
+        let mut x = sa;
+        x |= sb;
+        prop_assert_eq!(x, sa | sb);
+        let mut x = sa;
+        x &= sb;
+        prop_assert_eq!(x, sa & sb);
+        let mut x = sa;
+        x -= sb;
+        prop_assert_eq!(x, sa - sb);
+    }
+
+    #[test]
+    fn from_iterator_and_bits_round_trip(a in reg_vec()) {
+        let (s, _) = build(&a);
+        let rebuilt: RegSet = s.iter().collect();
+        prop_assert_eq!(rebuilt, s);
+        prop_assert_eq!(RegSet::from_bits(s.bits()), s);
+    }
+
+    #[test]
+    fn pop_first_drains_in_order(a in reg_vec()) {
+        let (mut s, m) = build(&a);
+        let mut drained = Vec::new();
+        while let Some(r) = s.pop_first() {
+            drained.push(r.index());
+        }
+        prop_assert!(s.is_empty());
+        let mut expect: Vec<usize> = m.into_iter().collect();
+        expect.sort();
+        prop_assert_eq!(drained, expect);
+    }
+}

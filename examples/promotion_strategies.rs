@@ -1,0 +1,82 @@
+//! Comparing the promotion strategies of the paper's evaluation (Table 4
+//! columns C, D and E): reserved-register web coloring vs. greedy coloring
+//! vs. Wall-style blanket promotion, on a program whose globals are hot in
+//! *disjoint phases* — the shape where webs beat a dedicated register per
+//! global.
+//!
+//! ```sh
+//! cargo run --example promotion_strategies
+//! ```
+
+use ipra_core::PaperConfig;
+use ipra_driver::{compile, run_program, CompileOptions, SourceFile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three phases, each with its own hot globals. A blanket scheme must
+    // dedicate one register per global for the whole program; web coloring
+    // reuses the same registers phase by phase.
+    let sources = [SourceFile::new(
+        "phases",
+        "int p1_a; int p1_b; int p1_c;
+         int p2_a; int p2_b; int p2_c;
+         int p3_a; int p3_b; int p3_c;
+         int phase1(int n) {
+             for (int i = 0; i < n; i = i + 1) {
+                 p1_a = p1_a + i; p1_b = p1_b + p1_a; p1_c = p1_c + p1_b % 97;
+             }
+             return p1_c;
+         }
+         int phase2(int n) {
+             for (int i = 0; i < n; i = i + 1) {
+                 p2_a = p2_a + 2 * i; p2_b = p2_b + p2_a; p2_c = p2_c + p2_b % 89;
+             }
+             return p2_c;
+         }
+         int phase3(int n) {
+             for (int i = 0; i < n; i = i + 1) {
+                 p3_a = p3_a + 3 * i; p3_b = p3_b + p3_a; p3_c = p3_c + p3_b % 83;
+             }
+             return p3_c;
+         }
+         int main() {
+             int n = 2000;
+             out(phase1(n));
+             out(phase2(n));
+             out(phase3(n));
+             return 0;
+         }",
+    )];
+
+    let baseline = compile(&sources, &CompileOptions::paper(PaperConfig::L2))?;
+    let rb = run_program(&baseline, &[])?;
+
+    println!("nine hot globals, three disjoint phases, three registers of headroom:\n");
+    println!(
+        "{:<26} {:>8} {:>10} {:>10} {:>8}",
+        "strategy", "webs", "colored", "cycles", "refs"
+    );
+    for (label, config) in [
+        ("C: web coloring (6 regs)", PaperConfig::C),
+        ("D: greedy coloring", PaperConfig::D),
+        ("E: blanket promotion (6)", PaperConfig::E),
+    ] {
+        let p = compile(&sources, &CompileOptions::paper(config))?;
+        let r = run_program(&p, &[])?;
+        assert_eq!(r.output, rb.output, "{label} changed behavior");
+        println!(
+            "{label:<26} {:>8} {:>10} {:>10} {:>8}",
+            p.stats.webs_total,
+            p.stats.webs_colored,
+            r.stats.cycles,
+            r.stats.singleton_refs()
+        );
+    }
+    println!(
+        "{:<26} {:>8} {:>10} {:>10} {:>8}",
+        "L2 baseline", "-", "-", rb.stats.cycles, rb.stats.singleton_refs()
+    );
+    println!("\nweb coloring promotes all nine globals with six registers; blanket");
+    println!("promotion covers only the six hottest — the paper's §6.2 observation");
+    println!("that \"in larger applications ... web coloring is advantageous\".");
+    Ok(())
+}

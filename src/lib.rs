@@ -1,0 +1,9 @@
+//! Re-exports for the IPRA reproduction workspace.
+pub use cmin_codegen as codegen;
+pub use cmin_frontend as frontend;
+pub use cmin_ir as ir;
+pub use ipra_core as core;
+pub use ipra_driver as driver;
+pub use ipra_summary as summary;
+pub use ipra_workloads as workloads;
+pub use vpr;

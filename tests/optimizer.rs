@@ -1,0 +1,67 @@
+//! The "level 2" optimizer, validated end to end: turning it off must not
+//! change observable behavior (only speed), and turning it on must
+//! actually pay — the paper's improvements are measured *over* this
+//! baseline, so its quality is part of the reproduction's credibility.
+
+use ipra_driver::{compile, run_program, CompileOptions};
+use ipra_workloads::generator::random_program;
+
+#[test]
+fn optimizer_preserves_behavior_on_random_programs() {
+    for seed in 400..425 {
+        let sources = random_program(seed);
+        let unopt = compile(&sources, &CompileOptions { optimize: false, ..Default::default() })
+            .unwrap();
+        let opt = compile(&sources, &CompileOptions::default()).unwrap();
+        let ru = run_program(&unopt, &[]).unwrap();
+        let ro = run_program(&opt, &[]).unwrap();
+        assert_eq!(ru.output, ro.output, "seed {seed}");
+        assert_eq!(ru.exit, ro.exit, "seed {seed}");
+        assert!(
+            ro.stats.cycles <= ru.stats.cycles,
+            "seed {seed}: optimizer made things slower ({} vs {})",
+            ro.stats.cycles,
+            ru.stats.cycles
+        );
+    }
+}
+
+#[test]
+fn optimizer_pays_substantially_on_workloads() {
+    let mut total_unopt = 0u64;
+    let mut total_opt = 0u64;
+    for w in ipra_workloads::all() {
+        let unopt = compile(&w.sources, &CompileOptions { optimize: false, ..Default::default() })
+            .unwrap();
+        let opt = compile(&w.sources, &CompileOptions::default()).unwrap();
+        let ru = run_program(&unopt, &w.training_input).unwrap();
+        let ro = run_program(&opt, &w.training_input).unwrap();
+        assert_eq!(ru.output, ro.output, "{}", w.name);
+        total_unopt += ru.stats.cycles;
+        total_opt += ro.stats.cycles;
+    }
+    let saved = 100.0 * (total_unopt - total_opt) as f64 / total_unopt as f64;
+    // A credible level-2 baseline should claw back a real fraction of the
+    // naive code's cycles; if this degrades, the interprocedural numbers
+    // in EXPERIMENTS.md become inflated. (The gap is structurally modest
+    // here: even "naive" code keeps locals in registers, so the optimizer
+    // fights for redundant global loads, folds and copies only. Currently
+    // ~9.5% across the suite.)
+    assert!(saved >= 8.0, "optimizer saves only {saved:.1}% over naive code");
+}
+
+#[test]
+fn optimizer_shrinks_code() {
+    for w in [ipra_workloads::protoc(), ipra_workloads::othello()] {
+        let unopt = compile(&w.sources, &CompileOptions { optimize: false, ..Default::default() })
+            .unwrap();
+        let opt = compile(&w.sources, &CompileOptions::default()).unwrap();
+        assert!(
+            opt.exe.code_len() < unopt.exe.code_len(),
+            "{}: {} vs {} instructions",
+            w.name,
+            opt.exe.code_len(),
+            unopt.exe.code_len()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Partial call graphs (paper §7.2): the analyzer applied to a *library* —
+//! a set of modules with no `main` — under the paper's assumptions:
+//! incoming calls only reach the partial graph's start nodes, outgoing
+//! calls return without re-entering it, and eligible globals are private to
+//! the analyzed set.
+//!
+//! The separately-compiled application follows the standard linkage
+//! convention (an empty database), yet links and runs correctly against the
+//! interprocedurally-optimized library: cluster roots still save their
+//! MSPILL sets (a superset of the standard callee-saves duty) and web
+//! entries sit at the library's start nodes, so the convention boundary
+//! holds.
+
+use ipra_core::analyzer::{analyze, AnalyzerOptions};
+use ipra_core::ProgramDatabase;
+use ipra_driver::{frontend, SourceFile};
+use ipra_summary::{summarize_module, ProgramSummary};
+use vpr::program::link;
+use vpr::sim::{run_with, SimOptions};
+
+/// A "run-time library": a table module with private state, plus an API
+/// module whose procedures are the partial graph's start nodes.
+fn library_sources() -> Vec<SourceFile> {
+    vec![
+        SourceFile::new(
+            "libtable",
+            "static int slots[64];
+             static int fill;
+             static int probes;
+             int tbl_reset() { fill = 0; probes = 0; for (int i = 0; i < 64; i = i + 1) { slots[i] = 0 - 1; } return 0; }
+             int tbl_put(int key) {
+                 int h = ((key % 64) + 64) % 64;
+                 while (slots[h] >= 0 && slots[h] != key) {
+                     probes = probes + 1;
+                     h = (h + 1) % 64;
+                 }
+                 if (slots[h] != key) { slots[h] = key; fill = fill + 1; }
+                 return h;
+             }
+             int tbl_has(int key) {
+                 int h = ((key % 64) + 64) % 64;
+                 while (slots[h] >= 0) {
+                     probes = probes + 1;
+                     if (slots[h] == key) { return 1; }
+                     h = (h + 1) % 64;
+                 }
+                 return 0;
+             }
+             int tbl_stats() { return fill * 1000 + probes; }",
+        ),
+        SourceFile::new(
+            "libapi",
+            "extern int tbl_reset();
+             extern int tbl_put(int);
+             extern int tbl_has(int);
+             extern int tbl_stats();
+             int lib_init() { return tbl_reset(); }
+             int lib_insert_range(int from, int to) {
+                 int n = 0;
+                 for (int k = from; k < to; k = k + 1) { tbl_put(k * 7); n = n + 1; }
+                 return n;
+             }
+             int lib_count_hits(int from, int to) {
+                 int hits = 0;
+                 for (int k = from; k < to; k = k + 1) {
+                     if (tbl_has(k)) { hits = hits + 1; }
+                 }
+                 return hits;
+             }
+             int lib_digest() { return tbl_stats(); }",
+        ),
+    ]
+}
+
+const APP: &str = "extern int lib_init();
+extern int lib_insert_range(int, int);
+extern int lib_count_hits(int, int);
+extern int lib_digest();
+int main() {
+    lib_init();
+    lib_insert_range(0, 40);
+    out(lib_count_hits(0, 300));
+    out(lib_digest());
+    return 0;
+}";
+
+/// Analyzes the library alone (no `main` anywhere) and compiles it under
+/// the resulting database.
+fn compile_library(db_out: &mut ProgramDatabase) -> Vec<vpr::ObjectModule> {
+    let sources = library_sources();
+    let mut summary = ProgramSummary::default();
+    let mut irs = Vec::new();
+    for (m, info) in frontend(&sources).unwrap() {
+        let mut ir = cmin_ir::lower_module(&m, &info);
+        cmin_ir::optimize_module(&mut ir);
+        summary.modules.push(summarize_module(&ir));
+        irs.push(ir);
+    }
+    let analysis = analyze(&summary, &AnalyzerOptions::default());
+    // The partial graph's start nodes are the API procedures; the analyzer
+    // must have treated them as roots (no main needed).
+    assert!(analysis.stats.nodes >= 8);
+    assert!(
+        analysis.stats.webs_total >= 1,
+        "the library's private globals should form webs: {:?}",
+        analysis.stats
+    );
+    // Any web entry must be a library procedure (nothing external).
+    for w in &analysis.webs {
+        for e in &w.entries {
+            assert!(
+                e.starts_with("lib") || e.starts_with("tbl"),
+                "web entry {e} outside the library"
+            );
+        }
+    }
+    *db_out = analysis.database.clone();
+    irs.iter().map(|ir| cmin_codegen::compile_module(ir, &analysis.database)).collect()
+}
+
+#[test]
+fn library_optimized_alone_links_with_standard_app() {
+    let mut db = ProgramDatabase::new();
+    let mut modules = compile_library(&mut db);
+
+    // The application is compiled with NO knowledge of the library's
+    // directives — the standard convention.
+    let (app, info) = &frontend(&[SourceFile::new("app", APP)]).unwrap()[0];
+    let mut ir = cmin_ir::lower_module(app, info);
+    cmin_ir::optimize_module(&mut ir);
+    modules.push(cmin_codegen::compile_module(&ir, &ProgramDatabase::new()));
+
+    let exe = link(&modules).unwrap();
+    let optimized = run_with(&exe, &SimOptions::default()).unwrap();
+
+    // Oracle: everything compiled at the plain baseline.
+    let mut all_sources = library_sources();
+    all_sources.push(SourceFile::new("app", APP));
+    let baseline =
+        ipra_driver::compile(&all_sources, &ipra_driver::CompileOptions::default()).unwrap();
+    let expect = ipra_driver::run_program(&baseline, &[]).unwrap();
+
+    assert_eq!(optimized.output, expect.output);
+    assert_eq!(optimized.exit, expect.exit);
+}
+
+#[test]
+fn library_database_has_no_entry_for_external_callers() {
+    let mut db = ProgramDatabase::new();
+    compile_library(&mut db);
+    assert!(db.get("main").is_none());
+    assert!(db.get("lib_insert_range").is_some());
+    // Statics got module-qualified names in the database world.
+    assert!(db.get("libtable$tbl_reset").is_none(), "tbl_* are not static here");
+    assert!(db.get("tbl_put").is_some());
+}

@@ -1,0 +1,97 @@
+//! Property test: the pretty-printer emits source that re-parses to the
+//! same AST (modulo source positions), over both hand-written corner cases
+//! and generator output. This pins the frontend's concrete syntax.
+
+use cmin_frontend::{parse_module, pretty::module_to_string, Module};
+use ipra_workloads::generator::random_program;
+
+/// Debug output with `Span { .. }` payloads blanked, so comparisons ignore
+/// layout.
+fn normalize(m: &Module) -> String {
+    let dbg = format!("{m:?}");
+    let mut out = String::with_capacity(dbg.len());
+    let mut rest = dbg.as_str();
+    while let Some(i) = rest.find("Span {") {
+        out.push_str(&rest[..i]);
+        out.push_str("Span");
+        let close = rest[i..].find('}').expect("span closes") + i;
+        rest = &rest[close + 1..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn assert_roundtrip(name: &str, text: &str) {
+    let m1 = parse_module(name, text)
+        .unwrap_or_else(|e| panic!("{name}: original does not parse: {e}\n{text}"));
+    let printed = module_to_string(&m1);
+    let m2 = parse_module(name, &printed)
+        .unwrap_or_else(|e| panic!("{name}: printed form does not parse: {e}\n{printed}"));
+    assert_eq!(
+        normalize(&m1),
+        normalize(&m2),
+        "{name}: round trip changed the AST\noriginal:\n{text}\nprinted:\n{printed}"
+    );
+    // Printing is a fixpoint.
+    assert_eq!(printed, module_to_string(&m2), "{name}: printing not idempotent");
+}
+
+#[test]
+fn generated_programs_round_trip() {
+    for seed in 0..40 {
+        for source in random_program(seed) {
+            assert_roundtrip(&source.name, &source.text);
+        }
+    }
+}
+
+#[test]
+fn workload_programs_round_trip() {
+    for w in ipra_workloads::all() {
+        for source in &w.sources {
+            assert_roundtrip(&format!("{}:{}", w.name, source.name), &source.text);
+        }
+    }
+}
+
+#[test]
+fn precedence_corner_cases_round_trip() {
+    let cases = [
+        "int f() { return 1 + 2 * 3 - 4 / 5 % 6; }",
+        "int f() { return -(1) * -2 + !3; }",
+        "int f(int a, int b) { return a < b == (b > a); }",
+        "int f(int a) { return a && 1 || 0 && !a; }",
+        "int g; int f() { return *(&g + 1) - *(&g); }",
+        "int a[3]; int f(int i) { return a[a[i % 3]]; }",
+        "int f() { return 0 - 9223372036854775807; }",
+        "int f(int x) { if (x) { if (!x) { out(1); } else { out(2); } } return 0; }",
+        "int f() { for (;;) { break; } while (0) { continue; } return 0; }",
+        "int h(int a, int b, int c) { return a; } int f() { return h(h(1,2,3), 4, h(5,6,7)); }",
+    ];
+    for (i, text) in cases.iter().enumerate() {
+        assert_roundtrip(&format!("case{i}"), text);
+    }
+}
+
+/// Behavior is preserved too, not just structure: pretty-printed sources
+/// compile and run identically.
+#[test]
+fn printed_programs_behave_identically() {
+    use ipra_driver::{compile, run_program, CompileOptions, SourceFile};
+    for seed in [3u64, 17, 29] {
+        let original = random_program(seed);
+        let printed: Vec<SourceFile> = original
+            .iter()
+            .map(|s| {
+                let m = parse_module(&s.name, &s.text).unwrap();
+                SourceFile::new(s.name.clone(), module_to_string(&m))
+            })
+            .collect();
+        let p1 = compile(&original, &CompileOptions::default()).unwrap();
+        let p2 = compile(&printed, &CompileOptions::default()).unwrap();
+        let r1 = run_program(&p1, &[]).unwrap();
+        let r2 = run_program(&p2, &[]).unwrap();
+        assert_eq!(r1.output, r2.output, "seed {seed}");
+        assert_eq!(r1.exit, r2.exit, "seed {seed}");
+    }
+}
