@@ -231,11 +231,7 @@ pub fn allocate_with(
         .map(Temp)
         .filter(|t| ever_live[t.0 as usize] && !pins.contains_key(t))
         .collect();
-    order.sort_by(|a, b| {
-        weight[b.0 as usize]
-            .cmp(&weight[a.0 as usize])
-            .then(a.0.cmp(&b.0))
-    });
+    order.sort_by(|a, b| weight[b.0 as usize].cmp(&weight[a.0 as usize]).then(a.0.cmp(&b.0)));
 
     let mut locs: HashMap<Temp, Loc> = HashMap::new();
     for (&t, &r) in pins {
@@ -262,10 +258,8 @@ pub fn allocate_with(
         } else {
             vec![&caller_pool, &free_pool, &callee_pool]
         };
-        let choice = pools
-            .into_iter()
-            .flat_map(|p| p.iter().copied())
-            .find(|r| !taken.contains(*r));
+        let choice =
+            pools.into_iter().flat_map(|p| p.iter().copied()).find(|r| !taken.contains(*r));
         match choice {
             Some(r) => {
                 if callee_pool.contains(&r) {
@@ -348,9 +342,7 @@ pub fn validate_with(
                             (alloc.loc(d), alloc.loc(l))
                         {
                             if a == b2 {
-                                return Err(format!(
-                                    "interfering {d} and {l} share register {a}"
-                                ));
+                                return Err(format!("interfering {d} and {l} share register {a}"));
                             }
                         }
                     }

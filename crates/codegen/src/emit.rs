@@ -114,10 +114,8 @@ impl<'a> Emitter<'a> {
         let block_labels: Vec<Label> = f.blocks.iter().map(|_| out.new_label()).collect();
         let epilogue = out.new_label();
 
-        let has_calls = f
-            .blocks
-            .iter()
-            .any(|b| b.insts.iter().any(|i| matches!(i, ir::Inst::Call { .. })));
+        let has_calls =
+            f.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i, ir::Inst::Call { .. })));
 
         // Frame layout.
         let spill_base = 0i64;
@@ -276,12 +274,7 @@ impl<'a> Emitter<'a> {
             } else {
                 let k = (i - 4) as i64;
                 let disp = self.frame_size - 1 - k;
-                self.push(Inst::Ldw {
-                    rd: self.s1,
-                    base: Reg::SP,
-                    disp,
-                    class: MemClass::Frame,
-                });
+                self.push(Inst::Ldw { rd: self.s1, base: Reg::SP, disp, class: MemClass::Frame });
                 self.s1
             };
             match self.alloc.loc(p) {
@@ -384,38 +377,26 @@ impl<'a> Emitter<'a> {
                     });
                 }
             },
-            ir::Inst::LoadElem { dst, sym, index } => {
-                match index {
-                    Operand::Const(c) => {
-                        let (rd, spill) = self.def_target(*dst);
-                        self.push(Inst::Ldg {
-                            rd,
-                            sym: sym.clone(),
-                            offset: *c,
-                            class: MemClass::Aggregate,
-                        });
-                        self.finish_def(spill);
-                    }
-                    Operand::Temp(t) => {
-                        let idx = self.read_temp(*t, self.s2);
-                        self.push(Inst::Lga { rd: self.s1, sym: sym.clone(), offset: 0 });
-                        self.push(Inst::Alu {
-                            op: AluOp::Add,
-                            rd: self.s1,
-                            rs1: self.s1,
-                            rs2: idx,
-                        });
-                        let (rd, spill) = self.def_target(*dst);
-                        self.push(Inst::Ldw {
-                            rd,
-                            base: self.s1,
-                            disp: 0,
-                            class: MemClass::Aggregate,
-                        });
-                        self.finish_def(spill);
-                    }
+            ir::Inst::LoadElem { dst, sym, index } => match index {
+                Operand::Const(c) => {
+                    let (rd, spill) = self.def_target(*dst);
+                    self.push(Inst::Ldg {
+                        rd,
+                        sym: sym.clone(),
+                        offset: *c,
+                        class: MemClass::Aggregate,
+                    });
+                    self.finish_def(spill);
                 }
-            }
+                Operand::Temp(t) => {
+                    let idx = self.read_temp(*t, self.s2);
+                    self.push(Inst::Lga { rd: self.s1, sym: sym.clone(), offset: 0 });
+                    self.push(Inst::Alu { op: AluOp::Add, rd: self.s1, rs1: self.s1, rs2: idx });
+                    let (rd, spill) = self.def_target(*dst);
+                    self.push(Inst::Ldw { rd, base: self.s1, disp: 0, class: MemClass::Aggregate });
+                    self.finish_def(spill);
+                }
+            },
             ir::Inst::StoreElem { sym, index, src } => match index {
                 Operand::Const(c) => {
                     let rs = self.read_operand(*src, self.s2);
@@ -647,11 +628,7 @@ mod tests {
         compile_run_with(src, &ProgramDatabase::new(), &[])
     }
 
-    fn compile_run_with(
-        src: &str,
-        db: &ProgramDatabase,
-        input: &[i64],
-    ) -> vpr::sim::RunResult {
+    fn compile_run_with(src: &str, db: &ProgramDatabase, input: &[i64]) -> vpr::sim::RunResult {
         let m = parse_module("m", src).unwrap();
         let info = sema(&m).unwrap();
         let mut ir = lower_module(&m, &info);
@@ -809,7 +786,7 @@ mod tests {
         // Entry load happens; no store of `limit` at exit. The only global
         // singleton stores possible here would come from that suppressed
         // store-back plus register save/restore traffic.
-        assert_eq!(r.stats.singleton_loads >= 1, true);
+        assert!(r.stats.singleton_loads >= 1);
     }
 
     #[test]
@@ -902,27 +879,30 @@ mod tests {
             }
         };
         let code = compile_function_with(f, &d, &safe);
-        let spills = code
-            .insts()
-            .iter()
-            .filter(|i| matches!(i.mem_class(), Some(MemClass::Spill)))
-            .count();
-        assert_eq!(spills, 0, "no callee-saves save/restore expected:\n{}", vpr::asm::function_asm(&code));
+        let spills =
+            code.insts().iter().filter(|i| matches!(i.mem_class(), Some(MemClass::Spill))).count();
+        assert_eq!(
+            spills,
+            0,
+            "no callee-saves save/restore expected:\n{}",
+            vpr::asm::function_asm(&code)
+        );
 
         // Without the extension the crossing value needs a callee-saves
         // register and its save/restore pair.
         let code = compile_function(f, &d);
-        let spills = code
-            .insts()
-            .iter()
-            .filter(|i| matches!(i.mem_class(), Some(MemClass::Spill)))
-            .count();
+        let spills =
+            code.insts().iter().filter(|i| matches!(i.mem_class(), Some(MemClass::Spill))).count();
         assert!(spills >= 2, "baseline should save/restore a callee-saves register");
     }
 
     #[test]
     fn fallthrough_layout_avoids_redundant_jumps() {
-        let m = parse_module("m", "int main() { int x = in(); if (x > 0) { out(1); } else { out(2); } return 0; }").unwrap();
+        let m = parse_module(
+            "m",
+            "int main() { int x = in(); if (x > 0) { out(1); } else { out(2); } return 0; }",
+        )
+        .unwrap();
         let info = sema(&m).unwrap();
         let mut ir = lower_module(&m, &info);
         optimize_module(&mut ir);

@@ -26,10 +26,7 @@ use vpr::regs::Reg;
 
 /// Rewrites `f` for the given promotions (`sym → dedicated register`).
 /// Returns the pin map for the allocator (`temp → register`).
-pub fn rewrite_promotions(
-    f: &mut Function,
-    promotions: &[(String, Reg)],
-) -> HashMap<Temp, Reg> {
+pub fn rewrite_promotions(f: &mut Function, promotions: &[(String, Reg)]) -> HashMap<Temp, Reg> {
     if promotions.is_empty() {
         return HashMap::new();
     }
@@ -176,10 +173,7 @@ mod tests {
 
     #[test]
     fn read_copies_are_eliminated() {
-        let mut f = func(
-            "int g; int main() { int a = g; int b = g; return a + b; }",
-            "main",
-        );
+        let mut f = func("int g; int main() { int a = g; int b = g; return a + b; }", "main");
         let pins = rewrite_promotions(&mut f, &[("g".to_string(), Reg::new(4))]);
         let tw = *pins.keys().next().unwrap();
         // No surviving copies out of tw; the add reads tw directly.
@@ -199,12 +193,8 @@ mod tests {
         let mut f = func("int g; int set() { g = 42; return 0; }", "set");
         let pins = rewrite_promotions(&mut f, &[("g".to_string(), Reg::new(3))]);
         let tw = *pins.keys().next().unwrap();
-        let writes = f
-            .blocks
-            .iter()
-            .flat_map(|b| b.insts.iter())
-            .filter(|i| i.def() == Some(tw))
-            .count();
+        let writes =
+            f.blocks.iter().flat_map(|b| b.insts.iter()).filter(|i| i.def() == Some(tw)).count();
         assert_eq!(writes, 1, "{f}");
     }
 
@@ -220,10 +210,7 @@ mod tests {
     fn propagation_stops_at_store() {
         // a reads old g, then g is stored; a's value must not read the new
         // register content.
-        let mut f = func(
-            "int g; int main() { int a = g; g = 7; return a; }",
-            "main",
-        );
+        let mut f = func("int g; int main() { int a = g; g = 7; return a; }", "main");
         let pins = rewrite_promotions(&mut f, &[("g".to_string(), Reg::new(3))]);
         let tw = *pins.keys().next().unwrap();
         // The return must NOT be `ret tw` (that would read 7).

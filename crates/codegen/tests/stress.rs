@@ -39,7 +39,15 @@ fn ten_arguments_with_pressure_on_both_sides() {
     let ks = [3i64, 5, 7, 11, 13];
     let (k0, k1, k2, k3, k4) = (ks[0], ks[1], ks[2], ks[3], ks[4]);
     let (k5, k6, k7, k8) = (k0 * k1, k1 * k2, k2 * k3, k3 * k4);
-    let digest = k0 + k1 * 2 + k2 * 3 + k3 * 5 + k4 * 7 + k5 * 11 + k6 * 13 + k7 * 17 + k8 * 19
+    let digest = k0
+        + k1 * 2
+        + k2 * 3
+        + k3 * 5
+        + k4 * 7
+        + k5 * 11
+        + k6 * 13
+        + k7 * 17
+        + k8 * 19
         + (k0 + k4) * 23;
     let expect = digest + k0 + k1 + k2 + k3 + k4 + k5 + k6 + k7 + k8;
     let r = run_src(src, &ProgramDatabase::new(), &ks);

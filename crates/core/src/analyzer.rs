@@ -142,26 +142,18 @@ impl AnalyzerOptions {
                 profile: None,
                 ..base
             },
-            PaperConfig::A => AnalyzerOptions {
-                promotion: PromotionMode::Off,
-                profile: None,
-                ..base
-            },
-            PaperConfig::B => AnalyzerOptions {
-                promotion: PromotionMode::Off,
-                profile,
-                ..base
-            },
+            PaperConfig::A => {
+                AnalyzerOptions { promotion: PromotionMode::Off, profile: None, ..base }
+            }
+            PaperConfig::B => AnalyzerOptions { promotion: PromotionMode::Off, profile, ..base },
             PaperConfig::C => AnalyzerOptions {
                 promotion: PromotionMode::Coloring { registers: 6 },
                 profile: None,
                 ..base
             },
-            PaperConfig::D => AnalyzerOptions {
-                promotion: PromotionMode::Greedy,
-                profile: None,
-                ..base
-            },
+            PaperConfig::D => {
+                AnalyzerOptions { promotion: PromotionMode::Greedy, profile: None, ..base }
+            }
             PaperConfig::E => AnalyzerOptions {
                 promotion: PromotionMode::Blanket { count: 6 },
                 profile: None,
@@ -320,12 +312,8 @@ pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
     stats.clusters = clustering.clusters.len();
     stats.avg_cluster_size = clustering.average_size();
 
-    let usage = compute_register_sets(
-        &graph,
-        &clustering,
-        &web_regs,
-        opts.precise_web_cluster_interaction,
-    );
+    let usage =
+        compute_register_sets(&graph, &clustering, &web_regs, opts.precise_web_cluster_interaction);
 
     // --- Caller-saves preallocation (§7.6.2 extension) ---
     let tree_caller = if opts.caller_preallocation {
@@ -462,7 +450,7 @@ mod tests {
         let s = figure3();
         let analysis = analyze(&s, &AnalyzerOptions::paper_config(PaperConfig::E, None));
         assert_eq!(analysis.stats.webs_colored, 3); // g1, g2, g3
-        // Every defined node carries all three promotions.
+                                                    // Every defined node carries all three promotions.
         for name in ["A", "B", "C", "D", "E", "F", "G", "H"] {
             let d = analysis.database.lookup(name);
             assert_eq!(d.promotions.len(), 3, "{name}: {:?}", d.promotions);
@@ -473,8 +461,7 @@ mod tests {
         }
         // Three distinct registers.
         let a = analysis.database.lookup("A");
-        let regs: std::collections::HashSet<Reg> =
-            a.promotions.iter().map(|p| p.reg).collect();
+        let regs: std::collections::HashSet<Reg> = a.promotions.iter().map(|p| p.reg).collect();
         assert_eq!(regs.len(), 3);
     }
 

@@ -11,7 +11,7 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set holding ids `0..capacity`.
     pub fn new(capacity: usize) -> BitSet {
-        BitSet { words: vec![0; (capacity + 63) / 64], capacity }
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
     }
 
     /// The capacity this set was created with.
@@ -81,10 +81,9 @@ impl BitSet {
 
     /// Iterates over members ascending.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words
-            .iter()
-            .enumerate()
-            .flat_map(|(wi, &w)| (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b))
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+        })
     }
 }
 

@@ -41,10 +41,7 @@ pub fn own_claim(graph: &CallGraph, n: NodeId) -> RegSet {
     if !graph.node(n).defined {
         return claim_pool_set(); // library code may use anything
     }
-    claim_pool()
-        .into_iter()
-        .take(graph.node(n).caller_saves_estimate as usize)
-        .collect()
+    claim_pool().into_iter().take(graph.node(n).caller_saves_estimate as usize).collect()
 }
 
 /// Computes `tree_caller` for every node: the claim-pool registers a call
@@ -98,11 +95,7 @@ mod tests {
     #[test]
     fn chain_accumulates_claims() {
         // main -> a -> b; estimates are 2 each (test helper default).
-        let s = summary_of(vec![
-            proc("main", &[("a", 1)]),
-            proc("a", &[("b", 1)]),
-            proc("b", &[]),
-        ]);
+        let s = summary_of(vec![proc("main", &[("a", 1)]), proc("a", &[("b", 1)]), proc("b", &[])]);
         let g = CallGraph::build(&s, None);
         let tree = compute_tree_caller(&g);
         let b = g.by_name("b").unwrap();

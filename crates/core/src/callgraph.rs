@@ -242,9 +242,7 @@ impl CallGraph {
     /// Is `n` on a recursive call chain (nontrivial SCC or self loop)?
     pub fn is_recursive(&self, n: NodeId) -> bool {
         let my = self.scc[n.index()];
-        let shared = self
-            .node_ids()
-            .any(|m| m != n && self.scc[m.index()] == my);
+        let shared = self.node_ids().any(|m| m != n && self.scc[m.index()] == my);
         shared || self.successors(n).any(|s| s == n)
     }
 
@@ -295,11 +293,8 @@ impl CallGraph {
             if !scc_seen[scc] {
                 scc_seen[scc] = true;
                 // Gather the SCC members.
-                let members: Vec<NodeId> = order
-                    .iter()
-                    .copied()
-                    .filter(|m| self.scc[m.index()] as usize == scc)
-                    .collect();
+                let members: Vec<NodeId> =
+                    order.iter().copied().filter(|m| self.scc[m.index()] as usize == scc).collect();
                 let recursive = members.len() > 1
                     || members.iter().any(|&m| self.successors(m).any(|s| s == m));
                 // Incoming flow from outside the SCC.
@@ -442,10 +437,7 @@ pub(crate) mod tests {
             name: name.to_string(),
             module: "m".to_string(),
             global_refs: vec![],
-            calls: calls
-                .iter()
-                .map(|(c, f)| CallRef { callee: c.to_string(), freq: *f })
-                .collect(),
+            calls: calls.iter().map(|(c, f)| CallRef { callee: c.to_string(), freq: *f }).collect(),
             taken_addresses: vec![],
             makes_indirect_calls: false,
             callee_saves_estimate: 2,

@@ -70,8 +70,7 @@ impl Clustering {
         if self.clusters.is_empty() {
             return 0.0;
         }
-        self.clusters.iter().map(Cluster::size).sum::<usize>() as f64
-            / self.clusters.len() as f64
+        self.clusters.iter().map(Cluster::size).sum::<usize>() as f64 / self.clusters.len() as f64
     }
 
     /// The immediate dominator of `n` (`None` for start nodes and
@@ -273,9 +272,8 @@ pub fn identify_clusters(graph: &CallGraph, heur: &ClusterHeuristics) -> Cluster
             continue;
         }
         // Condition [2]: all immediate predecessors inside the cluster.
-        let all_preds_in = graph.predecessors(n).all(|p| {
-            p == r || assigned.get(&p) == Some(&r)
-        }) && graph.predecessors(n).next().is_some();
+        let all_preds_in = graph.predecessors(n).all(|p| p == r || assigned.get(&p) == Some(&r))
+            && graph.predecessors(n).next().is_some();
         if all_preds_in {
             clusters.entry(r).or_default().push(n);
             assigned.insert(n, r);
@@ -339,10 +337,8 @@ mod tests {
         // Every edge runs once per caller activation: hoisting spill code
         // would execute it exactly as often, so no node passes the
         // strictly-greater root heuristic.
-        let s = summary(
-            &[("main", &[("r", 1)], &[]), ("r", &[("s", 1)], &[]), ("s", &[], &[])],
-            &[],
-        );
+        let s =
+            summary(&[("main", &[("r", 1)], &[]), ("r", &[("s", 1)], &[]), ("s", &[], &[])], &[]);
         let (_, c) = build(&s);
         assert!(c.clusters.is_empty(), "{:?}", c.clusters);
     }
@@ -449,7 +445,11 @@ mod tests {
     #[test]
     fn undefined_externals_stay_out() {
         let s = summary(
-            &[("main", &[("r", 1)], &[]), ("r", &[("libc", 1000), ("s", 100)], &[]), ("s", &[], &[])],
+            &[
+                ("main", &[("r", 1)], &[]),
+                ("r", &[("libc", 1000), ("s", 100)], &[]),
+                ("s", &[], &[]),
+            ],
             &[],
         );
         let (g, c) = build(&s);
@@ -461,10 +461,8 @@ mod tests {
     #[test]
     fn dominators_with_multiple_start_nodes() {
         // Two start nodes converge on c: nobody but c dominates c.
-        let s = summary(
-            &[("main", &[("c", 1)], &[]), ("alt", &[("c", 1)], &[]), ("c", &[], &[])],
-            &[],
-        );
+        let s =
+            summary(&[("main", &[("c", 1)], &[]), ("alt", &[("c", 1)], &[]), ("c", &[], &[])], &[]);
         let g = CallGraph::build(&s, None);
         let idom = call_graph_dominators(&g);
         let c = node(&g, "c");

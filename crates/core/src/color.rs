@@ -102,8 +102,7 @@ pub fn prioritize(
 ) -> Prioritization {
     let mut out = Prioritization::default();
     for (i, w) in webs.iter().enumerate() {
-        let lref_members =
-            w.nodes.iter().filter(|&&n| elig.ref_freq(n, w.global) > 0).count();
+        let lref_members = w.nodes.iter().filter(|&&n| elig.ref_freq(n, w.global) > 0).count();
         let ratio = lref_members as f64 / w.nodes.len() as f64;
         if ratio < heur.min_lref_ratio {
             out.discarded_sparse += 1;
@@ -172,9 +171,9 @@ pub fn color_webs(
             }
         }
         let candidates: Vec<Reg> = match strategy {
-            ColoringStrategy::Reserved { count } => (0..count.min(16) as u8)
-                .map(|i| Reg::new(FIRST_CALLEE_SAVES + i))
-                .collect(),
+            ColoringStrategy::Reserved { count } => {
+                (0..count.min(16) as u8).map(|i| Reg::new(FIRST_CALLEE_SAVES + i)).collect()
+            }
             ColoringStrategy::Greedy => {
                 // §6: "tries to color as many webs as possible without
                 // reserving any of the callee-saves registers required for
@@ -217,8 +216,7 @@ pub fn blanket_webs(graph: &CallGraph, elig: &Eligibility, count: usize) -> Vec<
         .collect();
     totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    let all_defined: Vec<NodeId> =
-        graph.node_ids().filter(|&n| graph.node(n).defined).collect();
+    let all_defined: Vec<NodeId> = graph.node_ids().filter(|&n| graph.node(n).defined).collect();
     let entries: Vec<NodeId> = {
         let mut s: Vec<NodeId> =
             graph.start_nodes().into_iter().filter(|&n| graph.node(n).defined).collect();
@@ -276,8 +274,7 @@ mod tests {
             }
         }
         // Exactly two registers used.
-        let used: std::collections::HashSet<_> =
-            coloring.assignment.iter().flatten().collect();
+        let used: std::collections::HashSet<_> = coloring.assignment.iter().flatten().collect();
         assert_eq!(used.len(), 2);
     }
 

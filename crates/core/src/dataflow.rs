@@ -257,12 +257,12 @@ impl RefSets {
 pub(crate) mod testutil {
     use ipra_summary::*;
 
-    /// Builds a one-module program summary from a compact description:
+    /// One procedure in [`summary`]'s compact program description:
     /// `(proc, [(callee, freq)], [global syms referenced])`.
-    pub fn summary(
-        procs: &[(&str, &[(&str, u64)], &[&str])],
-        globals: &[&str],
-    ) -> ProgramSummary {
+    pub type ProcDesc<'a> = (&'a str, &'a [(&'a str, u64)], &'a [&'a str]);
+
+    /// Builds a one-module program summary from a compact description.
+    pub fn summary(procs: &[ProcDesc<'_>], globals: &[&str]) -> ProgramSummary {
         let procs = procs
             .iter()
             .map(|(name, calls, refs)| ProcSummary {
@@ -298,9 +298,7 @@ pub(crate) mod testutil {
                 init: vec![],
             })
             .collect();
-        ProgramSummary {
-            modules: vec![ModuleSummary { module: "m".into(), procs, globals }],
-        }
+        ProgramSummary { modules: vec![ModuleSummary { module: "m".into(), procs, globals }] }
     }
 
     /// The paper's Figure 3 example: nodes A–H, globals g1–g3, with the
@@ -393,14 +391,8 @@ mod tests {
         assert_eq!(e.len(), 1);
         assert!(e.by_sym("h").is_some());
         assert!(e.by_sym("g").is_none());
-        assert!(e
-            .rejected()
-            .iter()
-            .any(|(s, r)| s == "g" && *r == IneligibleReason::Aliased));
-        assert!(e
-            .rejected()
-            .iter()
-            .any(|(s, r)| s == "arr" && *r == IneligibleReason::Array));
+        assert!(e.rejected().iter().any(|(s, r)| s == "g" && *r == IneligibleReason::Aliased));
+        assert!(e.rejected().iter().any(|(s, r)| s == "arr" && *r == IneligibleReason::Array));
     }
 
     #[test]

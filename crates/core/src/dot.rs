@@ -54,11 +54,8 @@ pub fn call_graph_dot(summary: &ProgramSummary, analysis: &Analysis) -> String {
         let from = &graph.node(e.from).name;
         let to = &graph.node(e.to).name;
         let style = if e.indirect { ", style=dotted" } else { "" };
-        let _ = writeln!(
-            out,
-            "  \"{from}\" -> \"{to}\" [label=\"{}\"{style}];",
-            graph.edge_count(i)
-        );
+        let _ =
+            writeln!(out, "  \"{from}\" -> \"{to}\" [label=\"{}\"{style}];", graph.edge_count(i));
     }
 
     // Web legend.

@@ -44,7 +44,9 @@ pub mod profile;
 pub mod regsets;
 pub mod webs;
 
-pub use analyzer::{analyze, Analysis, AnalyzerOptions, AnalyzerStats, PaperConfig, PromotionMode, WebReport};
+pub use analyzer::{
+    analyze, Analysis, AnalyzerOptions, AnalyzerStats, PaperConfig, PromotionMode, WebReport,
+};
 pub use callgraph::{CallGraph, NodeId};
 pub use database::{ProcDirectives, ProgramDatabase, Promotion};
 pub use profile::ProfileData;

@@ -158,7 +158,7 @@ pub fn compute_register_sets(
                         Some(x) => x & pa,
                     });
                 }
-                let mut a = a.unwrap_or(RegSet::new());
+                let mut a = a.unwrap_or_default();
                 if precise {
                     a -= web_regs[node.index()];
                 }
@@ -374,13 +374,9 @@ mod tests {
         // The paper's Figure 7 point: a register in MSPILL[J] that is not
         // allocated at K (L grabbed it) becomes caller-saves scratch at K.
         let extra_at_k = usage[k.index()].caller & usage[j.index()].mspill;
-        assert!(
-            !extra_at_k.is_empty(),
-            "K should gain caller-saves scratch from J's MSPILL"
-        );
+        assert!(!extra_at_k.is_empty(), "K should gain caller-saves scratch from J's MSPILL");
         // MSPILL[J] covers all member FREE sets.
-        let all_free =
-            usage[k.index()].free | usage[l.index()].free | usage[m.index()].free;
+        let all_free = usage[k.index()].free | usage[l.index()].free | usage[m.index()].free;
         assert!(all_free.is_subset(usage[j.index()].mspill));
     }
 
@@ -481,10 +477,8 @@ mod tests {
 
     #[test]
     fn member_estimate_larger_than_avail_is_clipped() {
-        let mut s = summary(
-            &[("main", &[("r", 1)], &[]), ("r", &[("s", 100)], &[]), ("s", &[], &[])],
-            &[],
-        );
+        let mut s =
+            summary(&[("main", &[("r", 1)], &[]), ("r", &[("s", 100)], &[]), ("s", &[], &[])], &[]);
         for p in &mut s.modules[0].procs {
             p.callee_saves_estimate = 16; // wants everything
         }

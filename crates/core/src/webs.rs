@@ -116,8 +116,7 @@ pub fn identify_webs(
             // §7.4: a static's web entry must live in the defining module.
             let eg = elig.global(g);
             if eg.is_static {
-                let foreign_entry =
-                    entries.iter().any(|&e| graph.node(e).module != eg.module);
+                let foreign_entry = entries.iter().any(|&e| graph.node(e).module != eg.module);
                 if foreign_entry {
                     stats.discarded_static += 1;
                     continue;
@@ -338,11 +337,7 @@ mod tests {
         // main -> r <-> s, both reference g; g ∈ P_REF throughout the cycle
         // so no entry candidate exists — the SCC seeds the web.
         let s = summary(
-            &[
-                ("main", &[("r", 1)], &[]),
-                ("r", &[("s", 1)], &["g"]),
-                ("s", &[("r", 1)], &["g"]),
-            ],
+            &[("main", &[("r", 1)], &[]), ("r", &[("s", 1)], &["g"]), ("s", &[("r", 1)], &["g"])],
             &["g"],
         );
         let (g, _, webs, _) = build(&s);
@@ -383,7 +378,12 @@ mod tests {
             module: module.into(),
             global_refs: refs
                 .iter()
-                .map(|g| GlobalRef { sym: g.to_string(), freq: 5, written: true, address_taken: false })
+                .map(|g| GlobalRef {
+                    sym: g.to_string(),
+                    freq: 5,
+                    written: true,
+                    address_taken: false,
+                })
                 .collect(),
             calls: calls.iter().map(|(c, f)| CallRef { callee: c.to_string(), freq: *f }).collect(),
             taken_addresses: vec![],
@@ -395,7 +395,10 @@ mod tests {
             modules: vec![
                 ModuleSummary {
                     module: "a".into(),
-                    procs: vec![mk("a_fn", "a", &[("c", 1)], &["a$g"]), mk("c", "a", &[], &["a$g"])],
+                    procs: vec![
+                        mk("a_fn", "a", &[("c", 1)], &["a$g"]),
+                        mk("c", "a", &[], &["a$g"]),
+                    ],
                     globals: vec![GlobalFact {
                         sym: "a$g".into(),
                         size: 1,

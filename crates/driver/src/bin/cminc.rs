@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "analyze" => analyze_cmd(rest),
         "phase2" => phase2(rest),
         "link" => link_cmd(rest),
+        "verify" => verify_cmd(rest),
         "run" => run_cmd(rest),
         "build" => build_cmd(rest),
         "--help" | "-h" | "help" => {
@@ -59,8 +60,9 @@ const USAGE: &str = "usage:
   cminc analyze <mod.sum>... [--config L2|A|B|C|D|E|F] [--profile <prof.json>] [--report] [--dot <graph.dot>] -o <program.db>
   cminc phase2 <mod.ir> --db <program.db> -o <mod.obj>
   cminc link <mod.obj>... -o <prog.exe>
+  cminc verify <mod.obj>... [--db <program.db>]
   cminc run <prog.exe> [--input \"v v v\"] [--stats] [--profile-out <prof.json>] [--asm]
-  cminc build <src.cmin>... [--config ...] [--run] [--stats] [--input \"v v v\"]";
+  cminc build <src.cmin>... [--config ...] [--verify] [--run] [--stats] [--input \"v v v\"]";
 
 /// Pulls the value following `flag` out of `args`, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -84,8 +86,15 @@ fn positionals(args: &[String]) -> Vec<String> {
             // Flags with values:
             let takes_value = matches!(
                 a.as_str(),
-                "--summary" | "--ir" | "--config" | "--profile" | "--db" | "-o" | "--input"
-                    | "--profile-out" | "--dot"
+                "--summary"
+                    | "--ir"
+                    | "--config"
+                    | "--profile"
+                    | "--db"
+                    | "-o"
+                    | "--input"
+                    | "--profile-out"
+                    | "--dot"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
@@ -108,7 +117,10 @@ fn write(path: &str, contents: &str) -> Result<(), String> {
 }
 
 fn module_name(path: &str) -> String {
-    Path::new(path).file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_else(|| "module".into())
+    Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "module".into())
 }
 
 fn parse_config(args: &[String]) -> Result<PaperConfig, String> {
@@ -177,9 +189,9 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
     }
     let config = parse_config(args)?;
     let profile = match flag_value(args, "--profile") {
-        Some(p) => Some(
-            serde_json::from_str::<ProfileData>(&read(&p)?).map_err(|e| format!("{p}: {e}"))?,
-        ),
+        Some(p) => {
+            Some(serde_json::from_str::<ProfileData>(&read(&p)?).map_err(|e| format!("{p}: {e}"))?)
+        }
         None => {
             if config.wants_profile() {
                 return Err(format!("config {config} needs --profile <prof.json>"));
@@ -254,6 +266,38 @@ fn link_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the register-discipline verifier over already-compiled object
+/// modules, against the program database that directed their codegen
+/// (without `--db`, every procedure is held to the standard convention).
+fn verify_cmd(args: &[String]) -> Result<(), String> {
+    let objs = positionals(args);
+    if objs.is_empty() {
+        return Err("verify needs at least one object file".into());
+    }
+    let db = match flag_value(args, "--db") {
+        Some(p) => ProgramDatabase::from_json(&read(&p)?).map_err(|e| format!("{p}: {e}"))?,
+        None => ProgramDatabase::new(),
+    };
+    let mut modules = Vec::new();
+    for o in &objs {
+        let m: vpr::ObjectModule =
+            serde_json::from_str(&read(o)?).map_err(|e| format!("{o}: {e}"))?;
+        modules.push(m);
+    }
+    let report = ipra_verify::verify_modules(&modules, &db);
+    report_verify(&report)
+}
+
+/// Prints a verification report; `Err` (with every diagnostic) if dirty.
+fn report_verify(report: &ipra_verify::VerifyReport) -> Result<(), String> {
+    if report.is_clean() {
+        eprintln!("verify: {} procedures, {} instructions: clean", report.procs, report.insts);
+        Ok(())
+    } else {
+        Err(format!("verification failed ({} diagnostics):\n{report}", report.diagnostics.len()))
+    }
+}
+
 fn run_cmd(args: &[String]) -> Result<(), String> {
     let files = positionals(args);
     let [exe_path] = files.as_slice() else {
@@ -320,6 +364,9 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
         "build: config {config}; {} nodes, {}/{} webs colored, {} clusters",
         s.nodes, s.webs_colored, s.webs_total, s.clusters
     );
+    if has_flag(args, "--verify") {
+        report_verify(&ipra_driver::verify_program(&program))?;
+    }
     if has_flag(args, "--run") {
         let result = ipra_driver::run_program(&program, &input).map_err(|e| e.to_string())?;
         for v in &result.output {

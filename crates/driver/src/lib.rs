@@ -36,8 +36,9 @@ use cmin_ir::{lower_module, optimize_module};
 use ipra_core::analyzer::{analyze, AnalyzerOptions, AnalyzerStats, PaperConfig};
 use ipra_core::{ProfileData, ProgramDatabase};
 use ipra_summary::{summarize_module, ProgramSummary};
+use ipra_verify::VerifyReport;
 use std::fmt;
-use vpr::program::{link, Executable, LinkError};
+use vpr::program::{link, Executable, LinkError, ObjectModule};
 use vpr::sim::{run_with, RunResult, SimError, SimOptions};
 
 /// One source module (name + text).
@@ -95,6 +96,9 @@ impl CompileOptions {
 pub struct CompiledProgram {
     /// The linked executable.
     pub exe: Executable,
+    /// The pre-link object modules (kept so the machine-code verifier can
+    /// check each procedure against the database that produced it).
+    pub objects: Vec<ObjectModule>,
     /// Phase-1 summary files.
     pub summary: ProgramSummary,
     /// The analyzer's program database.
@@ -184,7 +188,22 @@ pub fn compile(
     let objects: Vec<_> =
         irs.iter().map(|ir| cmin_codegen::compile_module(ir, &analysis.database)).collect();
     let exe = link(&objects)?;
-    Ok(CompiledProgram { exe, summary, database: analysis.database, stats: analysis.stats })
+    Ok(CompiledProgram {
+        exe,
+        objects,
+        summary,
+        database: analysis.database,
+        stats: analysis.stats,
+    })
+}
+
+/// Runs the interprocedural register-discipline verifier over a compiled
+/// program's object modules, against the database that directed codegen.
+/// A clean report (see [`VerifyReport::is_clean`]) certifies that the
+/// emitted machine code honors the callee-saves, promotion, cluster and
+/// linkage disciplines the analyzer committed to.
+pub fn verify_program(program: &CompiledProgram) -> VerifyReport {
+    ipra_verify::verify_modules(&program.objects, &program.database)
 }
 
 /// Runs a compiled program on the simulator.
@@ -309,6 +328,21 @@ mod tests {
     }
 
     #[test]
+    fn every_config_passes_the_machine_code_verifier() {
+        let sources = two_module_program();
+        for config in PaperConfig::ALL {
+            let program = if config.wants_profile() {
+                compile_with_profile(&sources, config, &[]).unwrap().unwrap()
+            } else {
+                compile(&sources, &CompileOptions::paper(config)).unwrap()
+            };
+            let report = verify_program(&program);
+            assert!(report.is_clean(), "config {config} emitted undisciplined code:\n{report}");
+            assert!(report.procs >= 5);
+        }
+    }
+
+    #[test]
     fn promotion_reduces_singleton_refs() {
         let sources = two_module_program();
         let l2 = compile(&sources, &CompileOptions::paper(PaperConfig::L2)).unwrap();
@@ -344,10 +378,7 @@ mod tests {
     fn compile_errors_are_reported() {
         let e = compile(&[src("bad", "int f( {")], &CompileOptions::default());
         assert!(matches!(e, Err(DriverError::Compile(_))));
-        let e = compile(
-            &[src("a", "int f() { return 0; }")],
-            &CompileOptions::default(),
-        );
+        let e = compile(&[src("a", "int f() { return 0; }")], &CompileOptions::default());
         assert!(matches!(e, Err(DriverError::Link(LinkError::NoMain))));
         // Error values format.
         let err = compile(&[src("bad", "int f( {")], &CompileOptions::default()).unwrap_err();
@@ -377,10 +408,8 @@ mod tests {
 
     #[test]
     fn input_is_threaded_through() {
-        let sources = vec![src(
-            "io",
-            "int main() { int a = in(); int b = in(); out(a * b); return 0; }",
-        )];
+        let sources =
+            vec![src("io", "int main() { int a = in(); int b = in(); out(a * b); return 0; }")];
         let p = compile(&sources, &CompileOptions::default()).unwrap();
         let r = run_program(&p, &[6, 7]).unwrap();
         assert_eq!(r.output, vec![42]);

@@ -46,7 +46,8 @@ fn file_based_pipeline_end_to_end() {
 
     // Phase 1 on each module.
     for src in [&lib, &app] {
-        let out = cminc().current_dir(&dir).args(["phase1", src.to_str().unwrap()]).output().unwrap();
+        let out =
+            cminc().current_dir(&dir).args(["phase1", src.to_str().unwrap()]).output().unwrap();
         assert!(out.status.success(), "phase1: {}", String::from_utf8_lossy(&out.stderr));
     }
     assert!(dir.join("counterlib.sum").exists());

@@ -145,7 +145,7 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
-        match Keyword::from_str(text) {
+        match Keyword::lookup(text) {
             Some(kw) => TokenKind::Kw(kw),
             None => TokenKind::Ident(text.to_string()),
         }

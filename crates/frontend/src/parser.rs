@@ -100,9 +100,11 @@ impl Parser {
                     format!("expected number, found {other}"),
                 )),
             },
-            other => {
-                Err(CompileError::new(&self.module, span, format!("expected number, found {other}")))
-            }
+            other => Err(CompileError::new(
+                &self.module,
+                span,
+                format!("expected number, found {other}"),
+            )),
         }
     }
 
@@ -276,8 +278,7 @@ impl Parser {
                     Some(Box::new(self.simple_stmt(true)?))
                 };
                 self.expect(&TokenKind::Semi)?;
-                let cond =
-                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
                 self.expect(&TokenKind::Semi)?;
                 let step = if self.peek() == &TokenKind::RParen {
                     None
@@ -290,8 +291,7 @@ impl Parser {
             }
             TokenKind::Kw(Keyword::Return) => {
                 self.bump();
-                let value =
-                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span })
             }
@@ -351,8 +351,7 @@ impl Parser {
             }
             self.bump();
             let (name, span) = self.expect_ident()?;
-            let init =
-                if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
             return Ok(Stmt::Local { name, init, span });
         }
         let e = self.expr()?;
@@ -640,8 +639,14 @@ mod tests {
     #[test]
     fn calls_direct_and_via_variable() {
         let m = parse("int f() { g(1, 2); int p = &g; p(); return 0; }");
-        assert!(matches!(&m.functions[0].body.stmts[0], Stmt::Expr { expr: Expr::Call { .. }, .. }));
-        assert!(matches!(&m.functions[0].body.stmts[2], Stmt::Expr { expr: Expr::Call { .. }, .. }));
+        assert!(matches!(
+            &m.functions[0].body.stmts[0],
+            Stmt::Expr { expr: Expr::Call { .. }, .. }
+        ));
+        assert!(matches!(
+            &m.functions[0].body.stmts[2],
+            Stmt::Expr { expr: Expr::Call { .. }, .. }
+        ));
     }
 
     #[test]
@@ -685,7 +690,8 @@ mod tests {
         let err = parse_module("t", &deep).unwrap_err();
         assert!(err.message.contains("too deep"), "{err}");
 
-        let blocks = format!("int f() {{ {} return 0; {} }}", "if (1) {".repeat(5000), "}".repeat(5000));
+        let blocks =
+            format!("int f() {{ {} return 0; {} }}", "if (1) {".repeat(5000), "}".repeat(5000));
         let err = parse_module("t", &blocks).unwrap_err();
         assert!(err.message.contains("too deep"), "{err}");
 

@@ -303,8 +303,7 @@ mod tests {
     #[test]
     fn expr_to_string_smoke() {
         let m = parse_module("m", "int f(int x) { return (x + 1) * 2; }").unwrap();
-        let crate::ast::Stmt::Return { value: Some(e), .. } = &m.functions[0].body.stmts[0]
-        else {
+        let crate::ast::Stmt::Return { value: Some(e), .. } = &m.functions[0].body.stmts[0] else {
             panic!()
         };
         assert_eq!(expr_to_string(e), "(x + 1) * 2");

@@ -87,19 +87,13 @@ impl ModuleInfo {
 /// # }
 /// ```
 pub fn analyze(module: &Module) -> Result<ModuleInfo> {
-    let mut info = ModuleInfo {
-        module: module.name.clone(),
-        globals: HashMap::new(),
-        funcs: HashMap::new(),
-    };
+    let mut info =
+        ModuleInfo { module: module.name.clone(), globals: HashMap::new(), funcs: HashMap::new() };
     let err = |span: Span, msg: String| CompileError::new(&module.name, span, msg);
 
     for g in &module.globals {
-        let link_name = if g.is_static {
-            format!("{}${}", module.name, g.name)
-        } else {
-            g.name.clone()
-        };
+        let link_name =
+            if g.is_static { format!("{}${}", module.name, g.name) } else { g.name.clone() };
         let sym = GlobalSymbol {
             link_name,
             size: g.size.unwrap_or(1),
@@ -112,11 +106,8 @@ pub fn analyze(module: &Module) -> Result<ModuleInfo> {
         }
     }
     for f in &module.functions {
-        let link_name = if f.is_static {
-            format!("{}${}", module.name, f.name)
-        } else {
-            f.name.clone()
-        };
+        let link_name =
+            if f.is_static { format!("{}${}", module.name, f.name) } else { f.name.clone() };
         let sym = FuncSymbol {
             link_name,
             arity: Some(f.params.len()),
@@ -154,7 +145,10 @@ pub fn analyze(module: &Module) -> Result<ModuleInfo> {
                     }
                 }
                 if info.funcs.contains_key(&e.name) {
-                    return Err(err(e.span, format!("`{}` is both a variable and a procedure", e.name)));
+                    return Err(err(
+                        e.span,
+                        format!("`{}` is both a variable and a procedure", e.name),
+                    ));
                 }
             }
             ExternKind::Func { arity } => {
@@ -177,7 +171,10 @@ pub fn analyze(module: &Module) -> Result<ModuleInfo> {
                     }
                 }
                 if info.globals.contains_key(&e.name) {
-                    return Err(err(e.span, format!("`{}` is both a variable and a procedure", e.name)));
+                    return Err(err(
+                        e.span,
+                        format!("`{}` is both a variable and a procedure", e.name),
+                    ));
                 }
             }
         }
@@ -185,12 +182,8 @@ pub fn analyze(module: &Module) -> Result<ModuleInfo> {
 
     // Check function bodies; this may add implicitly-declared callees.
     for f in &module.functions {
-        let mut ck = Checker {
-            module: &module.name,
-            info: &mut info,
-            scopes: Vec::new(),
-            loop_depth: 0,
-        };
+        let mut ck =
+            Checker { module: &module.name, info: &mut info, scopes: Vec::new(), loop_depth: 0 };
         ck.push_scope();
         let mut seen = HashSet::new();
         for p in &f.params {
@@ -357,7 +350,9 @@ impl<'a> Checker<'a> {
                     )),
                     None if self.info.funcs.contains_key(name) => Err(self.err(
                         *span,
-                        format!("procedure `{name}` used as a value; take its address with `&{name}`"),
+                        format!(
+                            "procedure `{name}` used as a value; take its address with `&{name}`"
+                        ),
                     )),
                     None => Err(self.err(*span, format!("unknown variable `{name}`"))),
                 }

@@ -7,7 +7,9 @@ use std::fmt;
 ///
 /// `cmin` sources are small enough that diagnostics only need the starting
 /// position; spans exist so every AST node and error can point back at text.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct Span {
     /// 1-based line number.
     pub line: u32,
@@ -66,7 +68,7 @@ impl Keyword {
     }
 
     /// Looks a keyword up by spelling.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn lookup(s: &str) -> Option<Keyword> {
         Some(match s {
             "int" => Keyword::Int,
             "if" => Keyword::If,
@@ -188,9 +190,9 @@ mod tests {
             Keyword::Out,
             Keyword::In,
         ] {
-            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
         }
-        assert_eq!(Keyword::from_str("float"), None);
+        assert_eq!(Keyword::lookup("float"), None);
     }
 
     #[test]

@@ -42,12 +42,7 @@ pub struct InterpOptions {
 
 impl Default for InterpOptions {
     fn default() -> InterpOptions {
-        InterpOptions {
-            mem_words: 1 << 21,
-            fuel: 500_000_000,
-            max_depth: 900,
-            input: Vec::new(),
-        }
+        InterpOptions { mem_words: 1 << 21, fuel: 500_000_000, max_depth: 900, input: Vec::new() }
     }
 }
 
@@ -123,11 +118,7 @@ pub fn interpret_with(
     opts: &InterpOptions,
 ) -> Result<InterpResult, InterpError> {
     let mut interp = Interp::new(modules, opts)?;
-    let main = interp
-        .funcs
-        .get("main")
-        .copied()
-        .ok_or(InterpError::NoMain)?;
+    let main = interp.funcs.get("main").copied().ok_or(InterpError::NoMain)?;
     let exit = interp.call(main, &[])?;
     Ok(InterpResult { output: interp.output, exit })
 }
@@ -156,7 +147,10 @@ struct Interp<'a> {
 }
 
 impl<'a> Interp<'a> {
-    fn new(modules: &'a [(Module, ModuleInfo)], opts: &'a InterpOptions) -> Result<Interp<'a>, InterpError> {
+    fn new(
+        modules: &'a [(Module, ModuleInfo)],
+        opts: &'a InterpOptions,
+    ) -> Result<Interp<'a>, InterpError> {
         // Global layout: scalars first, then aggregates, definition order —
         // the linker's convention.
         let mut defs: Vec<(&'a str, u32, &'a [i64])> = Vec::new();
@@ -605,12 +599,10 @@ mod tests {
 
     #[test]
     fn function_pointers_and_indirect_calls() {
-        let r = run(
-            "int add(int a, int b) { return a + b; }
+        let r = run("int add(int a, int b) { return a + b; }
              int mul(int a, int b) { return a * b; }
              int apply(int f, int x, int y) { return f(x, y); }
-             int main() { return apply(&add, 3, 4) + apply(&mul, 3, 4); }",
-        );
+             int main() { return apply(&add, 3, 4) + apply(&mul, 3, 4); }");
         assert_eq!(r.exit, 19);
     }
 
@@ -673,10 +665,8 @@ mod tests {
     #[test]
     fn short_circuit_semantics() {
         // RHS with side effect must not run when LHS decides.
-        let r = run(
-            "int g; int touch() { g = g + 1; return 1; }
-             int main() { int a = 0 && touch(); int b = 1 || touch(); return g * 10 + a + b; }",
-        );
+        let r = run("int g; int touch() { g = g + 1; return 1; }
+             int main() { int a = 0 && touch(); int b = 1 || touch(); return g * 10 + a + b; }");
         assert_eq!(r.exit, 1); // g == 0, a == 0, b == 1
     }
 
@@ -688,8 +678,7 @@ mod tests {
 
     #[test]
     fn break_and_continue() {
-        let r = run(
-            "int main() {
+        let r = run("int main() {
                 int s = 0;
                 for (int i = 0; i < 10; i = i + 1) {
                     if (i == 2) { continue; }
@@ -697,8 +686,7 @@ mod tests {
                     s = s + i;
                 }
                 return s;
-            }",
-        );
-        assert_eq!(r.exit, 0 + 1 + 3 + 4);
+            }");
+        assert_eq!(r.exit, 1 + 3 + 4);
     }
 }

@@ -266,7 +266,10 @@ impl Inst {
                 f(*lhs);
                 f(*rhs);
             }
-            Inst::LoadGlobal { .. } | Inst::AddrGlobal { .. } | Inst::AddrFunc { .. } | Inst::In { .. } => {}
+            Inst::LoadGlobal { .. }
+            | Inst::AddrGlobal { .. }
+            | Inst::AddrFunc { .. }
+            | Inst::In { .. } => {}
             Inst::StoreGlobal { src, .. } => f(*src),
             Inst::LoadElem { index, .. } => f(*index),
             Inst::StoreElem { index, src, .. } => {
@@ -298,7 +301,10 @@ impl Inst {
                 *lhs = f(*lhs);
                 *rhs = f(*rhs);
             }
-            Inst::LoadGlobal { .. } | Inst::AddrGlobal { .. } | Inst::AddrFunc { .. } | Inst::In { .. } => {}
+            Inst::LoadGlobal { .. }
+            | Inst::AddrGlobal { .. }
+            | Inst::AddrFunc { .. }
+            | Inst::In { .. } => {}
             Inst::StoreGlobal { src, .. } => *src = f(*src),
             Inst::LoadElem { index, .. } => *index = f(*index),
             Inst::StoreElem { index, src, .. } => {
@@ -583,10 +589,7 @@ mod tests {
         });
         let mut uses = Vec::new();
         i.for_each_use(|o| uses.push(o));
-        assert_eq!(
-            uses,
-            vec![Operand::Temp(Temp(11)), Operand::Temp(Temp(12)), Operand::Const(3)]
-        );
+        assert_eq!(uses, vec![Operand::Temp(Temp(11)), Operand::Temp(Temp(12)), Operand::Const(3)]);
         assert_eq!(i.def(), Some(Temp(9)));
     }
 
@@ -599,8 +602,13 @@ mod tests {
         // Division by a constant nonzero divisor cannot trap.
         assert!(!Inst::Bin { op: BinOp::Div, dst: Temp(0), lhs: Temp(1).into(), rhs: 2.into() }
             .has_side_effects());
-        assert!(Inst::Bin { op: BinOp::Div, dst: Temp(0), lhs: Temp(1).into(), rhs: Temp(2).into() }
-            .has_side_effects());
+        assert!(Inst::Bin {
+            op: BinOp::Div,
+            dst: Temp(0),
+            lhs: Temp(1).into(),
+            rhs: Temp(2).into()
+        }
+        .has_side_effects());
         assert!(Inst::Bin { op: BinOp::Div, dst: Temp(0), lhs: Temp(1).into(), rhs: 0.into() }
             .has_side_effects());
     }

@@ -32,6 +32,8 @@ pub mod liveness;
 pub mod lower;
 pub mod opt;
 
-pub use ir::{BinOp, Block, BlockId, Callee, Function, Inst, IrGlobal, IrModule, Operand, Temp, Term, UnOp};
+pub use ir::{
+    BinOp, Block, BlockId, Callee, Function, Inst, IrGlobal, IrModule, Operand, Temp, Term, UnOp,
+};
 pub use lower::lower_module;
 pub use opt::{optimize_function, optimize_module};

@@ -18,7 +18,7 @@ pub struct TempSet {
 impl TempSet {
     /// An empty set able to hold temps `0..capacity`.
     pub fn new(capacity: u32) -> TempSet {
-        TempSet { words: vec![0; (capacity as usize + 63) / 64] }
+        TempSet { words: vec![0; (capacity as usize).div_ceil(64)] }
     }
 
     /// Inserts `t`; returns whether it was newly added.

@@ -30,8 +30,7 @@ pub fn lower_module(module: &Module, info: &ModuleInfo) -> IrModule {
             IrGlobal { sym, size, init, is_static: g.is_static, is_array: g.size.is_some() }
         })
         .collect();
-    let functions =
-        module.functions.iter().map(|f| Lowerer::new(info).function(f)).collect();
+    let functions = module.functions.iter().map(|f| Lowerer::new(info).function(f)).collect();
     IrModule { name: module.name.clone(), globals, functions }
 }
 
@@ -361,8 +360,7 @@ impl<'a> Lowerer<'a> {
                     let sym = sym.to_string();
                     self.emit(Inst::AddrGlobal { dst, sym });
                 } else {
-                    let func =
-                        self.info.func_link_name(name).expect("sema checked").to_string();
+                    let func = self.info.func_link_name(name).expect("sema checked").to_string();
                     self.emit(Inst::AddrFunc { dst, func });
                 }
                 Operand::Temp(dst)
@@ -463,7 +461,8 @@ mod tests {
 
     #[test]
     fn while_loop_shape() {
-        let m = lower("int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }");
+        let m =
+            lower("int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }");
         let f = find(&m, "f");
         // entry, header, body, exit
         assert!(f.blocks.len() >= 4);

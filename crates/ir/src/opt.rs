@@ -85,11 +85,7 @@ fn local_opt(f: &mut Function) -> bool {
         for &i in &o {
             seen[i] = true;
         }
-        for i in 0..f.blocks.len() {
-            if !seen[i] {
-                o.push(i);
-            }
-        }
+        o.extend((0..f.blocks.len()).filter(|&i| !seen[i]));
         o
     };
     for b in order {
@@ -119,23 +115,22 @@ fn local_opt(f: &mut Function) -> bool {
             cur
         };
 
-        let kill_temp = |env: &mut HashMap<Temp, Operand>,
-                         exprs: &mut HashMap<Key, Temp>,
-                         t: Temp| {
-            env.remove(&t);
-            env.retain(|_, v| *v != Operand::Temp(t));
-            exprs.retain(|k, v| {
-                if *v == t {
-                    return false;
-                }
-                let uses = |o: &Operand| *o == Operand::Temp(t);
-                !match k {
-                    Key::Bin(_, a, b2) => uses(a) || uses(b2),
-                    Key::Un(_, a) => uses(a),
-                    _ => false,
-                }
-            });
-        };
+        let kill_temp =
+            |env: &mut HashMap<Temp, Operand>, exprs: &mut HashMap<Key, Temp>, t: Temp| {
+                env.remove(&t);
+                env.retain(|_, v| *v != Operand::Temp(t));
+                exprs.retain(|k, v| {
+                    if *v == t {
+                        return false;
+                    }
+                    let uses = |o: &Operand| *o == Operand::Temp(t);
+                    !match k {
+                        Key::Bin(_, a, b2) => uses(a) || uses(b2),
+                        Key::Un(_, a) => uses(a),
+                        _ => false,
+                    }
+                });
+            };
 
         let mut out: Vec<Inst> = Vec::with_capacity(block.insts.len());
         for mut inst in std::mem::take(&mut block.insts) {
@@ -152,14 +147,12 @@ fn local_opt(f: &mut Function) -> bool {
                 Inst::Un { op, dst, src: Operand::Const(c) } => {
                     Some(Inst::Copy { dst: *dst, src: Operand::Const(op.eval(*c)) })
                 }
-                Inst::Bin { op, dst, lhs, rhs } => {
-                    match (lhs, rhs) {
-                        (Operand::Const(a), Operand::Const(b)) => op
-                            .eval(*a, *b)
-                            .map(|v| Inst::Copy { dst: *dst, src: Operand::Const(v) }),
-                        _ => algebraic_identity(*op, *dst, *lhs, *rhs),
+                Inst::Bin { op, dst, lhs, rhs } => match (lhs, rhs) {
+                    (Operand::Const(a), Operand::Const(b)) => {
+                        op.eval(*a, *b).map(|v| Inst::Copy { dst: *dst, src: Operand::Const(v) })
                     }
-                }
+                    _ => algebraic_identity(*op, *dst, *lhs, *rhs),
+                },
                 _ => None,
             };
             if let Some(fi) = folded {
@@ -483,7 +476,9 @@ mod tests {
     fn copy_chains_collapse() {
         let f = optimized("int f(int a) { int b = a; int c = b; int d = c; return d; }", "f");
         assert!(all_insts(&f).is_empty(), "{f}");
-        assert!(matches!(f.block(f.entry).term, Term::Ret(Some(Operand::Temp(t))) if t == f.params[0]));
+        assert!(
+            matches!(f.block(f.entry).term, Term::Ret(Some(Operand::Temp(t))) if t == f.params[0])
+        );
     }
 
     #[test]
@@ -492,30 +487,22 @@ mod tests {
             "int f(int a, int b) { int x = a * b + 1; int y = a * b + 1; return x + y; }",
             "f",
         );
-        let muls = all_insts(&f)
-            .iter()
-            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Mul, .. }))
-            .count();
+        let muls =
+            all_insts(&f).iter().filter(|i| matches!(i, Inst::Bin { op: BinOp::Mul, .. })).count();
         assert_eq!(muls, 1, "{f}");
     }
 
     #[test]
     fn redundant_global_load_removed() {
         let f = optimized("int g; int f() { return g + g; }", "f");
-        let loads = all_insts(&f)
-            .iter()
-            .filter(|i| matches!(i, Inst::LoadGlobal { .. }))
-            .count();
+        let loads = all_insts(&f).iter().filter(|i| matches!(i, Inst::LoadGlobal { .. })).count();
         assert_eq!(loads, 1, "{f}");
     }
 
     #[test]
     fn store_to_load_forwarding() {
         let f = optimized("int g; int f(int a) { g = a; return g; }", "f");
-        let loads = all_insts(&f)
-            .iter()
-            .filter(|i| matches!(i, Inst::LoadGlobal { .. }))
-            .count();
+        let loads = all_insts(&f).iter().filter(|i| matches!(i, Inst::LoadGlobal { .. })).count();
         assert_eq!(loads, 0, "{f}");
         // The store must remain (g is externally observable).
         assert!(all_insts(&f).iter().any(|i| matches!(i, Inst::StoreGlobal { .. })));
@@ -527,18 +514,19 @@ mod tests {
             "int g; int touch() { g = g + 1; return 0; } int f() { int a = g; touch(); return a + g; }",
             "f",
         );
-        let loads = all_insts(&f)
-            .iter()
-            .filter(|i| matches!(i, Inst::LoadGlobal { .. }))
-            .count();
+        let loads = all_insts(&f).iter().filter(|i| matches!(i, Inst::LoadGlobal { .. })).count();
         assert_eq!(loads, 2, "the second load must survive the call: {f}");
     }
 
     #[test]
     fn dead_code_removed_but_traps_kept() {
-        let f = optimized("int f(int a, int b) { int dead = a * 2; int t = a / b; return a; }", "f");
+        let f =
+            optimized("int f(int a, int b) { int dead = a * 2; int t = a / b; return a; }", "f");
         // dead multiply removed; the possibly-trapping division kept.
-        assert!(!all_insts(&f).iter().any(|i| matches!(i, Inst::Bin { op: BinOp::Mul, .. })), "{f}");
+        assert!(
+            !all_insts(&f).iter().any(|i| matches!(i, Inst::Bin { op: BinOp::Mul, .. })),
+            "{f}"
+        );
         assert!(all_insts(&f).iter().any(|i| matches!(i, Inst::Bin { op: BinOp::Div, .. })), "{f}");
     }
 
@@ -550,14 +538,10 @@ mod tests {
 
     #[test]
     fn unused_call_result_dropped_but_call_kept() {
-        let f = optimized(
-            "int e() { out(1); return 7; } int f() { int unused = e(); return 0; }",
-            "f",
-        );
-        let calls: Vec<_> = all_insts(&f)
-            .into_iter()
-            .filter(|i| matches!(i, Inst::Call { .. }))
-            .collect();
+        let f =
+            optimized("int e() { out(1); return 7; } int f() { int unused = e(); return 0; }", "f");
+        let calls: Vec<_> =
+            all_insts(&f).into_iter().filter(|i| matches!(i, Inst::Call { .. })).collect();
         assert_eq!(calls.len(), 1);
         assert!(matches!(calls[0], Inst::Call { dst: None, .. }));
     }
@@ -573,17 +557,16 @@ mod tests {
     fn empty_loop_body_still_terminates_structure() {
         let f = optimized("int f(int n) { while (n > 0) { n = n - 1; } return n; }", "f");
         // The loop survives; check it is still a branch somewhere.
-        assert!(f
-            .blocks
-            .iter()
-            .any(|b| matches!(b.term, Term::Branch { .. })), "{f}");
+        assert!(f.blocks.iter().any(|b| matches!(b.term, Term::Branch { .. })), "{f}");
     }
 
     #[test]
     fn algebraic_identities() {
         let f = optimized("int f(int a) { return (a + 0) * 1 + (a - a) + 0 * a; }", "f");
         assert!(all_insts(&f).is_empty(), "{f}");
-        assert!(matches!(f.block(f.entry).term, Term::Ret(Some(Operand::Temp(t))) if t == f.params[0]));
+        assert!(
+            matches!(f.block(f.entry).term, Term::Ret(Some(Operand::Temp(t))) if t == f.params[0])
+        );
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace carries a
+//! small value-based serialization framework under the same crate name. It
+//! implements exactly the subset this repository uses:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on non-generic structs and enums
+//!   (unit, newtype, tuple and struct variants),
+//! - field attributes `#[serde(default)]` and `#[serde(default = "path")]`,
+//! - container attribute `#[serde(into = "T", from = "T")]`,
+//! - the `serde_json` front end (`to_string`, `to_string_pretty`,
+//!   `from_str`).
+//!
+//! Serialization goes through the [`Value`] tree, mirroring serde's JSON
+//! data model (externally tagged enums, transparent newtypes, `null` for
+//! `None`), so the on-disk JSON produced by the real serde for these types
+//! round-trips here and vice versa.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A JSON-shaped value tree: the wire format of this serde stand-in.
+///
+/// Objects preserve insertion order (like `serde_json`'s `preserve_order`
+/// feature) so serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (covers every integer the workspace serializes; a
+    /// `u64` above `i64::MAX` uses [`Value::UInt`]).
+    Int(i64),
+    /// Unsigned integer that does not fit in `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short description of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => obj_get(fields, key),
+            _ => None,
+        }
+    }
+}
+
+/// Field lookup in an insertion-ordered object body.
+pub fn obj_get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error: a human-readable message with enough context to
+/// find the offending field.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Builds a "missing field" error (used by derived code).
+pub fn missing_field<T>(ty: &str, field: &str) -> Result<T, DeError> {
+    Err(DeError(format!("{ty}: missing field `{field}`")))
+}
+
+/// Builds an "unknown enum variant" error (used by derived code).
+pub fn unknown_variant<T>(ty: &str, variant: &str) -> Result<T, DeError> {
+    Err(DeError(format!("{ty}: unknown variant `{variant}`")))
+}
+
+/// Builds a type-mismatch error (used by derived code).
+pub fn unexpected<T>(ty: &str, want: &str, got: &Value) -> Result<T, DeError> {
+    Err(DeError(format!("{ty}: expected {want}, found {}", got.kind())))
+}
+
+/// Types that can turn themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, DeError> {
+                let n: i64 = match *v {
+                    Value::Int(n) => n,
+                    Value::UInt(n) => {
+                        i64::try_from(n).map_err(|_| DeError(format!("integer {n} overflows")))?
+                    }
+                    ref other => return unexpected(stringify!($t), "integer", other),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, DeError> {
+                let n: u64 = match *v {
+                    Value::Int(n) => {
+                        u64::try_from(n).map_err(|_| DeError(format!("integer {n} is negative")))?
+                    }
+                    Value::UInt(n) => n,
+                    ref other => return unexpected(stringify!($t), "integer", other),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => unexpected("bool", "bool", other),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<f64, DeError> {
+        match *v {
+            Value::Float(x) => Ok(x),
+            Value::Int(n) => Ok(n as f64),
+            Value::UInt(n) => Ok(n as f64),
+            ref other => unexpected("f64", "number", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => unexpected("String", "string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<char, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => unexpected("char", "single-character string", other),
+        }
+    }
+}
+
+// -------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Box<T>, DeError> {
+        Ok(Box::new(T::deserialize(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => unexpected("Vec", "array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<($($t,)+), DeError> {
+                const LEN: usize = [$($n),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($t::deserialize(&items[$n])?,)+))
+                    }
+                    other => unexpected("tuple", "fixed-length array", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// Maps serialize as sorted arrays of `[key, value]` pairs. (The real
+// serde_json rejects non-string map keys outright; this workspace carries
+// tuple- and integer-keyed maps, so the pair-array form is used uniformly.)
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<Value> =
+            self.iter().map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()])).collect();
+        entries.sort_by_key(|e| format!("{e:?}"));
+        Value::Array(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<HashMap<K, V, S>, DeError> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| match item {
+                    Value::Array(pair) if pair.len() == 2 => {
+                        Ok((K::deserialize(&pair[0])?, V::deserialize(&pair[1])?))
+                    }
+                    other => unexpected("HashMap entry", "[key, value] pair", other),
+                })
+                .collect(),
+            other => unexpected("HashMap", "array of pairs", other),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter().map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()])).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| match item {
+                    Value::Array(pair) if pair.len() == 2 => {
+                        Ok((K::deserialize(&pair[0])?, V::deserialize(&pair[1])?))
+                    }
+                    other => unexpected("BTreeMap entry", "[key, value] pair", other),
+                })
+                .collect(),
+            other => unexpected("BTreeMap", "array of pairs", other),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash, S: std::hash::BuildHasher + Default> Deserialize
+    for HashSet<T, S>
+{
+    fn deserialize(v: &Value) -> Result<HashSet<T, S>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => unexpected("HashSet", "array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<BTreeSet<T>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => unexpected("BTreeSet", "array", other),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}

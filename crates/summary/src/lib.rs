@@ -191,10 +191,8 @@ pub fn summarize_module(ir: &IrModule) -> ModuleSummary {
                         Inst::AddrGlobal { sym, .. } => {
                             entry(&mut grefs, sym).address_taken = true;
                         }
-                        Inst::AddrFunc { func, .. } => {
-                            if !taken.contains(func) {
-                                taken.push(func.clone());
-                            }
+                        Inst::AddrFunc { func, .. } if !taken.contains(func) => {
+                            taken.push(func.clone());
                         }
                         Inst::Call { callee, .. } => match callee {
                             Callee::Direct(n) => *calls.entry(n.clone()).or_insert(0) += w,

@@ -13,7 +13,12 @@ impl fmt::Display for Inst {
             Inst::Ldi { rd, imm } => write!(f, "ldi     {rd}, {imm}"),
             Inst::Copy { rd, rs } => write!(f, "copy    {rd}, {rs}"),
             Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op:<7} {rd}, {rs1}, {rs2}"),
-            Inst::Alui { op, rd, rs1, imm } => write!(f, "{op}i{:<width$} {rd}, {rs1}, {imm}", "", width = 6usize.saturating_sub(op.to_string().len() + 1)),
+            Inst::Alui { op, rd, rs1, imm } => write!(
+                f,
+                "{op}i{:<width$} {rd}, {rs1}, {imm}",
+                "",
+                width = 6usize.saturating_sub(op.to_string().len() + 1)
+            ),
             Inst::Cmp { cond, rd, rs1, rs2 } => write!(f, "cmp{cond:<4} {rd}, {rs1}, {rs2}"),
             Inst::Ldw { rd, base, disp, class } => {
                 write!(f, "ldw     {rd}, {disp}({base})  ; {class:?}")

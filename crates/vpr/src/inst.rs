@@ -12,7 +12,7 @@
 //! a linked [`Executable`](crate::program::Executable) contains only
 //! resolved instructions.
 
-use crate::regs::Reg;
+use crate::regs::{Reg, RegSet};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -271,6 +271,63 @@ impl Inst {
         }
     }
 
+    /// The registers this instruction reads, as written in its operands.
+    ///
+    /// This is the *syntactic* use set: calls do not list the linkage
+    /// registers they consume by convention (argument registers, `SP`,
+    /// `DP`), and `Bv RP` does not list the values a return leaves live for
+    /// the caller. ABI-aware use/def sets are the business of analyses
+    /// layered on top (such as the `ipra-verify` checker); here an
+    /// instruction only knows what its own operand fields name.
+    pub fn uses(&self) -> RegSet {
+        let mut s = RegSet::new();
+        match *self {
+            Inst::Copy { rs, .. } | Inst::Out { rs } => {
+                s.insert(rs);
+            }
+            Inst::Alu { rs1, rs2, .. } | Inst::Cmp { rs1, rs2, .. } => {
+                s.insert(rs1);
+                s.insert(rs2);
+            }
+            Inst::Alui { rs1, .. } => {
+                s.insert(rs1);
+            }
+            Inst::Ldw { base, .. } => {
+                s.insert(base);
+            }
+            Inst::Stw { rs, base, .. } => {
+                s.insert(rs);
+                s.insert(base);
+            }
+            Inst::Stg { rs, .. } => {
+                s.insert(rs);
+            }
+            Inst::CallInd { base } | Inst::Bv { base } => {
+                s.insert(base);
+            }
+            Inst::Comb { rs1, rs2, .. } => {
+                s.insert(rs1);
+                s.insert(rs2);
+            }
+            Inst::Ldi { .. }
+            | Inst::Ldg { .. }
+            | Inst::Lga { .. }
+            | Inst::Ldfa { .. }
+            | Inst::Call { .. }
+            | Inst::CallAbs { .. }
+            | Inst::B { .. }
+            | Inst::In { .. }
+            | Inst::Halt
+            | Inst::Nop => {}
+        }
+        s
+    }
+
+    /// Is this a call instruction (direct, absolute, or indirect)?
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call { .. } | Inst::CallAbs { .. } | Inst::CallInd { .. })
+    }
+
     /// The register written by this instruction, if any.
     pub fn def(&self) -> Option<Reg> {
         match *self {
@@ -354,5 +411,30 @@ mod tests {
         assert_eq!(Inst::Ldi { rd: Reg::RV, imm: 1 }.def(), Some(Reg::RV));
         assert_eq!(Inst::Out { rs: Reg::RV }.def(), None);
         assert_eq!(Inst::Halt.def(), None);
+    }
+
+    #[test]
+    fn use_registers() {
+        let r = |i| Reg::new(i);
+        let uses = |i: Inst| i.uses().iter().map(|r| r.index()).collect::<Vec<_>>();
+        assert_eq!(uses(Inst::Copy { rd: r(4), rs: r(5) }), vec![5]);
+        assert_eq!(uses(Inst::Alu { op: AluOp::Add, rd: r(4), rs1: r(6), rs2: r(7) }), vec![6, 7]);
+        assert_eq!(
+            uses(Inst::Stw { rs: r(9), base: Reg::SP, disp: 1, class: MemClass::Spill }),
+            vec![9, Reg::SP.index()]
+        );
+        assert_eq!(uses(Inst::Bv { base: Reg::RP }), vec![Reg::RP.index()]);
+        assert_eq!(uses(Inst::Ldi { rd: r(4), imm: 0 }), Vec::<usize>::new());
+        // A register named twice appears once: the result is a set.
+        assert_eq!(uses(Inst::Cmp { cond: Cond::Eq, rd: r(4), rs1: r(5), rs2: r(5) }), vec![5]);
+    }
+
+    #[test]
+    fn call_detection() {
+        assert!(Inst::Call { target: "f".into() }.is_call());
+        assert!(Inst::CallAbs { entry: 0 }.is_call());
+        assert!(Inst::CallInd { base: Reg::new(19) }.is_call());
+        assert!(!Inst::Bv { base: Reg::RP }.is_call());
+        assert!(!Inst::B { target: Label(0) }.is_call());
     }
 }

@@ -12,6 +12,8 @@
 //!   analyzer,
 //! * [`inst`] — the instruction set, including relocatable pseudo
 //!   instructions for global and procedure references,
+//! * [`cfg`] — per-instruction control-flow graphs over machine functions,
+//!   the substrate for machine-level dataflow (the `ipra-verify` checker),
 //! * [`program`] — machine functions, object modules, and the
 //!   [linker](program::link),
 //! * [`sim`] — the simulator, with cycle, memory-reference (singleton vs.
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod cfg;
 pub mod inst;
 pub mod program;
 pub mod regs;

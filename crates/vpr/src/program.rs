@@ -321,11 +321,7 @@ pub fn link(modules: &[ObjectModule]) -> Result<Executable, LinkError> {
             if func_entry.contains_key(f.name()) {
                 return Err(LinkError::DuplicateFunction(f.name().to_string()));
             }
-            let len: usize = f
-                .insts()
-                .iter()
-                .map(|i| expansion_len(i, &global_addr))
-                .sum();
+            let len: usize = f.insts().iter().map(|i| expansion_len(i, &global_addr)).sum();
             func_entry.insert(f.name(), pc);
             infos.push(FuncInfo { name: f.name().to_string(), entry: pc, len });
             pc += len;
@@ -470,8 +466,10 @@ mod tests {
 
     #[test]
     fn link_rejects_duplicates() {
-        let m1 = ObjectModule { name: "a".into(), functions: vec![ret_fn("main")], globals: vec![] };
-        let m2 = ObjectModule { name: "b".into(), functions: vec![ret_fn("main")], globals: vec![] };
+        let m1 =
+            ObjectModule { name: "a".into(), functions: vec![ret_fn("main")], globals: vec![] };
+        let m2 =
+            ObjectModule { name: "b".into(), functions: vec![ret_fn("main")], globals: vec![] };
         assert!(matches!(
             link(&[m1, m2]).unwrap_err(),
             LinkError::DuplicateFunction(name) if name == "main"
@@ -508,7 +506,12 @@ mod tests {
     #[test]
     fn near_global_is_one_instruction_far_global_two() {
         let mut f = MachineFunction::new("main");
-        f.push(Inst::Ldg { rd: Reg::RV, sym: "near".into(), offset: 0, class: MemClass::ScalarGlobal });
+        f.push(Inst::Ldg {
+            rd: Reg::RV,
+            sym: "near".into(),
+            offset: 0,
+            class: MemClass::ScalarGlobal,
+        });
         f.push(Inst::Ldg { rd: Reg::RV, sym: "far".into(), offset: 0, class: MemClass::Aggregate });
         f.push(Inst::Bv { base: Reg::RP });
         let m = ObjectModule {
@@ -534,7 +537,12 @@ mod tests {
         let l = f.new_label();
         // Branch over a far global store (which expands to 2 instructions).
         f.push(Inst::Comb { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, target: l });
-        f.push(Inst::Stg { rs: Reg::ZERO, sym: "far".into(), offset: 0, class: MemClass::Aggregate });
+        f.push(Inst::Stg {
+            rs: Reg::ZERO,
+            sym: "far".into(),
+            offset: 0,
+            class: MemClass::Aggregate,
+        });
         f.bind_label(l);
         f.push(Inst::Bv { base: Reg::RP });
         let m = ObjectModule {
@@ -568,7 +576,12 @@ mod tests {
         ));
 
         let mut f = MachineFunction::new("main");
-        f.push(Inst::Ldg { rd: Reg::RV, sym: "ghost".into(), offset: 0, class: MemClass::ScalarGlobal });
+        f.push(Inst::Ldg {
+            rd: Reg::RV,
+            sym: "ghost".into(),
+            offset: 0,
+            class: MemClass::ScalarGlobal,
+        });
         let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
         assert!(matches!(link(&[m]).unwrap_err(), LinkError::UndefinedGlobal { .. }));
     }

@@ -67,10 +67,7 @@ impl Reg {
     ///
     /// Panics if `index >= Reg::COUNT`.
     pub fn new(index: u8) -> Reg {
-        assert!(
-            (index as usize) < Reg::COUNT,
-            "register index {index} out of range"
-        );
+        assert!((index as usize) < Reg::COUNT, "register index {index} out of range");
         Reg(index)
     }
 

@@ -248,9 +248,8 @@ impl<'a> Machine<'a> {
                     self.set(*rd, v);
                 }
                 Inst::Alui { op, rd, rs1, imm } => {
-                    let v = op
-                        .eval(self.get(*rs1), *imm)
-                        .ok_or(SimError::DivByZero { pc: self.pc })?;
+                    let v =
+                        op.eval(self.get(*rs1), *imm).ok_or(SimError::DivByZero { pc: self.pc })?;
                     self.set(*rd, v);
                 }
                 Inst::Cmp { cond, rd, rs1, rs2 } => {
@@ -368,10 +367,25 @@ mod tests {
     #[test]
     fn globals_load_store_and_accounting() {
         let mut f = MachineFunction::new("main");
-        f.push(Inst::Ldg { rd: Reg::new(19), sym: "g".into(), offset: 0, class: MemClass::ScalarGlobal });
+        f.push(Inst::Ldg {
+            rd: Reg::new(19),
+            sym: "g".into(),
+            offset: 0,
+            class: MemClass::ScalarGlobal,
+        });
         f.push(Inst::Alui { op: AluOp::Add, rd: Reg::new(19), rs1: Reg::new(19), imm: 5 });
-        f.push(Inst::Stg { rs: Reg::new(19), sym: "g".into(), offset: 0, class: MemClass::ScalarGlobal });
-        f.push(Inst::Ldg { rd: Reg::RV, sym: "g".into(), offset: 0, class: MemClass::ScalarGlobal });
+        f.push(Inst::Stg {
+            rs: Reg::new(19),
+            sym: "g".into(),
+            offset: 0,
+            class: MemClass::ScalarGlobal,
+        });
+        f.push(Inst::Ldg {
+            rd: Reg::RV,
+            sym: "g".into(),
+            offset: 0,
+            class: MemClass::ScalarGlobal,
+        });
         f.push(Inst::Bv { base: Reg::RP });
         let g = GlobalDef { sym: "g".into(), size: 1, init: vec![37] };
         let r = run(&exe_of(vec![f], vec![g])).unwrap();

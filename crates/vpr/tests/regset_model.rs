@@ -1,14 +1,19 @@
 //! Model-based property tests for [`vpr::regs::RegSet`]: every operation
 //! must agree with a `HashSet<usize>` reference model. The analyzer's
 //! register-set algebra (AVAIL intersections, MSPILL migrations) rides on
-//! this type, so it gets the heavy treatment.
+//! this type, so it gets the heavy treatment — a seeded RNG drives random
+//! operation sequences (the offline toolchain has no proptest).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use vpr::regs::{Reg, RegSet};
 
-fn reg_vec() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(0u8..32, 0..20)
+const CASES: u64 = 256;
+
+fn random_regs(rng: &mut StdRng) -> Vec<u8> {
+    let n = rng.gen_range(0..20usize);
+    (0..n).map(|_| rng.gen_range(0..32u8)).collect()
 }
 
 fn build(regs: &[u8]) -> (RegSet, HashSet<usize>) {
@@ -21,85 +26,103 @@ fn build(regs: &[u8]) -> (RegSet, HashSet<usize>) {
     (s, m)
 }
 
-proptest! {
-    #[test]
-    fn insert_remove_contains_match_model(ops in prop::collection::vec((0u8..32, any::<bool>()), 0..50)) {
+#[test]
+fn insert_remove_contains_match_model() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_ops = rng.gen_range(0..50usize);
         let mut s = RegSet::new();
         let mut m: HashSet<usize> = HashSet::new();
-        for (r, insert) in ops {
+        for _ in 0..n_ops {
+            let r = rng.gen_range(0..32u8);
             let reg = Reg::new(r);
-            if insert {
-                prop_assert_eq!(s.insert(reg), m.insert(r as usize));
+            if rng.gen_bool(0.5) {
+                assert_eq!(s.insert(reg), m.insert(r as usize), "seed {seed}");
             } else {
-                prop_assert_eq!(s.remove(reg), m.remove(&(r as usize)));
+                assert_eq!(s.remove(reg), m.remove(&(r as usize)), "seed {seed}");
             }
-            prop_assert_eq!(s.contains(reg), m.contains(&(r as usize)));
-            prop_assert_eq!(s.len(), m.len());
-            prop_assert_eq!(s.is_empty(), m.is_empty());
+            assert_eq!(s.contains(reg), m.contains(&(r as usize)), "seed {seed}");
+            assert_eq!(s.len(), m.len(), "seed {seed}");
+            assert_eq!(s.is_empty(), m.is_empty(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn set_algebra_matches_model(a in reg_vec(), b in reg_vec()) {
-        let (sa, ma) = build(&a);
-        let (sb, mb) = build(&b);
+#[test]
+fn set_algebra_matches_model() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sa, ma) = build(&random_regs(&mut rng));
+        let (sb, mb) = build(&random_regs(&mut rng));
 
         let union: HashSet<usize> = (sa | sb).iter().map(Reg::index).collect();
-        prop_assert_eq!(&union, &ma.union(&mb).copied().collect::<HashSet<_>>());
+        assert_eq!(union, ma.union(&mb).copied().collect::<HashSet<_>>(), "seed {seed}");
 
         let inter: HashSet<usize> = (sa & sb).iter().map(Reg::index).collect();
-        prop_assert_eq!(&inter, &ma.intersection(&mb).copied().collect::<HashSet<_>>());
+        assert_eq!(inter, ma.intersection(&mb).copied().collect::<HashSet<_>>(), "seed {seed}");
 
         let diff: HashSet<usize> = (sa - sb).iter().map(Reg::index).collect();
-        prop_assert_eq!(&diff, &ma.difference(&mb).copied().collect::<HashSet<_>>());
+        assert_eq!(diff, ma.difference(&mb).copied().collect::<HashSet<_>>(), "seed {seed}");
 
-        prop_assert_eq!(sa.is_subset(sb), ma.is_subset(&mb));
-        prop_assert_eq!(sa.is_disjoint(sb), ma.is_disjoint(&mb));
+        assert_eq!(sa.is_subset(sb), ma.is_subset(&mb), "seed {seed}");
+        assert_eq!(sa.is_disjoint(sb), ma.is_disjoint(&mb), "seed {seed}");
     }
+}
 
-    #[test]
-    fn iteration_is_sorted_and_complete(a in reg_vec()) {
-        let (s, m) = build(&a);
+#[test]
+fn iteration_is_sorted_and_complete() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (s, m) = build(&random_regs(&mut rng));
         let items: Vec<usize> = s.iter().map(Reg::index).collect();
         let mut sorted = items.clone();
         sorted.sort();
-        prop_assert_eq!(&items, &sorted, "iteration must ascend");
-        prop_assert_eq!(items.into_iter().collect::<HashSet<_>>(), m);
+        assert_eq!(items, sorted, "seed {seed}: iteration must ascend");
+        assert_eq!(items.into_iter().collect::<HashSet<_>>(), m, "seed {seed}");
     }
+}
 
-    #[test]
-    fn assign_ops_match_binary_ops(a in reg_vec(), b in reg_vec()) {
-        let (sa, _) = build(&a);
-        let (sb, _) = build(&b);
+#[test]
+fn assign_ops_match_binary_ops() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sa, _) = build(&random_regs(&mut rng));
+        let (sb, _) = build(&random_regs(&mut rng));
         let mut x = sa;
         x |= sb;
-        prop_assert_eq!(x, sa | sb);
+        assert_eq!(x, sa | sb, "seed {seed}");
         let mut x = sa;
         x &= sb;
-        prop_assert_eq!(x, sa & sb);
+        assert_eq!(x, sa & sb, "seed {seed}");
         let mut x = sa;
         x -= sb;
-        prop_assert_eq!(x, sa - sb);
+        assert_eq!(x, sa - sb, "seed {seed}");
     }
+}
 
-    #[test]
-    fn from_iterator_and_bits_round_trip(a in reg_vec()) {
-        let (s, _) = build(&a);
+#[test]
+fn from_iterator_and_bits_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (s, _) = build(&random_regs(&mut rng));
         let rebuilt: RegSet = s.iter().collect();
-        prop_assert_eq!(rebuilt, s);
-        prop_assert_eq!(RegSet::from_bits(s.bits()), s);
+        assert_eq!(rebuilt, s, "seed {seed}");
+        assert_eq!(RegSet::from_bits(s.bits()), s, "seed {seed}");
     }
+}
 
-    #[test]
-    fn pop_first_drains_in_order(a in reg_vec()) {
-        let (mut s, m) = build(&a);
+#[test]
+fn pop_first_drains_in_order() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut s, m) = build(&random_regs(&mut rng));
         let mut drained = Vec::new();
         while let Some(r) = s.pop_first() {
             drained.push(r.index());
         }
-        prop_assert!(s.is_empty());
+        assert!(s.is_empty(), "seed {seed}");
         let mut expect: Vec<usize> = m.into_iter().collect();
         expect.sort();
-        prop_assert_eq!(drained, expect);
+        assert_eq!(drained, expect, "seed {seed}");
     }
 }

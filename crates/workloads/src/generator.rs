@@ -96,8 +96,8 @@ pub fn random_program_with(seed: u64, cfg: &GenConfig) -> Vec<SourceFile> {
         let candidate = generate_candidate(seed ^ attempt.wrapping_mul(0x9e3779b97f4a7c15), cfg);
         // Nested loops around call chains can make a rare candidate do
         // astronomically much work; reject those with a bounded dry run.
-        let modules = ipra_driver::frontend(&candidate)
-            .expect("generator must produce well-formed programs");
+        let modules =
+            ipra_driver::frontend(&candidate).expect("generator must produce well-formed programs");
         let opts = InterpOptions { fuel: 3_000_000, ..InterpOptions::default() };
         match interpret_with(&modules, &opts) {
             Ok(_) => return candidate,
@@ -180,16 +180,10 @@ impl Gen {
             }
         }
         // Procedures.
-        let my_funcs: Vec<(usize, FuncSym)> = self
-            .funcs
-            .clone()
-            .into_iter()
-            .enumerate()
-            .filter(|(_, f)| f.module == m)
-            .collect();
+        let my_funcs: Vec<(usize, FuncSym)> =
+            self.funcs.clone().into_iter().enumerate().filter(|(_, f)| f.module == m).collect();
         for (idx, fsym) in my_funcs {
-            let params: Vec<String> =
-                (0..fsym.arity).map(|i| format!("int p{i}")).collect();
+            let params: Vec<String> = (0..fsym.arity).map(|i| format!("int p{i}")).collect();
             let _ = writeln!(out, "int {}({}) {{", fsym.name, params.join(", "));
             self.calls_in_fn = 0;
             let mut scope: Vec<String> = (0..fsym.arity).map(|i| format!("p{i}")).collect();
@@ -285,8 +279,7 @@ impl Gen {
                 let f = self.funcs[target].clone();
                 self.fp_counter += 1;
                 let ptr = format!("fp{}", self.fp_counter);
-                let args: Vec<String> =
-                    (0..f.arity).map(|_| self.expr(caller, scope, 1)).collect();
+                let args: Vec<String> = (0..f.arity).map(|_| self.expr(caller, scope, 1)).collect();
                 format!(
                     "{indent}int {ptr} = &{};\n{indent}out({ptr}({}));\n",
                     f.name,
@@ -448,7 +441,10 @@ mod tests {
         for seed in 0..30 {
             let sources = random_program(seed);
             frontend(&sources).unwrap_or_else(|e| {
-                panic!("seed {seed}: {e}\n{}", sources.iter().map(|s| s.text.clone()).collect::<String>())
+                panic!(
+                    "seed {seed}: {e}\n{}",
+                    sources.iter().map(|s| s.text.clone()).collect::<String>()
+                )
             });
         }
     }
@@ -459,7 +455,10 @@ mod tests {
             let sources = random_program(seed);
             let r = interpret_sources(&sources, &[]).unwrap();
             r.unwrap_or_else(|e| {
-                panic!("seed {seed}: interpreter trap {e}\n{}", sources.iter().map(|s| s.text.clone()).collect::<String>())
+                panic!(
+                    "seed {seed}: interpreter trap {e}\n{}",
+                    sources.iter().map(|s| s.text.clone()).collect::<String>()
+                )
             });
         }
     }

@@ -33,10 +33,7 @@ pub struct Workload {
 
 macro_rules! module {
     ($name:literal) => {
-        SourceFile::new(
-            $name,
-            include_str!(concat!("programs/", $name, ".cmin")),
-        )
+        SourceFile::new($name, include_str!(concat!("programs/", $name, ".cmin")))
     };
 }
 
@@ -60,8 +57,7 @@ fn fgrep_text(lines: usize, seed: u64) -> Vec<i64> {
         (state >> 33) % bound
     };
     let mut text = Vec::new();
-    let plants: [&[i64]; 4] =
-        [&[116, 104, 101], &[97, 110, 100], &[114, 105, 110, 103], &[97, 98]];
+    let plants: [&[i64]; 4] = [&[116, 104, 101], &[97, 110, 100], &[114, 105, 110, 103], &[97, 98]];
     for line in 0..lines {
         let words = 3 + next(8) as usize;
         for w in 0..words {
@@ -202,7 +198,8 @@ pub fn protoc() -> Workload {
 pub fn paopt() -> Workload {
     Workload {
         name: "paopt",
-        description: "multi-pass optimizer over a synthetic program, dozens of cross-module globals",
+        description:
+            "multi-pass optimizer over a synthetic program, dozens of cross-module globals",
         sources: vec![module!("paopt"), module!("paopt_ir"), module!("paopt_passes")],
         input: vec![60, 40, 424242],
         training_input: vec![8, 16, 31],
@@ -222,8 +219,8 @@ pub fn by_name(name: &str) -> Option<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipra_driver::{compile, interpret_sources, run_program, CompileOptions};
     use ipra_core::PaperConfig;
+    use ipra_driver::{compile, interpret_sources, run_program, CompileOptions};
 
     /// Every workload must run identically under the interpreter and under
     /// the compiled L2 baseline, on the training input.
@@ -251,12 +248,15 @@ mod tests {
     }
 
     /// Every workload under every analyzer configuration produces the same
-    /// observable output on the training input.
+    /// observable output on the training input, and every configuration's
+    /// machine code passes the register-discipline verifier.
     #[test]
     fn workloads_agree_across_all_configs() {
         for w in all() {
             let baseline = compile(&w.sources, &CompileOptions::paper(PaperConfig::L2))
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let report = ipra_driver::verify_program(&baseline);
+            assert!(report.is_clean(), "{}/L2 failed verification:\n{report}", w.name);
             let expect = run_program(&baseline, &w.training_input)
                 .unwrap_or_else(|e| panic!("{}: sim trap {e}", w.name));
             for config in PaperConfig::ALL {
@@ -271,6 +271,8 @@ mod tests {
                     compile(&w.sources, &CompileOptions::paper(config))
                         .unwrap_or_else(|e| panic!("{}/{config}: {e}", w.name))
                 };
+                let report = ipra_driver::verify_program(&program);
+                assert!(report.is_clean(), "{}/{config} failed verification:\n{report}", w.name);
                 let r = run_program(&program, &w.training_input)
                     .unwrap_or_else(|e| panic!("{}/{config}: sim trap {e}", w.name));
                 assert_eq!(r.output, expect.output, "{}/{config} output", w.name);

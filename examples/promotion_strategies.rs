@@ -51,10 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rb = run_program(&baseline, &[])?;
 
     println!("nine hot globals, three disjoint phases, three registers of headroom:\n");
-    println!(
-        "{:<26} {:>8} {:>10} {:>10} {:>8}",
-        "strategy", "webs", "colored", "cycles", "refs"
-    );
+    println!("{:<26} {:>8} {:>10} {:>10} {:>8}", "strategy", "webs", "colored", "cycles", "refs");
     for (label, config) in [
         ("C: web coloring (6 regs)", PaperConfig::C),
         ("D: greedy coloring", PaperConfig::D),
@@ -73,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{:<26} {:>8} {:>10} {:>10} {:>8}",
-        "L2 baseline", "-", "-", rb.stats.cycles, rb.stats.singleton_refs()
+        "L2 baseline",
+        "-",
+        "-",
+        rb.stats.cycles,
+        rb.stats.singleton_refs()
     );
     println!("\nweb coloring promotes all nine globals with six registers; blanket");
     println!("promotion covers only the six hottest — the paper's §6.2 observation");

@@ -57,18 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  clusters: {}\n", optimized.stats.clusters);
 
-    let cyc_gain = 100.0 * (rb.stats.cycles as f64 - ro.stats.cycles as f64)
-        / rb.stats.cycles as f64;
-    let ref_gain = 100.0
-        * (rb.stats.singleton_refs() as f64 - ro.stats.singleton_refs() as f64)
+    let cyc_gain =
+        100.0 * (rb.stats.cycles as f64 - ro.stats.cycles as f64) / rb.stats.cycles as f64;
+    let ref_gain = 100.0 * (rb.stats.singleton_refs() as f64 - ro.stats.singleton_refs() as f64)
         / rb.stats.singleton_refs() as f64;
     println!("            {:>14} {:>14}", "L2 baseline", "config C");
     println!("cycles      {:>14} {:>14}", rb.stats.cycles, ro.stats.cycles);
-    println!(
-        "singleton   {:>14} {:>14}",
-        rb.stats.singleton_refs(),
-        ro.stats.singleton_refs()
-    );
+    println!("singleton   {:>14} {:>14}", rb.stats.singleton_refs(), ro.stats.singleton_refs());
     println!("\nimprovement: {cyc_gain:.1}% cycles, {ref_gain:.1}% singleton memory references");
 
     // Show the directives the analyzer computed for the hot procedure.

@@ -70,11 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== effect (Figure 4's intuition) ==\n");
     println!("            {:>12} {:>12}", "L2", "A (motion)");
     println!("cycles      {:>12} {:>12}", rb.stats.cycles, rm.stats.cycles);
-    println!(
-        "spill refs  {:>12} {:>12}",
-        rb.stats.singleton_refs(),
-        rm.stats.singleton_refs()
-    );
+    println!("spill refs  {:>12} {:>12}", rb.stats.singleton_refs(), rm.stats.singleton_refs());
     let gain = 100.0 * (rb.stats.singleton_refs() as f64 - rm.stats.singleton_refs() as f64)
         / rb.stats.singleton_refs() as f64;
     println!("\nthe root now saves the registers once per entry; its children");

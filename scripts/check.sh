@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the tier-1 build + test suite.
+# Everything runs offline against the vendored stub crates; a clean exit
+# here is what CI (and the next PR) expects to inherit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release -q
+
+echo "==> tier-1: cargo test"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "All checks passed."

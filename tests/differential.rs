@@ -7,6 +7,11 @@
 //! generator, linker or simulator, so any divergence pinpoints a
 //! miscompile. (It caught a real one during development: promoted-global
 //! copy propagation across calls.)
+//!
+//! Every compiled configuration additionally runs through `ipra-verify`,
+//! which checks the machine code against the analyzer's own directives —
+//! catching discipline violations that happen not to change this input's
+//! observable behavior.
 
 use ipra_core::PaperConfig;
 use ipra_driver::{compile, compile_with_profile, interpret_sources, run_program, CompileOptions};
@@ -25,13 +30,13 @@ fn check_seed(sources: &[ipra_driver::SourceFile], label: &str) {
             compile(sources, &CompileOptions::paper(config))
                 .unwrap_or_else(|e| panic!("{label}/{config}: compile error {e}"))
         };
+        let report = ipra_driver::verify_program(&program);
+        assert!(report.is_clean(), "{label}/{config} failed verification:\n{report}");
         let r = run_program(&program, &[])
             .unwrap_or_else(|e| panic!("{label}/{config}: simulator trap {e}"));
         if r.output != oracle.output || r.exit != oracle.exit {
-            let text: String = sources
-                .iter()
-                .map(|s| format!("// --- {} ---\n{}", s.name, s.text))
-                .collect();
+            let text: String =
+                sources.iter().map(|s| format!("// --- {} ---\n{}", s.name, s.text)).collect();
             panic!(
                 "{label}/{config} diverged\n oracle: exit {} out {:?}\n sim:    exit {} out {:?}\n{text}",
                 oracle.exit, oracle.output, r.exit, r.output

@@ -42,7 +42,8 @@ fn spill_motion_never_increases_singleton_refs_much() {
         let ra = run_program(&a, &w.training_input).unwrap();
         assert_eq!(ra.output, rl2.output, "{} output", w.name);
         assert!(
-            ra.stats.singleton_refs() <= rl2.stats.singleton_refs() + rl2.stats.singleton_refs() / 20,
+            ra.stats.singleton_refs()
+                <= rl2.stats.singleton_refs() + rl2.stats.singleton_refs() / 20,
             "{}: A = {} vs L2 = {}",
             w.name,
             ra.stats.singleton_refs(),
@@ -61,10 +62,7 @@ fn analyzer_statistics_are_sane() {
         assert!(s.webs_colored <= s.webs_considered, "{}", w.name);
         assert_eq!(
             s.webs_total,
-            s.webs_considered
-                + s.discarded_sparse
-                + s.discarded_trivial
-                + s.discarded_unprofitable,
+            s.webs_considered + s.discarded_sparse + s.discarded_trivial + s.discarded_unprofitable,
             "{}: discard accounting",
             w.name
         );

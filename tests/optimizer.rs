@@ -10,8 +10,8 @@ use ipra_workloads::generator::random_program;
 fn optimizer_preserves_behavior_on_random_programs() {
     for seed in 400..425 {
         let sources = random_program(seed);
-        let unopt = compile(&sources, &CompileOptions { optimize: false, ..Default::default() })
-            .unwrap();
+        let unopt =
+            compile(&sources, &CompileOptions { optimize: false, ..Default::default() }).unwrap();
         let opt = compile(&sources, &CompileOptions::default()).unwrap();
         let ru = run_program(&unopt, &[]).unwrap();
         let ro = run_program(&opt, &[]).unwrap();
@@ -31,8 +31,8 @@ fn optimizer_pays_substantially_on_workloads() {
     let mut total_unopt = 0u64;
     let mut total_opt = 0u64;
     for w in ipra_workloads::all() {
-        let unopt = compile(&w.sources, &CompileOptions { optimize: false, ..Default::default() })
-            .unwrap();
+        let unopt =
+            compile(&w.sources, &CompileOptions { optimize: false, ..Default::default() }).unwrap();
         let opt = compile(&w.sources, &CompileOptions::default()).unwrap();
         let ru = run_program(&unopt, &w.training_input).unwrap();
         let ro = run_program(&opt, &w.training_input).unwrap();
@@ -53,8 +53,8 @@ fn optimizer_pays_substantially_on_workloads() {
 #[test]
 fn optimizer_shrinks_code() {
     for w in [ipra_workloads::protoc(), ipra_workloads::othello()] {
-        let unopt = compile(&w.sources, &CompileOptions { optimize: false, ..Default::default() })
-            .unwrap();
+        let unopt =
+            compile(&w.sources, &CompileOptions { optimize: false, ..Default::default() }).unwrap();
         let opt = compile(&w.sources, &CompileOptions::default()).unwrap();
         assert!(
             opt.exe.code_len() < unopt.exe.code_len(),

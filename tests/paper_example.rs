@@ -16,7 +16,12 @@ fn figure3_summary() -> ProgramSummary {
         module: "fig3".into(),
         global_refs: refs
             .iter()
-            .map(|g| GlobalRef { sym: g.to_string(), freq: 10, written: true, address_taken: false })
+            .map(|g| GlobalRef {
+                sym: g.to_string(),
+                freq: 10,
+                written: true,
+                address_taken: false,
+            })
             .collect(),
         calls: calls.iter().map(|c| CallRef { callee: c.to_string(), freq: 1 }).collect(),
         taken_addresses: vec![],

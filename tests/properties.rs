@@ -2,6 +2,10 @@
 //! randomly generated call graphs (not programs — raw summaries, so the
 //! graphs include shapes the source language cannot easily produce:
 //! dense recursion, deep diamonds, indirect-call fans).
+//!
+//! Each property runs over a fixed fan of seeds (the offline toolchain has
+//! no proptest, and derived seeds cover the same shape space a proptest
+//! `any::<u64>()` run would).
 
 use ipra_core::analyzer::{analyze, AnalyzerOptions, PromotionMode};
 use ipra_core::callgraph::CallGraph;
@@ -11,10 +15,14 @@ use ipra_core::dataflow::{Eligibility, RefSets};
 use ipra_core::regsets::compute_register_sets;
 use ipra_core::webs::identify_webs;
 use ipra_summary::{CallRef, GlobalFact, GlobalRef, ModuleSummary, ProcSummary, ProgramSummary};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vpr::regs::RegSet;
+
+/// Seeds for one property run: 64 well-spread 64-bit values.
+fn seeds() -> impl Iterator<Item = u64> {
+    (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03)
+}
 
 /// A random program summary: `n` procedures with random call edges (cycles
 /// allowed), `g` globals with random reference sets.
@@ -69,14 +77,12 @@ fn random_summary(seed: u64) -> ProgramSummary {
     ProgramSummary { modules: vec![ModuleSummary { module: "m0".into(), procs, globals }] }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Web invariants (paper §4.1.2): per-variable webs are disjoint;
-    /// entry nodes have no predecessor inside the web; internal nodes have
-    /// no predecessor outside it.
-    #[test]
-    fn web_invariants(seed in any::<u64>()) {
+/// Web invariants (paper §4.1.2): per-variable webs are disjoint; entry
+/// nodes have no predecessor inside the web; internal nodes have no
+/// predecessor outside it.
+#[test]
+fn web_invariants() {
+    for seed in seeds() {
         let s = random_summary(seed);
         let graph = CallGraph::build(&s, None);
         let elig = Eligibility::compute(&graph, &s);
@@ -85,30 +91,31 @@ proptest! {
         for (i, a) in webs.iter().enumerate() {
             for b in webs.iter().skip(i + 1) {
                 if a.global == b.global {
-                    prop_assert!(
+                    assert!(
                         a.nodes.iter().all(|n| !b.contains(*n)),
-                        "webs for the same global overlap"
+                        "seed {seed}: webs for the same global overlap"
                     );
                 }
             }
             for &n in &a.nodes {
-                let internal_preds =
-                    graph.predecessors(n).filter(|p| a.contains(*p)).count();
-                let external_preds =
-                    graph.predecessors(n).filter(|p| !a.contains(*p)).count();
+                let internal_preds = graph.predecessors(n).filter(|p| a.contains(*p)).count();
+                let external_preds = graph.predecessors(n).filter(|p| !a.contains(*p)).count();
                 if a.is_entry(n) {
-                    prop_assert_eq!(internal_preds, 0, "entry with internal pred");
+                    assert_eq!(internal_preds, 0, "seed {seed}: entry with internal pred");
                 } else {
-                    prop_assert_eq!(external_preds, 0, "internal node with external pred");
+                    assert_eq!(external_preds, 0, "seed {seed}: internal node with external pred");
                 }
             }
         }
     }
+}
 
-    /// Coloring validity: interfering webs never share a register, and the
-    /// reserved-K strategy uses at most K registers.
-    #[test]
-    fn coloring_validity(seed in any::<u64>(), k in 1u32..7) {
+/// Coloring validity: interfering webs never share a register, and the
+/// reserved-K strategy uses at most K registers.
+#[test]
+fn coloring_validity() {
+    for seed in seeds() {
+        let k = 1 + (seed % 6) as u32;
         let s = random_summary(seed);
         let graph = CallGraph::build(&s, None);
         let elig = Eligibility::compute(&graph, &s);
@@ -120,33 +127,35 @@ proptest! {
         for (i, a) in webs.iter().enumerate() {
             if let Some(r) = coloring.assignment[i] {
                 used.insert(r);
-                prop_assert!(r.is_callee_saves());
+                assert!(r.is_callee_saves(), "seed {seed}");
                 for (j, b) in webs.iter().enumerate().skip(i + 1) {
                     if interferes(a, b) {
-                        prop_assert_ne!(Some(r), coloring.assignment[j]);
+                        assert_ne!(Some(r), coloring.assignment[j], "seed {seed}");
                     }
                 }
             }
         }
-        prop_assert!(used.len() <= k as usize);
+        assert!(used.len() <= k as usize, "seed {seed}: used {} > k {k}", used.len());
     }
+}
 
-    /// Cluster invariants (paper §4.2.1): the root dominates every member,
-    /// non-root members have all predecessors inside the cluster, and no
-    /// member lies on a recursive chain.
-    #[test]
-    fn cluster_invariants(seed in any::<u64>()) {
+/// Cluster invariants (paper §4.2.1): the root dominates every member,
+/// non-root members have all predecessors inside the cluster, and no
+/// member lies on a recursive chain.
+#[test]
+fn cluster_invariants() {
+    for seed in seeds() {
         let s = random_summary(seed);
         let graph = CallGraph::build(&s, None);
         let clustering = identify_clusters(&graph, &ClusterHeuristics::default());
         for c in &clustering.clusters {
             for &m in &c.members {
-                prop_assert!(!graph.is_recursive(m), "recursive member");
-                prop_assert!(graph.node(m).defined, "undefined member");
+                assert!(!graph.is_recursive(m), "seed {seed}: recursive member");
+                assert!(graph.node(m).defined, "seed {seed}: undefined member");
                 for p in graph.predecessors(m) {
-                    prop_assert!(c.contains(p), "member {m} has external pred {p}");
+                    assert!(c.contains(p), "seed {seed}: member {m} has external pred {p}");
                 }
-                prop_assert!(
+                assert!(
                     ipra_core::cluster::cg_dominates(
                         &(0..graph.len() as u32)
                             .map(|i| clustering.idom(ipra_core::NodeId(i)))
@@ -154,17 +163,19 @@ proptest! {
                         c.root,
                         m
                     ),
-                    "root does not dominate member"
+                    "seed {seed}: root does not dominate member"
                 );
             }
         }
     }
+}
 
-    /// Register-set invariants (paper §4.2.3): classes are disjoint,
-    /// MSPILL appears only at cluster roots, and every FREE register of a
-    /// member is spilled by a root on its cluster chain.
-    #[test]
-    fn register_set_invariants(seed in any::<u64>()) {
+/// Register-set invariants (paper §4.2.3): classes are disjoint, MSPILL
+/// appears only at cluster roots, and every FREE register of a member is
+/// spilled by a root on its cluster chain.
+#[test]
+fn register_set_invariants() {
+    for seed in seeds() {
         let s = random_summary(seed);
         let graph = CallGraph::build(&s, None);
         let clustering = identify_clusters(&graph, &ClusterHeuristics::default());
@@ -172,13 +183,13 @@ proptest! {
         let usage = compute_register_sets(&graph, &clustering, &web_regs, false);
         for n in graph.node_ids() {
             let u = &usage[n.index()];
-            prop_assert!(u.free.is_disjoint(u.caller));
-            prop_assert!(u.free.is_disjoint(u.callee));
-            prop_assert!(u.caller.is_disjoint(u.callee));
-            prop_assert!(u.free.is_subset(RegSet::callee_saves()));
-            prop_assert!(u.mspill.is_subset(RegSet::callee_saves()));
+            assert!(u.free.is_disjoint(u.caller), "seed {seed}");
+            assert!(u.free.is_disjoint(u.callee), "seed {seed}");
+            assert!(u.caller.is_disjoint(u.callee), "seed {seed}");
+            assert!(u.free.is_subset(RegSet::callee_saves()), "seed {seed}");
+            assert!(u.mspill.is_subset(RegSet::callee_saves()), "seed {seed}");
             if !u.mspill.is_empty() {
-                prop_assert!(clustering.is_root(n));
+                assert!(clustering.is_root(n), "seed {seed}");
             }
         }
         for c in &clustering.clusters {
@@ -201,27 +212,31 @@ proptest! {
                 }
             }
             for &m in &c.members {
-                prop_assert!(
+                assert!(
                     usage[m.index()].free.is_subset(chain),
-                    "member FREE not covered by chain MSPILL"
+                    "seed {seed}: member FREE not covered by chain MSPILL"
                 );
             }
         }
     }
+}
 
-    /// The full analyzer never panics and produces a database covering all
-    /// defined procedures, whatever the configuration.
-    #[test]
-    fn analyzer_total_on_random_graphs(seed in any::<u64>(), mode in 0u8..4) {
+/// The full analyzer never panics and produces a database covering all
+/// defined procedures, whatever the configuration.
+#[test]
+fn analyzer_total_on_random_graphs() {
+    for seed in seeds().take(32) {
         let s = random_summary(seed);
-        let promotion = match mode {
-            0 => PromotionMode::Off,
-            1 => PromotionMode::Coloring { registers: 6 },
-            2 => PromotionMode::Greedy,
-            _ => PromotionMode::Blanket { count: 4 },
-        };
-        let opts = AnalyzerOptions { promotion, ..AnalyzerOptions::default() };
-        let analysis = analyze(&s, &opts);
-        prop_assert_eq!(analysis.database.len(), s.procs().count());
+        for mode in 0u8..4 {
+            let promotion = match mode {
+                0 => PromotionMode::Off,
+                1 => PromotionMode::Coloring { registers: 6 },
+                2 => PromotionMode::Greedy,
+                _ => PromotionMode::Blanket { count: 4 },
+            };
+            let opts = AnalyzerOptions { promotion, ..AnalyzerOptions::default() };
+            let analysis = analyze(&s, &opts);
+            assert_eq!(analysis.database.len(), s.procs().count(), "seed {seed} mode {mode}");
+        }
     }
 }

@@ -12,7 +12,12 @@ use ipra_workloads::generator::{random_program_with, GenConfig};
 #[test]
 #[ignore = "long-running soak; run with --ignored"]
 fn five_hundred_seeds_across_all_configs() {
-    let cfg = GenConfig { modules: 3, funcs_per_module: 5, globals_per_module: 6, ..GenConfig::default() };
+    let cfg = GenConfig {
+        modules: 3,
+        funcs_per_module: 5,
+        globals_per_module: 6,
+        ..GenConfig::default()
+    };
     for seed in 0..500u64 {
         let sources = random_program_with(seed.wrapping_mul(2654435761), &cfg);
         let oracle = interpret_sources(&sources, &[]).unwrap().unwrap();
