@@ -1,0 +1,201 @@
+//! `compile_bench` — the offline compile-time benchmark.
+//!
+//! Times the two-pass driver over generated workloads of 10–100+ modules
+//! in the three regimes the paper's recompilation discussion (§3)
+//! distinguishes, plus the parallel fan-out:
+//!
+//! * **cold** — empty cache, serial: every phase runs everywhere;
+//! * **cold parallel** — empty cache, `--jobs` workers;
+//! * **warm** — full cache, nothing changed: both per-module phases are
+//!   pure cache hits (only the analyzer and linker run);
+//! * **one edit** — one module's leaf constant re-tuned: phase 1 re-runs
+//!   for that module and phase 2 only where the database slice changed.
+//!
+//! Results (plus the cache accounting that certifies what was skipped) are
+//! written to `BENCH_compile.json`, the repo's compile-time trend line.
+//!
+//! ```sh
+//! cargo run --release -p ipra-bench --bin compile_bench            # 10/40/100 modules
+//! cargo run --release -p ipra-bench --bin compile_bench -- --modules 8 --check
+//! ```
+//!
+//! `--check` asserts the cache behaved (warm build all hits, one-edit
+//! rebuild touching fewer modules than cold, warm faster than cold) and
+//! exits nonzero otherwise — the CI smoke mode wired into
+//! `scripts/check.sh`.
+
+use ipra_core::PaperConfig;
+use ipra_driver::{compile_incremental, CompilationCache, CompileOptions, CompiledProgram};
+use ipra_workloads::scaled::{perturb, scaled_program};
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Measurements for one workload size.
+#[derive(Debug, Serialize)]
+struct SizeReport {
+    modules: usize,
+    /// Serial cold build (empty cache, jobs = 1).
+    cold_seconds: f64,
+    /// Cold build with the worker pool (empty cache, jobs = N).
+    cold_parallel_seconds: f64,
+    /// Unchanged rebuild through the warm cache.
+    warm_seconds: f64,
+    /// Rebuild after re-tuning one module.
+    edit_seconds: f64,
+    /// Phase-1 / phase-2 hits on the warm rebuild (must equal `modules`).
+    warm_phase1_hits: usize,
+    warm_phase2_hits: usize,
+    /// Modules whose second phase re-ran after the one-module edit.
+    edit_recompiled: usize,
+    /// cold / warm and cold / edit wall-clock ratios.
+    warm_speedup: f64,
+    edit_speedup: f64,
+    /// cold / cold-parallel wall-clock ratio.
+    parallel_speedup: f64,
+}
+
+/// The whole benchmark run, as serialized to `BENCH_compile.json`.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    config: String,
+    jobs: usize,
+    sizes: Vec<SizeReport>,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn timed(f: impl FnOnce() -> CompiledProgram) -> (CompiledProgram, f64) {
+    let t = Instant::now();
+    let p = f();
+    (p, t.elapsed().as_secs_f64())
+}
+
+fn measure(modules: usize, jobs: usize, config: PaperConfig) -> SizeReport {
+    let opts = CompileOptions::paper(config);
+    let par_opts = CompileOptions { jobs, ..CompileOptions::paper(config) };
+    let mut sources = scaled_program(modules);
+
+    // Cold, serial.
+    let mut cache = CompilationCache::new();
+    let (cold, cold_seconds) =
+        timed(|| compile_incremental(&sources, &opts, &mut cache).expect("cold build"));
+
+    // Cold, parallel (fresh cache so nothing is reused).
+    let mut par_cache = CompilationCache::new();
+    let (par, cold_parallel_seconds) =
+        timed(|| compile_incremental(&sources, &par_opts, &mut par_cache).expect("parallel build"));
+    assert_eq!(par.exe, cold.exe, "parallel build must be bit-identical to serial");
+
+    // Warm: unchanged rebuild through the serial cache.
+    let (warm, warm_seconds) =
+        timed(|| compile_incremental(&sources, &opts, &mut cache).expect("warm build"));
+    assert_eq!(warm.exe, cold.exe, "warm build must be bit-identical to cold");
+
+    // One edit: re-tune the middle module and rebuild incrementally.
+    perturb(&mut sources, modules / 2, 1);
+    let (edited, edit_seconds) =
+        timed(|| compile_incremental(&sources, &opts, &mut cache).expect("edit build"));
+    let mut scratch = CompilationCache::new();
+    let fresh = compile_incremental(&sources, &opts, &mut scratch).expect("fresh edited build");
+    assert_eq!(edited.exe, fresh.exe, "incremental edit build must match a fresh build");
+
+    SizeReport {
+        modules,
+        cold_seconds,
+        cold_parallel_seconds,
+        warm_seconds,
+        edit_seconds,
+        warm_phase1_hits: warm.build.phase1.hits,
+        warm_phase2_hits: warm.build.phase2.hits,
+        edit_recompiled: edited.build.recompiled.len(),
+        warm_speedup: cold_seconds / warm_seconds.max(1e-9),
+        edit_speedup: cold_seconds / edit_seconds.max(1e-9),
+        parallel_speedup: cold_seconds / cold_parallel_seconds.max(1e-9),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes: Vec<usize> = match flag_value(&args, "--modules") {
+        Some(list) => list
+            .split(',')
+            .map(|t| t.trim().parse().unwrap_or_else(|_| panic!("bad module count `{t}`")))
+            .collect(),
+        None => vec![10, 40, 100],
+    };
+    let jobs =
+        flag_value(&args, "--jobs").map(|v| v.parse::<usize>().expect("bad --jobs")).unwrap_or(0); // 0 = one worker per core
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_compile.json".to_string());
+    let check = args.iter().any(|a| a == "--check");
+    let config = PaperConfig::C;
+
+    let effective = CompileOptions { jobs, ..CompileOptions::default() }.effective_jobs();
+    eprintln!("compile_bench: sizes {sizes:?}, jobs {effective}, config {config}");
+
+    let mut report = BenchReport { config: config.to_string(), jobs: effective, sizes: Vec::new() };
+    let mut failures: Vec<String> = Vec::new();
+    for &n in &sizes {
+        let row = measure(n, jobs, config);
+        eprintln!(
+            "  {:>4} modules: cold {:>8.1}ms  parallel {:>8.1}ms  warm {:>8.1}ms  edit {:>8.1}ms  \
+             (warm {}x, edit {}x; edit re-ran {}/{})",
+            n,
+            row.cold_seconds * 1e3,
+            row.cold_parallel_seconds * 1e3,
+            row.warm_seconds * 1e3,
+            row.edit_seconds * 1e3,
+            row.warm_speedup.round(),
+            row.edit_speedup.round(),
+            row.edit_recompiled,
+            n,
+        );
+        if check {
+            if row.warm_phase1_hits != n || row.warm_phase2_hits != n {
+                failures.push(format!(
+                    "{n} modules: warm build was not all hits ({}/{} phase1, {}/{} phase2)",
+                    row.warm_phase1_hits, n, row.warm_phase2_hits, n
+                ));
+            }
+            if row.edit_recompiled >= n {
+                failures.push(format!(
+                    "{n} modules: one edit re-ran codegen for every module ({})",
+                    row.edit_recompiled
+                ));
+            }
+            if row.warm_seconds >= row.cold_seconds {
+                failures.push(format!(
+                    "{n} modules: warm build not faster than cold ({:.1}ms vs {:.1}ms)",
+                    row.warm_seconds * 1e3,
+                    row.cold_seconds * 1e3
+                ));
+            }
+            if row.edit_seconds >= row.cold_seconds {
+                failures.push(format!(
+                    "{n} modules: one-edit build not faster than cold ({:.1}ms vs {:.1}ms)",
+                    row.edit_seconds * 1e3,
+                    row.cold_seconds * 1e3
+                ));
+            }
+        }
+        report.sizes.push(row);
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialization cannot fail");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("compile_bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("compile_bench: -> {out_path}");
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("compile_bench: CHECK FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -78,7 +78,8 @@ pub fn measure_workload(w: &Workload, fast: bool) -> WorkloadRow {
     let baseline = run(&l2);
 
     // Profile for B/F comes from a training run of the baseline.
-    let training = run_program(&l2, &w.training_input).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let training =
+        run_program(&l2, &w.training_input).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let profile = collect_profile(&l2, &training);
 
     let mut configs = Vec::new();
@@ -123,17 +124,11 @@ pub fn improvement_pct(base: u64, new: u64) -> f64 {
 pub fn table3(workloads: &[Workload]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 3: Benchmark Programs");
-    let _ = writeln!(out, "{:<12} {:>8} {:>8}  {}", "Name", "Modules", "Lines", "Description");
+    let _ = writeln!(out, "{:<12} {:>8} {:>8}  Description", "Name", "Modules", "Lines");
     for w in workloads {
         let lines: usize = w.sources.iter().map(|s| s.text.lines().count()).sum();
-        let _ = writeln!(
-            out,
-            "{:<12} {:>8} {:>8}  {}",
-            w.name,
-            w.sources.len(),
-            lines,
-            w.description
-        );
+        let _ =
+            writeln!(out, "{:<12} {:>8} {:>8}  {}", w.name, w.sources.len(), lines, w.description);
     }
     out
 }
@@ -252,10 +247,7 @@ pub fn ablation_variants() -> Vec<(&'static str, AnalyzerOptions)> {
                 ..base.clone()
             },
         ),
-        (
-            "caller-prealloc",
-            AnalyzerOptions { caller_preallocation: true, ..base },
-        ),
+        ("caller-prealloc", AnalyzerOptions { caller_preallocation: true, ..base }),
     ]
 }
 
@@ -367,11 +359,9 @@ mod tests {
     fn ablation_variants_all_run() {
         let w = ipra_workloads::dhrystone();
         for (label, opts) in ablation_variants() {
-            let p = compile(
-                &w.sources,
-                &CompileOptions { analyzer: Some(opts), ..Default::default() },
-            )
-            .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let p =
+                compile(&w.sources, &CompileOptions { analyzer: Some(opts), ..Default::default() })
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
             let r = run_program(&p, &w.training_input).unwrap_or_else(|e| panic!("{label}: {e}"));
             assert!(!r.output.is_empty(), "{label}");
         }

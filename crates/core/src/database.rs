@@ -8,6 +8,7 @@
 //! database, the compiler second phase can be run on each source module
 //! independently".
 
+use crate::fingerprint::Fnv64;
 use crate::regsets::RegUsage;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -113,6 +114,59 @@ impl ProgramDatabase {
         self.entries.values()
     }
 
+    /// Stable fingerprint of one procedure's directives, as the compiler
+    /// second phase would see them: absent entries hash as the standard
+    /// linkage convention, so adding an explicit `standard()` entry does
+    /// not change the fingerprint-visible contract.
+    pub fn proc_fingerprint(&self, name: &str) -> u64 {
+        let mut h = Fnv64::new();
+        hash_directives(&mut h, &self.lookup(name));
+        h.finish()
+    }
+
+    /// Stable fingerprint of the *module-relevant slice* of the database:
+    /// everything the compiler second phase consults while compiling one
+    /// module. That is, per [`cmin_codegen`]'s query pattern:
+    ///
+    /// * the **full directives** of every procedure the module defines
+    ///   (`defined`), and
+    /// * the **`safe_caller_across` sets** of every procedure the module
+    ///   calls directly (`callees`) — the only cross-procedure fact codegen
+    ///   reads at call sites.
+    ///
+    /// Two databases that agree on this slice direct byte-identical codegen
+    /// for the module, so an incremental driver can skip its second phase.
+    /// Names are sorted and deduplicated internally; callers may pass them
+    /// in any order.
+    pub fn module_slice_fingerprint<'a>(
+        &self,
+        defined: impl IntoIterator<Item = &'a str>,
+        callees: impl IntoIterator<Item = &'a str>,
+    ) -> u64 {
+        let mut defined: Vec<&str> = defined.into_iter().collect();
+        defined.sort_unstable();
+        defined.dedup();
+        let mut callees: Vec<&str> = callees.into_iter().collect();
+        callees.sort_unstable();
+        callees.dedup();
+
+        let mut h = Fnv64::new();
+        h.write_u64(defined.len() as u64);
+        for name in defined {
+            h.write_str(name);
+            hash_directives(&mut h, &self.lookup(name));
+        }
+        h.write_u64(callees.len() as u64);
+        for name in callees {
+            h.write_str(name);
+            // Codegen reads exactly `db.get(name)`'s safe set, defaulting to
+            // empty for procedures the analyzer never saw.
+            let safe = self.get(name).map(|d| d.safe_caller_across).unwrap_or_default();
+            h.write_str(&safe.to_string());
+        }
+        h.finish()
+    }
+
     /// Serializes the database (the paper's on-disk program database).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("database serialization cannot fail")
@@ -126,6 +180,13 @@ impl ProgramDatabase {
     pub fn from_json(s: &str) -> Result<ProgramDatabase, serde_json::Error> {
         serde_json::from_str(s)
     }
+}
+
+/// Feeds one procedure's directives to a hasher via their canonical JSON
+/// form (all directive fields serialize deterministically: promotions are
+/// analyzer-ordered `Vec`s and register sets print in register order).
+fn hash_directives(h: &mut Fnv64, d: &ProcDirectives) {
+    h.write_str(&serde_json::to_string(d).expect("directive serialization cannot fail"));
 }
 
 #[cfg(test)]
@@ -173,6 +234,74 @@ mod tests {
         let back = ProgramDatabase::from_json(&db.to_json()).unwrap();
         assert_eq!(db, back);
         assert!(ProgramDatabase::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn proc_fingerprint_tracks_directive_changes() {
+        let mut db = ProgramDatabase::new();
+        let base = db.proc_fingerprint("f");
+        // An explicit standard entry is indistinguishable from no entry.
+        db.insert(ProcDirectives::standard("f"));
+        assert_eq!(db.proc_fingerprint("f"), base);
+        // Any directive change moves the fingerprint.
+        let mut d = ProcDirectives::standard("f");
+        d.usage.free.insert(Reg::new(5));
+        db.insert(d);
+        assert_ne!(db.proc_fingerprint("f"), base);
+    }
+
+    #[test]
+    fn slice_fingerprint_sees_only_the_relevant_slice() {
+        let mut db = ProgramDatabase::new();
+        let mut f = ProcDirectives::standard("f");
+        f.is_cluster_root = true;
+        db.insert(f);
+        db.insert(ProcDirectives::standard("g"));
+        let before = db.module_slice_fingerprint(["f"], ["g"]);
+
+        // A change to an unrelated procedure leaves the slice unchanged.
+        let mut far = ProcDirectives::standard("far");
+        far.usage.mspill.insert(Reg::new(4));
+        db.insert(far);
+        assert_eq!(db.module_slice_fingerprint(["f"], ["g"]), before);
+
+        // A change to a defined procedure's directives moves it.
+        let mut f2 = db.lookup("f");
+        f2.promotions.push(Promotion {
+            sym: "glob".into(),
+            reg: Reg::new(3),
+            is_entry: true,
+            store_at_exit: false,
+        });
+        db.insert(f2);
+        let after_def = db.module_slice_fingerprint(["f"], ["g"]);
+        assert_ne!(after_def, before);
+
+        // A callee change is only visible through its safe set.
+        let mut g = db.lookup("g");
+        g.is_cluster_root = true; // codegen of callers never reads this
+        db.insert(g);
+        assert_eq!(db.module_slice_fingerprint(["f"], ["g"]), after_def);
+        let mut g2 = db.lookup("g");
+        g2.safe_caller_across.insert(Reg::new(20));
+        db.insert(g2);
+        assert_ne!(db.module_slice_fingerprint(["f"], ["g"]), after_def);
+    }
+
+    #[test]
+    fn slice_fingerprint_is_order_insensitive() {
+        let mut db = ProgramDatabase::new();
+        db.insert(ProcDirectives::standard("a"));
+        db.insert(ProcDirectives::standard("b"));
+        assert_eq!(
+            db.module_slice_fingerprint(["a", "b"], ["c", "d", "c"]),
+            db.module_slice_fingerprint(["b", "a", "a"], ["d", "c"])
+        );
+        // Defined and callee roles are not interchangeable.
+        assert_ne!(
+            db.module_slice_fingerprint(["a"], ["b"]),
+            db.module_slice_fingerprint(["b"], ["a"])
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod color;
 pub mod database;
 pub mod dataflow;
 pub mod dot;
+pub mod fingerprint;
 pub mod profile;
 pub mod regsets;
 pub mod webs;

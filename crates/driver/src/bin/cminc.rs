@@ -62,7 +62,12 @@ const USAGE: &str = "usage:
   cminc link <mod.obj>... -o <prog.exe>
   cminc verify <mod.obj>... [--db <program.db>]
   cminc run <prog.exe> [--input \"v v v\"] [--stats] [--profile-out <prof.json>] [--asm]
-  cminc build <src.cmin>... [--config ...] [--verify] [--run] [--stats] [--input \"v v v\"]";
+  cminc build <src.cmin>... [--config ...] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--input \"v v v\"]
+
+build flags:
+  -j, --jobs N   worker threads for the per-module phases (default 1, 0 = all cores)
+  --repeat N     build N times through one incremental cache (recompilation demo)
+  --stats        per-phase wall-clock and cache hit/miss table (plus run stats with --run)";
 
 /// Pulls the value following `flag` out of `args`, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -95,11 +100,13 @@ fn positionals(args: &[String]) -> Vec<String> {
                     | "--input"
                     | "--profile-out"
                     | "--dot"
+                    | "--jobs"
+                    | "--repeat"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
         }
-        if a == "-o" {
+        if a == "-o" || a == "-j" {
             skip = true;
             continue;
         }
@@ -340,6 +347,31 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders the per-phase wall-clock and cache hit/miss table for one build.
+fn phase_table(b: &ipra_driver::BuildReport) -> String {
+    let mut out = String::new();
+    let row = |name: &str, secs: f64, hits: Option<usize>, misses: Option<usize>| {
+        let fmt_opt = |v: Option<usize>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+        format!(
+            "  {:<8} {:>10.3}ms {:>6} {:>7}\n",
+            name,
+            secs * 1e3,
+            fmt_opt(hits),
+            fmt_opt(misses)
+        )
+    };
+    out.push_str("  phase          time   hits  misses\n");
+    out.push_str(&row("phase1", b.phase1.seconds, Some(b.phase1.hits), Some(b.phase1.misses)));
+    out.push_str(&row("analyze", b.analyze_seconds, None, None));
+    out.push_str(&row("phase2", b.phase2.seconds, Some(b.phase2.hits), Some(b.phase2.misses)));
+    out.push_str(&row("link", b.link_seconds, None, None));
+    out.push_str(&row("total", b.total_seconds, None, None));
+    if !b.recompiled.is_empty() {
+        out.push_str(&format!("  recompiled: {}\n", b.recompiled.join(" ")));
+    }
+    out
+}
+
 fn build_cmd(args: &[String]) -> Result<(), String> {
     let srcs = positionals(args);
     if srcs.is_empty() {
@@ -347,23 +379,56 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
     }
     let config = parse_config(args)?;
     let input = parse_input(args)?;
+    let jobs = match flag_value(args, "--jobs").or_else(|| flag_value(args, "-j")) {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("bad --jobs value `{v}`: {e}"))?,
+        None => 1,
+    };
+    let repeat = match flag_value(args, "--repeat") {
+        Some(v) => {
+            let n = v.parse::<usize>().map_err(|e| format!("bad --repeat value `{v}`: {e}"))?;
+            n.max(1)
+        }
+        None => 1,
+    };
+    let stats = has_flag(args, "--stats");
     let mut sources = Vec::new();
     for s in &srcs {
         sources.push(SourceFile::new(module_name(s), read(s)?));
     }
-    let program = if config.wants_profile() {
-        ipra_driver::compile_with_profile(&sources, config, &input)
-            .map_err(|e| e.to_string())?
-            .map_err(|e| format!("training run trapped: {e}"))?
-    } else {
-        ipra_driver::compile(&sources, &ipra_driver::CompileOptions::paper(config))
-            .map_err(|e| e.to_string())?
-    };
+    // One cache across every repetition: iteration 1 is the cold build,
+    // the rest demonstrate the paper's recompilation story (§3) — pure
+    // cache hits when nothing changed.
+    let mut cache = ipra_driver::CompilationCache::new();
+    let mut program = None;
+    for i in 0..repeat {
+        let built = if config.wants_profile() {
+            ipra_driver::compile_with_profile_cached(&sources, config, &input, jobs, &mut cache)
+                .map_err(|e| e.to_string())?
+                .map_err(|e| format!("training run trapped: {e}"))?
+        } else {
+            let opts =
+                ipra_driver::CompileOptions { jobs, ..ipra_driver::CompileOptions::paper(config) };
+            ipra_driver::compile_incremental(&sources, &opts, &mut cache)
+                .map_err(|e| e.to_string())?
+        };
+        if stats && repeat > 1 && i + 1 < repeat {
+            eprintln!("build {} of {repeat}:", i + 1);
+            eprint!("{}", phase_table(&built.build));
+        }
+        program = Some(built);
+    }
+    let program = program.expect("repeat >= 1");
     let s = &program.stats;
     eprintln!(
         "build: config {config}; {} nodes, {}/{} webs colored, {} clusters",
         s.nodes, s.webs_colored, s.webs_total, s.clusters
     );
+    if stats {
+        if repeat > 1 {
+            eprintln!("build {repeat} of {repeat}:");
+        }
+        eprint!("{}", phase_table(&program.build));
+    }
     if has_flag(args, "--verify") {
         report_verify(&ipra_driver::verify_program(&program))?;
     }

@@ -11,10 +11,26 @@
 //! 4. **Link** the object modules and, on demand, **run** the executable on
 //!    the counting simulator.
 //!
+//! Because phases 1 and 3 are per-module and order-independent — the whole
+//! point of the paper's summary-file design — the driver fans them out
+//! across a [`std::thread::scope`] worker pool ([`CompileOptions::jobs`])
+//! and makes recompilation **incremental** through a [`CompilationCache`]:
+//!
+//! * phase 1 is keyed on a content fingerprint of the module's source;
+//! * phase 2 is keyed on the pair (module IR fingerprint, fingerprint of
+//!   the *module-relevant slice* of the [`ProgramDatabase`]), so an edit to
+//!   one module re-runs codegen only for modules whose directives actually
+//!   changed — the paper's recompilation story (§3) made real.
+//!
+//! [`compile`] is one-shot; [`compile_incremental`] reuses a cache across
+//! builds and reports per-phase timings and hit/miss counts in
+//! [`CompiledProgram::build`].
+//!
 //! Profile feedback (configurations B and F) is a closed loop here: compile
 //! at the baseline, run on a training input, convert the simulator's exact
 //! edge counts into [`ProfileData`], and recompile — the moral equivalent of
-//! the paper's `gprof` pass.
+//! the paper's `gprof` pass. The recompile shares the baseline's cache, so
+//! its first phase is pure cache hits.
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,12 +48,18 @@
 
 use cmin_frontend::{analyze as check_module, parse_module, CompileError, Module, ModuleInfo};
 use cmin_ir::interp::{interpret_with, InterpOptions, InterpResult};
-use cmin_ir::{lower_module, optimize_module};
+use cmin_ir::ir::{Callee, Inst as IrInst};
+use cmin_ir::{lower_module, optimize_module, IrModule};
 use ipra_core::analyzer::{analyze, AnalyzerOptions, AnalyzerStats, PaperConfig};
+use ipra_core::fingerprint::Fnv64;
 use ipra_core::{ProfileData, ProgramDatabase};
-use ipra_summary::{summarize_module, ProgramSummary};
+use ipra_summary::{summarize_module, ModuleSummary, ProgramSummary};
 use ipra_verify::VerifyReport;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 use vpr::program::{link, Executable, LinkError, ObjectModule};
 use vpr::sim::{run_with, RunResult, SimError, SimOptions};
 
@@ -71,11 +93,15 @@ pub struct CompileOptions {
     /// gives the unoptimized baseline used to validate the optimizer and
     /// to quantify baseline quality).
     pub optimize: bool,
+    /// Worker threads for the per-module phases (1 = serial, 0 = one per
+    /// available core). Any value produces bit-identical output; this only
+    /// trades wall-clock time.
+    pub jobs: usize,
 }
 
 impl Default for CompileOptions {
     fn default() -> CompileOptions {
-        CompileOptions { config: None, profile: None, analyzer: None, optimize: true }
+        CompileOptions { config: None, profile: None, analyzer: None, optimize: true, jobs: 1 }
     }
 }
 
@@ -88,6 +114,134 @@ impl CompileOptions {
     /// Options for a profile-fed configuration.
     pub fn paper_with_profile(config: PaperConfig, profile: ProfileData) -> CompileOptions {
         CompileOptions { config: Some(config), profile: Some(profile), ..CompileOptions::default() }
+    }
+
+    /// The worker-pool width this build will actually use.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Cache accounting for one phase of one build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStats {
+    /// Modules served from the cache.
+    pub hits: usize,
+    /// Modules recomputed.
+    pub misses: usize,
+    /// Wall-clock seconds spent in the phase (including cache probing).
+    pub seconds: f64,
+}
+
+impl PhaseStats {
+    /// Hit fraction in `[0, 1]` (1.0 for an empty phase).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-phase wall-clock and cache accounting for one build.
+#[derive(Debug, Clone, Default)]
+pub struct BuildReport {
+    /// Compiler first phase (parse → check → lower → optimize → summarize).
+    pub phase1: PhaseStats,
+    /// Program analyzer seconds (always runs; it is whole-program).
+    pub analyze_seconds: f64,
+    /// Compiler second phase (register allocation + emission).
+    pub phase2: PhaseStats,
+    /// Link seconds (always runs).
+    pub link_seconds: f64,
+    /// End-to-end seconds for the build.
+    pub total_seconds: f64,
+    /// Names of modules whose second phase actually re-ran, in source
+    /// order — the observable of the paper's "only recompile where the
+    /// database changed" claim.
+    pub recompiled: Vec<String>,
+}
+
+/// Cumulative hit/miss counters across every build a cache has served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Phase-1 cache hits.
+    pub phase1_hits: u64,
+    /// Phase-1 cache misses.
+    pub phase1_misses: u64,
+    /// Phase-2 cache hits.
+    pub phase2_hits: u64,
+    /// Phase-2 cache misses.
+    pub phase2_misses: u64,
+}
+
+/// Everything phase 1 produces for one module, plus the fingerprints that
+/// decide whether it (and its phase 2) can be reused.
+#[derive(Debug, Clone)]
+struct Phase1Entry {
+    /// Fingerprint of (module name, source text, optimize flag).
+    key: u64,
+    /// Fingerprint of the optimized IR (what phase 2 consumes).
+    ir_fp: u64,
+    /// Direct callees named anywhere in the IR — the procedures whose
+    /// database slice codegen will consult at call sites.
+    callees: Vec<String>,
+    ir: IrModule,
+    summary: ModuleSummary,
+}
+
+#[derive(Debug, Clone)]
+struct Phase2Entry {
+    ir_fp: u64,
+    db_fp: u64,
+    object: ObjectModule,
+}
+
+/// The incremental recompilation cache (paper §3's summary-file design as
+/// an in-memory service).
+///
+/// Keyed per module name: phase 1 on a source-content fingerprint, phase 2
+/// on (IR fingerprint, database-slice fingerprint). Reuse across builds —
+/// including builds at *different* [`PaperConfig`]s — is sound because a
+/// matching slice fingerprint certifies codegen would see identical
+/// directives.
+#[derive(Debug, Default)]
+pub struct CompilationCache {
+    phase1: HashMap<String, Phase1Entry>,
+    phase2: HashMap<String, Phase2Entry>,
+    stats: CacheStats,
+}
+
+impl CompilationCache {
+    /// An empty cache.
+    pub fn new() -> CompilationCache {
+        CompilationCache::default()
+    }
+
+    /// Drops all cached phase results (counters survive).
+    pub fn clear(&mut self) {
+        self.phase1.clear();
+        self.phase2.clear();
+    }
+
+    /// Cumulative hit/miss counters across all builds served so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of modules with a cached first phase.
+    pub fn len(&self) -> usize {
+        self.phase1.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.phase1.is_empty() && self.phase2.is_empty()
     }
 }
 
@@ -105,6 +259,9 @@ pub struct CompiledProgram {
     pub database: ProgramDatabase,
     /// Analyzer statistics (webs, clusters, …).
     pub stats: AnalyzerStats,
+    /// Per-phase timing and cache accounting for the build that produced
+    /// this program.
+    pub build: BuildReport,
 }
 
 /// Driver errors.
@@ -155,7 +312,81 @@ pub fn frontend(sources: &[SourceFile]) -> Result<Vec<(Module, ModuleInfo)>, Com
         .collect()
 }
 
-/// Compiles a multi-module program through the full two-pass pipeline.
+/// Applies `f` to every item on up to `jobs` scoped worker threads,
+/// preserving item order in the result. Work is pulled from a shared
+/// index so uneven module sizes balance automatically.
+fn parallel_map<T: Sync, R: Send>(items: &[T], jobs: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("worker result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner().expect("worker result slot poisoned").expect("worker result missing")
+        })
+        .collect()
+}
+
+/// Phase-1 cache key: module name + source text + optimize flag.
+fn phase1_key(src: &SourceFile, optimize: bool) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&src.name);
+    h.write_str(&src.text);
+    h.write_u64(u64::from(optimize));
+    h.finish()
+}
+
+/// Every direct callee named anywhere in the module's IR, sorted and
+/// deduplicated: the procedures whose `safe_caller_across` sets codegen
+/// reads at call sites.
+fn direct_callees(ir: &IrModule) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for f in &ir.functions {
+        for b in f.block_ids() {
+            for inst in &f.block(b).insts {
+                if let IrInst::Call { callee: Callee::Direct(name), .. } = inst {
+                    out.push(name.clone());
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Runs the full first phase for one module.
+fn run_phase1(src: &SourceFile, optimize: bool, key: u64) -> Result<Phase1Entry, CompileError> {
+    let m = parse_module(&src.name, &src.text)?;
+    let info = check_module(&m)?;
+    let mut ir = lower_module(&m, &info);
+    if optimize {
+        optimize_module(&mut ir);
+    }
+    let summary = summarize_module(&ir);
+    let ir_json = serde_json::to_string(&ir).expect("IR serialization cannot fail");
+    let ir_fp = ipra_core::fingerprint::fingerprint_str(&ir_json);
+    let callees = direct_callees(&ir);
+    Ok(Phase1Entry { key, ir_fp, callees, ir, summary })
+}
+
+/// Compiles a multi-module program through the full two-pass pipeline,
+/// from scratch (a fresh [`CompilationCache`] each call).
 ///
 /// # Errors
 ///
@@ -164,36 +395,145 @@ pub fn compile(
     sources: &[SourceFile],
     options: &CompileOptions,
 ) -> Result<CompiledProgram, DriverError> {
-    // Phase 1: per-module frontends, optimization, summary files.
-    let mut irs = Vec::with_capacity(sources.len());
-    let mut summary = ProgramSummary::default();
-    for (m, info) in frontend(sources)? {
-        let mut ir = lower_module(&m, &info);
-        if options.optimize {
-            optimize_module(&mut ir);
-        }
-        summary.modules.push(summarize_module(&ir));
-        irs.push(ir);
-    }
+    compile_incremental(sources, options, &mut CompilationCache::new())
+}
 
-    // The program analyzer.
+/// Compiles a multi-module program, reusing `cache` across builds.
+///
+/// Phase 1 re-runs only for modules whose source changed; phase 2 re-runs
+/// only for modules whose IR or whose slice of the program database
+/// changed. The result is bit-identical to a cold [`compile`] of the same
+/// sources and options; [`CompiledProgram::build`] reports what was reused.
+///
+/// # Errors
+///
+/// Returns a [`DriverError`] on any frontend diagnostic or link failure.
+/// On error the cache keeps the entries of modules that did compile, so a
+/// fixed-up rebuild stays incremental.
+pub fn compile_incremental(
+    sources: &[SourceFile],
+    options: &CompileOptions,
+    cache: &mut CompilationCache,
+) -> Result<CompiledProgram, DriverError> {
+    let build_start = Instant::now();
+    let jobs = options.effective_jobs();
+    let mut report = BuildReport::default();
+
+    // ---- Compiler first phase, cache-probed then fanned out per module.
+    let phase1_start = Instant::now();
+    let keys: Vec<u64> = sources.iter().map(|s| phase1_key(s, options.optimize)).collect();
+    let mut entries: Vec<Option<Phase1Entry>> = Vec::with_capacity(sources.len());
+    let mut miss_idx: Vec<usize> = Vec::new();
+    for (i, src) in sources.iter().enumerate() {
+        match cache.phase1.get(&src.name) {
+            Some(e) if e.key == keys[i] => {
+                report.phase1.hits += 1;
+                entries.push(Some(e.clone()));
+            }
+            _ => {
+                report.phase1.misses += 1;
+                miss_idx.push(i);
+                entries.push(None);
+            }
+        }
+    }
+    let work: Vec<(usize, &SourceFile, u64)> =
+        miss_idx.iter().map(|&i| (i, &sources[i], keys[i])).collect();
+    let computed =
+        parallel_map(&work, jobs, |&(_, src, key)| run_phase1(src, options.optimize, key));
+    let mut first_error: Option<(usize, CompileError)> = None;
+    for (&(i, src, _), result) in work.iter().zip(computed) {
+        match result {
+            Ok(entry) => {
+                cache.phase1.insert(src.name.clone(), entry.clone());
+                entries[i] = Some(entry);
+            }
+            Err(e) => {
+                // Keep the lowest-index diagnostic: the same error a serial
+                // left-to-right compile would have reported first.
+                if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_error = Some((i, e));
+                }
+            }
+        }
+    }
+    cache.stats.phase1_hits += report.phase1.hits as u64;
+    cache.stats.phase1_misses += report.phase1.misses as u64;
+    if let Some((_, e)) = first_error {
+        return Err(e.into());
+    }
+    let entries: Vec<Phase1Entry> =
+        entries.into_iter().map(|e| e.expect("all phase-1 slots filled")).collect();
+    report.phase1.seconds = phase1_start.elapsed().as_secs_f64();
+
+    // ---- The program analyzer (whole-program; always runs).
+    let analyze_start = Instant::now();
+    let summary = ProgramSummary { modules: entries.iter().map(|e| e.summary.clone()).collect() };
     let analyzer_opts = match (&options.analyzer, options.config) {
         (Some(a), _) => a.clone(),
         (None, Some(c)) => AnalyzerOptions::paper_config(c, options.profile.clone()),
         (None, None) => AnalyzerOptions::paper_config(PaperConfig::L2, None),
     };
     let analysis = analyze(&summary, &analyzer_opts);
+    report.analyze_seconds = analyze_start.elapsed().as_secs_f64();
 
-    // Phase 2 + link.
-    let objects: Vec<_> =
-        irs.iter().map(|ir| cmin_codegen::compile_module(ir, &analysis.database)).collect();
+    // ---- Compiler second phase: per module, keyed on (IR, database slice).
+    let phase2_start = Instant::now();
+    let database = &analysis.database;
+    let db_fps: Vec<u64> = entries
+        .iter()
+        .map(|e| {
+            database.module_slice_fingerprint(
+                e.ir.functions.iter().map(|f| f.name.as_str()),
+                e.callees.iter().map(|s| s.as_str()),
+            )
+        })
+        .collect();
+    let mut objects: Vec<Option<ObjectModule>> = Vec::with_capacity(entries.len());
+    let mut stale_idx: Vec<usize> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        match cache.phase2.get(&e.ir.name) {
+            Some(c) if c.ir_fp == e.ir_fp && c.db_fp == db_fps[i] => {
+                report.phase2.hits += 1;
+                objects.push(Some(c.object.clone()));
+            }
+            _ => {
+                report.phase2.misses += 1;
+                stale_idx.push(i);
+                objects.push(None);
+            }
+        }
+    }
+    let stale: Vec<&Phase1Entry> = stale_idx.iter().map(|&i| &entries[i]).collect();
+    let compiled = parallel_map(&stale, jobs, |e| cmin_codegen::compile_module(&e.ir, database));
+    for (&i, object) in stale_idx.iter().zip(compiled) {
+        let e = &entries[i];
+        report.recompiled.push(e.ir.name.clone());
+        cache.phase2.insert(
+            e.ir.name.clone(),
+            Phase2Entry { ir_fp: e.ir_fp, db_fp: db_fps[i], object: object.clone() },
+        );
+        objects[i] = Some(object);
+    }
+    cache.stats.phase2_hits += report.phase2.hits as u64;
+    cache.stats.phase2_misses += report.phase2.misses as u64;
+    let objects: Vec<ObjectModule> =
+        objects.into_iter().map(|o| o.expect("all phase-2 slots filled")).collect();
+    report.phase2.seconds = phase2_start.elapsed().as_secs_f64();
+
+    // ---- Link (whole-program; always runs).
+    let link_start = Instant::now();
     let exe = link(&objects)?;
+    report.link_seconds = link_start.elapsed().as_secs_f64();
+    report.total_seconds = build_start.elapsed().as_secs_f64();
+
     Ok(CompiledProgram {
         exe,
         objects,
         summary,
         database: analysis.database,
         stats: analysis.stats,
+        build: report,
     })
 }
 
@@ -247,13 +587,34 @@ pub fn compile_with_profile(
     config: PaperConfig,
     training_input: &[i64],
 ) -> Result<Result<CompiledProgram, SimError>, DriverError> {
-    let baseline = compile(sources, &CompileOptions::paper(PaperConfig::L2))?;
+    compile_with_profile_cached(sources, config, training_input, 1, &mut CompilationCache::new())
+}
+
+/// [`compile_with_profile`] with an explicit worker-pool width and a
+/// caller-owned cache. The baseline and the profile-fed recompile share the
+/// cache, so the recompile's first phase is pure cache hits and its second
+/// phase re-runs only where the profile actually moved the database.
+///
+/// # Errors
+///
+/// Returns a [`DriverError`] for compilation problems; a training-run trap
+/// surfaces as the `Err` of the inner result.
+pub fn compile_with_profile_cached(
+    sources: &[SourceFile],
+    config: PaperConfig,
+    training_input: &[i64],
+    jobs: usize,
+    cache: &mut CompilationCache,
+) -> Result<Result<CompiledProgram, SimError>, DriverError> {
+    let baseline_opts = CompileOptions { jobs, ..CompileOptions::paper(PaperConfig::L2) };
+    let baseline = compile_incremental(sources, &baseline_opts, cache)?;
     let training = match run_program(&baseline, training_input) {
         Ok(r) => r,
         Err(e) => return Ok(Err(e)),
     };
     let profile = collect_profile(&baseline, &training);
-    let program = compile(sources, &CompileOptions::paper_with_profile(config, profile))?;
+    let opts = CompileOptions { jobs, ..CompileOptions::paper_with_profile(config, profile) };
+    let program = compile_incremental(sources, &opts, cache)?;
     Ok(Ok(program))
 }
 
@@ -386,6 +747,18 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_reports_the_first_module_error() {
+        // Two broken modules: the diagnostic must be module 0's regardless
+        // of which worker finishes first.
+        let sources = vec![src("a", "int f( {"), src("b", "int g( {")];
+        for jobs in [1, 4] {
+            let opts = CompileOptions { jobs, ..CompileOptions::default() };
+            let err = compile(&sources, &opts).unwrap_err();
+            assert!(err.to_string().contains('a'), "jobs={jobs}: {err}");
+        }
+    }
+
+    #[test]
     fn statics_with_same_name_do_not_collide() {
         let sources = vec![
             src("m1", "static int c = 1; int f1() { c = c + 10; return c; }"),
@@ -413,5 +786,78 @@ mod tests {
         let p = compile(&sources, &CompileOptions::default()).unwrap();
         let r = run_program(&p, &[6, 7]).unwrap();
         assert_eq!(r.output, vec![42]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_balances() {
+        let items: Vec<usize> = (0..37).collect();
+        for jobs in [1, 2, 8, 64] {
+            let out = parallel_map(&items, jobs, |&i| i * 2);
+            assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+        assert!(parallel_map(&Vec::<usize>::new(), 4, |&i: &usize| i).is_empty());
+    }
+
+    #[test]
+    fn warm_rebuild_is_all_hits_and_bit_identical() {
+        let sources = two_module_program();
+        let opts = CompileOptions::paper(PaperConfig::C);
+        let mut cache = CompilationCache::new();
+        let cold = compile_incremental(&sources, &opts, &mut cache).unwrap();
+        assert_eq!(cold.build.phase1.misses, 2);
+        assert_eq!(cold.build.phase2.misses, 2);
+        let warm = compile_incremental(&sources, &opts, &mut cache).unwrap();
+        assert_eq!(warm.build.phase1.hits, 2);
+        assert_eq!(warm.build.phase2.hits, 2);
+        assert!(warm.build.recompiled.is_empty());
+        assert_eq!(warm.exe, cold.exe);
+        assert_eq!(warm.database, cold.database);
+        assert_eq!(cache.stats().phase1_hits, 2);
+        assert_eq!(cache.stats().phase1_misses, 2);
+    }
+
+    #[test]
+    fn editing_one_module_reruns_only_its_first_phase() {
+        let mut sources = two_module_program();
+        let opts = CompileOptions::default();
+        let mut cache = CompilationCache::new();
+        compile_incremental(&sources, &opts, &mut cache).unwrap();
+        // A whitespace-only edit changes the source hash but not the IR:
+        // phase 1 re-runs for that module, phase 2 for nothing at all.
+        sources[0].text.push_str("\n\n");
+        let rebuilt = compile_incremental(&sources, &opts, &mut cache).unwrap();
+        assert_eq!(rebuilt.build.phase1.misses, 1);
+        assert_eq!(rebuilt.build.phase1.hits, 1);
+        assert_eq!(rebuilt.build.phase2.hits, 2);
+        assert!(rebuilt.build.recompiled.is_empty());
+    }
+
+    #[test]
+    fn profile_recompile_reuses_the_cache() {
+        let sources = two_module_program();
+        let mut cache = CompilationCache::new();
+        let program = compile_with_profile_cached(&sources, PaperConfig::F, &[], 1, &mut cache)
+            .unwrap()
+            .unwrap();
+        // The profile-fed build is the second compile through the cache:
+        // its first phase must be pure hits.
+        assert_eq!(program.build.phase1.hits, sources.len());
+        assert_eq!(program.build.phase1.misses, 0);
+        let r = run_program(&program, &[]).unwrap();
+        assert_eq!(r.output, vec![1225, 50]);
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_executable() {
+        let sources = two_module_program();
+        let serial =
+            compile(&sources, &CompileOptions { jobs: 1, ..CompileOptions::paper(PaperConfig::C) })
+                .unwrap();
+        let parallel =
+            compile(&sources, &CompileOptions { jobs: 4, ..CompileOptions::paper(PaperConfig::C) })
+                .unwrap();
+        assert_eq!(serial.exe, parallel.exe);
+        assert_eq!(serial.database, parallel.database);
+        assert!(CompileOptions { jobs: 0, ..Default::default() }.effective_jobs() >= 1);
     }
 }

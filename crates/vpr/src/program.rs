@@ -9,7 +9,7 @@
 use crate::inst::{AluOp, Inst, Label};
 use crate::regs::Reg;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// First word address of the global data segment. `DP` points here.
@@ -171,7 +171,8 @@ pub struct Executable {
     funcs: Vec<FuncInfo>,
     globals: Vec<GlobalInfo>,
     data_init: Vec<(i64, i64)>,
-    entry_to_func: HashMap<usize, usize>,
+    // Ordered so serialized executables are byte-stable run-to-run.
+    entry_to_func: BTreeMap<usize, usize>,
 }
 
 impl Executable {

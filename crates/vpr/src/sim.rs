@@ -16,7 +16,7 @@ use crate::inst::Inst;
 use crate::program::{Executable, DEFAULT_MEM_WORDS, GLOBALS_BASE};
 use crate::regs::Reg;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Options controlling a simulation run.
@@ -52,10 +52,13 @@ pub struct RunStats {
     /// Total procedure calls executed.
     pub calls: u64,
     /// Calls per callee, indexed by the executable's function index.
-    pub call_counts: HashMap<usize, u64>,
-    /// Calls per `(caller, callee)` function-index pair. The startup stub's
-    /// call of `main` uses `usize::MAX` as the caller.
-    pub call_edges: HashMap<(usize, usize), u64>,
+    /// Ordered so serialized stats and iteration-based reports are
+    /// deterministic run-to-run.
+    pub call_counts: BTreeMap<usize, u64>,
+    /// Calls per `(caller, callee)` function-index pair, ordered for
+    /// deterministic serialization. The startup stub's call of `main` uses
+    /// `usize::MAX` as the caller.
+    pub call_edges: BTreeMap<(usize, usize), u64>,
 }
 
 impl RunStats {

@@ -8,11 +8,13 @@
 //! configurations.
 //!
 //! [`generator`] additionally provides a seeded random-program generator
-//! used by the differential test suite.
+//! used by the differential test suite, and [`scaled`] builds deterministic
+//! N-module programs for the compile-time benchmark.
 
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod scaled;
 
 use ipra_driver::SourceFile;
 

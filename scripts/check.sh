@@ -20,4 +20,8 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> compile-time benchmark smoke (tiny workload, cache checks on)"
+cargo run --release -q -p ipra-bench --bin compile_bench -- --modules 8 --check --out BENCH_compile.json
+test -s BENCH_compile.json
+
 echo "All checks passed."
