@@ -6,7 +6,10 @@
 //! cargo run --release -p ipra-bench --bin tables -- --fast  # training inputs
 //! ```
 
-use ipra_bench::{ablation_table, measure_workload, stats_table, table3, table4, table5};
+use ipra_bench::{
+    ablation_table, breakdown_table, measure_workload, stats_table, table3, table4, table5,
+};
+use ipra_core::PaperConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +29,10 @@ fn main() {
     }
     if which == "ablation" {
         print!("{}", ablation_table(&workloads, fast));
+        return;
+    }
+    if which == "breakdown" {
+        print!("{}", breakdown_table(&workloads, PaperConfig::C, fast));
         return;
     }
 
@@ -52,9 +59,12 @@ fn main() {
             println!("{}", table5(&rows));
             println!("{}", stats_table(&rows));
             println!("{}", ablation_table(&workloads, fast));
+            println!("{}", breakdown_table(&workloads, PaperConfig::C, fast));
         }
         other => {
-            eprintln!("unknown table `{other}` (expected 3, 4, 5, stats, ablation, all)");
+            eprintln!(
+                "unknown table `{other}` (expected 3, 4, 5, stats, ablation, breakdown, all)"
+            );
             std::process::exit(2);
         }
     }

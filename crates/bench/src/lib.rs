@@ -207,6 +207,53 @@ pub fn stats_table(rows: &[WorkloadRow]) -> String {
     out
 }
 
+/// Renders the per-procedure breakdown of one configuration against the L2
+/// baseline: for each workload, the procedures whose exact attributed self
+/// cycles moved, each linked to the first analyzer decision that explains
+/// it (`cminc report` prints the full chain).
+///
+/// # Panics
+///
+/// Panics on compile errors, simulator traps, or an attribution whose
+/// per-procedure sums diverge from the whole-program totals.
+pub fn breakdown_table(workloads: &[Workload], config: PaperConfig, fast: bool) -> String {
+    const SHOWN: usize = 8;
+    let mut out = String::new();
+    let _ = writeln!(out, "Per-procedure breakdown: L2 -> {config} (exact self cycles)");
+    for w in workloads {
+        let input = if fast { &w.training_input } else { &w.input };
+        let report = ipra_driver::diff_report(&w.sources, PaperConfig::L2, config, input, 1)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+            .unwrap_or_else(|e| panic!("{}: simulator trap {e}", w.name));
+        assert!(report.sums_match(), "{}: attribution sums diverge from totals", w.name);
+        let _ = writeln!(
+            out,
+            "\n{}: {} -> {} cycles ({:+.1}%)",
+            w.name,
+            report.totals_a.cycles,
+            report.totals_b.cycles,
+            -improvement_pct(report.totals_a.cycles, report.totals_b.cycles)
+        );
+        let moved: Vec<_> = report.procs.iter().filter(|p| p.cycles_delta != 0).collect();
+        if moved.is_empty() {
+            let _ = writeln!(out, "  (no per-procedure movement)");
+            continue;
+        }
+        for p in moved.iter().take(SHOWN) {
+            let cause = p.reasons.first().map(String::as_str).unwrap_or("-");
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>9} -> {:>9} ({:+})  {}",
+                p.name, p.cycles_a, p.cycles_b, p.cycles_delta, cause
+            );
+        }
+        if moved.len() > SHOWN {
+            let _ = writeln!(out, "  ... and {} more procedures", moved.len() - SHOWN);
+        }
+    }
+    out
+}
+
 /// One ablation variant: a label plus the analyzer options to apply.
 pub fn ablation_variants() -> Vec<(&'static str, AnalyzerOptions)> {
     let base = AnalyzerOptions::default();

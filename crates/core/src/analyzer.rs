@@ -2,16 +2,17 @@
 //! global variable promotion, spill code motion, and program database
 //! generation.
 
-use crate::callgraph::CallGraph;
+use crate::callgraph::{CallGraph, NodeId};
 use crate::cluster::{identify_clusters, ClusterHeuristics, Clustering};
 use crate::color::{
-    blanket_webs, color_webs, prioritize, Coloring, ColoringStrategy, DiscardHeuristics,
-    Prioritization,
+    blanket_webs, color_webs, prioritize, web_benefit, web_entry_cost, Coloring, ColoringStrategy,
+    DiscardHeuristics, Prioritization, WebOutcome,
 };
 use crate::database::{ProcDirectives, ProgramDatabase, Promotion};
 use crate::dataflow::{Eligibility, RefSets};
 use crate::profile::ProfileData;
-use crate::regsets::compute_register_sets;
+use crate::regsets::{compute_register_sets, RegUsage};
+use crate::trace::{AnalyzerTrace, DiscardReason, TraceEvent};
 use crate::webs::{identify_webs, Web, WebStats};
 use ipra_summary::ProgramSummary;
 use serde::{Deserialize, Serialize};
@@ -228,6 +229,27 @@ pub struct Analysis {
 
 /// Runs the program analyzer over a program's summary files.
 pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
+    analyze_impl(summary, opts, None)
+}
+
+/// Runs the analyzer while recording its [decision trace](crate::trace).
+///
+/// The returned [`Analysis`] is identical to what [`analyze`] produces for
+/// the same inputs; tracing is observation only.
+pub fn analyze_traced(
+    summary: &ProgramSummary,
+    opts: &AnalyzerOptions,
+) -> (Analysis, AnalyzerTrace) {
+    let mut trace = AnalyzerTrace::default();
+    let analysis = analyze_impl(summary, opts, Some(&mut trace));
+    (analysis, trace)
+}
+
+fn analyze_impl(
+    summary: &ProgramSummary,
+    opts: &AnalyzerOptions,
+    mut trace: Option<&mut AnalyzerTrace>,
+) -> Analysis {
     let graph = CallGraph::build(summary, opts.profile.as_ref());
     let elig = Eligibility::compute(&graph, summary);
     let refs = RefSets::compute(&graph, &elig);
@@ -240,6 +262,8 @@ pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
     };
 
     // --- Global variable promotion (§4.1) ---
+    let mut wstats_opt: Option<WebStats> = None;
+    let mut prio_opt: Option<Prioritization> = None;
     let (webs, coloring): (Vec<Web>, Coloring) = match opts.promotion {
         PromotionMode::Off => (Vec::new(), Coloring::default()),
         PromotionMode::Coloring { registers } => {
@@ -249,6 +273,8 @@ pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
             let coloring =
                 color_webs(&webs, &prio, ColoringStrategy::Reserved { count: registers }, &graph);
             stats.webs_colored = coloring.colored;
+            wstats_opt = Some(wstats);
+            prio_opt = Some(prio);
             (webs, coloring)
         }
         PromotionMode::Greedy => {
@@ -257,6 +283,8 @@ pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
             record_web_stats(&mut stats, &wstats, &prio);
             let coloring = color_webs(&webs, &prio, ColoringStrategy::Greedy, &graph);
             stats.webs_colored = coloring.colored;
+            wstats_opt = Some(wstats);
+            prio_opt = Some(prio);
             (webs, coloring)
         }
         PromotionMode::Blanket { count } => {
@@ -281,6 +309,10 @@ pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
             (webs, coloring)
         }
     };
+
+    if let Some(t) = trace.as_deref_mut() {
+        emit_web_events(t, &graph, &elig, &webs, &coloring, &wstats_opt, &prio_opt);
+    }
 
     // Registers dedicated to promoted globals, per node.
     let mut web_regs: Vec<RegSet> = vec![RegSet::new(); graph.len()];
@@ -315,12 +347,28 @@ pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
     let usage =
         compute_register_sets(&graph, &clustering, &web_regs, opts.precise_web_cluster_interaction);
 
+    if let Some(t) = trace.as_deref_mut() {
+        emit_cluster_events(t, &graph, &clustering, &usage);
+    }
+
     // --- Caller-saves preallocation (§7.6.2 extension) ---
     let tree_caller = if opts.caller_preallocation {
         Some(crate::caller_prealloc::compute_tree_caller(&graph))
     } else {
         None
     };
+    if let (Some(t), Some(tree)) = (trace, &tree_caller) {
+        for n in graph.node_ids() {
+            if !graph.node(n).defined {
+                continue;
+            }
+            t.push(TraceEvent::CallerClaimGranted {
+                proc: graph.node(n).name.clone(),
+                claimed: crate::caller_prealloc::own_claim(&graph, n),
+                safe_across: crate::caller_prealloc::claim_pool_set() - tree[n.index()],
+            });
+        }
+    }
 
     // --- Program database (§4.3) ---
     let mut database = ProgramDatabase::new();
@@ -359,6 +407,121 @@ pub fn analyze(summary: &ProgramSummary, opts: &AnalyzerOptions) -> Analysis {
         });
     }
     Analysis { database, stats, webs: web_reports }
+}
+
+/// Records the promotion decisions: one `WebFormed` per identified web (in
+/// web-index order) followed by its fate — discarded (with the heuristic
+/// that fired), colored (plus `ExitStoreSuppressed` for read-only webs), or
+/// uncolored. §7.4 static discards come first; they never enter the web
+/// list.
+fn emit_web_events(
+    t: &mut AnalyzerTrace,
+    graph: &CallGraph,
+    elig: &Eligibility,
+    webs: &[Web],
+    coloring: &Coloring,
+    wstats: &Option<WebStats>,
+    prio: &Option<Prioritization>,
+) {
+    let names =
+        |ns: &[NodeId]| -> Vec<String> { ns.iter().map(|&n| graph.node(n).name.clone()).collect() };
+    if let Some(ws) = wstats {
+        for (sym, nodes) in &ws.static_discards {
+            t.push(TraceEvent::WebDiscarded {
+                web: None,
+                sym: sym.clone(),
+                nodes: nodes.clone(),
+                reason: DiscardReason::StaticCrossModule,
+                benefit: 0,
+                entry_cost: 0,
+            });
+        }
+    }
+    for (i, w) in webs.iter().enumerate() {
+        let sym = elig.global(w.global).sym.clone();
+        let outcome = prio.as_ref().map(|p| p.outcomes[i]);
+        let (benefit, entry_cost) = match outcome {
+            Some(oc) => (oc.benefit(), oc.cost()),
+            // Blanket webs bypass prioritization; measure directly.
+            None => (web_benefit(w, graph, elig), web_entry_cost(w, graph)),
+        };
+        t.push(TraceEvent::WebFormed {
+            web: i,
+            sym: sym.clone(),
+            nodes: names(&w.nodes),
+            entries: names(&w.entries),
+            written: w.written,
+            benefit,
+            entry_cost,
+        });
+        let discard = match outcome {
+            Some(WebOutcome::Sparse { .. }) => Some(DiscardReason::Sparse),
+            Some(WebOutcome::Trivial { .. }) => Some(DiscardReason::Trivial),
+            Some(WebOutcome::Unprofitable { .. }) => Some(DiscardReason::Unprofitable),
+            Some(WebOutcome::Considered { .. }) | None => None,
+        };
+        if let Some(reason) = discard {
+            t.push(TraceEvent::WebDiscarded {
+                web: Some(i),
+                sym,
+                nodes: names(&w.nodes),
+                reason,
+                benefit,
+                entry_cost,
+            });
+            continue;
+        }
+        let priority = match outcome {
+            Some(WebOutcome::Considered { priority, .. }) => priority,
+            _ => 0,
+        };
+        match coloring.assignment[i] {
+            Some(reg) => {
+                t.push(TraceEvent::WebColored {
+                    web: i,
+                    sym: sym.clone(),
+                    nodes: names(&w.nodes),
+                    entries: names(&w.entries),
+                    reg,
+                    priority,
+                });
+                if !w.written {
+                    t.push(TraceEvent::ExitStoreSuppressed {
+                        web: i,
+                        sym,
+                        entries: names(&w.entries),
+                    });
+                }
+            }
+            None => {
+                t.push(TraceEvent::WebUncolored { web: i, sym, nodes: names(&w.nodes) });
+            }
+        }
+    }
+}
+
+/// Records spill-motion decisions: each cluster, the MSPILL set hoisted to
+/// its root, and every FREE grant a member received.
+fn emit_cluster_events(
+    t: &mut AnalyzerTrace,
+    graph: &CallGraph,
+    clustering: &Clustering,
+    usage: &[RegUsage],
+) {
+    let name = |n: NodeId| graph.node(n).name.clone();
+    for c in &clustering.clusters {
+        let members: Vec<String> = c.members.iter().map(|&m| name(m)).collect();
+        t.push(TraceEvent::ClusterFormed { root: name(c.root), members: members.clone() });
+        let mspill = usage[c.root.index()].mspill;
+        if !mspill.is_empty() {
+            t.push(TraceEvent::SpillHoisted { root: name(c.root), regs: mspill, members });
+        }
+    }
+    for n in graph.node_ids() {
+        if graph.node(n).defined && !usage[n.index()].free.is_empty() {
+            t.push(TraceEvent::FreeRegsGranted { proc: name(n), regs: usage[n.index()].free });
+        }
+    }
 }
 
 fn record_web_stats(stats: &mut AnalyzerStats, wstats: &WebStats, prio: &Prioritization) {
@@ -507,6 +670,85 @@ mod tests {
         // Promotion off: no reports.
         let analysis = analyze(&s, &AnalyzerOptions::paper_config(PaperConfig::A, None));
         assert!(analysis.webs.is_empty());
+    }
+
+    #[test]
+    fn traced_analysis_is_identical_and_records_decisions() {
+        let s = figure3();
+        let plain = analyze(&s, &AnalyzerOptions::default());
+        let (traced, trace) = analyze_traced(&s, &AnalyzerOptions::default());
+        // Tracing is observation only.
+        assert_eq!(plain.database, traced.database);
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.webs, traced.webs);
+
+        let formed =
+            trace.events.iter().filter(|e| matches!(e, TraceEvent::WebFormed { .. })).count();
+        let colored =
+            trace.events.iter().filter(|e| matches!(e, TraceEvent::WebColored { .. })).count();
+        assert_eq!(formed, 4, "{trace:?}");
+        assert_eq!(colored, 4);
+        // Web events carry positive measured benefit on this example.
+        for e in &trace.events {
+            if let TraceEvent::WebFormed { benefit, .. } = e {
+                assert!(*benefit > 0);
+            }
+        }
+        // The causal chain for g1 mentions its entry node B.
+        assert!(trace.for_symbol("g1").iter().any(|e| e.mentions("B")));
+        // Clusters/hoists recorded for the spill-motion side.
+        let has_cluster =
+            trace.events.iter().any(|e| matches!(e, TraceEvent::ClusterFormed { .. }));
+        assert_eq!(has_cluster, plain.stats.clusters > 0);
+    }
+
+    #[test]
+    fn traced_analysis_records_discards_with_reasons() {
+        // Long chain with refs only at the ends: the single web is sparse
+        // under a 0.5 ratio threshold.
+        let s = summary(
+            &[
+                ("main", &[("c1", 1)], &["g"]),
+                ("c1", &[("c2", 1)], &[]),
+                ("c2", &[("c3", 1)], &[]),
+                ("c3", &[("end", 1)], &[]),
+                ("end", &[], &["g"]),
+            ],
+            &["g"],
+        );
+        let opts = AnalyzerOptions {
+            discard: DiscardHeuristics { min_lref_ratio: 0.5, min_singleton_refs: 0 },
+            ..AnalyzerOptions::default()
+        };
+        let (analysis, trace) = analyze_traced(&s, &opts);
+        assert_eq!(analysis.stats.discarded_sparse, 1);
+        let discard = trace
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::WebDiscarded { reason, benefit, .. } => Some((*reason, *benefit)),
+                _ => None,
+            })
+            .expect("discard event");
+        assert_eq!(discard.0, DiscardReason::Sparse);
+        assert!(discard.1 > 0, "benefit estimate recorded at discard time");
+        // Discarded webs are never colored.
+        assert!(!trace.events.iter().any(|e| matches!(e, TraceEvent::WebColored { .. })));
+    }
+
+    #[test]
+    fn traced_analysis_records_caller_claims() {
+        let s = figure3();
+        let opts = AnalyzerOptions { caller_preallocation: true, ..AnalyzerOptions::default() };
+        let (plain_like, trace) = analyze_traced(&s, &opts);
+        let claims: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CallerClaimGranted { .. }))
+            .collect();
+        assert_eq!(claims.len(), 8); // one per defined procedure A..H
+        let plain = analyze(&s, &opts);
+        assert_eq!(plain.database, plain_like.database);
     }
 
     #[test]

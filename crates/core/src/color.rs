@@ -63,11 +63,70 @@ pub struct PrioritizedWeb {
     pub priority: i64,
 }
 
+/// Per-web outcome of prioritization, recorded for the decision trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WebOutcome {
+    /// The web survived the discard heuristics.
+    Considered {
+        /// Estimated dynamic references saved inside the web.
+        benefit: u64,
+        /// Estimated entry cost.
+        cost: u64,
+        /// Benefit minus cost.
+        priority: i64,
+    },
+    /// Discarded: too few members reference the global (§6.2).
+    Sparse {
+        /// Estimated benefit at discard time.
+        benefit: u64,
+        /// Estimated entry cost at discard time.
+        cost: u64,
+    },
+    /// Discarded: single-node web with too few weighted references (§6.2).
+    Trivial {
+        /// Estimated benefit at discard time.
+        benefit: u64,
+        /// Estimated entry cost at discard time.
+        cost: u64,
+    },
+    /// Discarded: entry cost meets or exceeds the benefit.
+    Unprofitable {
+        /// Estimated benefit at discard time.
+        benefit: u64,
+        /// Estimated entry cost at discard time.
+        cost: u64,
+    },
+}
+
+impl WebOutcome {
+    /// The benefit estimate measured for the web.
+    pub fn benefit(self) -> u64 {
+        match self {
+            WebOutcome::Considered { benefit, .. }
+            | WebOutcome::Sparse { benefit, .. }
+            | WebOutcome::Trivial { benefit, .. }
+            | WebOutcome::Unprofitable { benefit, .. } => benefit,
+        }
+    }
+
+    /// The entry-cost estimate measured for the web.
+    pub fn cost(self) -> u64 {
+        match self {
+            WebOutcome::Considered { cost, .. }
+            | WebOutcome::Sparse { cost, .. }
+            | WebOutcome::Trivial { cost, .. }
+            | WebOutcome::Unprofitable { cost, .. } => cost,
+        }
+    }
+}
+
 /// Outcome of prioritization.
 #[derive(Debug, Clone, Default)]
 pub struct Prioritization {
     /// Webs surviving the discard heuristics, best first.
     pub considered: Vec<PrioritizedWeb>,
+    /// Per-web decision, indexed like the input web list.
+    pub outcomes: Vec<WebOutcome>,
     /// Webs discarded as sparse.
     pub discarded_sparse: usize,
     /// Webs discarded as unprofitable singletons.
@@ -102,23 +161,27 @@ pub fn prioritize(
 ) -> Prioritization {
     let mut out = Prioritization::default();
     for (i, w) in webs.iter().enumerate() {
+        let benefit = web_benefit(w, graph, elig);
+        let cost = web_entry_cost(w, graph);
         let lref_members = w.nodes.iter().filter(|&&n| elig.ref_freq(n, w.global) > 0).count();
         let ratio = lref_members as f64 / w.nodes.len() as f64;
         if ratio < heur.min_lref_ratio {
             out.discarded_sparse += 1;
+            out.outcomes.push(WebOutcome::Sparse { benefit, cost });
             continue;
         }
-        let benefit = web_benefit(w, graph, elig);
         if w.nodes.len() == 1 && benefit < heur.min_singleton_refs {
             out.discarded_trivial += 1;
+            out.outcomes.push(WebOutcome::Trivial { benefit, cost });
             continue;
         }
-        let cost = web_entry_cost(w, graph);
         let priority = benefit as i64 - cost as i64;
         if priority <= 0 {
             out.discarded_unprofitable += 1;
+            out.outcomes.push(WebOutcome::Unprofitable { benefit, cost });
             continue;
         }
+        out.outcomes.push(WebOutcome::Considered { benefit, cost, priority });
         out.considered.push(PrioritizedWeb { web: i, priority });
     }
     out.considered.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.web.cmp(&b.web)));

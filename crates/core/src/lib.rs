@@ -43,12 +43,15 @@ pub mod dot;
 pub mod fingerprint;
 pub mod profile;
 pub mod regsets;
+pub mod trace;
 pub mod webs;
 
 pub use analyzer::{
-    analyze, Analysis, AnalyzerOptions, AnalyzerStats, PaperConfig, PromotionMode, WebReport,
+    analyze, analyze_traced, Analysis, AnalyzerOptions, AnalyzerStats, PaperConfig, PromotionMode,
+    WebReport,
 };
 pub use callgraph::{CallGraph, NodeId};
 pub use database::{ProcDirectives, ProgramDatabase, Promotion};
 pub use profile::ProfileData;
 pub use regsets::RegUsage;
+pub use trace::{AnalyzerTrace, DiscardReason, TraceEvent};

@@ -68,6 +68,9 @@ pub struct WebStats {
     pub webs_total: usize,
     /// Webs discarded because a `static`'s entry left its module.
     pub discarded_static: usize,
+    /// `(symbol, member procedure names)` of each §7.4 static discard, in
+    /// discovery order (reporting/trace only).
+    pub static_discards: Vec<(String, Vec<String>)>,
 }
 
 /// Identifies all webs for all eligible globals.
@@ -119,6 +122,10 @@ pub fn identify_webs(
                 let foreign_entry = entries.iter().any(|&e| graph.node(e).module != eg.module);
                 if foreign_entry {
                     stats.discarded_static += 1;
+                    stats.static_discards.push((
+                        eg.sym.clone(),
+                        nodes.iter().map(|&n| graph.node(n).name.clone()).collect(),
+                    ));
                     continue;
                 }
             }

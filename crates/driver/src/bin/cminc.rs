@@ -19,10 +19,12 @@
 //! cminc build a.cmin b.cmin --config C --run --stats
 //! ```
 
-use ipra_core::analyzer::{analyze, AnalyzerOptions, PaperConfig};
+use ipra_core::analyzer::{analyze, analyze_traced, AnalyzerOptions, PaperConfig};
+use ipra_core::trace::AnalyzerTrace;
 use ipra_core::{ProfileData, ProgramDatabase};
 use ipra_driver::SourceFile;
 use ipra_summary::{summarize_module, ModuleSummary, ProgramSummary};
+use serde::Serialize;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -40,6 +42,8 @@ fn main() -> ExitCode {
         "verify" => verify_cmd(rest),
         "run" => run_cmd(rest),
         "build" => build_cmd(rest),
+        "explain" => explain_cmd(rest),
+        "report" => report_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -57,17 +61,28 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cminc phase1 <src.cmin> [--summary <out.sum>] [--ir <out.ir>]
-  cminc analyze <mod.sum>... [--config L2|A|B|C|D|E|F] [--profile <prof.json>] [--report] [--dot <graph.dot>] -o <program.db>
+  cminc analyze <mod.sum>... [--config L2|A|B|C|D|E|F] [--profile <prof.json>] [--report] [--dot <graph.dot>] [--trace <trace.json>] -o <program.db>
   cminc phase2 <mod.ir> --db <program.db> -o <mod.obj>
   cminc link <mod.obj>... -o <prog.exe>
   cminc verify <mod.obj>... [--db <program.db>]
-  cminc run <prog.exe> [--input \"v v v\"] [--stats] [--profile-out <prof.json>] [--asm]
-  cminc build <src.cmin>... [--config ...] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--input \"v v v\"]
+  cminc run <prog.exe> [--input \"v v v\"] [--stats] [--stats-json <out.json>] [--profile-out <prof.json>] [--asm]
+  cminc build <src.cmin>... [--config ...] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--input \"v v v\"]
+  cminc explain <symbol> (--trace <trace.json> | <src.cmin>... [--config ...])
+  cminc report <src.cmin>... --config-b L2|A|B|C|D|E|F [--config-a ...] [--input \"v v v\"] [--json <out.json>]
 
 build flags:
   -j, --jobs N   worker threads for the per-module phases (default 1, 0 = all cores)
   --repeat N     build N times through one incremental cache (recompilation demo)
-  --stats        per-phase wall-clock and cache hit/miss table (plus run stats with --run)";
+  --stats        per-phase wall-clock and cache hit/miss table (plus run stats with --run)
+  --trace FILE   persist the analyzer's decision trace as JSON (also: analyze)
+
+observability:
+  explain        render every analyzer decision that mentions one global or
+                 procedure, from a saved trace or by compiling sources
+  report         compile under two configs (A defaults to L2), run both with
+                 exact per-procedure attribution, and explain each delta;
+                 --json writes the full deterministic report
+  --stats-json   (run) write RunStats + exact per-procedure attribution as JSON";
 
 /// Pulls the value following `flag` out of `args`, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -102,6 +117,11 @@ fn positionals(args: &[String]) -> Vec<String> {
                     | "--dot"
                     | "--jobs"
                     | "--repeat"
+                    | "--trace"
+                    | "--stats-json"
+                    | "--config-a"
+                    | "--config-b"
+                    | "--json"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
@@ -130,8 +150,8 @@ fn module_name(path: &str) -> String {
         .unwrap_or_else(|| "module".into())
 }
 
-fn parse_config(args: &[String]) -> Result<PaperConfig, String> {
-    match flag_value(args, "--config").as_deref() {
+fn config_by_name(name: Option<&str>) -> Result<PaperConfig, String> {
+    match name {
         None | Some("L2") => Ok(PaperConfig::L2),
         Some("A") => Ok(PaperConfig::A),
         Some("B") => Ok(PaperConfig::B),
@@ -141,6 +161,10 @@ fn parse_config(args: &[String]) -> Result<PaperConfig, String> {
         Some("F") => Ok(PaperConfig::F),
         Some(other) => Err(format!("unknown config `{other}`")),
     }
+}
+
+fn parse_config(args: &[String]) -> Result<PaperConfig, String> {
+    config_by_name(flag_value(args, "--config").as_deref())
 }
 
 fn parse_input(args: &[String]) -> Result<Vec<i64>, String> {
@@ -206,8 +230,20 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
             None
         }
     };
-    let analysis = analyze(&program, &AnalyzerOptions::paper_config(config, profile));
+    let analyzer_opts = AnalyzerOptions::paper_config(config, profile);
+    let trace_path = flag_value(args, "--trace");
+    let (analysis, trace) = match &trace_path {
+        Some(_) => {
+            let (a, t) = analyze_traced(&program, &analyzer_opts);
+            (a, Some(t))
+        }
+        None => (analyze(&program, &analyzer_opts), None),
+    };
     write(&out, &analysis.database.to_json())?;
+    if let (Some(path), Some(t)) = (&trace_path, &trace) {
+        write(path, &t.to_json())?;
+        eprintln!("trace: {} events -> {path}", t.events.len());
+    }
     let s = &analysis.stats;
     eprintln!(
         "analyze: {} nodes, {} eligible globals, {}/{} webs colored, {} clusters -> {out}",
@@ -317,12 +353,34 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let input = parse_input(args)?;
-    let opts = vpr::SimOptions { input, ..vpr::SimOptions::default() };
+    let stats_json = flag_value(args, "--stats-json");
+    let opts =
+        vpr::SimOptions { input, attribute: stats_json.is_some(), ..vpr::SimOptions::default() };
     let result = vpr::run_with(&exe, &opts).map_err(|e| e.to_string())?;
     for v in &result.output {
         println!("{v}");
     }
     eprintln!("exit: {}", result.exit);
+    if let Some(path) = &stats_json {
+        /// `--stats-json` payload: the function-index → name table (which
+        /// makes `call_counts`/`call_edges` interpretable), the full run
+        /// statistics, and the exact per-procedure attribution.
+        #[derive(Serialize)]
+        struct StatsDump {
+            funcs: Vec<String>,
+            exit: i64,
+            stats: vpr::RunStats,
+            attribution: vpr::Attribution,
+        }
+        let dump = StatsDump {
+            funcs: exe.funcs().iter().map(|f| f.name.clone()).collect(),
+            exit: result.exit,
+            stats: result.stats.clone(),
+            attribution: result.attribution.clone().expect("attribution was requested"),
+        };
+        write(path, &serde_json::to_string_pretty(&dump).expect("serialize"))?;
+        eprintln!("stats: -> {path}");
+    }
     if has_flag(args, "--stats") {
         let s = &result.stats;
         eprintln!(
@@ -343,6 +401,73 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
         }
         write(&path, &serde_json::to_string_pretty(&profile).expect("serialize"))?;
         eprintln!("profile: -> {path}");
+    }
+    Ok(())
+}
+
+/// Reads source files into driver [`SourceFile`]s.
+fn read_sources(paths: &[String]) -> Result<Vec<SourceFile>, String> {
+    paths.iter().map(|p| Ok(SourceFile::new(module_name(p), read(p)?))).collect()
+}
+
+/// `cminc explain <symbol>`: renders every analyzer decision mentioning one
+/// global or procedure, from a saved `--trace` file or by compiling the
+/// given sources with tracing on.
+fn explain_cmd(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let Some((symbol, srcs)) = pos.split_first() else {
+        return Err("explain needs a <symbol> (a global or procedure name)".into());
+    };
+    let trace = match flag_value(args, "--trace") {
+        Some(path) => {
+            AnalyzerTrace::from_json(&read(&path)?).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            if srcs.is_empty() {
+                return Err("explain needs --trace <trace.json> or source files to compile".into());
+            }
+            let sources = read_sources(srcs)?;
+            let config = parse_config(args)?;
+            let input = parse_input(args)?;
+            let opts = ipra_driver::CompileOptions {
+                trace: true,
+                ..ipra_driver::CompileOptions::default()
+            };
+            let mut cache = ipra_driver::CompilationCache::new();
+            let program =
+                ipra_driver::compile_configured(&sources, config, &input, &opts, &mut cache)
+                    .map_err(|e| e.to_string())?
+                    .map_err(|e| format!("training run trapped: {e}"))?;
+            program.trace.expect("tracing was requested")
+        }
+    };
+    print!("{}", ipra_obsv::explain(&trace, symbol));
+    Ok(())
+}
+
+/// `cminc report`: compile under two configurations, run both with exact
+/// attribution, and explain every per-procedure delta.
+fn report_cmd(args: &[String]) -> Result<(), String> {
+    let srcs = positionals(args);
+    if srcs.is_empty() {
+        return Err("report needs at least one source file".into());
+    }
+    let config_a = config_by_name(flag_value(args, "--config-a").as_deref())?;
+    let config_b = config_by_name(Some(
+        flag_value(args, "--config-b").ok_or("report needs --config-b <config>")?.as_str(),
+    ))?;
+    let input = parse_input(args)?;
+    let sources = read_sources(&srcs)?;
+    let report = ipra_driver::diff_report(&sources, config_a, config_b, &input, 1)
+        .map_err(|e| e.to_string())?
+        .map_err(|e| format!("run trapped: {e}"))?;
+    if !report.sums_match() {
+        return Err("internal error: per-procedure sums diverge from program totals".into());
+    }
+    print!("{}", report.render_table());
+    if let Some(path) = flag_value(args, "--json") {
+        write(&path, &report.to_json())?;
+        eprintln!("report: -> {path}");
     }
     Ok(())
 }
@@ -398,19 +523,18 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
     // One cache across every repetition: iteration 1 is the cold build,
     // the rest demonstrate the paper's recompilation story (§3) — pure
     // cache hits when nothing changed.
+    let trace_path = flag_value(args, "--trace");
     let mut cache = ipra_driver::CompilationCache::new();
     let mut program = None;
     for i in 0..repeat {
-        let built = if config.wants_profile() {
-            ipra_driver::compile_with_profile_cached(&sources, config, &input, jobs, &mut cache)
-                .map_err(|e| e.to_string())?
-                .map_err(|e| format!("training run trapped: {e}"))?
-        } else {
-            let opts =
-                ipra_driver::CompileOptions { jobs, ..ipra_driver::CompileOptions::paper(config) };
-            ipra_driver::compile_incremental(&sources, &opts, &mut cache)
-                .map_err(|e| e.to_string())?
+        let opts = ipra_driver::CompileOptions {
+            jobs,
+            trace: trace_path.is_some(),
+            ..ipra_driver::CompileOptions::default()
         };
+        let built = ipra_driver::compile_configured(&sources, config, &input, &opts, &mut cache)
+            .map_err(|e| e.to_string())?
+            .map_err(|e| format!("training run trapped: {e}"))?;
         if stats && repeat > 1 && i + 1 < repeat {
             eprintln!("build {} of {repeat}:", i + 1);
             eprint!("{}", phase_table(&built.build));
@@ -423,6 +547,11 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
         "build: config {config}; {} nodes, {}/{} webs colored, {} clusters",
         s.nodes, s.webs_colored, s.webs_total, s.clusters
     );
+    if let Some(path) = &trace_path {
+        let t = program.trace.as_ref().expect("tracing was requested");
+        write(path, &t.to_json())?;
+        eprintln!("trace: {} events -> {path}", t.events.len());
+    }
     if stats {
         if repeat > 1 {
             eprintln!("build {repeat} of {repeat}:");

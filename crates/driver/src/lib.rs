@@ -50,9 +50,11 @@ use cmin_frontend::{analyze as check_module, parse_module, CompileError, Module,
 use cmin_ir::interp::{interpret_with, InterpOptions, InterpResult};
 use cmin_ir::ir::{Callee, Inst as IrInst};
 use cmin_ir::{lower_module, optimize_module, IrModule};
-use ipra_core::analyzer::{analyze, AnalyzerOptions, AnalyzerStats, PaperConfig};
+use ipra_core::analyzer::{analyze, analyze_traced, AnalyzerOptions, AnalyzerStats, PaperConfig};
 use ipra_core::fingerprint::Fnv64;
+use ipra_core::trace::AnalyzerTrace;
 use ipra_core::{ProfileData, ProgramDatabase};
+use ipra_obsv::DiffReport;
 use ipra_summary::{summarize_module, ModuleSummary, ProgramSummary};
 use ipra_verify::VerifyReport;
 use std::collections::HashMap;
@@ -97,11 +99,22 @@ pub struct CompileOptions {
     /// available core). Any value produces bit-identical output; this only
     /// trades wall-clock time.
     pub jobs: usize,
+    /// Record the analyzer's decision trace in
+    /// [`CompiledProgram::trace`]. Tracing is pure observation: the
+    /// resulting program is bit-identical with or without it.
+    pub trace: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> CompileOptions {
-        CompileOptions { config: None, profile: None, analyzer: None, optimize: true, jobs: 1 }
+        CompileOptions {
+            config: None,
+            profile: None,
+            analyzer: None,
+            optimize: true,
+            jobs: 1,
+            trace: false,
+        }
     }
 }
 
@@ -262,6 +275,9 @@ pub struct CompiledProgram {
     /// Per-phase timing and cache accounting for the build that produced
     /// this program.
     pub build: BuildReport,
+    /// The analyzer's decision trace, when [`CompileOptions::trace`] was
+    /// set (`None` otherwise).
+    pub trace: Option<AnalyzerTrace>,
 }
 
 /// Driver errors.
@@ -474,7 +490,12 @@ pub fn compile_incremental(
         (None, Some(c)) => AnalyzerOptions::paper_config(c, options.profile.clone()),
         (None, None) => AnalyzerOptions::paper_config(PaperConfig::L2, None),
     };
-    let analysis = analyze(&summary, &analyzer_opts);
+    let (analysis, trace) = if options.trace {
+        let (a, t) = analyze_traced(&summary, &analyzer_opts);
+        (a, Some(t))
+    } else {
+        (analyze(&summary, &analyzer_opts), None)
+    };
     report.analyze_seconds = analyze_start.elapsed().as_secs_f64();
 
     // ---- Compiler second phase: per module, keyed on (IR, database slice).
@@ -534,6 +555,7 @@ pub fn compile_incremental(
         database: analysis.database,
         stats: analysis.stats,
         build: report,
+        trace,
     })
 }
 
@@ -553,6 +575,22 @@ pub fn verify_program(program: &CompiledProgram) -> VerifyReport {
 /// Propagates simulator traps ([`SimError`]).
 pub fn run_program(program: &CompiledProgram, input: &[i64]) -> Result<RunResult, SimError> {
     let opts = SimOptions { input: input.to_vec(), ..SimOptions::default() };
+    run_with(&program.exe, &opts)
+}
+
+/// Runs a compiled program with exact per-procedure attribution enabled
+/// ([`RunResult::attribution`] is `Some`). Attribution is pure observation:
+/// output, exit code and every [`vpr::sim::RunStats`] field are identical to
+/// a plain [`run_program`].
+///
+/// # Errors
+///
+/// Propagates simulator traps ([`SimError`]).
+pub fn run_program_attributed(
+    program: &CompiledProgram,
+    input: &[i64],
+) -> Result<RunResult, SimError> {
+    let opts = SimOptions { input: input.to_vec(), attribute: true, ..SimOptions::default() };
     run_with(&program.exe, &opts)
 }
 
@@ -616,6 +654,91 @@ pub fn compile_with_profile_cached(
     let opts = CompileOptions { jobs, ..CompileOptions::paper_with_profile(config, profile) };
     let program = compile_incremental(sources, &opts, cache)?;
     Ok(Ok(program))
+}
+
+/// Compiles under any paper configuration, running the profile-feedback
+/// loop first when the configuration wants one (training on
+/// `training_input`). Unlike [`compile_with_profile_cached`], the caller's
+/// `options` (jobs, trace, optimize) are honored; its `config`/`profile`
+/// fields are overridden per leg, and the baseline leg never traces.
+///
+/// # Errors
+///
+/// Returns a [`DriverError`] for compilation problems; a training-run trap
+/// surfaces as the `Err` of the inner result.
+pub fn compile_configured(
+    sources: &[SourceFile],
+    config: PaperConfig,
+    training_input: &[i64],
+    options: &CompileOptions,
+    cache: &mut CompilationCache,
+) -> Result<Result<CompiledProgram, SimError>, DriverError> {
+    if !config.wants_profile() {
+        let opts = CompileOptions { config: Some(config), profile: None, ..options.clone() };
+        return Ok(Ok(compile_incremental(sources, &opts, cache)?));
+    }
+    let baseline_opts = CompileOptions {
+        config: Some(PaperConfig::L2),
+        profile: None,
+        trace: false,
+        ..options.clone()
+    };
+    let baseline = compile_incremental(sources, &baseline_opts, cache)?;
+    let training = match run_program(&baseline, training_input) {
+        Ok(r) => r,
+        Err(e) => return Ok(Err(e)),
+    };
+    let profile = collect_profile(&baseline, &training);
+    let opts = CompileOptions { config: Some(config), profile: Some(profile), ..options.clone() };
+    Ok(Ok(compile_incremental(sources, &opts, cache)?))
+}
+
+/// Compiles `sources` under two configurations (decision tracing on), runs
+/// both with attribution on `input`, and joins the per-procedure deltas
+/// with configuration B's directives and trace into a [`DiffReport`].
+/// Profile-fed configurations train on the same `input`. The two builds
+/// share one [`CompilationCache`], so common phases compile once.
+///
+/// # Errors
+///
+/// Returns a [`DriverError`] for compilation problems; simulator traps (in
+/// training or measured runs) surface as the `Err` of the inner result.
+pub fn diff_report(
+    sources: &[SourceFile],
+    config_a: PaperConfig,
+    config_b: PaperConfig,
+    input: &[i64],
+    jobs: usize,
+) -> Result<Result<DiffReport, SimError>, DriverError> {
+    let mut cache = CompilationCache::new();
+    let base = CompileOptions { trace: true, jobs, ..CompileOptions::default() };
+    let prog_a = match compile_configured(sources, config_a, input, &base, &mut cache)? {
+        Ok(p) => p,
+        Err(e) => return Ok(Err(e)),
+    };
+    let prog_b = match compile_configured(sources, config_b, input, &base, &mut cache)? {
+        Ok(p) => p,
+        Err(e) => return Ok(Err(e)),
+    };
+    let ra = match run_program_attributed(&prog_a, input) {
+        Ok(r) => r,
+        Err(e) => return Ok(Err(e)),
+    };
+    let rb = match run_program_attributed(&prog_b, input) {
+        Ok(r) => r,
+        Err(e) => return Ok(Err(e)),
+    };
+    let report = DiffReport::build(
+        &config_a.to_string(),
+        &config_b.to_string(),
+        ra.attribution.as_ref().expect("attribution was requested"),
+        rb.attribution.as_ref().expect("attribution was requested"),
+        &ra.stats,
+        &rb.stats,
+        &prog_b.database,
+        prog_b.trace.as_ref().expect("tracing was requested"),
+    );
+    Ok(Ok(report))
 }
 
 /// Runs the reference interpreter on the same sources (the differential
@@ -845,6 +968,53 @@ mod tests {
         assert_eq!(program.build.phase1.misses, 0);
         let r = run_program(&program, &[]).unwrap();
         assert_eq!(r.output, vec![1225, 50]);
+    }
+
+    #[test]
+    fn tracing_is_pure_observation() {
+        let sources = two_module_program();
+        let plain = compile(&sources, &CompileOptions::paper(PaperConfig::C)).unwrap();
+        let traced_opts = CompileOptions { trace: true, ..CompileOptions::paper(PaperConfig::C) };
+        let traced = compile(&sources, &traced_opts).unwrap();
+        assert!(plain.trace.is_none());
+        let trace = traced.trace.as_ref().expect("trace requested");
+        assert!(!trace.events.is_empty());
+        assert_eq!(traced.exe, plain.exe);
+        assert_eq!(traced.database, plain.database);
+    }
+
+    #[test]
+    fn attributed_run_is_cycle_neutral_and_exact() {
+        let sources = two_module_program();
+        let p = compile(&sources, &CompileOptions::paper(PaperConfig::C)).unwrap();
+        let plain = run_program(&p, &[]).unwrap();
+        let attr = run_program_attributed(&p, &[]).unwrap();
+        assert_eq!(attr.stats, plain.stats);
+        assert_eq!(attr.output, plain.output);
+        let a = attr.attribution.as_ref().expect("attribution requested");
+        assert!(a.matches(&attr.stats), "per-procedure sums must equal RunStats");
+        assert!(a.get("bump").expect("bump ran").calls == 50);
+    }
+
+    #[test]
+    fn diff_report_sums_and_explains() {
+        let sources = two_module_program();
+        for config_b in [PaperConfig::C, PaperConfig::F] {
+            let r = diff_report(&sources, PaperConfig::L2, config_b, &[], 1).unwrap().unwrap();
+            assert!(r.sums_match(), "{config_b}: per-proc sums must equal totals");
+            assert_eq!(r.totals_b.cycles, r.procs.iter().map(|p| p.cycles_b).sum::<u64>());
+            // Every procedure whose cost moved is linked to at least one
+            // concrete analyzer decision.
+            for p in r.procs.iter().filter(|p| p.cycles_delta != 0) {
+                if p.name == vpr::sim::STARTUP_PROC {
+                    continue;
+                }
+                assert!(!p.reasons.is_empty(), "{config_b}: `{}` moved with no reason", p.name);
+            }
+            // Determinism: building it again yields byte-identical JSON.
+            let again = diff_report(&sources, PaperConfig::L2, config_b, &[], 1).unwrap().unwrap();
+            assert_eq!(r.to_json(), again.to_json());
+        }
     }
 
     #[test]

@@ -152,6 +152,119 @@ fn build_one_shot_matches_pipeline() {
 }
 
 #[test]
+fn explain_is_deterministic_and_names_the_decisions() {
+    let dir = tempdir("explain");
+    write(&dir, "counterlib.cmin", LIB_SRC);
+    write(&dir, "app.cmin", MAIN_SRC);
+    let run = |symbol: &str| {
+        cminc()
+            .current_dir(&dir)
+            .args(["explain", symbol, "counterlib.cmin", "app.cmin", "--config", "C"])
+            .output()
+            .unwrap()
+    };
+    let out = run("total");
+    assert!(out.status.success(), "explain: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("analyzer decisions mentioning `total`"), "{text}");
+    assert!(text.contains("formed for global `total`"), "{text}");
+    assert!(text.contains("promoted to r"), "{text}");
+    assert_eq!(out.stdout, run("total").stdout, "explain must be deterministic");
+    let missing = run("no_such_symbol");
+    assert!(missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stdout).contains("no analyzer decisions"));
+
+    // The saved-trace path renders the same chain.
+    let out = cminc()
+        .current_dir(&dir)
+        .args(["build", "counterlib.cmin", "app.cmin", "--config", "C", "--trace", "t.json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "build --trace: {}", String::from_utf8_lossy(&out.stderr));
+    let from_file =
+        cminc().current_dir(&dir).args(["explain", "total", "--trace", "t.json"]).output().unwrap();
+    assert!(from_file.status.success());
+    assert_eq!(String::from_utf8_lossy(&from_file.stdout), text);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_is_byte_deterministic_and_sums() {
+    let dir = tempdir("report");
+    write(&dir, "counterlib.cmin", LIB_SRC);
+    write(&dir, "app.cmin", MAIN_SRC);
+    let run = |json: &str| {
+        cminc()
+            .current_dir(&dir)
+            .args([
+                "report",
+                "counterlib.cmin",
+                "app.cmin",
+                "--config-b",
+                "C",
+                "--input",
+                "5 10 15",
+                "--json",
+                json,
+            ])
+            .output()
+            .unwrap()
+    };
+    let out = run("r1.json");
+    assert!(out.status.success(), "report: {}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(table.contains("per-procedure breakdown: L2 → C"), "{table}");
+    assert!(table.contains("add_in"), "{table}");
+    assert!(table.contains("cycles"), "{table}");
+    let again = run("r2.json");
+    assert_eq!(out.stdout, again.stdout, "report table must be deterministic");
+    let j1 = std::fs::read(dir.join("r1.json")).unwrap();
+    let j2 = std::fs::read(dir.join("r2.json")).unwrap();
+    assert_eq!(j1, j2, "report JSON must be byte-identical run to run");
+    let json = String::from_utf8(j1).unwrap();
+    assert!(json.contains("\"config_b\": \"C\""), "{json}");
+    assert!(json.contains("\"reasons\""), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_stats_json_dumps_exact_attribution() {
+    let dir = tempdir("statsjson");
+    write(&dir, "counterlib.cmin", LIB_SRC);
+    write(&dir, "app.cmin", MAIN_SRC);
+    let out = cminc()
+        .current_dir(&dir)
+        .args(["build", "counterlib.cmin", "app.cmin", "--config", "C"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Rebuild through the file pipeline to get an exe on disk.
+    for src in ["counterlib.cmin", "app.cmin"] {
+        assert!(cminc().current_dir(&dir).args(["phase1", src]).output().unwrap().status.success());
+    }
+    for cmd in [
+        vec!["analyze", "counterlib.sum", "app.sum", "--config", "C", "-o", "p.db"],
+        vec!["phase2", "counterlib.ir", "--db", "p.db", "-o", "counterlib.obj"],
+        vec!["phase2", "app.ir", "--db", "p.db", "-o", "app.obj"],
+        vec!["link", "counterlib.obj", "app.obj", "-o", "prog.exe"],
+    ] {
+        let out = cminc().current_dir(&dir).args(&cmd).output().unwrap();
+        assert!(out.status.success(), "{cmd:?}: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = cminc()
+        .current_dir(&dir)
+        .args(["run", "prog.exe", "--input", "5 10 15", "--stats-json", "s.json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "run: {}", String::from_utf8_lossy(&out.stderr));
+    let dump = std::fs::read_to_string(dir.join("s.json")).unwrap();
+    for key in ["funcs", "call_counts", "call_edges", "attribution", "inclusive_cycles", "add_in"] {
+        assert!(dump.contains(key), "missing `{key}` in {dump}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     let dir = tempdir("errors");
     let bad = write(&dir, "bad.cmin", "int f( {");

@@ -1,0 +1,127 @@
+//! Rendering of analyzer trace events as human-readable causal statements.
+
+use ipra_core::trace::{AnalyzerTrace, TraceEvent};
+
+/// Renders a name list, truncating long ones (blanket webs span every
+/// procedure in the program).
+fn list(names: &[String]) -> String {
+    const SHOWN: usize = 6;
+    if names.len() <= SHOWN {
+        format!("{{{}}}", names.join(", "))
+    } else {
+        format!("{{{}, … +{} more}}", names[..SHOWN].join(", "), names.len() - SHOWN)
+    }
+}
+
+/// Renders one trace event as a single human-readable line.
+pub fn render_event(e: &TraceEvent) -> String {
+    match e {
+        TraceEvent::WebFormed { web, sym, nodes, entries, written, benefit, entry_cost } => {
+            format!(
+                "web #{web}: formed for global `{sym}` over {} (entries {}), {}; \
+                 benefit {benefit}, entry cost {entry_cost}",
+                list(nodes),
+                list(entries),
+                if *written { "written" } else { "read-only" },
+            )
+        }
+        TraceEvent::WebDiscarded { web, sym, nodes, reason, benefit, entry_cost } => {
+            let which = match web {
+                Some(i) => format!("web #{i}"),
+                None => "web".to_string(),
+            };
+            format!(
+                "{which}: discarded for global `{sym}` over {} — {}; \
+                 benefit {benefit}, entry cost {entry_cost}",
+                list(nodes),
+                reason.describe(),
+            )
+        }
+        TraceEvent::WebColored { web, sym, nodes, entries, reg, priority } => {
+            format!(
+                "web #{web}: global `{sym}` promoted to {reg} across {} \
+                 (loaded at entries {}); priority {priority}",
+                list(nodes),
+                list(entries),
+            )
+        }
+        TraceEvent::WebUncolored { web, sym, nodes } => {
+            format!("web #{web}: no register available for `{sym}` over {}", list(nodes))
+        }
+        TraceEvent::ExitStoreSuppressed { web, sym, entries } => {
+            format!(
+                "web #{web}: exit store of `{sym}` suppressed at entries {} \
+                 (never written inside the web)",
+                list(entries),
+            )
+        }
+        TraceEvent::ClusterFormed { root, members } => {
+            format!("cluster rooted at `{root}` with members {}", list(members))
+        }
+        TraceEvent::SpillHoisted { root, regs, members } => {
+            format!("MSPILL {regs} hoisted to cluster root `{root}` on behalf of {}", list(members))
+        }
+        TraceEvent::FreeRegsGranted { proc, regs } => {
+            format!(
+                "`{proc}` granted FREE {regs} \
+                 (save/restore executed by an enclosing cluster root)"
+            )
+        }
+        TraceEvent::CallerClaimGranted { proc, claimed, safe_across } => {
+            format!("`{proc}`: caller-saves claim {claimed}; safe across its calls {safe_across}")
+        }
+    }
+}
+
+/// Renders the causal chain for one symbol (a global or a procedure) from a
+/// decision trace, one event per line in emission order.
+pub fn explain(trace: &AnalyzerTrace, symbol: &str) -> String {
+    let events = trace.for_symbol(symbol);
+    if events.is_empty() {
+        return format!("no analyzer decisions mention `{symbol}`\n");
+    }
+    let mut out = format!(
+        "analyzer decisions mentioning `{symbol}` ({} of {} events):\n",
+        events.len(),
+        trace.events.len()
+    );
+    for e in events {
+        out.push_str("  - ");
+        out.push_str(&render_event(e));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpr::regs::Reg;
+
+    #[test]
+    fn renders_each_event_kind() {
+        let mut t = AnalyzerTrace::default();
+        t.push(TraceEvent::WebColored {
+            web: 3,
+            sym: "g".into(),
+            nodes: vec!["f".into(), "h".into()],
+            entries: vec!["f".into()],
+            reg: Reg::new(12),
+            priority: 1232,
+        });
+        t.push(TraceEvent::ClusterFormed { root: "main".into(), members: vec!["f".into()] });
+        let text = explain(&t, "f");
+        assert!(text.contains("web #3"), "{text}");
+        assert!(text.contains("r12"), "{text}");
+        assert!(text.contains("cluster rooted at `main`"), "{text}");
+        assert!(explain(&t, "zzz").contains("no analyzer decisions"));
+    }
+
+    #[test]
+    fn long_name_lists_truncate() {
+        let names: Vec<String> = (0..40).map(|i| format!("p{i}")).collect();
+        let rendered = list(&names);
+        assert!(rendered.contains("+34 more"), "{rendered}");
+        assert!(rendered.len() < 200);
+    }
+}

@@ -49,4 +49,6 @@ pub mod sim;
 pub use inst::{AluOp, Cond, Inst, Label, MemClass};
 pub use program::{link, Executable, GlobalDef, LinkError, MachineFunction, ObjectModule};
 pub use regs::{Reg, RegSet};
-pub use sim::{run, run_with, RunResult, RunStats, SimError, SimOptions};
+pub use sim::{
+    run, run_with, Attribution, ProcCost, RunResult, RunStats, SimError, SimOptions, STARTUP_PROC,
+};

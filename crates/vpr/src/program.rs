@@ -211,6 +211,19 @@ impl Executable {
         self.globals.iter().find(|g| g.sym == sym).map(|g| g.addr)
     }
 
+    /// Resolves a code address to `proc+offset` via the function table.
+    /// Returns `None` for addresses outside any linked procedure (the
+    /// two-instruction startup stub, or a wild pc).
+    pub fn symbolize(&self, pc: usize) -> Option<String> {
+        let (&entry, &idx) = self.entry_to_func.range(..=pc).next_back()?;
+        let f = &self.funcs[idx];
+        if pc < entry + f.len {
+            Some(format!("{}+{}", f.name, pc - entry))
+        } else {
+            None
+        }
+    }
+
     /// Total static code size in instructions.
     pub fn code_len(&self) -> usize {
         self.insts.len()
@@ -564,6 +577,24 @@ mod tests {
             }
             other => panic!("expected Comb, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn symbolize_resolves_proc_plus_offset() {
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Ldi { rd: Reg::RV, imm: 1 });
+        f.push(Inst::Bv { base: Reg::RP });
+        let m1 = ObjectModule { name: "a".into(), functions: vec![ret_fn("f")], globals: vec![] };
+        let m2 = ObjectModule { name: "b".into(), functions: vec![f], globals: vec![] };
+        let exe = link(&[m1, m2]).unwrap();
+        // Layout: stub (0..2), f (2..3), main (3..5).
+        assert_eq!(exe.symbolize(0), None); // startup stub
+        assert_eq!(exe.symbolize(1), None);
+        assert_eq!(exe.symbolize(2).as_deref(), Some("f+0"));
+        assert_eq!(exe.symbolize(3).as_deref(), Some("main+0"));
+        assert_eq!(exe.symbolize(4).as_deref(), Some("main+1"));
+        assert_eq!(exe.symbolize(5), None); // past the end
+        assert_eq!(exe.symbolize(1000), None);
     }
 
     #[test]

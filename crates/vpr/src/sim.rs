@@ -28,11 +28,99 @@ pub struct SimOptions {
     pub max_steps: u64,
     /// Values returned by `IN` instructions, in order (then −1).
     pub input: Vec<i64>,
+    /// Attribute every cycle and memory reference to a procedure via the
+    /// shadow call stack ([`RunResult::attribution`]). Exact, not sampled;
+    /// never changes the run's [`RunStats`].
+    pub attribute: bool,
 }
 
 impl Default for SimOptions {
     fn default() -> SimOptions {
-        SimOptions { mem_words: DEFAULT_MEM_WORDS, max_steps: 2_000_000_000, input: Vec::new() }
+        SimOptions {
+            mem_words: DEFAULT_MEM_WORDS,
+            max_steps: 2_000_000_000,
+            input: Vec::new(),
+            attribute: false,
+        }
+    }
+}
+
+/// The attribution bucket for code outside any linked procedure: the
+/// two-instruction startup stub (`CALL main; HALT`).
+pub const STARTUP_PROC: &str = "<startup>";
+
+/// Exact dynamic cost of one procedure within a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcCost {
+    /// Cycles spent in the procedure itself (excluding callees).
+    pub cycles: u64,
+    /// Loads executed by the procedure's own instructions.
+    pub loads: u64,
+    /// Stores executed by the procedure's own instructions.
+    pub stores: u64,
+    /// Of `loads`, those classified as singleton references.
+    pub singleton_loads: u64,
+    /// Of `stores`, those classified as singleton references.
+    pub singleton_stores: u64,
+    /// Activations of the procedure.
+    pub calls: u64,
+    /// Cycles with at least one activation of the procedure on the call
+    /// stack (self + callees; recursion counted once).
+    pub inclusive_cycles: u64,
+}
+
+impl ProcCost {
+    /// Self loads + stores.
+    pub fn mem_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Self singleton loads + stores.
+    pub fn singleton_refs(&self) -> u64 {
+        self.singleton_loads + self.singleton_stores
+    }
+}
+
+/// Exact per-procedure attribution of a run's dynamic cost, keyed by link
+/// name (plus [`STARTUP_PROC`]). Every cycle, memory reference, and call of
+/// the run is charged to exactly one procedure, so the self-cost columns
+/// sum to the run's [`RunStats`] — [`Attribution::matches`] checks this.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Per-procedure costs, ordered by name for deterministic serialization.
+    pub procs: BTreeMap<String, ProcCost>,
+}
+
+impl Attribution {
+    /// The cost record for `name`, if the procedure was linked.
+    pub fn get(&self, name: &str) -> Option<&ProcCost> {
+        self.procs.get(name)
+    }
+
+    /// Sums the self-cost columns over all procedures. `inclusive_cycles`
+    /// is left zero: inclusive windows overlap, so their sum is meaningless.
+    pub fn self_totals(&self) -> ProcCost {
+        let mut t = ProcCost::default();
+        for c in self.procs.values() {
+            t.cycles += c.cycles;
+            t.loads += c.loads;
+            t.stores += c.stores;
+            t.singleton_loads += c.singleton_loads;
+            t.singleton_stores += c.singleton_stores;
+            t.calls += c.calls;
+        }
+        t
+    }
+
+    /// Do the per-procedure self costs sum exactly to `stats`?
+    pub fn matches(&self, stats: &RunStats) -> bool {
+        let t = self.self_totals();
+        t.cycles == stats.cycles
+            && t.loads == stats.loads
+            && t.stores == stats.stores
+            && t.singleton_loads == stats.singleton_loads
+            && t.singleton_stores == stats.singleton_stores
+            && t.calls == stats.calls
     }
 }
 
@@ -82,36 +170,60 @@ pub struct RunResult {
     pub exit: i64,
     /// Dynamic statistics.
     pub stats: RunStats,
+    /// Per-procedure attribution ([`SimOptions::attribute`]); `None` when
+    /// attribution was off.
+    #[serde(default)]
+    pub attribution: Option<Attribution>,
 }
 
-/// A runtime trap or simulator resource error.
-#[allow(missing_docs)] // field names (pc, addr, limit) are self-describing
+/// A runtime trap or simulator resource error. Trap variants carry the
+/// faulting `pc` plus `sym`, the `proc+offset` form resolved from the
+/// executable's function table (`None` when the pc falls outside every
+/// linked procedure, e.g. in the startup stub).
+#[allow(missing_docs)] // field names (pc, addr, limit, sym) are self-describing
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Integer division or remainder by zero.
-    DivByZero { pc: usize },
+    DivByZero { pc: usize, sym: Option<String> },
     /// Memory access outside the simulated address space.
-    MemFault { pc: usize, addr: i64 },
+    MemFault { pc: usize, addr: i64, sym: Option<String> },
     /// Control transferred outside the code segment.
-    BadPc { pc: usize },
+    BadPc { pc: usize, sym: Option<String> },
     /// The step budget was exhausted (likely an infinite loop).
     StepLimit { limit: u64 },
     /// An unresolved pseudo instruction reached the simulator
     /// (indicates an unlinked or corrupted executable).
-    UnresolvedPseudo { pc: usize },
+    UnresolvedPseudo { pc: usize, sym: Option<String> },
+}
+
+/// `main+3 (pc 12)` when symbolized, `pc 12` otherwise.
+fn fmt_loc(f: &mut fmt::Formatter<'_>, pc: usize, sym: &Option<String>) -> fmt::Result {
+    match sym {
+        Some(s) => write!(f, "{s} (pc {pc})"),
+        None => write!(f, "pc {pc}"),
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::DivByZero { pc } => write!(f, "division by zero at pc {pc}"),
-            SimError::MemFault { pc, addr } => {
-                write!(f, "memory fault at pc {pc}: address {addr}")
+            SimError::DivByZero { pc, sym } => {
+                write!(f, "division by zero at ")?;
+                fmt_loc(f, *pc, sym)
             }
-            SimError::BadPc { pc } => write!(f, "control transfer outside code at pc {pc}"),
+            SimError::MemFault { pc, addr, sym } => {
+                write!(f, "memory fault at ")?;
+                fmt_loc(f, *pc, sym)?;
+                write!(f, ": address {addr}")
+            }
+            SimError::BadPc { pc, sym } => {
+                write!(f, "control transfer outside code at ")?;
+                fmt_loc(f, *pc, sym)
+            }
             SimError::StepLimit { limit } => write!(f, "step limit of {limit} exhausted"),
-            SimError::UnresolvedPseudo { pc } => {
-                write!(f, "unresolved pseudo instruction at pc {pc}")
+            SimError::UnresolvedPseudo { pc, sym } => {
+                write!(f, "unresolved pseudo instruction at ")?;
+                fmt_loc(f, *pc, sym)
             }
         }
     }
@@ -137,6 +249,52 @@ pub fn run_with(exe: &Executable, opts: &SimOptions) -> Result<RunResult, SimErr
     Machine::new(exe, opts).run()
 }
 
+// Per-slot attribution state: slot i < nfuncs is function index i, slot
+// nfuncs is the startup stub ([`STARTUP_PROC`]). `depth`/`entered_at`
+// implement exact inclusive accounting in O(1) per call/return: a slot's
+// inclusive window opens when its on-stack count goes 0→1 and closes
+// (adding `cycles − entered_at`) when it returns to 0, so recursion is
+// counted once.
+struct AttrState {
+    nfuncs: usize,
+    cost: Vec<ProcCost>,
+    depth: Vec<u32>,
+    entered_at: Vec<u64>,
+}
+
+impl AttrState {
+    fn new(nfuncs: usize) -> AttrState {
+        let slots = nfuncs + 1;
+        let mut a = AttrState {
+            nfuncs,
+            cost: vec![ProcCost::default(); slots],
+            depth: vec![0; slots],
+            entered_at: vec![0; slots],
+        };
+        // The startup stub is "active" from cycle 0.
+        a.depth[nfuncs] = 1;
+        a
+    }
+
+    fn slot(&self, func: usize) -> usize {
+        if func < self.nfuncs {
+            func
+        } else {
+            self.nfuncs
+        }
+    }
+
+    /// The cost record of the procedure on top of the shadow stack (the
+    /// startup-stub slot when the stack is empty or holds its sentinel).
+    fn cur(&mut self, shadow: &[usize]) -> &mut ProcCost {
+        let slot = match shadow.last() {
+            Some(&f) if f < self.nfuncs => f,
+            _ => self.nfuncs,
+        };
+        &mut self.cost[slot]
+    }
+}
+
 struct Machine<'a> {
     exe: &'a Executable,
     regs: [i64; Reg::COUNT],
@@ -150,6 +308,8 @@ struct Machine<'a> {
     stats: RunStats,
     // Shadow stack of function indices for call-edge accounting.
     shadow: Vec<usize>,
+    // Per-procedure attribution (opt-in; `None` keeps the run untouched).
+    attr: Option<AttrState>,
 }
 
 impl<'a> Machine<'a> {
@@ -175,7 +335,13 @@ impl<'a> Machine<'a> {
             output: Vec::new(),
             stats: RunStats::default(),
             shadow: vec![usize::MAX],
+            attr: opts.attribute.then(|| AttrState::new(exe.funcs().len())),
         }
+    }
+
+    /// Symbolizes the current pc for a trap.
+    fn here(&self) -> Option<String> {
+        self.exe.symbolize(self.pc)
     }
 
     fn get(&self, r: Reg) -> i64 {
@@ -194,14 +360,19 @@ impl<'a> Machine<'a> {
 
     fn load(&mut self, base: Reg, disp: i64, singleton: bool) -> Result<i64, SimError> {
         let addr = self.get(base).wrapping_add(disp);
-        let v = *self
-            .mem
-            .get(addr as usize)
-            .filter(|_| addr >= 0)
-            .ok_or(SimError::MemFault { pc: self.pc, addr })?;
+        let v = *self.mem.get(addr as usize).filter(|_| addr >= 0).ok_or_else(|| {
+            SimError::MemFault { pc: self.pc, addr, sym: self.exe.symbolize(self.pc) }
+        })?;
         self.stats.loads += 1;
         if singleton {
             self.stats.singleton_loads += 1;
+        }
+        if let Some(a) = &mut self.attr {
+            let c = a.cur(&self.shadow);
+            c.loads += 1;
+            if singleton {
+                c.singleton_loads += 1;
+            }
         }
         Ok(v)
     }
@@ -209,12 +380,19 @@ impl<'a> Machine<'a> {
     fn store(&mut self, base: Reg, disp: i64, v: i64, singleton: bool) -> Result<(), SimError> {
         let addr = self.get(base).wrapping_add(disp);
         if addr < 0 || addr as usize >= self.mem.len() {
-            return Err(SimError::MemFault { pc: self.pc, addr });
+            return Err(SimError::MemFault { pc: self.pc, addr, sym: self.here() });
         }
         self.mem[addr as usize] = v;
         self.stats.stores += 1;
         if singleton {
             self.stats.singleton_stores += 1;
+        }
+        if let Some(a) = &mut self.attr {
+            let c = a.cur(&self.shadow);
+            c.stores += 1;
+            if singleton {
+                c.singleton_stores += 1;
+            }
         }
         Ok(())
     }
@@ -226,6 +404,47 @@ impl<'a> Machine<'a> {
         *self.stats.call_counts.entry(callee).or_insert(0) += 1;
         *self.stats.call_edges.entry((caller, callee)).or_insert(0) += 1;
         self.shadow.push(callee);
+        if let Some(a) = &mut self.attr {
+            let slot = a.slot(callee);
+            a.cost[slot].calls += 1;
+            a.depth[slot] += 1;
+            if a.depth[slot] == 1 {
+                a.entered_at[slot] = self.stats.cycles;
+            }
+        }
+    }
+
+    /// Closes a procedure's inclusive window if its last activation left the
+    /// stack (called when `Bv` pops `func` from the shadow stack).
+    fn record_return(&mut self, func: usize) {
+        if let Some(a) = &mut self.attr {
+            let slot = a.slot(func);
+            if a.depth[slot] > 0 {
+                a.depth[slot] -= 1;
+                if a.depth[slot] == 0 {
+                    a.cost[slot].inclusive_cycles += self.stats.cycles - a.entered_at[slot];
+                }
+            }
+        }
+    }
+
+    /// Closes every still-open inclusive window (at `HALT`) and builds the
+    /// name-keyed attribution.
+    fn finish_attribution(&mut self) -> Option<Attribution> {
+        let cycles = self.stats.cycles;
+        let mut a = self.attr.take()?;
+        for slot in 0..a.cost.len() {
+            if a.depth[slot] > 0 {
+                a.cost[slot].inclusive_cycles += cycles - a.entered_at[slot];
+                a.depth[slot] = 0;
+            }
+        }
+        let mut procs = BTreeMap::new();
+        for (i, f) in self.exe.funcs().iter().enumerate() {
+            procs.insert(f.name.clone(), a.cost[i]);
+        }
+        procs.insert(STARTUP_PROC.to_string(), a.cost[a.nfuncs]);
+        Some(Attribution { procs })
     }
 
     fn run(mut self) -> Result<RunResult, SimError> {
@@ -234,9 +453,15 @@ impl<'a> Machine<'a> {
             if self.steps >= self.max_steps {
                 return Err(SimError::StepLimit { limit: self.max_steps });
             }
-            let inst = code.get(self.pc).ok_or(SimError::BadPc { pc: self.pc })?;
+            let inst = match code.get(self.pc) {
+                Some(inst) => inst,
+                None => return Err(SimError::BadPc { pc: self.pc, sym: self.here() }),
+            };
             self.steps += 1;
             self.stats.cycles += 1;
+            if let Some(a) = &mut self.attr {
+                a.cur(&self.shadow).cycles += 1;
+            }
             let mut next = self.pc + 1;
             match inst {
                 Inst::Ldi { rd, imm } => self.set(*rd, *imm),
@@ -245,14 +470,16 @@ impl<'a> Machine<'a> {
                     self.set(*rd, v);
                 }
                 Inst::Alu { op, rd, rs1, rs2 } => {
-                    let v = op
-                        .eval(self.get(*rs1), self.get(*rs2))
-                        .ok_or(SimError::DivByZero { pc: self.pc })?;
+                    let v = op.eval(self.get(*rs1), self.get(*rs2)).ok_or_else(|| {
+                        SimError::DivByZero { pc: self.pc, sym: self.exe.symbolize(self.pc) }
+                    })?;
                     self.set(*rd, v);
                 }
                 Inst::Alui { op, rd, rs1, imm } => {
-                    let v =
-                        op.eval(self.get(*rs1), *imm).ok_or(SimError::DivByZero { pc: self.pc })?;
+                    let v = op.eval(self.get(*rs1), *imm).ok_or_else(|| SimError::DivByZero {
+                        pc: self.pc,
+                        sym: self.exe.symbolize(self.pc),
+                    })?;
                     self.set(*rd, v);
                 }
                 Inst::Cmp { cond, rd, rs1, rs2 } => {
@@ -275,7 +502,7 @@ impl<'a> Machine<'a> {
                 Inst::CallInd { base } => {
                     let entry = self.get(*base);
                     if entry < 0 || entry as usize >= code.len() {
-                        return Err(SimError::BadPc { pc: self.pc });
+                        return Err(SimError::BadPc { pc: self.pc, sym: self.here() });
                     }
                     self.set(Reg::RP, next as i64);
                     self.record_call(entry as usize);
@@ -284,9 +511,11 @@ impl<'a> Machine<'a> {
                 Inst::Bv { base } => {
                     let target = self.get(*base);
                     if target < 0 || target as usize >= code.len() {
-                        return Err(SimError::BadPc { pc: self.pc });
+                        return Err(SimError::BadPc { pc: self.pc, sym: self.here() });
                     }
-                    self.shadow.pop();
+                    if let Some(func) = self.shadow.pop() {
+                        self.record_return(func);
+                    }
                     next = target as usize;
                 }
                 Inst::B { target } => next = target.0 as usize,
@@ -303,7 +532,13 @@ impl<'a> Machine<'a> {
                 }
                 Inst::Halt => {
                     let exit = self.get(Reg::RV);
-                    return Ok(RunResult { output: self.output, exit, stats: self.stats });
+                    let attribution = self.finish_attribution();
+                    return Ok(RunResult {
+                        output: self.output,
+                        exit,
+                        stats: self.stats,
+                        attribution,
+                    });
                 }
                 Inst::Nop => {}
                 Inst::Ldg { .. }
@@ -311,7 +546,7 @@ impl<'a> Machine<'a> {
                 | Inst::Lga { .. }
                 | Inst::Ldfa { .. }
                 | Inst::Call { .. } => {
-                    return Err(SimError::UnresolvedPseudo { pc: self.pc });
+                    return Err(SimError::UnresolvedPseudo { pc: self.pc, sym: self.here() });
                 }
             }
             self.pc = next;
@@ -476,6 +711,104 @@ mod tests {
         let exe = exe_of(vec![f], vec![]);
         let opts = SimOptions { max_steps: 100, ..SimOptions::default() };
         assert_eq!(run_with(&exe, &opts), Err(SimError::StepLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn attribution_is_exact_and_cycle_neutral() {
+        let mut leaf = MachineFunction::new("leaf");
+        leaf.push(Inst::Alui { op: AluOp::Add, rd: Reg::RV, rs1: Reg::ARGS[0], imm: 1 });
+        leaf.push(Inst::Bv { base: Reg::RP });
+
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Copy { rd: Reg::new(3), rs: Reg::RP });
+        f.push(Inst::Ldi { rd: Reg::ARGS[0], imm: 1 });
+        f.push(Inst::Call { target: "leaf".into() });
+        f.push(Inst::Copy { rd: Reg::ARGS[0], rs: Reg::RV });
+        f.push(Inst::Call { target: "leaf".into() });
+        f.push(Inst::Copy { rd: Reg::RP, rs: Reg::new(3) });
+        f.push(Inst::Bv { base: Reg::RP });
+
+        let exe = exe_of(vec![leaf, f], vec![]);
+        let plain = run(&exe).unwrap();
+        let attributed =
+            run_with(&exe, &SimOptions { attribute: true, ..SimOptions::default() }).unwrap();
+        // Attribution never perturbs the run.
+        assert_eq!(plain.stats, attributed.stats);
+        assert_eq!(plain.output, attributed.output);
+        assert_eq!(plain.exit, attributed.exit);
+        assert!(plain.attribution.is_none());
+
+        let a = attributed.attribution.unwrap();
+        assert!(a.matches(&attributed.stats), "{a:?}");
+        let leaf = a.get("leaf").unwrap();
+        assert_eq!(leaf.calls, 2);
+        assert_eq!(leaf.cycles, 4); // two instructions × two activations
+        let main = a.get("main").unwrap();
+        assert_eq!(main.calls, 1);
+        assert_eq!(main.cycles, 7);
+        // main's inclusive window covers both leaf activations.
+        assert_eq!(main.inclusive_cycles, main.cycles + leaf.cycles);
+        // The startup stub is on-stack for the whole run.
+        let stub = a.get(STARTUP_PROC).unwrap();
+        assert_eq!(stub.inclusive_cycles, attributed.stats.cycles);
+        assert_eq!(stub.cycles, 2); // CALL main + HALT
+    }
+
+    #[test]
+    fn recursion_counts_inclusive_cycles_once() {
+        // rec(n): if n != 0 { rec(n - 1) }, with RP saved on the stack.
+        let mut rec = MachineFunction::new("rec");
+        let done = rec.new_label();
+        rec.push(Inst::Alui { op: AluOp::Sub, rd: Reg::SP, rs1: Reg::SP, imm: 1 });
+        rec.push(Inst::Stw { rs: Reg::RP, base: Reg::SP, disp: 0, class: MemClass::Frame });
+        rec.push(Inst::Comb { cond: Cond::Eq, rs1: Reg::ARGS[0], rs2: Reg::ZERO, target: done });
+        rec.push(Inst::Alui { op: AluOp::Sub, rd: Reg::ARGS[0], rs1: Reg::ARGS[0], imm: 1 });
+        rec.push(Inst::Call { target: "rec".into() });
+        rec.bind_label(done);
+        rec.push(Inst::Ldw { rd: Reg::RP, base: Reg::SP, disp: 0, class: MemClass::Frame });
+        rec.push(Inst::Alui { op: AluOp::Add, rd: Reg::SP, rs1: Reg::SP, imm: 1 });
+        rec.push(Inst::Bv { base: Reg::RP });
+
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Copy { rd: Reg::new(3), rs: Reg::RP });
+        f.push(Inst::Ldi { rd: Reg::ARGS[0], imm: 3 });
+        f.push(Inst::Call { target: "rec".into() });
+        f.push(Inst::Copy { rd: Reg::RP, rs: Reg::new(3) });
+        f.push(Inst::Bv { base: Reg::RP });
+
+        let exe = exe_of(vec![rec, f], vec![]);
+        let r = run_with(&exe, &SimOptions { attribute: true, ..SimOptions::default() }).unwrap();
+        let a = r.attribution.unwrap();
+        assert!(a.matches(&r.stats), "{a:?}");
+        let rec = a.get("rec").unwrap();
+        assert_eq!(rec.calls, 4); // n = 3, 2, 1, 0
+                                  // One inclusive window spanning all nested activations — not four.
+        assert!(rec.inclusive_cycles >= rec.cycles);
+        assert!(rec.inclusive_cycles < r.stats.cycles);
+        let main = a.get("main").unwrap();
+        assert!(main.inclusive_cycles > rec.inclusive_cycles);
+    }
+
+    #[test]
+    fn traps_are_symbolized() {
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Ldi { rd: Reg::new(19), imm: 0 });
+        f.push(Inst::Alu { op: AluOp::Div, rd: Reg::RV, rs1: Reg::ZERO, rs2: Reg::new(19) });
+        let err = run(&exe_of(vec![f], vec![])).unwrap_err();
+        match &err {
+            SimError::DivByZero { sym, .. } => assert_eq!(sym.as_deref(), Some("main+1")),
+            other => panic!("expected DivByZero, got {other:?}"),
+        }
+        assert!(err.to_string().contains("main+1"), "{err}");
+
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Ldw { rd: Reg::RV, base: Reg::ZERO, disp: -1, class: MemClass::Indirect });
+        let err = run(&exe_of(vec![f], vec![])).unwrap_err();
+        match &err {
+            SimError::MemFault { sym, .. } => assert_eq!(sym.as_deref(), Some("main+0")),
+            other => panic!("expected MemFault, got {other:?}"),
+        }
+        assert!(err.to_string().contains("main+0"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,10 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "==> tier-1: cargo build --release"
 cargo build --release -q
+# The root build only compiles dependency *libraries*; the cminc binary
+# lives in the driver crate and must be requested explicitly so the
+# report smoke below never runs a stale binary.
+cargo build --release -q -p ipra-driver
 
 echo "==> tier-1: cargo test"
 cargo test -q
@@ -23,5 +27,34 @@ cargo test --workspace -q
 echo "==> compile-time benchmark smoke (tiny workload, cache checks on)"
 cargo run --release -q -p ipra-bench --bin compile_bench -- --modules 8 --check --out BENCH_compile.json
 test -s BENCH_compile.json
+
+echo "==> cminc report smoke (two runs must be byte-identical)"
+report_dir="$(mktemp -d)"
+trap 'rm -rf "$report_dir"' EXIT
+cat > "$report_dir/counter.cmin" <<'EOF'
+static int hits;
+int total;
+int bump(int k) { hits = hits + 1; total = total + k; return total; }
+int hits_of() { return hits; }
+EOF
+cat > "$report_dir/app.cmin" <<'EOF'
+extern int total;
+extern int bump(int);
+extern int hits_of();
+int main() {
+    for (int i = 0; i < 50; i = i + 1) { bump(i); }
+    out(total);
+    out(hits_of());
+    return total;
+}
+EOF
+cminc=target/release/cminc
+for i in 1 2; do
+  "$cminc" report "$report_dir/counter.cmin" "$report_dir/app.cmin" \
+    --config-b C --json "$report_dir/report$i.json" > "$report_dir/table$i.txt"
+done
+cmp "$report_dir/report1.json" "$report_dir/report2.json"
+cmp "$report_dir/table1.txt" "$report_dir/table2.txt"
+grep -q '"reasons"' "$report_dir/report1.json"
 
 echo "All checks passed."

@@ -134,3 +134,40 @@ fn entry_nodes_insert_load_and_store() {
     let d_g1 = web_of(&analysis.database, "D", "g1");
     assert!(!d_g1.is_entry && !d_g1.store_at_exit);
 }
+
+/// Golden test for the explain query on the paper's worked example: the
+/// exact causal chain the analyzer reports for web 3 (g1 over {B, D, E})
+/// and for procedure B, byte for byte.
+#[test]
+fn explain_renders_the_figure3_decision_chain_exactly() {
+    let opts = AnalyzerOptions {
+        promotion: PromotionMode::Coloring { registers: 2 },
+        spill_motion: false,
+        ..AnalyzerOptions::default()
+    };
+    let (analysis, trace) = ipra_core::analyzer::analyze_traced(&figure3_summary(), &opts);
+    // The trace observes without perturbing: same analysis as the untraced run.
+    assert_eq!(analysis.database, analyze(&figure3_summary(), &opts).database);
+
+    assert_eq!(
+        ipra_obsv::explain(&trace, "g1"),
+        "analyzer decisions mentioning `g1` (2 of 8 events):\n  \
+         - web #0: formed for global `g1` over {B, D, E} (entries {B}), written; \
+         benefit 50, entry cost 4\n  \
+         - web #0: global `g1` promoted to r3 across {B, D, E} (loaded at entries {B}); \
+         priority 46\n"
+    );
+    assert_eq!(
+        ipra_obsv::explain(&trace, "B"),
+        "analyzer decisions mentioning `B` (4 of 8 events):\n  \
+         - web #0: formed for global `g1` over {B, D, E} (entries {B}), written; \
+         benefit 50, entry cost 4\n  \
+         - web #0: global `g1` promoted to r3 across {B, D, E} (loaded at entries {B}); \
+         priority 46\n  \
+         - web #3: formed for global `g3` over {A, B, C} (entries {A}), written; \
+         benefit 30, entry cost 4\n  \
+         - web #3: global `g3` promoted to r4 across {A, B, C} (loaded at entries {A}); \
+         priority 26\n"
+    );
+    assert_eq!(ipra_obsv::explain(&trace, "zzz"), "no analyzer decisions mention `zzz`\n");
+}
