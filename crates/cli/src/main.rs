@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "build" => build_cmd(rest),
         "explain" => explain_cmd(rest),
         "report" => report_cmd(rest),
+        "fuzz" => fuzz_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -69,6 +70,7 @@ const USAGE: &str = "usage:
   cminc build <src.cmin>... [--config ...] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--input \"v v v\"]
   cminc explain <symbol> (--trace <trace.json> | <src.cmin>... [--config ...])
   cminc report <src.cmin>... --config-b L2|A|B|C|D|E|F [--config-a ...] [--input \"v v v\"] [--json <out.json>]
+  cminc fuzz [--seed N] [--iters N | --time-budget SECS] [-j|--jobs N] [--corpus DIR] [--reduce-budget N] [--self-validate]
 
 build flags:
   -j, --jobs N   worker threads for the per-module phases (default 1, 0 = all cores)
@@ -82,7 +84,21 @@ observability:
   report         compile under two configs (A defaults to L2), run both with
                  exact per-procedure attribution, and explain each delta;
                  --json writes the full deterministic report
-  --stats-json   (run) write RunStats + exact per-procedure attribution as JSON";
+  --stats-json   (run) write RunStats + exact per-procedure attribution as JSON
+
+fuzz:
+  random differential testing: generated programs are interpreted and
+  compiled under all seven paper configurations; any divergence (or verify,
+  attribution, incremental-build or trace-purity violation) is shrunk to a
+  minimal repro. stdout is deterministic for a given --seed/--iters,
+  independent of --jobs; timing goes to stderr.
+  --seed N           master seed (default 1)
+  --iters N          iterations (default 100)
+  --time-budget SECS run until the budget elapses instead (not jobs-deterministic)
+  --corpus DIR       save reduced repros as corpus entries under DIR
+  --reduce-budget N  predicate evaluations per reduction (default 1200)
+  --self-validate    inject the known miscompile classes and prove the
+                     oracle detects them; repros shrink into --corpus too";
 
 /// Pulls the value following `flag` out of `args`, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -122,6 +138,11 @@ fn positionals(args: &[String]) -> Vec<String> {
                     | "--config-a"
                     | "--config-b"
                     | "--json"
+                    | "--seed"
+                    | "--iters"
+                    | "--time-budget"
+                    | "--corpus"
+                    | "--reduce-budget"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
@@ -468,6 +489,70 @@ fn report_cmd(args: &[String]) -> Result<(), String> {
     if let Some(path) = flag_value(args, "--json") {
         write(&path, &report.to_json())?;
         eprintln!("report: -> {path}");
+    }
+    Ok(())
+}
+
+/// `cminc fuzz`: run the differential fuzzer (and/or oracle
+/// self-validation). The report on stdout is deterministic for a given
+/// `--seed`/`--iters` regardless of `--jobs`; wall-clock goes to stderr.
+fn fuzz_cmd(args: &[String]) -> Result<(), String> {
+    let parse_num = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad {flag} value `{v}`: {e}")),
+        }
+    };
+    let jobs = match flag_value(args, "--jobs").or_else(|| flag_value(args, "-j")) {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("bad --jobs value `{v}`: {e}"))?,
+        None => 0,
+    };
+    let defaults = ipra_fuzz::FuzzOptions::default();
+    let opts = ipra_fuzz::FuzzOptions {
+        seed: parse_num("--seed", defaults.seed)?,
+        iters: parse_num("--iters", defaults.iters as u64)? as usize,
+        time_budget: flag_value(args, "--time-budget")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(std::time::Duration::from_secs)
+                    .map_err(|e| format!("bad --time-budget value `{v}`: {e}"))
+            })
+            .transpose()?,
+        jobs,
+        corpus_dir: flag_value(args, "--corpus").map(std::path::PathBuf::from),
+        reduce_checks: parse_num(
+            "--reduce-budget",
+            ipra_fuzz::ReduceOptions::default().max_checks as u64,
+        )? as usize,
+        max_reported: defaults.max_reported,
+    };
+
+    let start = std::time::Instant::now();
+    let mut failed = false;
+    if has_flag(args, "--self-validate") {
+        let results = ipra_fuzz::self_validate(&opts)?;
+        for r in &results {
+            println!(
+                "self-validate: {} injected at seed {:#x}, detected, reduced {} -> {} module(s)",
+                r.class.name(),
+                r.seed,
+                r.original_modules,
+                r.sources.len()
+            );
+            if let Some(p) = &r.corpus_path {
+                println!("  saved {}", p.display());
+            }
+        }
+    }
+    if !has_flag(args, "--self-validate") || has_flag(args, "--iters") || opts.time_budget.is_some()
+    {
+        let outcome = ipra_fuzz::fuzz(&opts);
+        print!("{}", outcome.render());
+        failed = outcome.total_failures > 0;
+    }
+    eprintln!("fuzz: {:.1}s", start.elapsed().as_secs_f64());
+    if failed {
+        return Err("the fuzzer found failures (see report above)".into());
     }
     Ok(())
 }

@@ -288,6 +288,39 @@ mod tests {
         assert_ne!(db.module_slice_fingerprint(["f"], ["g"]), after_def);
     }
 
+    /// The incremental driver persists databases as JSON between builds and
+    /// keys its cache on these fingerprints — so a round-trip through the
+    /// on-disk form must reproduce them bit-for-bit, and independently
+    /// constructed equal databases must agree regardless of insert order.
+    #[test]
+    fn fingerprints_are_stable_across_serialization_and_construction() {
+        let mut db = ProgramDatabase::new();
+        let mut f = ProcDirectives::standard("f");
+        f.usage.free.insert(Reg::new(5));
+        f.promotions.push(Promotion {
+            sym: "g".into(),
+            reg: Reg::new(3),
+            is_entry: true,
+            store_at_exit: true,
+        });
+        db.insert(f.clone());
+        db.insert(ProcDirectives::standard("g"));
+
+        let mut db2 = ProgramDatabase::new();
+        db2.insert(ProcDirectives::standard("g"));
+        db2.insert(f);
+        let db3 = ProgramDatabase::from_json(&db.to_json()).unwrap();
+
+        for other in [&db2, &db3] {
+            assert_eq!(db.proc_fingerprint("f"), other.proc_fingerprint("f"));
+            assert_eq!(db.proc_fingerprint("g"), other.proc_fingerprint("g"));
+            assert_eq!(
+                db.module_slice_fingerprint(["f"], ["g"]),
+                other.module_slice_fingerprint(["f"], ["g"])
+            );
+        }
+    }
+
     #[test]
     fn slice_fingerprint_is_order_insensitive() {
         let mut db = ProgramDatabase::new();

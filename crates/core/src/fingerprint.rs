@@ -102,11 +102,27 @@ mod tests {
         assert_ne!(a.finish(), b.finish());
     }
 
+    /// Pins `write` to the published FNV-1a 64-bit reference vectors.
+    /// If these move, every on-disk cache key in existence silently
+    /// invalidates — treat a failure here as an ABI break, not a test to
+    /// update.
     #[test]
-    fn known_empty_hash() {
-        // FNV-1a offset basis after hashing the 8-byte length prefix of "".
-        let h = fingerprint_str("");
-        assert_ne!(h, 0);
-        assert_eq!(h, fingerprint_str(""));
+    fn raw_write_matches_published_fnv1a_vectors() {
+        assert_eq!(Fnv64::new().finish(), FNV_OFFSET);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    /// Byte-pins the length-prefixed string encoding. These values fold in
+    /// the 8-byte little-endian length before the bytes, so they differ from
+    /// the raw vectors above on purpose.
+    #[test]
+    fn golden_string_fingerprints() {
+        assert_eq!(fingerprint_str(""), 0xa8c7_f832_281a_39c5);
+        assert_eq!(fingerprint_str("module"), 0xa298_7d78_245a_346f);
     }
 }

@@ -169,15 +169,29 @@ pub fn compute_register_sets(
             let a_in = avail[&node];
             let u = &mut usage[node.index()];
             if node != root && clustering.is_root(node) {
-                // Nested root: migrate its MSPILL upward where possible and
-                // cover its own callee-saves need for free.
-                let migrate = u.mspill & a_in;
-                used |= migrate;
-                u.mspill -= a_in;
-                let free = u.callee & a_in;
-                used |= free;
-                u.free |= free;
-                u.callee -= free;
+                // A *recursive* root is only sound because it executes its
+                // own spill code on every activation (§4.2.2, footnote 4);
+                // migrating its MSPILL upward or trading its CALLEE saves
+                // for FREE registers would remove that per-activation code
+                // and let recursive re-entries clobber live values. Leave it
+                // untouched — and since it saves everything it uses, its
+                // AVAIL passes through unchanged.
+                if !graph.is_recursive(node) {
+                    // Nested root: migrate its MSPILL upward where possible
+                    // and cover its own callee-saves need for free.
+                    let migrate = u.mspill & a_in;
+                    used |= migrate;
+                    u.mspill -= a_in;
+                    let free = u.callee & a_in;
+                    used |= free;
+                    u.free |= free;
+                    u.callee -= free;
+                    // Everything the nested root consumed stays live
+                    // throughout its subtree, so successors must not
+                    // re-allocate it: publish the reduced AVAIL exactly like
+                    // the ordinary-member branch does.
+                    avail.insert(node, a_in - (migrate | free));
+                }
             } else if node != root {
                 // Ordinary member: pre-allocate FREE registers.
                 let need = graph.node(node).callee_saves_estimate as usize;
@@ -270,6 +284,24 @@ mod tests {
             // Only cluster roots may carry MSPILL.
             if !u.mspill.is_empty() {
                 assert!(c.is_root(n), "{n} has MSPILL but is not a root");
+            }
+        }
+        // A callee's FREE registers are clobbered without save, and a
+        // caller's FREE registers may hold values across calls — so along
+        // any call edge the two sets must be disjoint (the miscompile the
+        // differential fuzzer caught: a nested root and its callee both
+        // granted the same FREE register).
+        for p in g.node_ids() {
+            for q in g.successors(p) {
+                if p == q {
+                    continue;
+                }
+                assert!(
+                    usage[p.index()].free.is_disjoint(usage[q.index()].free),
+                    "call edge {p}->{q}: FREE sets overlap ({} vs {})",
+                    usage[p.index()].free,
+                    usage[q.index()].free
+                );
             }
         }
         // Every FREE register of a member is covered by the MSPILL of some
@@ -473,6 +505,73 @@ mod tests {
             assert_eq!(usage[n.index()].callee.len(), 15);
             assert_eq!(usage[n.index()].caller, RegSet::caller_saves());
         }
+    }
+
+    /// The miscompile the differential fuzzer found (reduced): `main`
+    /// roots an outer cluster whose members `f2` and `f1` are themselves
+    /// nested roots, and `f2` calls `f1`. The nested-root branch must
+    /// publish its reduced AVAIL, or `f1` inherits `f2`'s converted FREE
+    /// register through the predecessor intersection and both end up
+    /// clobbering the same unsaved register — caller live value lost.
+    #[test]
+    fn chained_nested_roots_get_disjoint_free_registers() {
+        let mut s = summary(
+            &[
+                ("main", &[("f2", 1), ("f1", 1)], &[]),
+                ("f2", &[("f1", 100), ("f0", 100)], &[]),
+                ("f1", &[("f3", 300)], &[]),
+                ("f0", &[], &[]),
+                ("f3", &[], &[]),
+            ],
+            &[],
+        );
+        for p in &mut s.modules[0].procs {
+            p.callee_saves_estimate = if p.name == "main" { 0 } else { 1 };
+        }
+        let (g, c) = build(&s);
+        let (f1, f2) = (node(&g, "f1"), node(&g, "f2"));
+        // The shape under test: both callees of main are roots in their own
+        // right, nested inside a cluster rooted at main.
+        assert!(c.is_root(node(&g, "main")) && c.is_root(f1) && c.is_root(f2), "{c:?}");
+        let usage = compute_register_sets(&g, &c, &no_webs(&g), false);
+        check_invariants(&g, &c, &usage);
+        // f2 converted its CALLEE save into a FREE grant from main's
+        // MSPILL; f1, downstream of f2, must not receive the same register.
+        assert!(!usage[f2.index()].free.is_empty(), "{:?}", usage[f2.index()]);
+        assert!(
+            usage[f2.index()].free.is_disjoint(usage[f1.index()].free),
+            "caller {:?} / callee {:?} share a FREE register",
+            usage[f2.index()],
+            usage[f1.index()]
+        );
+    }
+
+    /// A recursive nested root keeps its own spill code (§4.2.2 footnote
+    /// 4): nothing migrates upward and no CALLEE save is traded for FREE,
+    /// or recursive re-entries would clobber live values the root no
+    /// longer saves per activation.
+    #[test]
+    fn recursive_nested_root_keeps_its_spill_code() {
+        let s = summary(
+            &[
+                ("main", &[("r", 1)], &[]),
+                ("r", &[("r", 40), ("s", 100), ("t", 100)], &[]),
+                ("s", &[], &[]),
+                ("t", &[], &[]),
+            ],
+            &[],
+        );
+        let (g, c) = build(&s);
+        let r = node(&g, "r");
+        assert!(g.is_recursive(r));
+        assert!(c.is_root(r), "{c:?}");
+        let usage = compute_register_sets(&g, &c, &no_webs(&g), false);
+        check_invariants(&g, &c, &usage);
+        // r still saves its members' FREE registers itself on every
+        // activation, and converted none of its own CALLEE saves to FREE.
+        let s_free = usage[node(&g, "s").index()].free;
+        assert!(s_free.is_subset(usage[r.index()].mspill), "{:?}", usage[r.index()]);
+        assert!(usage[r.index()].free.is_empty(), "{:?}", usage[r.index()]);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The persistent regression corpus: every failure the fuzzer ever
+//! reduced is checked into `tests/corpus/` as a single self-describing
+//! `.cmin` file, and a replay test runs the whole directory forever after
+//! — a bug found once can never be silently re-lost.
+//!
+//! ## File format
+//!
+//! One file holds one multi-module repro. `//!` header lines carry
+//! metadata; `// === module NAME ===` separators delimit modules (the
+//! `cmin` lexer treats both as ordinary comments, so the payload after
+//! the headers is also directly feedable to `cminc`):
+//!
+//! ```text
+//! //! seed: 0x1234abcd
+//! //! failure: injected-missing-restore
+//! //! config: L2
+//! //! mutation: missing-restore
+//! // === module m0 ===
+//! int main() { ... }
+//! // === module m1 ===
+//! ...
+//! ```
+
+use crate::inject::MutationClass;
+use ipra_driver::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Module separator prefix inside a corpus container file.
+const MODULE_SEP: &str = "// === module ";
+
+/// Joins multi-module sources into one container text with module
+/// separators (no metadata headers).
+pub fn join_sources(sources: &[SourceFile]) -> String {
+    let mut out = String::new();
+    for s in sources {
+        out.push_str(MODULE_SEP);
+        out.push_str(&s.name);
+        out.push_str(" ===\n");
+        out.push_str(&s.text);
+        if !s.text.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Splits a container text back into named modules. Text before the first
+/// separator (e.g. metadata headers) is ignored; a text with no separator
+/// at all becomes a single module named `m0`.
+pub fn split_sources(text: &str) -> Vec<SourceFile> {
+    let mut out: Vec<SourceFile> = Vec::new();
+    let mut current: Option<(String, String)> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(MODULE_SEP) {
+            if let Some((name, text)) = current.take() {
+                out.push(SourceFile::new(name, text));
+            }
+            let name = rest.trim_end_matches(" ===").trim().to_string();
+            current = Some((name, String::new()));
+        } else if let Some((_, text)) = &mut current {
+            text.push_str(line);
+            text.push('\n');
+        } else if !line.starts_with("//!") && !line.trim().is_empty() {
+            // Headerless single-module text.
+            current = Some(("m0".into(), format!("{line}\n")));
+        }
+    }
+    if let Some((name, text)) = current.take() {
+        out.push(SourceFile::new(name, text));
+    }
+    out
+}
+
+/// One corpus entry: the reduced repro plus enough metadata to replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The generator seed that produced the original (pre-reduction)
+    /// program.
+    pub seed: u64,
+    /// The failure class ([`crate::oracle::Failure::kind`], or
+    /// `injected-<class>` for self-validation repros).
+    pub failure: String,
+    /// The paper configuration the failure occurred under, if any.
+    pub config: Option<String>,
+    /// For self-validation repros: the injected miscompile class. Replay
+    /// re-applies the injection and demands the verifier still flags it.
+    pub mutation: Option<MutationClass>,
+    /// The reduced program.
+    pub sources: Vec<SourceFile>,
+}
+
+impl CorpusEntry {
+    /// Renders the entry in the container format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("//! seed: {:#x}\n", self.seed));
+        out.push_str(&format!("//! failure: {}\n", self.failure));
+        if let Some(c) = &self.config {
+            out.push_str(&format!("//! config: {c}\n"));
+        }
+        if let Some(m) = &self.mutation {
+            out.push_str(&format!("//! mutation: {}\n", m.name()));
+        }
+        out.push_str(&join_sources(&self.sources));
+        out
+    }
+
+    /// Parses a container file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a header is malformed or no module is present.
+    pub fn from_text(text: &str) -> Result<CorpusEntry, String> {
+        let mut seed = 0u64;
+        let mut failure = String::new();
+        let mut config = None;
+        let mut mutation = None;
+        for line in text.lines() {
+            let Some(header) = line.strip_prefix("//!") else { break };
+            let Some((key, value)) = header.split_once(':') else {
+                return Err(format!("malformed corpus header `{line}`"));
+            };
+            let value = value.trim();
+            match key.trim() {
+                "seed" => {
+                    let digits = value.trim_start_matches("0x");
+                    seed = u64::from_str_radix(digits, 16)
+                        .or_else(|_| value.parse())
+                        .map_err(|e| format!("bad seed `{value}`: {e}"))?;
+                }
+                "failure" => failure = value.to_string(),
+                "config" => config = Some(value.to_string()),
+                "mutation" => {
+                    mutation = Some(
+                        MutationClass::parse(value)
+                            .ok_or_else(|| format!("unknown mutation class `{value}`"))?,
+                    );
+                }
+                other => return Err(format!("unknown corpus header `{other}`")),
+            }
+        }
+        let sources = split_sources(text);
+        if sources.is_empty() {
+            return Err("corpus entry has no modules".into());
+        }
+        Ok(CorpusEntry { seed, failure, config, mutation, sources })
+    }
+
+    /// Deterministic file name for this entry.
+    pub fn file_name(&self) -> String {
+        format!("{}-{:x}.cmin", self.failure, self.seed)
+    }
+}
+
+/// Writes an entry into `dir` (created if needed) under its deterministic
+/// name; returns the path.
+///
+/// # Errors
+///
+/// Returns the I/O error message on failure.
+pub fn save(dir: &Path, entry: &CorpusEntry) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let path = dir.join(entry.file_name());
+    std::fs::write(&path, entry.to_text()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Loads every `.cmin` entry in `dir`, sorted by file name (deterministic
+/// replay order). A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Returns the first parse or I/O error with its file name.
+pub fn load(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Err(_) => return Ok(Vec::new()),
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "cmin"))
+            .collect(),
+    };
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let entry =
+            CorpusEntry::from_text(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, entry));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_split_round_trips() {
+        let sources = vec![
+            SourceFile::new("m0", "int main() { return 0; }\n"),
+            SourceFile::new("m1", "int f() { return 1; }\n"),
+        ];
+        assert_eq!(split_sources(&join_sources(&sources)), sources);
+    }
+
+    #[test]
+    fn entry_round_trips_with_metadata() {
+        let entry = CorpusEntry {
+            seed: 0xdead_beef,
+            failure: "injected-missing-restore".into(),
+            config: Some("L2".into()),
+            mutation: Some(MutationClass::MissingRestore),
+            sources: vec![SourceFile::new("m0", "int main() { return 0; }\n")],
+        };
+        let parsed = CorpusEntry::from_text(&entry.to_text()).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn headerless_text_is_one_module() {
+        let sources = split_sources("int main() { return 3; }\n");
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].name, "m0");
+    }
+}

@@ -1,0 +1,361 @@
+//! The differential oracle: one generated program, every way we know how
+//! to falsify the compiler.
+//!
+//! A program passes [`check`] only if
+//!
+//! 1. the reference interpreter (which shares no code with the lowering,
+//!    optimizer, analyzer, code generator, linker or simulator) accepts it
+//!    and terminates without a trap;
+//! 2. under **all seven paper configurations** — with one shared
+//!    incremental cache across them, so cross-configuration cache
+//!    soundness is on trial too — the program compiles, passes the
+//!    `ipra-verify` register-discipline check, and its simulated output
+//!    and exit code match the interpreter's;
+//! 3. exact per-procedure attribution is internally consistent with the
+//!    run statistics ([`vpr::Attribution::matches`]);
+//! 4. optionally ([`CheckOptions::incremental`]) an edit → rebuild →
+//!    revert sequence through one cache produces executables bit-identical
+//!    to cold builds of the same sources;
+//! 5. optionally ([`CheckOptions::trace_purity`]) compiling with decision
+//!    tracing on yields a bit-identical executable (tracing must be pure
+//!    observation).
+
+use ipra_core::PaperConfig;
+use ipra_driver::{
+    compile, compile_configured, run_program_attributed, verify_program, CompilationCache,
+    CompileOptions, SourceFile,
+};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Execution budgets for the oracle's runs, far above anything a
+/// generated program can legitimately execute (they are built from small
+/// bounded loops and depth-clamped recursion) but small enough that a
+/// *reducer-made* degenerate candidate — e.g. a `for` loop whose step
+/// statement was dropped — fails fast as a trap (a different failure
+/// class, so the reducer simply rejects the candidate) instead of
+/// spinning through the engines' default multi-billion-step limits.
+const ORACLE_INTERP_FUEL: u64 = 5_000_000;
+const ORACLE_SIM_STEPS: u64 = 20_000_000;
+
+/// What went wrong for one generated program. Every variant pinpoints the
+/// failing stage; [`Failure::same_class`] is the reducer's "still fails
+/// the same way" relation (kind + configuration, not exact payload).
+#[derive(Debug, Clone)]
+pub enum Failure {
+    /// The frontend rejected a program the generator promised was
+    /// well-formed.
+    Frontend {
+        /// The diagnostic.
+        detail: String,
+    },
+    /// The reference interpreter trapped.
+    InterpTrap {
+        /// The trap.
+        detail: String,
+    },
+    /// Compilation failed under one configuration.
+    Compile {
+        /// The failing configuration.
+        config: PaperConfig,
+        /// The driver error.
+        detail: String,
+    },
+    /// The profile-feedback training run trapped.
+    TrainingTrap {
+        /// The failing configuration.
+        config: PaperConfig,
+        /// The trap.
+        detail: String,
+    },
+    /// `ipra-verify` found a register-discipline violation.
+    Verify {
+        /// The failing configuration.
+        config: PaperConfig,
+        /// The rendered diagnostics.
+        detail: String,
+    },
+    /// The simulator trapped on code the interpreter ran cleanly.
+    SimTrap {
+        /// The failing configuration.
+        config: PaperConfig,
+        /// The trap.
+        detail: String,
+    },
+    /// Observable behavior diverged between interpreter and simulator.
+    OutputDivergence {
+        /// The failing configuration.
+        config: PaperConfig,
+        /// Interpreter output stream.
+        oracle_out: Vec<i64>,
+        /// Interpreter exit code.
+        oracle_exit: i64,
+        /// Simulator output stream.
+        sim_out: Vec<i64>,
+        /// Simulator exit code.
+        sim_exit: i64,
+    },
+    /// Per-procedure attribution does not sum to the run totals.
+    AttributionMismatch {
+        /// The failing configuration.
+        config: PaperConfig,
+    },
+    /// An incremental rebuild produced a different executable than a cold
+    /// build of the same sources.
+    IncrementalDivergence {
+        /// The configuration under test.
+        config: PaperConfig,
+        /// Which leg of the edit/revert sequence diverged.
+        detail: String,
+    },
+    /// Compiling with decision tracing on changed the emitted executable.
+    TraceImpurity {
+        /// The configuration under test.
+        config: PaperConfig,
+    },
+}
+
+impl Failure {
+    /// Short kebab-case class name (used in corpus metadata and dedup).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::Frontend { .. } => "frontend-error",
+            Failure::InterpTrap { .. } => "interp-trap",
+            Failure::Compile { .. } => "compile-error",
+            Failure::TrainingTrap { .. } => "training-trap",
+            Failure::Verify { .. } => "verify-dirty",
+            Failure::SimTrap { .. } => "sim-trap",
+            Failure::OutputDivergence { .. } => "output-divergence",
+            Failure::AttributionMismatch { .. } => "attribution-mismatch",
+            Failure::IncrementalDivergence { .. } => "incremental-divergence",
+            Failure::TraceImpurity { .. } => "trace-impurity",
+        }
+    }
+
+    /// The configuration the failure occurred under, when it has one.
+    pub fn config(&self) -> Option<PaperConfig> {
+        match self {
+            Failure::Frontend { .. } | Failure::InterpTrap { .. } => None,
+            Failure::Compile { config, .. }
+            | Failure::TrainingTrap { config, .. }
+            | Failure::Verify { config, .. }
+            | Failure::SimTrap { config, .. }
+            | Failure::OutputDivergence { config, .. }
+            | Failure::AttributionMismatch { config }
+            | Failure::IncrementalDivergence { config, .. }
+            | Failure::TraceImpurity { config } => Some(*config),
+        }
+    }
+
+    /// The reducer's invariant: a candidate still counts as reproducing
+    /// this failure if it fails at the same stage under the same
+    /// configuration (payload details may legitimately change as the
+    /// program shrinks).
+    pub fn same_class(&self, other: &Failure) -> bool {
+        self.kind() == other.kind() && self.config() == other.config()
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Frontend { detail } => write!(f, "frontend error: {detail}"),
+            Failure::InterpTrap { detail } => write!(f, "interpreter trap: {detail}"),
+            Failure::Compile { config, detail } => write!(f, "[{config}] compile error: {detail}"),
+            Failure::TrainingTrap { config, detail } => {
+                write!(f, "[{config}] training run trapped: {detail}")
+            }
+            Failure::Verify { config, detail } => {
+                write!(f, "[{config}] verification failed:\n{detail}")
+            }
+            Failure::SimTrap { config, detail } => write!(f, "[{config}] simulator trap: {detail}"),
+            Failure::OutputDivergence { config, oracle_out, oracle_exit, sim_out, sim_exit } => {
+                write!(
+                    f,
+                    "[{config}] diverged: oracle exit {oracle_exit} out {oracle_out:?} \
+                     vs sim exit {sim_exit} out {sim_out:?}"
+                )
+            }
+            Failure::AttributionMismatch { config } => {
+                write!(f, "[{config}] per-procedure attribution does not sum to run totals")
+            }
+            Failure::IncrementalDivergence { config, detail } => {
+                write!(f, "[{config}] incremental rebuild diverged from cold build: {detail}")
+            }
+            Failure::TraceImpurity { config } => {
+                write!(f, "[{config}] tracing changed the emitted executable")
+            }
+        }
+    }
+}
+
+/// Which optional oracle scenarios to run on top of the all-configuration
+/// differential (both are build-level checks, independent of the random
+/// program's behavior, so the fuzzer enables them on a rotating subset of
+/// iterations to keep throughput).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Run the edit → incremental rebuild → revert sequence and demand
+    /// bit-identity with cold builds.
+    pub incremental: bool,
+    /// Compile once with decision tracing on and demand a bit-identical
+    /// executable.
+    pub trace_purity: bool,
+}
+
+/// The configuration used for the build-level scenarios (incremental
+/// rebuilds and trace purity). E exercises the richest machinery:
+/// promotion webs, clusters, and spill-code motion.
+const BUILD_SCENARIO_CONFIG: PaperConfig = PaperConfig::E;
+
+/// Runs the full oracle over one program. `Ok(())` means every stage
+/// agreed; the first discrepancy comes back as a typed [`Failure`].
+pub fn check(sources: &[SourceFile], opts: &CheckOptions) -> Result<(), Failure> {
+    let modules = match ipra_driver::frontend(sources) {
+        Err(e) => return Err(Failure::Frontend { detail: e.to_string() }),
+        Ok(m) => m,
+    };
+    let interp_opts =
+        cmin_ir::interp::InterpOptions { fuel: ORACLE_INTERP_FUEL, ..Default::default() };
+    let oracle = match cmin_ir::interp::interpret_with(&modules, &interp_opts) {
+        Err(e) => return Err(Failure::InterpTrap { detail: e.to_string() }),
+        Ok(r) => r,
+    };
+
+    // One cache across all seven configurations: phase-1 entries must be
+    // reusable between configs, and phase-2 entries must be correctly
+    // invalidated as the database changes per config.
+    let mut cache = CompilationCache::new();
+    let copts = CompileOptions::default();
+    for config in PaperConfig::ALL {
+        let program = match compile_configured(sources, config, &[], &copts, &mut cache) {
+            Err(e) => return Err(Failure::Compile { config, detail: e.to_string() }),
+            Ok(Err(e)) => return Err(Failure::TrainingTrap { config, detail: e.to_string() }),
+            Ok(Ok(p)) => p,
+        };
+        let report = verify_program(&program);
+        if !report.is_clean() {
+            return Err(Failure::Verify { config, detail: report.to_string() });
+        }
+        let sim_opts = vpr::SimOptions {
+            attribute: true,
+            max_steps: ORACLE_SIM_STEPS,
+            ..vpr::SimOptions::default()
+        };
+        let r = match vpr::run_with(&program.exe, &sim_opts) {
+            Err(e) => return Err(Failure::SimTrap { config, detail: e.to_string() }),
+            Ok(r) => r,
+        };
+        if r.output != oracle.output || r.exit != oracle.exit {
+            return Err(Failure::OutputDivergence {
+                config,
+                oracle_out: oracle.output.clone(),
+                oracle_exit: oracle.exit,
+                sim_out: r.output,
+                sim_exit: r.exit,
+            });
+        }
+        let attribution = r.attribution.as_ref().expect("attribution was requested");
+        if !attribution.matches(&r.stats) {
+            return Err(Failure::AttributionMismatch { config });
+        }
+    }
+
+    if opts.incremental {
+        check_incremental(sources)?;
+    }
+    if opts.trace_purity {
+        check_trace_purity(sources)?;
+    }
+    Ok(())
+}
+
+/// The linked executable, serialized — the bit-identity currency for the
+/// build-level scenarios.
+fn exe_bytes(program: &ipra_driver::CompiledProgram) -> String {
+    serde_json::to_string(&program.exe).expect("serialize")
+}
+
+/// Edit → incremental rebuild → revert through one cache; every leg must
+/// be bit-identical to a cold build of the same sources. This is the
+/// paper's §3 recompilation story as a falsifiable property.
+fn check_incremental(sources: &[SourceFile]) -> Result<(), Failure> {
+    let config = BUILD_SCENARIO_CONFIG;
+    let opts = CompileOptions::paper(config);
+    let fail = |detail: &str| Failure::IncrementalDivergence { config, detail: detail.into() };
+    let compile_err =
+        |e: ipra_driver::DriverError| Failure::Compile { config, detail: e.to_string() };
+
+    let mut cache = CompilationCache::new();
+    let cold0 =
+        ipra_driver::compile_incremental(sources, &opts, &mut cache).map_err(compile_err)?;
+
+    // Append an (unused, uncalled) procedure to module 0: its summary
+    // changes, so the analyzer reruns and any module whose database slice
+    // moved must be recompiled.
+    let mut edited = sources.to_vec();
+    edited[0].text.push_str("\nint zz_edit_probe(int p0) { return p0 + 1; }\n");
+    let warm_edited =
+        ipra_driver::compile_incremental(&edited, &opts, &mut cache).map_err(compile_err)?;
+    let cold_edited = compile(&edited, &opts).map_err(compile_err)?;
+    if exe_bytes(&warm_edited) != exe_bytes(&cold_edited) {
+        return Err(fail("after edit, warm != cold"));
+    }
+
+    // Revert: the incremental rebuild must land exactly back on the
+    // original cold build.
+    let warm_reverted =
+        ipra_driver::compile_incremental(sources, &opts, &mut cache).map_err(compile_err)?;
+    if exe_bytes(&warm_reverted) != exe_bytes(&cold0) {
+        return Err(fail("after revert, warm != original cold"));
+    }
+    Ok(())
+}
+
+/// Decision tracing must be pure observation: same sources, same config,
+/// trace on vs off, bit-identical executables.
+fn check_trace_purity(sources: &[SourceFile]) -> Result<(), Failure> {
+    let config = BUILD_SCENARIO_CONFIG;
+    let compile_err =
+        |e: ipra_driver::DriverError| Failure::Compile { config, detail: e.to_string() };
+    let plain = compile(sources, &CompileOptions::paper(config)).map_err(compile_err)?;
+    let traced_opts = CompileOptions { trace: true, ..CompileOptions::paper(config) };
+    let traced = compile(sources, &traced_opts).map_err(compile_err)?;
+    if exe_bytes(&plain) != exe_bytes(&traced) {
+        return Err(Failure::TraceImpurity { config });
+    }
+    Ok(())
+}
+
+/// On a divergence, rebuild the failing configuration with decision
+/// tracing on, run both the L2 baseline and the failing binary with exact
+/// per-procedure attribution, and dump everything a debugging session
+/// needs (sources, database, analyzer trace, both attributions) to a temp
+/// directory whose path goes into the report. Shared by the soak test,
+/// the fuzzer and the reducer — one implementation, one format.
+pub fn dump_divergence(sources: &[SourceFile], config: PaperConfig, label: &str) -> PathBuf {
+    let slug: String = label.chars().map(|c| if c.is_alphanumeric() { c } else { '-' }).collect();
+    let dir = std::env::temp_dir().join(format!("ipra-divergence-{slug}-{config}"));
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(dir.join("sources.cmin"), crate::corpus::join_sources(sources));
+    let opts = CompileOptions { trace: true, ..CompileOptions::default() };
+    let mut cache = CompilationCache::new();
+    for cfg in [config, PaperConfig::L2] {
+        let Ok(Ok(program)) = compile_configured(sources, cfg, &[], &opts, &mut cache) else {
+            continue;
+        };
+        if cfg == config {
+            let _ = std::fs::write(dir.join("database.json"), program.database.to_json());
+            if let Some(t) = &program.trace {
+                let _ = std::fs::write(dir.join("trace.json"), t.to_json());
+            }
+        }
+        if let Ok(r) = run_program_attributed(&program, &[]) {
+            if let Some(a) = &r.attribution {
+                let json = serde_json::to_string_pretty(a).unwrap_or_default();
+                let _ = std::fs::write(dir.join(format!("attribution-{cfg}.json")), json);
+            }
+        }
+    }
+    dir
+}

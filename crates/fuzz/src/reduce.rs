@@ -1,0 +1,469 @@
+//! Automatic shrinking: a delta-debugging reducer over `cmin` ASTs.
+//!
+//! Given a failing program and a predicate ("still fails the same way"),
+//! the reducer greedily tries ever-smaller candidates, in coarse-to-fine
+//! passes, keeping any candidate the predicate accepts:
+//!
+//! 1. drop whole modules;
+//! 2. drop procedures;
+//! 3. drop statements (recursively, inside nested blocks);
+//! 4. drop global and extern declarations;
+//! 5. simplify expressions (replace with an operand, or with `0`).
+//!
+//! Passes repeat to a fixpoint: dropping the last call into a module
+//! unlocks dropping the module itself on the next round. Candidates are
+//! re-rendered through the pretty-printer — whose `parse(pretty(ast)) ==
+//! ast` round-trip guarantee is what makes AST-level surgery safe — so
+//! the reducer can never emit a repro that fails for an unrelated
+//! syntactic reason.
+//!
+//! Every candidate evaluation runs the caller's predicate (typically a
+//! full oracle check or an inject-and-verify cycle), so the total work is
+//! bounded by [`ReduceOptions::max_checks`].
+
+use cmin_frontend::ast::{Block, Expr, LValue, Module, Stmt};
+use cmin_frontend::pretty::module_to_string;
+use ipra_driver::SourceFile;
+
+/// Reduction limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceOptions {
+    /// Maximum number of predicate evaluations (each one typically
+    /// compiles the candidate program).
+    pub max_checks: usize,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> ReduceOptions {
+        ReduceOptions { max_checks: 1200 }
+    }
+}
+
+/// What a reduction did.
+#[derive(Debug, Clone)]
+pub struct ReduceOutcome {
+    /// The smallest failing program found.
+    pub sources: Vec<SourceFile>,
+    /// Predicate evaluations spent.
+    pub checks: usize,
+    /// Full coarse-to-fine rounds completed.
+    pub rounds: usize,
+}
+
+/// Shrinks `sources` while `still_fails` keeps accepting, returning the
+/// smallest accepted program. The original is returned unchanged if it
+/// cannot be parsed (reduction needs the AST) or if no smaller candidate
+/// reproduces the failure.
+pub fn reduce(
+    sources: &[SourceFile],
+    mut still_fails: impl FnMut(&[SourceFile]) -> bool,
+    opts: &ReduceOptions,
+) -> ReduceOutcome {
+    let Ok(mut modules) = parse_all(sources) else {
+        return ReduceOutcome { sources: sources.to_vec(), checks: 0, rounds: 0 };
+    };
+    let mut checks = 0usize;
+    let mut rounds = 0usize;
+    let mut test = |candidate: &[Module], checks: &mut usize| -> bool {
+        if *checks >= opts.max_checks {
+            return false;
+        }
+        *checks += 1;
+        still_fails(&render(candidate))
+    };
+
+    loop {
+        let mut progress = false;
+        rounds += 1;
+
+        // Pass 1: drop whole modules.
+        let mut i = 0;
+        while modules.len() > 1 && i < modules.len() {
+            let mut candidate = modules.clone();
+            candidate.remove(i);
+            if test(&candidate, &mut checks) {
+                modules = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: drop procedures.
+        progress |= drop_items(&mut modules, &mut checks, &mut test, |m| &mut m.functions);
+
+        // Pass 3: drop statements, recursively. Outer statements come
+        // before their nested blocks in the numbering, so a whole loop
+        // goes before its body is picked apart — coarse before fine.
+        let mut k = 0;
+        loop {
+            let total: usize = modules.iter().map(|m| count_stmts(&m.functions)).sum();
+            if k >= total || checks >= opts.max_checks {
+                break;
+            }
+            let mut candidate = modules.clone();
+            remove_stmt_program(&mut candidate, k);
+            if test(&candidate, &mut checks) {
+                modules = candidate;
+                progress = true;
+            } else {
+                k += 1;
+            }
+        }
+
+        // Pass 4: drop global definitions and extern declarations.
+        progress |= drop_items(&mut modules, &mut checks, &mut test, |m| &mut m.globals);
+        progress |= drop_items(&mut modules, &mut checks, &mut test, |m| &mut m.externs);
+
+        // Pass 5: simplify expressions in place.
+        let mut k = 0;
+        loop {
+            let total: usize = modules.iter().map(count_exprs_module).sum();
+            if k >= total || checks >= opts.max_checks {
+                break;
+            }
+            let mut simplified = false;
+            for replacement in replacements_at(&modules, k) {
+                let mut candidate = modules.clone();
+                replace_expr_program(&mut candidate, k, replacement);
+                if test(&candidate, &mut checks) {
+                    modules = candidate;
+                    progress = true;
+                    simplified = true;
+                    break;
+                }
+            }
+            if !simplified {
+                k += 1;
+            }
+        }
+
+        if !progress || checks >= opts.max_checks {
+            break;
+        }
+    }
+    ReduceOutcome { sources: render(&modules), checks, rounds }
+}
+
+fn parse_all(sources: &[SourceFile]) -> Result<Vec<Module>, ()> {
+    sources.iter().map(|s| cmin_frontend::parse_module(&s.name, &s.text).map_err(|_| ())).collect()
+}
+
+fn render(modules: &[Module]) -> Vec<SourceFile> {
+    modules.iter().map(|m| SourceFile::new(m.name.clone(), module_to_string(m))).collect()
+}
+
+/// Greedy per-module dropper for flat item lists (functions, globals,
+/// externs): tries removing each element, keeping any removal the
+/// predicate accepts.
+fn drop_items<T: Clone>(
+    modules: &mut Vec<Module>,
+    checks: &mut usize,
+    test: &mut impl FnMut(&[Module], &mut usize) -> bool,
+    items: impl Fn(&mut Module) -> &mut Vec<T>,
+) -> bool {
+    let mut progress = false;
+    for mi in 0..modules.len() {
+        let mut k = 0;
+        while k < items(&mut modules[mi]).len() {
+            let mut candidate = modules.clone();
+            items(&mut candidate[mi]).remove(k);
+            if test(&candidate, checks) {
+                *modules = candidate;
+                progress = true;
+            } else {
+                k += 1;
+            }
+        }
+    }
+    progress
+}
+
+// ---- Statement enumeration ----------------------------------------------
+
+fn count_stmts(functions: &[cmin_frontend::ast::Function]) -> usize {
+    functions.iter().map(|f| count_stmts_block(&f.body)).sum()
+}
+
+fn count_stmts_block(b: &Block) -> usize {
+    b.stmts.iter().map(|s| 1 + count_stmts_nested(s)).sum()
+}
+
+fn count_stmts_nested(s: &Stmt) -> usize {
+    match s {
+        Stmt::If { then_blk, else_blk, .. } => {
+            count_stmts_block(then_blk) + else_blk.as_ref().map(count_stmts_block).unwrap_or(0)
+        }
+        Stmt::While { body, .. } | Stmt::For { body, .. } => count_stmts_block(body),
+        _ => 0,
+    }
+}
+
+/// Removes the `k`-th statement in program traversal order (outer
+/// statements numbered before their nested blocks); no-op when out of
+/// range.
+fn remove_stmt_program(modules: &mut [Module], mut k: usize) {
+    for m in modules {
+        for f in &mut m.functions {
+            if remove_stmt_block(&mut f.body, &mut k) {
+                return;
+            }
+        }
+    }
+}
+
+fn remove_stmt_block(b: &mut Block, k: &mut usize) -> bool {
+    let mut i = 0;
+    while i < b.stmts.len() {
+        if *k == 0 {
+            b.stmts.remove(i);
+            return true;
+        }
+        *k -= 1;
+        let done = match &mut b.stmts[i] {
+            Stmt::If { then_blk, else_blk, .. } => {
+                remove_stmt_block(then_blk, k)
+                    || else_blk.as_mut().map(|e| remove_stmt_block(e, k)).unwrap_or(false)
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => remove_stmt_block(body, k),
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+// ---- Expression enumeration ---------------------------------------------
+//
+// Every expression site in the program gets a pre-order traversal index;
+// one walker serves counting, capture, and replacement through a closure
+// that may return a replacement for the current site. Once a visit
+// replaces (or captures) its target site, descending stops there, so
+// numbering of earlier sites is identical across visit kinds.
+
+/// Walks every expression site; `f` gets the site index and the
+/// expression and may return `Some(replacement)` to substitute it (the
+/// walk does not descend into a replaced site).
+fn walk_exprs(modules: &mut [Module], f: &mut impl FnMut(usize, &Expr) -> Option<Expr>) {
+    let mut counter = 0;
+    for m in modules {
+        for func in &mut m.functions {
+            walk_block(&mut func.body, f, &mut counter);
+        }
+    }
+}
+
+fn walk_expr(e: &mut Expr, f: &mut impl FnMut(usize, &Expr) -> Option<Expr>, counter: &mut usize) {
+    let here = *counter;
+    *counter += 1;
+    if let Some(replacement) = f(here, e) {
+        *e = replacement;
+        return;
+    }
+    match e {
+        Expr::Num(..) | Expr::Name(..) | Expr::AddrOf { .. } | Expr::In { .. } => {}
+        Expr::Unary { expr, .. } => walk_expr(expr, f, counter),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f, counter);
+            walk_expr(rhs, f, counter);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, f, counter);
+            }
+        }
+        Expr::Index { index, .. } => walk_expr(index, f, counter),
+    }
+}
+
+fn walk_stmt(s: &mut Stmt, f: &mut impl FnMut(usize, &Expr) -> Option<Expr>, counter: &mut usize) {
+    match s {
+        Stmt::Local { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, f, counter);
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            match target {
+                LValue::Index { index, .. } => walk_expr(index, f, counter),
+                LValue::Deref { addr, .. } => walk_expr(addr, f, counter),
+                LValue::Name(..) => {}
+            }
+            walk_expr(value, f, counter);
+        }
+        Stmt::If { cond, then_blk, else_blk } => {
+            walk_expr(cond, f, counter);
+            walk_block(then_blk, f, counter);
+            if let Some(b) = else_blk {
+                walk_block(b, f, counter);
+            }
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, f, counter);
+            walk_block(body, f, counter);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                walk_stmt(i, f, counter);
+            }
+            if let Some(c) = cond {
+                walk_expr(c, f, counter);
+            }
+            if let Some(st) = step {
+                walk_stmt(st, f, counter);
+            }
+            walk_block(body, f, counter);
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(e) = value {
+                walk_expr(e, f, counter);
+            }
+        }
+        Stmt::Out { value, .. } => walk_expr(value, f, counter),
+        Stmt::Expr { expr, .. } => walk_expr(expr, f, counter),
+        Stmt::Break { .. } | Stmt::Continue { .. } => {}
+    }
+}
+
+fn walk_block(
+    b: &mut Block,
+    f: &mut impl FnMut(usize, &Expr) -> Option<Expr>,
+    counter: &mut usize,
+) {
+    for s in &mut b.stmts {
+        walk_stmt(s, f, counter);
+    }
+}
+
+fn count_exprs_module(m: &Module) -> usize {
+    let mut probe = vec![m.clone()];
+    let mut total = 0;
+    walk_exprs(&mut probe, &mut |_, _| {
+        total += 1;
+        None
+    });
+    total
+}
+
+/// Candidate replacements for the expression at site `k`, simplest first.
+fn replacements_at(modules: &[Module], k: usize) -> Vec<Expr> {
+    let mut found: Option<Expr> = None;
+    let mut probe = modules.to_vec();
+    walk_exprs(&mut probe, &mut |i, e| {
+        if i == k && found.is_none() {
+            found = Some(e.clone());
+        }
+        None
+    });
+    let Some(e) = found else { return Vec::new() };
+    let span = e.span();
+    let mut out = Vec::new();
+    match &e {
+        Expr::Num(..) => {} // already minimal
+        Expr::Binary { lhs, rhs, .. } => {
+            out.push(Expr::Num(0, span));
+            out.push((**lhs).clone());
+            out.push((**rhs).clone());
+        }
+        Expr::Unary { expr, .. } => {
+            out.push(Expr::Num(0, span));
+            out.push((**expr).clone());
+        }
+        _ => out.push(Expr::Num(0, span)),
+    }
+    out
+}
+
+fn replace_expr_program(modules: &mut [Module], k: usize, replacement: Expr) {
+    let mut repl = Some(replacement);
+    walk_exprs(modules, &mut |i, _| if i == k { repl.take() } else { None });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(name: &str, text: &str) -> SourceFile {
+        SourceFile::new(name, text)
+    }
+
+    #[test]
+    fn reduces_to_the_failing_kernel() {
+        // "Failure": the program mentions global `bad`. Everything else
+        // should be stripped.
+        let sources = vec![
+            parse(
+                "m0",
+                "int bad = 1;\nint keep() { return bad; }\nint main() { \
+                 int x = 3; out(x + 2); out(keep()); return 0; }\n",
+            ),
+            parse("m1", "int unrelated(int p0) { return p0 * 2; }\n"),
+        ];
+        let predicate = |cand: &[SourceFile]| cand.iter().any(|s| s.text.contains("bad"));
+        let out = reduce(&sources, predicate, &ReduceOptions::default());
+        assert_eq!(out.sources.len(), 1, "unrelated module must be dropped");
+        let text = &out.sources[0].text;
+        assert!(text.contains("bad"), "kernel must survive: {text}");
+        assert!(!text.contains("unrelated"), "{text}");
+        assert!(!text.contains("x + 2"), "irrelevant statements must go: {text}");
+    }
+
+    #[test]
+    fn candidates_always_round_trip() {
+        // The predicate re-parses every candidate: a reducer emitting
+        // unparseable text would panic here.
+        let sources = vec![parse(
+            "m0",
+            "int g = 2;\nint f(int p0) { for (int i = 0; i < 3; i = i + 1) \
+             { g = g + p0; } if (g) { out(g); } else { out(0); } return g; }\n\
+             int main() { out(f(2)); return 0; }\n",
+        )];
+        let predicate = |cand: &[SourceFile]| {
+            for s in cand {
+                cmin_frontend::parse_module(&s.name, &s.text).expect("candidate must parse");
+            }
+            cand.iter().any(|s| s.text.contains("out"))
+        };
+        let out = reduce(&sources, predicate, &ReduceOptions::default());
+        assert!(out.sources[0].text.contains("out"));
+        assert!(out.checks > 0);
+    }
+
+    #[test]
+    fn budget_bounds_predicate_evaluations() {
+        let sources = vec![parse("m0", "int main() { out(1); out(2); out(3); return 0; }\n")];
+        let mut calls = 0usize;
+        let out = reduce(
+            &sources,
+            |_| {
+                calls += 1;
+                false
+            },
+            &ReduceOptions { max_checks: 5 },
+        );
+        assert!(calls <= 5, "{calls}");
+        assert_eq!(out.sources.len(), 1);
+    }
+
+    #[test]
+    fn expression_simplification_hoists_operands() {
+        // Failure: output contains a call to f. The arithmetic around it
+        // should simplify away.
+        let sources = vec![parse(
+            "m0",
+            "int f(int p0) { return p0; }\nint main() { out((3 * 4) + f(7 - 2)); return 0; }\n",
+        )];
+        let predicate = |cand: &[SourceFile]| {
+            cand.iter().any(|s| s.text.contains("f(")) && {
+                cand.iter().all(|s| cmin_frontend::parse_module(&s.name, &s.text).is_ok())
+            }
+        };
+        let out = reduce(&sources, predicate, &ReduceOptions::default());
+        let text = &out.sources[0].text;
+        assert!(text.contains("f("), "{text}");
+        assert!(!text.contains("3 * 4"), "constant arithmetic must simplify: {text}");
+    }
+}

@@ -19,6 +19,10 @@ use rand::{Rng, SeedableRng};
 use std::fmt::Write;
 
 /// Shape limits for generation.
+///
+/// The three `bool` knobs gate shapes the default generator does not (or
+/// only rarely) produces; they are off by default so that existing seeds
+/// keep their exact random streams, and the fuzzer rotates them on.
 #[derive(Debug, Clone)]
 pub struct GenConfig {
     /// Number of modules (1..=3 recommended).
@@ -31,6 +35,19 @@ pub struct GenConfig {
     pub max_stmts: usize,
     /// Maximum block nesting depth.
     pub max_depth: usize,
+    /// Generate bounded recursive procedures: one self-recursive procedure
+    /// per module plus a cross-module mutually-recursive pair, so the call
+    /// graph has nontrivial SCCs (the paper's §4.1.2 "simple solution"
+    /// path and §6.2 recursive-arc weighting).
+    pub recursion: bool,
+    /// Aliasing mixes: a `static` scalar with the *same source name* in
+    /// every module (distinct `module$name` link names), some `static`
+    /// procedures, and a higher rate of `&g`/`*p` accesses.
+    pub alias_mix: bool,
+    /// A function pointer stored in a plain global scalar, assigned once at
+    /// the top of `main` and called indirectly from anywhere below the
+    /// target in the call order.
+    pub global_fn_ptrs: bool,
 }
 
 impl Default for GenConfig {
@@ -41,6 +58,9 @@ impl Default for GenConfig {
             funcs_per_module: 4,
             max_stmts: 5,
             max_depth: 3,
+            recursion: false,
+            alias_mix: false,
+            global_fn_ptrs: false,
         }
     }
 }
@@ -53,11 +73,26 @@ struct GlobalSym {
     array: Option<u32>,
 }
 
+/// How a procedure's body is produced.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FuncKind {
+    /// Random statements from [`Gen::block`].
+    Normal,
+    /// Templated bounded self-recursion.
+    SelfRec,
+    /// Templated mutual recursion, first half (calls its partner).
+    MutualA,
+    /// Templated mutual recursion, second half (calls back).
+    MutualB,
+}
+
 #[derive(Clone)]
 struct FuncSym {
     name: String,
     module: usize,
     arity: usize,
+    is_static: bool,
+    kind: FuncKind,
 }
 
 struct Gen {
@@ -73,6 +108,12 @@ struct Gen {
     /// into arithmetic — the interpreter and the machine use different
     /// representations).
     fp_counter: usize,
+    /// With [`GenConfig::global_fn_ptrs`]: the index in `funcs` whose
+    /// address `main` stores into the global scalar `fptr`. Only callers
+    /// with a strictly larger index may call through `fptr`, which keeps
+    /// the *dynamic* call relation acyclic even though the analyzer must
+    /// treat the edge as unresolved.
+    fptr_target: Option<usize>,
 }
 
 /// Generates a random multi-module program from `seed`.
@@ -115,6 +156,36 @@ fn generate_candidate(seed: u64, cfg: &GenConfig) -> Vec<SourceFile> {
     // procedure and all non-static globals.
     let mut globals = Vec::new();
     let mut funcs = Vec::new();
+    // Recursive procedures sit at the *front* of the table so every normal
+    // procedure (which may only call strictly-earlier indices) can reach
+    // them; their own bodies are templates with a built-in depth clamp.
+    if cfg.recursion {
+        for m in 0..cfg.modules {
+            funcs.push(FuncSym {
+                name: format!("rec{m}"),
+                module: m,
+                arity: 1,
+                is_static: false,
+                kind: FuncKind::SelfRec,
+            });
+        }
+        if cfg.modules >= 2 {
+            funcs.push(FuncSym {
+                name: "mrec_a".into(),
+                module: 0,
+                arity: 1,
+                is_static: false,
+                kind: FuncKind::MutualA,
+            });
+            funcs.push(FuncSym {
+                name: "mrec_b".into(),
+                module: 1,
+                arity: 1,
+                is_static: false,
+                kind: FuncKind::MutualB,
+            });
+        }
+    }
     for m in 0..cfg.modules {
         for gi in 0..cfg.globals_per_module {
             let array = if rng.gen_ratio(1, 4) { Some(rng.gen_range(2..10u32)) } else { None };
@@ -125,16 +196,44 @@ fn generate_candidate(seed: u64, cfg: &GenConfig) -> Vec<SourceFile> {
                 array,
             });
         }
+        // Same-named statics: every module defines `static int amix;`,
+        // giving the analyzer same-source-name globals with distinct
+        // module-qualified link names (§7.4).
+        if cfg.alias_mix {
+            globals.push(GlobalSym {
+                name: "amix".into(),
+                module: m,
+                is_static: true,
+                array: None,
+            });
+        }
         for fi in 0..cfg.funcs_per_module {
             funcs.push(FuncSym {
                 name: format!("f{m}_{fi}"),
                 module: m,
                 arity: rng.gen_range(0..=3),
+                is_static: cfg.alias_mix && rng.gen_ratio(1, 4),
+                kind: FuncKind::Normal,
             });
         }
     }
 
-    let mut g = Gen { rng, globals, funcs, cfg: cfg.clone(), calls_in_fn: 0, fp_counter: 0 };
+    // The function-pointer global's target: an early non-static procedure,
+    // so every later procedure may call through `fptr` without creating a
+    // dynamic cycle (`main` stores the address before anything else runs).
+    let fptr_target = if cfg.global_fn_ptrs {
+        let lo: Vec<usize> = (0..funcs.len().min(4)).filter(|&i| !funcs[i].is_static).collect();
+        if lo.is_empty() {
+            None
+        } else {
+            Some(lo[rng.gen_range(0..lo.len())])
+        }
+    } else {
+        None
+    };
+
+    let mut g =
+        Gen { rng, globals, funcs, cfg: cfg.clone(), calls_in_fn: 0, fp_counter: 0, fptr_target };
     (0..cfg.modules).map(|m| g.module(m)).collect()
 }
 
@@ -156,7 +255,7 @@ impl Gen {
             }
         }
         for fsym in self.funcs.clone() {
-            if fsym.module != m {
+            if fsym.module != m && !fsym.is_static {
                 let params = vec!["int"; fsym.arity].join(", ");
                 let _ = writeln!(out, "extern int {}({});", fsym.name, params);
             }
@@ -179,18 +278,33 @@ impl Gen {
                 }
             }
         }
+        // The function-pointer global: defined (zero) in module 0, extern
+        // elsewhere; `main` stores the target's address before any other
+        // user code runs, so a zero-value indirect call can never happen.
+        if self.fptr_target.is_some() {
+            if m == 0 {
+                let _ = writeln!(out, "int fptr;");
+            } else {
+                let _ = writeln!(out, "extern int fptr;");
+            }
+        }
         // Procedures.
         let my_funcs: Vec<(usize, FuncSym)> =
             self.funcs.clone().into_iter().enumerate().filter(|(_, f)| f.module == m).collect();
         for (idx, fsym) in my_funcs {
             let params: Vec<String> = (0..fsym.arity).map(|i| format!("int p{i}")).collect();
-            let _ = writeln!(out, "int {}({}) {{", fsym.name, params.join(", "));
-            self.calls_in_fn = 0;
-            let mut scope: Vec<String> = (0..fsym.arity).map(|i| format!("p{i}")).collect();
-            let body = self.block(idx, &mut scope, 1);
-            out.push_str(&body);
-            let ret = self.expr(idx, &scope, 2);
-            let _ = writeln!(out, "    return {ret};");
+            let kw = if fsym.is_static { "static " } else { "" };
+            let _ = writeln!(out, "{kw}int {}({}) {{", fsym.name, params.join(", "));
+            if fsym.kind == FuncKind::Normal {
+                self.calls_in_fn = 0;
+                let mut scope: Vec<String> = (0..fsym.arity).map(|i| format!("p{i}")).collect();
+                let body = self.block(idx, &mut scope, 1);
+                out.push_str(&body);
+                let ret = self.expr(idx, &scope, 2);
+                let _ = writeln!(out, "    return {ret};");
+            } else {
+                out.push_str(&self.recursive_body(idx, &fsym));
+            }
             let _ = writeln!(out, "}}");
         }
         // `main` lives in module 0 and may call everything.
@@ -199,6 +313,9 @@ impl Gen {
             self.calls_in_fn = 0;
             let mut scope: Vec<String> = Vec::new();
             let n_funcs = self.funcs.len();
+            if let Some(t) = self.fptr_target {
+                let _ = writeln!(out, "    fptr = &{};", self.funcs[t].name);
+            }
             let body = self.block(n_funcs, &mut scope, 1);
             out.push_str(&body);
             // Guarantee observable output.
@@ -212,6 +329,43 @@ impl Gen {
             let _ = writeln!(out, "}}");
         }
         SourceFile::new(format!("m{m}"), out)
+    }
+
+    /// Templated body for a recursive procedure: clamps its argument so any
+    /// caller-supplied value terminates, touches a visible global so the
+    /// allocator sees live state across the recursive call, and recurses on
+    /// a strictly smaller argument.
+    fn recursive_body(&mut self, idx: usize, fsym: &FuncSym) -> String {
+        let g = self.scalar_global(idx);
+        let mut s = String::new();
+        let _ = writeln!(s, "    if (p0 > 9) {{ p0 = 9; }}");
+        match fsym.kind {
+            FuncKind::SelfRec => {
+                let _ = writeln!(s, "    if (p0 < 1) {{ return p0; }}");
+                if let Some(g) = g {
+                    let _ = writeln!(s, "    {g} = {g} + p0;");
+                    let _ = writeln!(s, "    return {}(p0 - 1) + {g};", fsym.name);
+                } else {
+                    let _ = writeln!(s, "    return {}(p0 - 1) + p0;", fsym.name);
+                }
+            }
+            FuncKind::MutualA => {
+                let _ = writeln!(s, "    if (p0 < 1) {{ return 0; }}");
+                if let Some(g) = g {
+                    let _ = writeln!(s, "    {g} = {g} + 1;");
+                }
+                let _ = writeln!(s, "    return mrec_b(p0 - 1) + 1;");
+            }
+            FuncKind::MutualB => {
+                let _ = writeln!(s, "    if (p0 < 1) {{ return 1; }}");
+                if let Some(g) = g {
+                    let _ = writeln!(s, "    {g} = {g} - 1;");
+                }
+                let _ = writeln!(s, "    return mrec_a(p0 - 1) + 2;");
+            }
+            FuncKind::Normal => unreachable!("normal bodies come from block()"),
+        }
+        s
     }
 
     /// A block of statements. `caller` is the index of the containing
@@ -274,17 +428,39 @@ impl Gen {
                 // Indirect call through a function pointer in a local. The
                 // pointer never enters the value scope: address tokens are
                 // opaque.
+                let candidates = self.callable(caller);
+                if candidates.is_empty() {
+                    let e = self.expr(caller, scope, 1);
+                    format!("{indent}out({e});\n")
+                } else {
+                    self.calls_in_fn += 1;
+                    let target = candidates[self.rng.gen_range(0..candidates.len())];
+                    let f = self.funcs[target].clone();
+                    self.fp_counter += 1;
+                    let ptr = format!("fp{}", self.fp_counter);
+                    let args: Vec<String> =
+                        (0..f.arity).map(|_| self.expr(caller, scope, 1)).collect();
+                    format!(
+                        "{indent}int {ptr} = &{};\n{indent}out({ptr}({}));\n",
+                        f.name,
+                        args.join(", ")
+                    )
+                }
+            } else if self.cfg.global_fn_ptrs
+                && choice >= 95
+                && self.calls_in_fn < 3
+                && self.fptr_target.is_some_and(|t| caller > t)
+            {
+                // Indirect call through the *global* function pointer: the
+                // analyzer must treat this edge as unresolved (the target is
+                // only known dynamically), and only callers strictly after
+                // the target may use it, keeping the dynamic relation
+                // acyclic.
                 self.calls_in_fn += 1;
-                let target = self.rng.gen_range(0..caller);
-                let f = self.funcs[target].clone();
-                self.fp_counter += 1;
-                let ptr = format!("fp{}", self.fp_counter);
-                let args: Vec<String> = (0..f.arity).map(|_| self.expr(caller, scope, 1)).collect();
-                format!(
-                    "{indent}int {ptr} = &{};\n{indent}out({ptr}({}));\n",
-                    f.name,
-                    args.join(", ")
-                )
+                let t = self.fptr_target.expect("guarded above");
+                let args: Vec<String> =
+                    (0..self.funcs[t].arity).map(|_| self.expr(caller, scope, 1)).collect();
+                format!("{indent}out(fptr({}));\n", args.join(", "))
             } else {
                 // Pointer store through &global (aliases the global).
                 match self.scalar_global(caller) {
@@ -361,14 +537,30 @@ impl Gen {
         format!("((({e}) % {n} + {n}) % {n})")
     }
 
+    /// Indices of procedures `caller` may name: strictly earlier in the
+    /// table (so the static call graph stays acyclic among Normal bodies),
+    /// and either non-static or in the caller's own module. Without
+    /// [`GenConfig::alias_mix`] every procedure is visible and the list is
+    /// exactly `0..caller`, preserving the historical random stream.
+    fn callable(&self, caller: usize) -> Vec<usize> {
+        let module = self.module_of(caller);
+        (0..caller)
+            .filter(|&i| !self.funcs[i].is_static || self.funcs[i].module == module)
+            .collect()
+    }
+
     fn call_expr(&mut self, caller: usize, scope: &[String], depth: usize) -> String {
         // Only strictly-earlier procedures: the call graph stays acyclic;
         // at most 3 calls per procedure bound the work amplification.
         if caller == 0 || self.calls_in_fn >= 3 {
             return self.expr(caller, scope, 0);
         }
+        let candidates = self.callable(caller);
+        if candidates.is_empty() {
+            return self.expr(caller, scope, 0);
+        }
         self.calls_in_fn += 1;
-        let target = self.rng.gen_range(0..caller);
+        let target = candidates[self.rng.gen_range(0..candidates.len())];
         let f = self.funcs[target].clone();
         let args: Vec<String> =
             (0..f.arity).map(|_| self.expr(caller, scope, depth.saturating_sub(1))).collect();
@@ -467,6 +659,45 @@ mod tests {
     fn generation_is_deterministic() {
         assert_eq!(random_program(7), random_program(7));
         assert_ne!(random_program(7), random_program(8));
+    }
+
+    #[test]
+    fn extended_shapes_generate_and_run() {
+        let cfg = GenConfig {
+            modules: 2,
+            recursion: true,
+            alias_mix: true,
+            global_fn_ptrs: true,
+            ..GenConfig::default()
+        };
+        let mut saw_static_fn = false;
+        let mut saw_global_fp_call = false;
+        for seed in 40..56 {
+            let sources = random_program_with(seed, &cfg);
+            let text: String = sources.iter().map(|s| s.text.clone()).collect();
+            assert!(text.contains("rec0("), "recursion shape missing:\n{text}");
+            assert!(text.contains("int mrec_a"), "mutual recursion missing:\n{text}");
+            assert!(text.contains("static int amix"), "alias mix missing:\n{text}");
+            assert!(text.contains("fptr = &"), "fptr assignment missing:\n{text}");
+            saw_static_fn |= text.contains("static int f");
+            saw_global_fp_call |= text.contains("out(fptr(");
+            let r = interpret_sources(&sources, &[]).unwrap();
+            r.unwrap_or_else(|e| panic!("seed {seed}: interpreter trap {e}\n{text}"));
+        }
+        assert!(saw_static_fn, "no seed produced a static procedure");
+        assert!(saw_global_fp_call, "no seed called through the global fptr");
+    }
+
+    #[test]
+    fn shape_flags_default_off_matches_plain_default() {
+        // `random_program` must keep meaning exactly the historical shape.
+        let explicit = GenConfig {
+            recursion: false,
+            alias_mix: false,
+            global_fn_ptrs: false,
+            ..GenConfig::default()
+        };
+        assert_eq!(random_program(11), random_program_with(11, &explicit));
     }
 
     #[test]

@@ -14,9 +14,9 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release -q
 # The root build only compiles dependency *libraries*; the cminc binary
-# lives in the driver crate and must be requested explicitly so the
+# lives in the cli crate and must be requested explicitly so the
 # report smoke below never runs a stale binary.
-cargo build --release -q -p ipra-driver
+cargo build --release -q -p ipra-cli
 
 echo "==> tier-1: cargo test"
 cargo test -q
@@ -56,5 +56,14 @@ done
 cmp "$report_dir/report1.json" "$report_dir/report2.json"
 cmp "$report_dir/table1.txt" "$report_dir/table2.txt"
 grep -q '"reasons"' "$report_dir/report1.json"
+
+echo "==> fuzz smoke (fixed seed, two jobs widths must agree byte-for-byte)"
+"$cminc" fuzz --seed 1 --iters 150 --jobs 2 > "$report_dir/fuzz2.txt"
+"$cminc" fuzz --seed 1 --iters 150 --jobs 8 > "$report_dir/fuzz8.txt"
+cmp "$report_dir/fuzz2.txt" "$report_dir/fuzz8.txt"
+grep -q '150 iterations, 0 failure(s)' "$report_dir/fuzz2.txt"
+
+echo "==> regression corpus replay"
+cargo test -q --test corpus
 
 echo "All checks passed."

@@ -1,0 +1,122 @@
+//! Arithmetic edge semantics: the reference interpreter, the IR constant
+//! folder and the VPR ALU are three independent implementations of `cmin`
+//! arithmetic, and the differential oracle is only sound if they agree on
+//! the edges — division by zero, `INT_MIN / -1`, signed overflow, shift
+//! counts out of range. These tests pin the contract stated in
+//! `docs/LANGUAGE.md`: all arithmetic is wrapping two's-complement on
+//! 64-bit words; division and remainder by zero trap on every path (never
+//! folded away); `INT_MIN / -1` and `INT_MIN % -1` wrap instead of
+//! trapping; VPR shifts mask their count to six bits (and `cmin` itself
+//! has no shift operator, so no source program can observe the mask).
+
+use ipra_core::PaperConfig;
+use ipra_driver::{compile, interpret_sources, run_program, CompileOptions, SourceFile};
+
+const MIN: i64 = i64::MIN;
+const MAX: i64 = i64::MAX;
+
+/// Runs `src` with `input` through the interpreter and through compiled
+/// code at every paper config, asserts they all agree, and returns the
+/// common output stream.
+fn agreed_output(src: &str, input: &[i64]) -> Vec<i64> {
+    let sources = [SourceFile::new("m", src)];
+    let oracle = interpret_sources(&sources, input)
+        .expect("frontend")
+        .expect("the interpreter must not trap here");
+    for config in PaperConfig::ALL {
+        let program = compile(&sources, &CompileOptions::paper(config)).unwrap();
+        let r =
+            run_program(&program, input).unwrap_or_else(|e| panic!("{config}: simulator trap {e}"));
+        assert_eq!(r.output, oracle.output, "{config} diverged from the interpreter");
+        assert_eq!(r.exit, oracle.exit, "{config} exit diverged");
+    }
+    oracle.output
+}
+
+/// Runs `src` with `input` on both sides and asserts that *both* trap with
+/// a division-by-zero error.
+fn both_trap_div_by_zero(src: &str, input: &[i64]) {
+    let sources = [SourceFile::new("m", src)];
+    let trap = interpret_sources(&sources, input)
+        .expect("frontend")
+        .expect_err("the interpreter must trap");
+    assert_eq!(trap, cmin_ir::interp::InterpError::DivByZero, "interpreter trap class");
+    for config in PaperConfig::ALL {
+        let program = compile(&sources, &CompileOptions::paper(config)).unwrap();
+        match run_program(&program, input) {
+            Err(vpr::sim::SimError::DivByZero { .. }) => {}
+            other => panic!("{config}: expected DivByZero trap, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn division_and_remainder_by_zero_trap_on_both_sides() {
+    // Data-dependent: no constant folder can see the zero.
+    both_trap_div_by_zero("int main() { out(in() / in()); return 0; }", &[5, 0]);
+    both_trap_div_by_zero("int main() { out(in() % in()); return 0; }", &[5, 0]);
+}
+
+#[test]
+fn constant_division_by_zero_is_not_folded_and_still_traps() {
+    // The folder sees `1 / 0` at compile time; it must leave the trapping
+    // instruction in place, not fold it or drop it as dead.
+    both_trap_div_by_zero("int main() { out(1 / 0); return 0; }", &[]);
+    both_trap_div_by_zero("int main() { out(1 % 0); return 0; }", &[]);
+    // Even when the result is unused, the trap is an observable effect.
+    both_trap_div_by_zero("int main() { int x = 1 / 0; return 0; }", &[]);
+}
+
+#[test]
+fn int_min_over_minus_one_wraps_instead_of_trapping() {
+    // The one divide that overflows: INT_MIN / -1 == -INT_MIN wraps back
+    // to INT_MIN, and INT_MIN % -1 == 0 — on the interpreter, through the
+    // folder, and on the VPR ALU alike (hardware-style, no trap).
+    let src = "int main() { out(in() / in()); out(in() % in()); return 0; }";
+    assert_eq!(agreed_output(src, &[MIN, -1, MIN, -1]), vec![MIN, 0]);
+}
+
+#[test]
+fn division_truncates_toward_zero() {
+    // C semantics: the quotient truncates toward zero and the remainder
+    // takes the sign of the dividend.
+    let src = "int main() { out(in() / in()); out(in() % in()); return 0; }";
+    assert_eq!(agreed_output(src, &[-7, 2, -7, 2]), vec![-3, -1]);
+    assert_eq!(agreed_output(src, &[7, -2, 7, -2]), vec![-3, 1]);
+}
+
+#[test]
+fn signed_overflow_wraps_identically_everywhere() {
+    // Data-dependent operands: exercised on the ALU / interpreter proper.
+    let src = "int main() {
+        out(in() + in());
+        out(in() - in());
+        out(in() * in());
+        out(0 - in());
+        return 0;
+    }";
+    let input = [MAX, 1, MIN, 1, MAX, 2, MIN];
+    assert_eq!(agreed_output(src, &input), vec![MIN, MAX, -2, MIN]);
+
+    // Constant operands: the same values routed through the folder.
+    let src = "int main() {
+        out(9223372036854775807 + 1);
+        out((0 - 9223372036854775807 - 1) - 1);
+        out(9223372036854775807 * 2);
+        return 0;
+    }";
+    assert_eq!(agreed_output(src, &[]), vec![MIN, MAX, -2]);
+}
+
+#[test]
+fn vpr_shift_counts_are_masked_to_six_bits() {
+    use vpr::inst::AluOp;
+    // `cmin` has no shift operator, so these semantics are unreachable from
+    // source — but codegen strength-reduction or hand-written VPR may emit
+    // them, and the mask is part of the machine contract.
+    assert_eq!(AluOp::Shl.eval(1, 64), Some(1), "64 & 63 == 0");
+    assert_eq!(AluOp::Shl.eval(1, 65), Some(2), "65 & 63 == 1");
+    assert_eq!(AluOp::Shl.eval(1, -1), Some(MIN), "-1 & 63 == 63");
+    assert_eq!(AluOp::Shr.eval(-8, 64), Some(-8), "count masks, sign extends");
+    assert_eq!(AluOp::Shr.eval(MIN, 63), Some(-1), "arithmetic, not logical");
+}

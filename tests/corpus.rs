@@ -1,0 +1,63 @@
+//! Regression-corpus replay: every repro the fuzzer ever checked into
+//! `tests/corpus/` is re-validated here, forever. A self-validation repro
+//! (mutation header present) must still host its injection and the
+//! verifier must still flag it; an organic repro (no mutation header)
+//! records a *fixed* failure, so the full oracle must now pass on it.
+
+use ipra_fuzz::corpus;
+use ipra_fuzz::inject::{injected_detectable, MutationClass};
+use ipra_fuzz::oracle::{check, CheckOptions};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_entry_replays() {
+    let entries = corpus::load(&corpus_dir()).expect("corpus must parse");
+    assert!(!entries.is_empty(), "the checked-in corpus must not be empty");
+    for (path, entry) in &entries {
+        match entry.mutation {
+            Some(class) => assert!(
+                injected_detectable(&entry.sources, class),
+                "{}: injected {} must still be detectable",
+                path.display(),
+                class.name()
+            ),
+            None => {
+                // Organic failures are only checked in after the underlying
+                // bug is fixed; the oracle must stay clean on them.
+                let opts = CheckOptions { incremental: true, trace_purity: true };
+                if let Err(f) = check(&entry.sources, &opts) {
+                    panic!("{}: fixed repro regressed: {f}", path.display());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_covers_every_mutation_class() {
+    let entries = corpus::load(&corpus_dir()).expect("corpus must parse");
+    for class in MutationClass::ALL {
+        assert!(
+            entries.iter().any(|(_, e)| e.mutation == Some(class)),
+            "no corpus entry exercises injected {}",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn corpus_files_round_trip_through_the_container_format() {
+    for (path, entry) in corpus::load(&corpus_dir()).expect("corpus must parse") {
+        let reparsed = corpus::CorpusEntry::from_text(&entry.to_text()).unwrap();
+        assert_eq!(reparsed, entry, "{}", path.display());
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            entry.file_name(),
+            "corpus file names must stay deterministic"
+        );
+    }
+}

@@ -14,45 +14,11 @@
 //! observable behavior.
 
 use ipra_core::PaperConfig;
-use ipra_driver::{
-    compile, compile_with_profile, interpret_sources, run_program, CompileOptions, SourceFile,
-};
+use ipra_driver::{compile, compile_with_profile, interpret_sources, run_program, CompileOptions};
+// One shared divergence-dump implementation, used here, by the fuzzer, and
+// by its reducer — one format for every debugging session.
+use ipra_fuzz::oracle::dump_divergence;
 use ipra_workloads::generator::{random_program, random_program_with, GenConfig};
-
-/// On a divergence, rebuild the failing configuration with decision tracing
-/// on, run both the L2 baseline and the failing binary with exact
-/// per-procedure attribution, and dump everything a debugging session needs
-/// (sources, database, analyzer trace, both attributions) to a temp
-/// directory whose path goes into the panic message.
-fn dump_divergence(sources: &[SourceFile], config: PaperConfig, label: &str) -> std::path::PathBuf {
-    let slug: String = label.chars().map(|c| if c.is_alphanumeric() { c } else { '-' }).collect();
-    let dir = std::env::temp_dir().join(format!("ipra-divergence-{slug}-{config}"));
-    let _ = std::fs::create_dir_all(&dir);
-    let text: String =
-        sources.iter().map(|s| format!("// --- {} ---\n{}\n", s.name, s.text)).collect();
-    let _ = std::fs::write(dir.join("sources.cmin"), text);
-    let opts = CompileOptions { trace: true, ..CompileOptions::default() };
-    let mut cache = ipra_driver::CompilationCache::new();
-    for cfg in [config, PaperConfig::L2] {
-        let Ok(Ok(program)) = ipra_driver::compile_configured(sources, cfg, &[], &opts, &mut cache)
-        else {
-            continue;
-        };
-        if cfg == config {
-            let _ = std::fs::write(dir.join("database.json"), program.database.to_json());
-            if let Some(t) = &program.trace {
-                let _ = std::fs::write(dir.join("trace.json"), t.to_json());
-            }
-        }
-        if let Ok(r) = ipra_driver::run_program_attributed(&program, &[]) {
-            if let Some(a) = &r.attribution {
-                let json = serde_json::to_string_pretty(a).unwrap_or_default();
-                let _ = std::fs::write(dir.join(format!("attribution-{cfg}.json")), json);
-            }
-        }
-    }
-    dir
-}
 
 fn check_seed(sources: &[ipra_driver::SourceFile], label: &str) {
     let oracle = interpret_sources(sources, &[])

@@ -4,12 +4,16 @@
 //! diagnostic kind. This is the verifier's own soundness suite — the
 //! differential tests prove the compiler clean, so without mutations a
 //! verifier that never reported anything would look perfect.
+//!
+//! The injections themselves live in [`ipra_fuzz::inject`] — the same
+//! implementation the fuzzer's self-validation uses, so what this suite
+//! proves about the verifier holds verbatim for `cminc fuzz
+//! --self-validate` and the checked-in corpus repros.
 
 use ipra_core::PaperConfig;
 use ipra_driver::{compile, CompileOptions, CompiledProgram};
-use ipra_verify::{verify_modules, DiagKind};
-use vpr::inst::{Inst, MemClass};
-use vpr::regs::{Reg, RegSet};
+use ipra_fuzz::inject::{inject, MutationClass};
+use ipra_verify::verify_modules;
 
 fn compiled(config: PaperConfig) -> CompiledProgram {
     let w = ipra_workloads::dhrystone();
@@ -19,101 +23,22 @@ fn compiled(config: PaperConfig) -> CompiledProgram {
     program
 }
 
-/// Sets up the paper's §6 stale-recompilation hazard: one procedure's
-/// database entry loses a promotion (as if its module were rebuilt against
-/// an older database), making it an outsider to that web while the rest of
-/// the program still keeps the global in its home register.
-///
-/// Returns the program (database already mutated, machine code still
-/// intact) plus the victim's name and the web's home register. The victim
-/// is chosen so its code doesn't touch the home register at all — the
-/// database mutation alone must keep the program clean; only the code
-/// mutation the caller applies afterwards introduces the violation.
-fn stale_recompiled_program(config: PaperConfig) -> (CompiledProgram, String, Reg) {
-    for w in ipra_workloads::all() {
-        let mut program = compile(&w.sources, &CompileOptions::paper(config)).unwrap();
-        let report = verify_modules(&program.objects, &program.database);
-        assert!(report.is_clean(), "{}: unmutated baseline must verify clean:\n{report}", w.name);
-        let mut found = None;
-        'procs: for d in program.database.iter() {
-            if d.promotions.iter().any(|q| q.is_entry) {
-                continue; // entries load/store the memory home; keep it simple
-            }
-            for q in &d.promotions {
-                let touches_home = find_inst(&program, |name, _, inst| {
-                    name == d.name && (inst.def() == Some(q.reg) || inst.uses().contains(q.reg))
-                })
-                .is_some();
-                let has_scratch_def = find_inst(&program, |name, _, inst| {
-                    name == d.name
-                        && matches!(inst.def(),
-                            Some(rd) if RegSet::caller_saves().contains(rd) && rd != Reg::RV)
-                })
-                .is_some();
-                let is_called = find_inst(
-                    &program,
-                    |_, _, inst| matches!(inst, Inst::Call { target } if *target == d.name),
-                )
-                .is_some();
-                if !touches_home && has_scratch_def && is_called {
-                    found = Some((d.name.clone(), q.sym.clone(), q.reg));
-                    break 'procs;
-                }
-            }
-        }
-        let Some((victim, sym, home)) = found else { continue };
-
-        let mut stale = program.database.lookup(&victim);
-        stale.promotions.retain(|q| q.sym != sym);
-        program.database.insert(stale);
-        let report = verify_modules(&program.objects, &program.database);
-        assert!(
-            report.is_clean(),
-            "dropping `{sym}` from `{victim}`'s directives alone must stay clean:\n{report}"
-        );
-        return (program, victim, home);
-    }
-    panic!("no workload has a web member whose code leaves some home register untouched");
-}
-
-/// Finds `(module, function, instruction)` of the first instruction in any
-/// procedure for which `pick` returns true, searching in program order.
-fn find_inst(
-    program: &CompiledProgram,
-    pick: impl Fn(&str, usize, &Inst) -> bool,
-) -> Option<(usize, usize, usize)> {
-    for (mi, m) in program.objects.iter().enumerate() {
-        for (fi, f) in m.functions.iter().enumerate() {
-            for (ii, inst) in f.insts().iter().enumerate() {
-                if pick(f.name(), ii, inst) {
-                    return Some((mi, fi, ii));
-                }
-            }
-        }
-    }
-    None
-}
-
 /// Mutation class 1: a procedure saves a callee-saves register but one of
 /// its restores is dropped — the classic "missed epilogue on an early
 /// return" codegen bug.
 #[test]
 fn dropped_callee_saves_restore_is_missing_restore() {
-    let mut program = compiled(PaperConfig::L2);
-    let (mi, fi, ii) = find_inst(&program, |_, _, inst| {
-        matches!(inst,
-            Inst::Ldw { rd, base: Reg::SP, disp, class: MemClass::Spill }
-                if *disp >= 0 && RegSet::callee_saves().contains(*rd))
-    })
-    .expect("the workload must contain a callee-saves restore to drop");
-    let victim = program.objects[mi].functions[fi].name().to_string();
-    program.objects[mi].functions[fi].insts_mut()[ii] = Inst::Nop;
+    let class = MutationClass::MissingRestore;
+    let mut program = compiled(class.config());
+    let inj = inject(&mut program, class)
+        .expect("the workload must contain a callee-saves restore to drop");
 
     let report = verify_modules(&program.objects, &program.database);
-    let hits: Vec<_> = report.of_kind(DiagKind::MissingRestore).collect();
+    let hits: Vec<_> = report.of_kind(class.diag_kind()).collect();
     assert!(
-        hits.iter().any(|d| d.proc == victim),
-        "dropping {victim}'s restore must be flagged as missing-restore, got:\n{report}"
+        hits.iter().any(|d| d.proc == inj.proc),
+        "dropping {}'s restore must be flagged as missing-restore, got:\n{report}",
+        inj.proc
     );
 }
 
@@ -122,25 +47,31 @@ fn dropped_callee_saves_restore_is_missing_restore() {
 /// "this register is dedicated to the global across these procedures" is
 /// broken by a callee that never heard of the web (the paper's §6
 /// recompilation hazard: a module rebuilt against a stale database).
+///
+/// The injection first drops the promotion from the victim's database
+/// entry — as if its module were rebuilt against an older database — and
+/// verifies that this alone stays clean (`inject` rejects the site
+/// otherwise), so the diagnostic below is attributable to the code
+/// mutation only.
 #[test]
 fn clobbered_promotion_home_register_is_promotion_clobber() {
-    let (mut program, victim, home) = stale_recompiled_program(PaperConfig::E);
+    let class = MutationClass::PromotionClobber;
+    for w in ipra_workloads::all() {
+        let mut program = compile(&w.sources, &CompileOptions::paper(class.config())).unwrap();
+        let report = verify_modules(&program.objects, &program.database);
+        assert!(report.is_clean(), "{}: unmutated baseline must verify clean:\n{report}", w.name);
+        let Some(inj) = inject(&mut program, class) else { continue };
 
-    // Replace a scratch-register write in the victim with a write to the
-    // web's home register (replacement, not insertion, keeps labels valid).
-    let (mi, fi, ii) = find_inst(&program, |name, _, inst| {
-        name == victim
-            && matches!(inst.def(), Some(rd) if RegSet::caller_saves().contains(rd) && rd != Reg::RV)
-    })
-    .expect("the victim must define some caller-saves scratch register");
-    program.objects[mi].functions[fi].insts_mut()[ii] = Inst::Ldi { rd: home, imm: 0 };
-
-    let report = verify_modules(&program.objects, &program.database);
-    let hits: Vec<_> = report.of_kind(DiagKind::PromotionClobber).collect();
-    assert!(
-        hits.iter().any(|d| d.detail.contains(victim.as_str())),
-        "clobbering {home} in `{victim}` must be flagged as promotion-clobber, got:\n{report}"
-    );
+        let report = verify_modules(&program.objects, &program.database);
+        let hits: Vec<_> = report.of_kind(class.diag_kind()).collect();
+        assert!(
+            hits.iter().any(|d| d.detail.contains(inj.proc.as_str())),
+            "clobbering the web's home in `{}` must be flagged as promotion-clobber, got:\n{report}",
+            inj.proc
+        );
+        return;
+    }
+    panic!("no workload has a web member whose code leaves some home register untouched");
 }
 
 /// Mutation class 3: a cluster root's boundary save for an MSPILL register
@@ -148,29 +79,16 @@ fn clobbered_promotion_home_register_is_promotion_clobber() {
 /// covered, exactly the §4.2 spill-motion contract the paper relies on.
 #[test]
 fn deleted_cluster_boundary_save_is_missing_cluster_save() {
-    let mut program = compiled(PaperConfig::A);
-
-    let root = program
-        .database
-        .iter()
-        .find(|d| d.is_cluster_root && !d.usage.mspill.is_empty())
-        .map(|d| (d.name.clone(), d.usage.mspill))
+    let class = MutationClass::MissingClusterSave;
+    let mut program = compiled(class.config());
+    let inj = inject(&mut program, class)
         .expect("config A must form at least one cluster with a nonempty MSPILL in dhrystone");
 
-    let (mi, fi, ii) = find_inst(&program, |name, _, inst| {
-        name == root.0
-            && matches!(inst,
-                Inst::Stw { rs, base: Reg::SP, disp, class: MemClass::Spill }
-                    if *disp >= 0 && root.1.contains(*rs))
-    })
-    .expect("the cluster root must save its MSPILL registers in the prologue");
-    program.objects[mi].functions[fi].insts_mut()[ii] = Inst::Nop;
-
     let report = verify_modules(&program.objects, &program.database);
-    let hits: Vec<_> = report.of_kind(DiagKind::MissingClusterSave).collect();
+    let hits: Vec<_> = report.of_kind(class.diag_kind()).collect();
     assert!(
-        hits.iter().any(|d| d.proc == root.0),
+        hits.iter().any(|d| d.proc == inj.proc),
         "deleting the boundary save in `{}` must be flagged as missing-cluster-save, got:\n{report}",
-        root.0
+        inj.proc
     );
 }

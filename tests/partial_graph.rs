@@ -144,6 +144,90 @@ fn library_optimized_alone_links_with_standard_app() {
     assert_eq!(optimized.exit, expect.exit);
 }
 
+/// Paper §7.3: an indirect call site may reach *any* address-taken
+/// procedure, so the call graph carries a conservative unresolved edge from
+/// every indirect caller to every taken address. A promoted global must
+/// never cross such an edge unprotected: if an unresolved edge lands on a
+/// web member, either its source is itself a member (the repair loop pulled
+/// it in, so the register view is established on *its* entry path) or the
+/// target is a web entry (it reloads the global itself). Otherwise an
+/// indirect call would reach code that trusts a register nobody loaded.
+///
+/// Checked three ways on generated function-pointer programs: on the
+/// analysis result, independently on the decision trace (the observability
+/// channel must tell the same story), and end-to-end by `ipra-verify` on
+/// the compiled machine code.
+#[test]
+fn generated_indirect_calls_never_promote_across_unresolved_edges() {
+    use ipra_core::callgraph::CallGraph;
+    use ipra_core::trace::TraceEvent;
+    use ipra_core::PaperConfig;
+    use ipra_workloads::generator::{random_program_with, GenConfig};
+
+    let cfg = GenConfig { global_fn_ptrs: true, funcs_per_module: 4, ..GenConfig::default() };
+    let mut seeds_with_unresolved = 0;
+    let mut webs_touching_taken = 0;
+    for seed in 400..420u64 {
+        let sources = random_program_with(seed, &cfg);
+        let mut summary = ProgramSummary::default();
+        for (m, info) in frontend(&sources).unwrap() {
+            let mut ir = cmin_ir::lower_module(&m, &info);
+            cmin_ir::optimize_module(&mut ir);
+            summary.modules.push(summarize_module(&ir));
+        }
+        let graph = CallGraph::build(&summary, None);
+        let unresolved: Vec<(String, String)> = graph
+            .edges()
+            .iter()
+            .filter(|e| e.indirect)
+            .map(|e| (graph.node(e.from).name.clone(), graph.node(e.to).name.clone()))
+            .collect();
+        if !unresolved.is_empty() {
+            seeds_with_unresolved += 1;
+        }
+
+        let opts = ipra_core::analyzer::AnalyzerOptions::paper_config(PaperConfig::E, None);
+        let (analysis, trace) = ipra_core::analyzer::analyze_traced(&summary, &opts);
+        let assert_web = |sym: &str, nodes: &[String], entries: &[String]| {
+            let mut touches = false;
+            for (from, to) in &unresolved {
+                if nodes.contains(to) {
+                    touches = true;
+                    assert!(
+                        nodes.contains(from) || entries.contains(to),
+                        "seed {seed}: web {sym} is promoted across the unresolved edge \
+                         {from} -> {to} ({to} is a non-entry member, {from} is outside)"
+                    );
+                }
+            }
+            touches
+        };
+        for w in &analysis.webs {
+            if assert_web(&w.sym, &w.nodes, &w.entries) {
+                webs_touching_taken += 1;
+            }
+        }
+        // The decision trace must independently support the same audit.
+        for ev in &trace.events {
+            if let TraceEvent::WebFormed { sym, nodes, entries, .. }
+            | TraceEvent::WebColored { sym, nodes, entries, .. } = ev
+            {
+                assert_web(sym, nodes, entries);
+            }
+        }
+
+        let program =
+            ipra_driver::compile(&sources, &ipra_driver::CompileOptions::paper(PaperConfig::E))
+                .unwrap();
+        let report = ipra_driver::verify_program(&program);
+        assert!(report.is_clean(), "seed {seed} failed verification:\n{report}");
+    }
+    // The run must actually have exercised the interesting shapes, or the
+    // assertions above are vacuous.
+    assert!(seeds_with_unresolved >= 10, "only {seeds_with_unresolved}/20 seeds had fn-ptr edges");
+    assert!(webs_touching_taken >= 10, "only {webs_touching_taken} webs touched a taken address");
+}
+
 #[test]
 fn library_database_has_no_entry_for_external_callers() {
     let mut db = ProgramDatabase::new();
