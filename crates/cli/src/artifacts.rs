@@ -1,0 +1,361 @@
+//! Artifact-aware file handling for `cminc`: loaders that accept both the
+//! versioned [`ipra_artifact`] formats (`.csum`/`.cdir`/`.vo`/`.vx`/`.vlib`)
+//! and the legacy bare-JSON files, plus the `c`, `lib` and `objdump`
+//! subcommands.
+
+use crate::{flag_value, module_name, positionals, read, write};
+use ipra_artifact::{
+    ArtifactKind, DirectivesArtifact, ExecutableArtifact, LibraryArtifact, LibraryMember,
+    ObjectArtifact, SummaryArtifact,
+};
+use ipra_core::ProgramDatabase;
+use ipra_driver::SourceFile;
+use ipra_summary::ModuleSummary;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use vpr::inst::Inst;
+use vpr::program::{Executable, ObjectModule};
+
+fn artifact_err(e: ipra_artifact::ArtifactError) -> String {
+    e.to_string()
+}
+
+/// Reads module summaries from one input file: a `.csum` artifact, a
+/// `.vlib` archive (all member summaries, in archive order), or a legacy
+/// bare-JSON `.sum` file.
+pub fn load_summaries(path: &str) -> Result<Vec<ModuleSummary>, String> {
+    match ArtifactKind::for_path(Path::new(path)) {
+        Some(ArtifactKind::Summary) => {
+            let a: SummaryArtifact =
+                ipra_artifact::read_file(ArtifactKind::Summary, Path::new(path))
+                    .map_err(artifact_err)?;
+            Ok(vec![a.summary])
+        }
+        Some(ArtifactKind::Library) => {
+            let a: LibraryArtifact =
+                ipra_artifact::read_file(ArtifactKind::Library, Path::new(path))
+                    .map_err(artifact_err)?;
+            Ok(a.members.into_iter().map(|m| m.summary).collect())
+        }
+        Some(k) => Err(format!("{path}: expected a summary or library artifact, found {k}")),
+        None => {
+            let m: ModuleSummary =
+                serde_json::from_str(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+            Ok(vec![m])
+        }
+    }
+}
+
+/// Reads one relocatable object: a `.vo` artifact or a legacy bare-JSON
+/// `.obj` file.
+pub fn load_object(path: &str) -> Result<ObjectModule, String> {
+    match ArtifactKind::for_path(Path::new(path)) {
+        Some(ArtifactKind::Object) => {
+            let a: ObjectArtifact = ipra_artifact::read_file(ArtifactKind::Object, Path::new(path))
+                .map_err(artifact_err)?;
+            Ok(a.object)
+        }
+        Some(k) => Err(format!("{path}: expected an object artifact, found {k}")),
+        None => serde_json::from_str(&read(path)?).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// Reads a program database: a `.cdir` artifact or a legacy bare-JSON
+/// `.db` file.
+pub fn load_database(path: &str) -> Result<ProgramDatabase, String> {
+    match ArtifactKind::for_path(Path::new(path)) {
+        Some(ArtifactKind::Directives) => {
+            let a: DirectivesArtifact =
+                ipra_artifact::read_file(ArtifactKind::Directives, Path::new(path))
+                    .map_err(artifact_err)?;
+            Ok(a.database)
+        }
+        Some(k) => Err(format!("{path}: expected a directives artifact, found {k}")),
+        None => ProgramDatabase::from_json(&read(path)?).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// Writes a program database as a `.cdir` artifact when the output path
+/// carries that extension, legacy bare JSON otherwise.
+pub fn write_database(path: &str, config: &str, database: &ProgramDatabase) -> Result<(), String> {
+    if ArtifactKind::for_path(Path::new(path)) == Some(ArtifactKind::Directives) {
+        let payload = DirectivesArtifact { config: config.to_string(), database: database.clone() };
+        ipra_artifact::write_file(ArtifactKind::Directives, Path::new(path), &payload)
+            .map_err(artifact_err)
+    } else {
+        write(path, &database.to_json())
+    }
+}
+
+/// Reads an executable, sniffing the artifact header (so any name works,
+/// not just `.vx`); falls back to legacy bare JSON.
+pub fn load_executable(path: &str) -> Result<Executable, String> {
+    let text = read(path)?;
+    if text.starts_with(ipra_artifact::MAGIC) {
+        let a: ExecutableArtifact =
+            ipra_artifact::decode(ArtifactKind::Executable, &text).map_err(artifact_err)?;
+        Ok(a.exe)
+    } else {
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Writes an executable as a `.vx` artifact when the output path carries
+/// that extension, legacy bare JSON otherwise.
+pub fn write_executable(path: &str, exe: &Executable) -> Result<(), String> {
+    if ArtifactKind::for_path(Path::new(path)) == Some(ArtifactKind::Executable) {
+        ipra_artifact::write_file(
+            ArtifactKind::Executable,
+            Path::new(path),
+            &ExecutableArtifact { exe: exe.clone() },
+        )
+        .map_err(artifact_err)
+    } else {
+        write(path, &serde_json::to_string(exe).expect("serialize"))
+    }
+}
+
+/// Opens the compilation cache: persistent when `--cache-dir` is given,
+/// in-memory (useless across processes, but harmless) otherwise.
+pub fn open_cache(args: &[String]) -> Result<ipra_driver::CompilationCache, String> {
+    match flag_value(args, "--cache-dir") {
+        Some(dir) => ipra_driver::CompilationCache::with_disk(&dir)
+            .map_err(|e| format!("--cache-dir {dir}: {e}")),
+        None => Ok(ipra_driver::CompilationCache::new()),
+    }
+}
+
+/// `cminc c`: separate compilation of one module — phase 1 + phase 2 under
+/// the directives in `--dir` (standard conventions without it), writing the
+/// `.vo` object and `.csum` summary. With `--cache-dir`, both phases are
+/// served from the persistent cache when their fingerprints still match.
+pub fn c_cmd(args: &[String]) -> Result<(), String> {
+    let files = positionals(args);
+    let [src_path] = files.as_slice() else {
+        return Err("c takes exactly one source file".into());
+    };
+    let stem = module_name(src_path);
+    let out = flag_value(args, "-o").unwrap_or(format!("{stem}.vo"));
+    let sum_out = flag_value(args, "--summary").unwrap_or(format!("{stem}.csum"));
+    let database = match flag_value(args, "--dir") {
+        Some(p) => load_database(&p)?,
+        None => ProgramDatabase::new(),
+    };
+    let mut cache = open_cache(args)?;
+    let src = SourceFile::new(stem, read(src_path)?);
+    let product = ipra_driver::separate::build_module(&src, &database, true, &mut cache)
+        .map_err(|e| e.to_string())?;
+    ipra_artifact::write_file(ArtifactKind::Object, Path::new(&out), &product.object)
+        .map_err(artifact_err)?;
+    ipra_artifact::write_file(ArtifactKind::Summary, Path::new(&sum_out), &product.summary)
+        .map_err(artifact_err)?;
+    let leg = |hit: bool| if hit { "hit" } else { "miss" };
+    eprintln!(
+        "c: {src_path} -> {out}, {sum_out} (phase1 {}, phase2 {})",
+        leg(product.phase1_hit),
+        leg(product.phase2_hit)
+    );
+    Ok(())
+}
+
+/// `cminc lib`: archives `.vo` objects (each with its sibling `.csum`
+/// summary) into a `.vlib` library, in argument order.
+pub fn lib_cmd(args: &[String]) -> Result<(), String> {
+    let objs = positionals(args);
+    if objs.is_empty() {
+        return Err("lib needs at least one .vo object file".into());
+    }
+    let out = flag_value(args, "-o").ok_or("lib needs -o <lib.vlib>")?;
+    let mut members = Vec::with_capacity(objs.len());
+    for o in &objs {
+        let object = load_object(o)?;
+        let sum_path = PathBuf::from(o).with_extension("csum");
+        let summary: SummaryArtifact = ipra_artifact::read_file(ArtifactKind::Summary, &sum_path)
+            .map_err(|e| {
+            format!("{o}: library members need their summary ({}): {e}", sum_path.display())
+        })?;
+        members.push(LibraryMember { object, summary: summary.summary });
+    }
+    let lib = LibraryArtifact { members };
+    ipra_artifact::write_file(ArtifactKind::Library, Path::new(&out), &lib)
+        .map_err(artifact_err)?;
+    eprintln!("lib: {} member(s) -> {out}", lib.members.len());
+    Ok(())
+}
+
+/// Splits `link` inputs into root objects and library archives, pulling
+/// needed library members ar-style (to fixpoint across all libraries).
+pub fn collect_link_inputs(paths: &[String]) -> Result<Vec<ObjectModule>, String> {
+    let mut roots = Vec::new();
+    let mut library = LibraryArtifact::default();
+    for p in paths {
+        if ArtifactKind::for_path(Path::new(p)) == Some(ArtifactKind::Library) {
+            let a: LibraryArtifact = ipra_artifact::read_file(ArtifactKind::Library, Path::new(p))
+                .map_err(artifact_err)?;
+            library.members.extend(a.members);
+        } else {
+            roots.push(load_object(p)?);
+        }
+    }
+    for i in library.select(&roots) {
+        roots.push(library.members[i].object.clone());
+    }
+    Ok(roots)
+}
+
+// ---------------------------------------------------------------------------
+// objdump.
+
+/// `cminc objdump <file>`: pretty-prints any of the five artifact kinds.
+pub fn objdump_cmd(args: &[String]) -> Result<(), String> {
+    let files = positionals(args);
+    let [path] = files.as_slice() else {
+        return Err("objdump takes exactly one artifact file".into());
+    };
+    let (kind, version) = ipra_artifact::sniff_file(Path::new(path)).map_err(artifact_err)?;
+    println!("{path}: {kind} artifact v{version}");
+    let p = Path::new(path);
+    match kind {
+        ArtifactKind::Summary => {
+            let a: SummaryArtifact = ipra_artifact::read_file(kind, p).map_err(artifact_err)?;
+            println!("source fnv64:{:016x}  ir fnv64:{:016x}", a.source_fp, a.ir_fp);
+            print!("{}", dump_summary(&a.summary));
+        }
+        ArtifactKind::Directives => {
+            let a: DirectivesArtifact = ipra_artifact::read_file(kind, p).map_err(artifact_err)?;
+            println!("config {}  ({} procedures)", a.config, a.database.len());
+            print!("{}", dump_directives(&a.database));
+        }
+        ArtifactKind::Object => {
+            let a: ObjectArtifact = ipra_artifact::read_file(kind, p).map_err(artifact_err)?;
+            println!("ir fnv64:{:016x}  directives fnv64:{:016x}", a.ir_fp, a.dir_fp);
+            print!("{}", dump_object(&a.object));
+        }
+        ArtifactKind::Executable => {
+            let a: ExecutableArtifact = ipra_artifact::read_file(kind, p).map_err(artifact_err)?;
+            print!("{}", dump_executable(&a.exe));
+        }
+        ArtifactKind::Library => {
+            let a: LibraryArtifact = ipra_artifact::read_file(kind, p).map_err(artifact_err)?;
+            for (i, m) in a.members.iter().enumerate() {
+                let funcs: Vec<&str> = m.object.functions.iter().map(|f| f.name()).collect();
+                let globals: Vec<&str> = m.object.globals.iter().map(|g| g.sym.as_str()).collect();
+                println!(
+                    "member {i}: module {} defines [{}] globals [{}]",
+                    m.object.name,
+                    funcs.join(" "),
+                    globals.join(" ")
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn dump_summary(s: &ModuleSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "module {}: {} procedure(s), {} global(s)",
+        s.module,
+        s.procs.len(),
+        s.globals.len()
+    );
+    for g in &s.globals {
+        let _ = writeln!(out, "  global {g:?}");
+    }
+    for p in &s.procs {
+        let _ = writeln!(
+            out,
+            "  proc {}: callee-saves est {}, caller-saves est {}{}",
+            p.name,
+            p.callee_saves_estimate,
+            p.caller_saves_estimate,
+            if p.makes_indirect_calls { ", makes indirect calls" } else { "" }
+        );
+        for c in &p.calls {
+            let _ = writeln!(out, "    call {c:?}");
+        }
+        for r in &p.global_refs {
+            let _ = writeln!(out, "    ref  {r:?}");
+        }
+        for t in &p.taken_addresses {
+            let _ = writeln!(out, "    addr-taken {t}");
+        }
+    }
+    out
+}
+
+fn dump_directives(db: &ProgramDatabase) -> String {
+    let mut out = String::new();
+    for d in db.iter() {
+        let _ = writeln!(
+            out,
+            "proc {:<16} mspill {}{}  claimed {}  safe-across {}",
+            d.name,
+            d.usage.mspill,
+            if d.is_cluster_root { "  cluster-root" } else { "" },
+            d.claimed_caller,
+            d.safe_caller_across
+        );
+        for p in &d.promotions {
+            let _ = writeln!(
+                out,
+                "  promote {:<14} -> {}{}{}",
+                p.sym,
+                p.reg,
+                if p.is_entry { "  (entry: load here)" } else { "" },
+                if p.store_at_exit { "  (store at exit)" } else { "" }
+            );
+        }
+    }
+    out
+}
+
+fn dump_object(m: &ObjectModule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", m.name);
+    for g in &m.globals {
+        let _ = writeln!(out, "global {} ({} words)", g.sym, g.size);
+    }
+    for f in &m.functions {
+        out.push_str(&vpr::asm::function_asm(f));
+    }
+    let relocs = m.relocations();
+    let _ = writeln!(out, "; {} relocation(s)", relocs.len());
+    for r in &relocs {
+        let _ = writeln!(out, ";   {}+{}: {} {}", r.func, r.inst, r.kind, r.sym);
+    }
+    let symbols = m.symbol_table();
+    let list = |set: &std::collections::BTreeSet<String>| {
+        set.iter().cloned().collect::<Vec<_>>().join(" ")
+    };
+    let _ = writeln!(out, "; defines funcs [{}]", list(&symbols.defined_funcs));
+    let _ = writeln!(out, "; defines globals [{}]", list(&symbols.defined_globals));
+    let _ = writeln!(out, "; needs funcs [{}]", list(&symbols.undefined_funcs));
+    let _ = writeln!(out, "; needs globals [{}]", list(&symbols.undefined_globals));
+    out
+}
+
+/// Linked disassembly with call targets symbolized back to `proc+offset`
+/// through [`Executable::symbolize`].
+fn dump_executable(exe: &Executable) -> String {
+    let mut out = String::new();
+    for (pc, inst) in exe.insts().iter().enumerate() {
+        if let Some(fi) = exe.funcs().iter().find(|fi| fi.entry == pc) {
+            let _ = writeln!(out, "\n{}:  ; @{}", fi.name, fi.entry);
+        }
+        let _ = write!(out, "  {pc:6}  {inst}");
+        if let Inst::CallAbs { entry } = inst {
+            if let Some(sym) = exe.symbolize(*entry as usize) {
+                let _ = write!(out, "  ; -> {sym}");
+            }
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "\n; --- data ---");
+    for g in exe.globals() {
+        let _ = writeln!(out, ";   {} @ {} ({} words)", g.sym, g.addr, g.size);
+    }
+    out
+}

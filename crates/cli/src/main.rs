@@ -1,23 +1,32 @@
 //! `cminc` — the two-pass `cmin` compiler driver, file based.
 //!
-//! Mirrors the paper's Figure 1 as an actual command-line workflow, with
-//! summary files, intermediate files, and a program database on disk:
+//! Mirrors the paper's Figure 1 as an actual command-line workflow over
+//! versioned on-disk artifacts (summaries `.csum`, directives `.cdir`,
+//! objects `.vo`, executables `.vx`, libraries `.vlib`):
 //!
 //! ```sh
-//! cminc phase1 a.cmin --summary a.sum --ir a.ir
-//! cminc phase1 b.cmin --summary b.sum --ir b.ir
-//! cminc analyze a.sum b.sum --config C -o program.db
-//! cminc phase2 a.ir --db program.db -o a.obj
-//! cminc phase2 b.ir --db program.db -o b.obj
-//! cminc link a.obj b.obj -o prog.exe
-//! cminc run prog.exe --input "3 4 5" --stats
+//! cminc c a.cmin -o a.vo --cache-dir .ccache      # phase 1 + 2, emits a.csum too
+//! cminc c b.cmin -o b.vo --cache-dir .ccache
+//! cminc analyze a.csum b.csum --config C -o prog.cdir
+//! cminc c a.cmin -o a.vo --dir prog.cdir --cache-dir .ccache   # phase 1 is a cache hit
+//! cminc c b.cmin -o b.vo --dir prog.cdir --cache-dir .ccache
+//! cminc link a.vo b.vo -o prog.vx
+//! cminc run prog.vx --input "3 4 5" --stats
 //! ```
 //!
 //! or, in one step:
 //!
 //! ```sh
-//! cminc build a.cmin b.cmin --config C --run --stats
+//! cminc build a.cmin b.cmin --config C -o prog.vx --run --stats
 //! ```
+//!
+//! `objdump` pretty-prints any artifact; `lib` archives objects (plus
+//! their summaries) into a `.vlib` that `analyze` and `link` both accept,
+//! pulling only the members the program needs. The pre-artifact bare-JSON
+//! files (`.sum`/`.db`/`.obj`/`.exe`) are still read and written whenever
+//! a path doesn't carry an artifact extension.
+
+mod artifacts;
 
 use ipra_core::analyzer::{analyze, analyze_traced, AnalyzerOptions, PaperConfig};
 use ipra_core::trace::AnalyzerTrace;
@@ -35,6 +44,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
+        "c" => artifacts::c_cmd(rest),
+        "lib" => artifacts::lib_cmd(rest),
+        "objdump" => artifacts::objdump_cmd(rest),
         "phase1" => phase1(rest),
         "analyze" => analyze_cmd(rest),
         "phase2" => phase2(rest),
@@ -61,20 +73,38 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
+  cminc c <src.cmin> [-o <mod.vo>] [--summary <mod.csum>] [--dir <prog.cdir>] [--cache-dir DIR]
+  cminc analyze <mod.csum|lib.vlib>... [--config L2|A|B|C|D|E|F] [--profile <prof.json>] [--report] [--dot <graph.dot>] [--trace <trace.json>] -o <prog.cdir>
+  cminc link <mod.vo|lib.vlib>... [--allow-undefined] -o <prog.vx>
+  cminc lib <mod.vo>... -o <lib.vlib>
+  cminc verify <mod.vo>... [--db <prog.cdir>]
+  cminc run <prog.vx> [--input \"v v v\"] [--stats] [--stats-json <out.json>] [--profile-out <prof.json>] [--asm]
+  cminc build <src.cmin>... [--config ...] [-o <prog.vx>] [--cache-dir DIR] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--input \"v v v\"]
+  cminc objdump <artifact-file>
   cminc phase1 <src.cmin> [--summary <out.sum>] [--ir <out.ir>]
-  cminc analyze <mod.sum>... [--config L2|A|B|C|D|E|F] [--profile <prof.json>] [--report] [--dot <graph.dot>] [--trace <trace.json>] -o <program.db>
-  cminc phase2 <mod.ir> --db <program.db> -o <mod.obj>
-  cminc link <mod.obj>... -o <prog.exe>
-  cminc verify <mod.obj>... [--db <program.db>]
-  cminc run <prog.exe> [--input \"v v v\"] [--stats] [--stats-json <out.json>] [--profile-out <prof.json>] [--asm]
-  cminc build <src.cmin>... [--config ...] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--input \"v v v\"]
+  cminc phase2 <mod.ir> --db <prog.cdir> -o <mod.obj>
   cminc explain <symbol> (--trace <trace.json> | <src.cmin>... [--config ...])
   cminc report <src.cmin>... --config-b L2|A|B|C|D|E|F [--config-a ...] [--input \"v v v\"] [--json <out.json>]
   cminc fuzz [--seed N] [--iters N | --time-budget SECS] [-j|--jobs N] [--corpus DIR] [--reduce-budget N] [--self-validate]
 
+artifacts (`objdump` prints any of them):
+  .csum  per-module summary     .cdir  analyzer directives   .vo  object code
+  .vx    linked executable      .vlib  object+summary archive
+  paths without an artifact extension keep the legacy bare-JSON formats
+
+separate compilation:
+  c              one module, both phases; --dir supplies the analyzer's
+                 directives (standard conventions without it)
+  --cache-dir D  persist phase fingerprints under D: across separate cminc
+                 invocations only modules whose source or directive slice
+                 changed are recompiled (c, build)
+  --allow-undefined  (link) resolve missing functions to trap stubs; linking
+                 against a .vlib pulls only the members the program needs
+
 build flags:
   -j, --jobs N   worker threads for the per-module phases (default 1, 0 = all cores)
   --repeat N     build N times through one incremental cache (recompilation demo)
+  -o FILE        write the linked executable (artifact iff FILE ends in .vx)
   --stats        per-phase wall-clock and cache hit/miss table (plus run stats with --run)
   --trace FILE   persist the analyzer's decision trace as JSON (also: analyze)
 
@@ -101,7 +131,7 @@ fuzz:
                      oracle detects them; repros shrink into --corpus too";
 
 /// Pulls the value following `flag` out of `args`, if present.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
+pub(crate) fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
@@ -110,7 +140,7 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 }
 
 /// Positional arguments: everything not a flag or a flag value.
-fn positionals(args: &[String]) -> Vec<String> {
+pub(crate) fn positionals(args: &[String]) -> Vec<String> {
     let mut out = Vec::new();
     let mut skip = false;
     for (i, a) in args.iter().enumerate() {
@@ -143,6 +173,8 @@ fn positionals(args: &[String]) -> Vec<String> {
                     | "--time-budget"
                     | "--corpus"
                     | "--reduce-budget"
+                    | "--dir"
+                    | "--cache-dir"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
@@ -156,15 +188,15 @@ fn positionals(args: &[String]) -> Vec<String> {
     out
 }
 
-fn read(path: &str) -> Result<String, String> {
+pub(crate) fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
-fn write(path: &str, contents: &str) -> Result<(), String> {
+pub(crate) fn write(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
 }
 
-fn module_name(path: &str) -> String {
+pub(crate) fn module_name(path: &str) -> String {
     Path::new(path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
@@ -232,12 +264,10 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
     if sums.is_empty() {
         return Err("analyze needs at least one summary file".into());
     }
-    let out = flag_value(args, "-o").ok_or("analyze needs -o <program.db>")?;
+    let out = flag_value(args, "-o").ok_or("analyze needs -o <prog.cdir>")?;
     let mut program = ProgramSummary::default();
     for s in &sums {
-        let module: ModuleSummary =
-            serde_json::from_str(&read(s)?).map_err(|e| format!("{s}: {e}"))?;
-        program.modules.push(module);
+        program.modules.extend(artifacts::load_summaries(s)?);
     }
     let config = parse_config(args)?;
     let profile = match flag_value(args, "--profile") {
@@ -260,7 +290,7 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
         }
         None => (analyze(&program, &analyzer_opts), None),
     };
-    write(&out, &analysis.database.to_json())?;
+    artifacts::write_database(&out, &config.to_string(), &analysis.database)?;
     if let (Some(path), Some(t)) = (&trace_path, &trace) {
         write(path, &t.to_json())?;
         eprintln!("trace: {} events -> {path}", t.events.len());
@@ -301,7 +331,7 @@ fn phase2(args: &[String]) -> Result<(), String> {
     };
     let out = flag_value(args, "-o").ok_or("phase2 needs -o <mod.obj>")?;
     let db = match flag_value(args, "--db") {
-        Some(p) => ProgramDatabase::from_json(&read(&p)?).map_err(|e| format!("{p}: {e}"))?,
+        Some(p) => artifacts::load_database(&p)?,
         None => ProgramDatabase::new(),
     };
     let ir: cmin_ir::IrModule =
@@ -315,17 +345,13 @@ fn phase2(args: &[String]) -> Result<(), String> {
 fn link_cmd(args: &[String]) -> Result<(), String> {
     let objs = positionals(args);
     if objs.is_empty() {
-        return Err("link needs at least one object file".into());
+        return Err("link needs at least one object or library file".into());
     }
-    let out = flag_value(args, "-o").ok_or("link needs -o <prog.exe>")?;
-    let mut modules = Vec::new();
-    for o in &objs {
-        let m: vpr::ObjectModule =
-            serde_json::from_str(&read(o)?).map_err(|e| format!("{o}: {e}"))?;
-        modules.push(m);
-    }
-    let exe = vpr::link(&modules).map_err(|e| e.to_string())?;
-    write(&out, &serde_json::to_string(&exe).expect("serialize"))?;
+    let out = flag_value(args, "-o").ok_or("link needs -o <prog.vx>")?;
+    let modules = artifacts::collect_link_inputs(&objs)?;
+    let opts = vpr::LinkOptions { allow_undefined_functions: has_flag(args, "--allow-undefined") };
+    let exe = vpr::link_with(&modules, &opts).map_err(|e| e.to_string())?;
+    artifacts::write_executable(&out, &exe)?;
     eprintln!("link: {} instructions -> {out}", exe.code_len());
     Ok(())
 }
@@ -339,14 +365,12 @@ fn verify_cmd(args: &[String]) -> Result<(), String> {
         return Err("verify needs at least one object file".into());
     }
     let db = match flag_value(args, "--db") {
-        Some(p) => ProgramDatabase::from_json(&read(&p)?).map_err(|e| format!("{p}: {e}"))?,
+        Some(p) => artifacts::load_database(&p)?,
         None => ProgramDatabase::new(),
     };
     let mut modules = Vec::new();
     for o in &objs {
-        let m: vpr::ObjectModule =
-            serde_json::from_str(&read(o)?).map_err(|e| format!("{o}: {e}"))?;
-        modules.push(m);
+        modules.push(artifacts::load_object(o)?);
     }
     let report = ipra_verify::verify_modules(&modules, &db);
     report_verify(&report)
@@ -367,8 +391,7 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     let [exe_path] = files.as_slice() else {
         return Err("run takes exactly one executable".into());
     };
-    let exe: vpr::Executable =
-        serde_json::from_str(&read(exe_path)?).map_err(|e| format!("{exe_path}: {e}"))?;
+    let exe = artifacts::load_executable(exe_path)?;
     if has_flag(args, "--asm") {
         print!("{}", vpr::asm::executable_asm(&exe));
         return Ok(());
@@ -557,26 +580,30 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Renders the per-phase wall-clock and cache hit/miss table for one build.
+/// Renders the per-phase wall-clock and cache hit/miss table for one build
+/// (the `disk` column counts hits served from `--cache-dir`).
 fn phase_table(b: &ipra_driver::BuildReport) -> String {
     let mut out = String::new();
-    let row = |name: &str, secs: f64, hits: Option<usize>, misses: Option<usize>| {
+    let row = |name: &str, secs: f64, phase: Option<&ipra_driver::PhaseStats>| {
         let fmt_opt = |v: Option<usize>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
         format!(
-            "  {:<8} {:>10.3}ms {:>6} {:>7}\n",
+            "  {:<8} {:>10.3}ms {:>6} {:>7} {:>6}\n",
             name,
             secs * 1e3,
-            fmt_opt(hits),
-            fmt_opt(misses)
+            fmt_opt(phase.map(|p| p.hits)),
+            fmt_opt(phase.map(|p| p.misses)),
+            fmt_opt(phase.map(|p| p.disk_hits)),
         )
     };
-    out.push_str("  phase          time   hits  misses\n");
-    out.push_str(&row("phase1", b.phase1.seconds, Some(b.phase1.hits), Some(b.phase1.misses)));
-    out.push_str(&row("analyze", b.analyze_seconds, None, None));
-    out.push_str(&row("phase2", b.phase2.seconds, Some(b.phase2.hits), Some(b.phase2.misses)));
-    out.push_str(&row("link", b.link_seconds, None, None));
-    out.push_str(&row("total", b.total_seconds, None, None));
-    if !b.recompiled.is_empty() {
+    out.push_str("  phase          time   hits  misses   disk\n");
+    out.push_str(&row("phase1", b.phase1.seconds, Some(&b.phase1)));
+    out.push_str(&row("analyze", b.analyze_seconds, None));
+    out.push_str(&row("phase2", b.phase2.seconds, Some(&b.phase2)));
+    out.push_str(&row("link", b.link_seconds, None));
+    out.push_str(&row("total", b.total_seconds, None));
+    if b.recompiled.is_empty() {
+        out.push_str("  recompiled: (none)\n");
+    } else {
         out.push_str(&format!("  recompiled: {}\n", b.recompiled.join(" ")));
     }
     out
@@ -607,9 +634,10 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
     }
     // One cache across every repetition: iteration 1 is the cold build,
     // the rest demonstrate the paper's recompilation story (§3) — pure
-    // cache hits when nothing changed.
+    // cache hits when nothing changed. With --cache-dir the cache is also
+    // persistent, so the story holds across separate cminc processes.
     let trace_path = flag_value(args, "--trace");
-    let mut cache = ipra_driver::CompilationCache::new();
+    let mut cache = artifacts::open_cache(args)?;
     let mut program = None;
     for i in 0..repeat {
         let opts = ipra_driver::CompileOptions {
@@ -636,6 +664,10 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
         let t = program.trace.as_ref().expect("tracing was requested");
         write(path, &t.to_json())?;
         eprintln!("trace: {} events -> {path}", t.events.len());
+    }
+    if let Some(out) = flag_value(args, "-o") {
+        artifacts::write_executable(&out, &program.exe)?;
+        eprintln!("build: {} instructions -> {out}", program.exe.code_len());
     }
     if stats {
         if repeat > 1 {

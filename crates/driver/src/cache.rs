@@ -1,0 +1,276 @@
+//! The incremental recompilation cache (paper §3's summary-file design).
+//!
+//! Two tiers share one fingerprint scheme:
+//!
+//! * an **in-memory** tier keyed per module name — phase 1 on a
+//!   source-content fingerprint, phase 2 on (IR fingerprint,
+//!   database-slice fingerprint) — serving repeated builds inside one
+//!   process;
+//! * an optional **on-disk** tier ([`DiskCache`], enabled through
+//!   [`CompilationCache::with_disk`] / `cminc --cache-dir`) holding the
+//!   same entries content-addressed by their keys, so the fingerprints
+//!   persist across *process* invocations: a one-module edit in a fresh
+//!   `cminc` run recompiles only modules whose directive slices moved.
+//!
+//! Reuse across builds — including builds at *different*
+//! [`PaperConfig`](ipra_core::analyzer::PaperConfig)s — is sound because a
+//! matching slice fingerprint certifies codegen would see identical
+//! directives.
+
+use cmin_ir::IrModule;
+use ipra_core::fingerprint::Fnv64;
+use ipra_summary::ModuleSummary;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use vpr::program::ObjectModule;
+
+/// Cache accounting for one phase of one build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStats {
+    /// Modules served from the cache (memory or disk).
+    pub hits: usize,
+    /// Of those hits, how many were loaded from the on-disk tier (always
+    /// zero when the cache has no disk directory).
+    pub disk_hits: usize,
+    /// Modules recomputed.
+    pub misses: usize,
+    /// Wall-clock seconds spent in the phase (including cache probing).
+    pub seconds: f64,
+}
+
+impl PhaseStats {
+    /// Hit fraction in `[0, 1]` (1.0 for an empty phase).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-phase wall-clock and cache accounting for one build.
+#[derive(Debug, Clone, Default)]
+pub struct BuildReport {
+    /// Compiler first phase (parse → check → lower → optimize → summarize).
+    pub phase1: PhaseStats,
+    /// Program analyzer seconds (always runs; it is whole-program).
+    pub analyze_seconds: f64,
+    /// Compiler second phase (register allocation + emission).
+    pub phase2: PhaseStats,
+    /// Link seconds (always runs).
+    pub link_seconds: f64,
+    /// End-to-end seconds for the build.
+    pub total_seconds: f64,
+    /// Names of modules whose second phase actually re-ran, in source
+    /// order — the observable of the paper's "only recompile where the
+    /// database changed" claim.
+    pub recompiled: Vec<String>,
+}
+
+/// Cumulative hit/miss counters across every build a cache has served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Phase-1 cache hits.
+    pub phase1_hits: u64,
+    /// Phase-1 cache misses.
+    pub phase1_misses: u64,
+    /// Phase-2 cache hits.
+    pub phase2_hits: u64,
+    /// Phase-2 cache misses.
+    pub phase2_misses: u64,
+}
+
+/// Everything phase 1 produces for one module, plus the fingerprints that
+/// decide whether it (and its phase 2) can be reused.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Phase1Entry {
+    /// Fingerprint of (module name, source text, optimize flag).
+    pub(crate) key: u64,
+    /// Fingerprint of the optimized IR (what phase 2 consumes).
+    pub(crate) ir_fp: u64,
+    /// Direct callees named anywhere in the IR — the procedures whose
+    /// database slice codegen will consult at call sites.
+    pub(crate) callees: Vec<String>,
+    pub(crate) ir: IrModule,
+    pub(crate) summary: ModuleSummary,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Phase2Entry {
+    pub(crate) ir_fp: u64,
+    pub(crate) db_fp: u64,
+    pub(crate) object: ObjectModule,
+}
+
+/// The persistent tier: cache entries as JSON files content-addressed by
+/// their fingerprint keys under `p1/` and `p2/` of a cache directory.
+///
+/// Because file names *are* the keys, concurrent writers can only race on
+/// identical content, and a load cross-checks the embedded fingerprints
+/// against the requested key — a corrupt or truncated file degrades to a
+/// cache miss, never to a wrong object.
+#[derive(Debug)]
+pub struct DiskCache {
+    root: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating `root`, `root/p1` or `root/p2`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("p1"))?;
+        std::fs::create_dir_all(root.join("p2"))?;
+        Ok(DiskCache { root })
+    }
+
+    /// The cache directory this tier persists under.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn phase1_path(&self, key: u64) -> PathBuf {
+        self.root.join("p1").join(format!("{key:016x}.json"))
+    }
+
+    fn phase2_path(&self, ir_fp: u64, db_fp: u64) -> PathBuf {
+        let mut h = Fnv64::new();
+        h.write_u64(ir_fp);
+        h.write_u64(db_fp);
+        self.root.join("p2").join(format!("{:016x}.json", h.finish()))
+    }
+
+    pub(crate) fn load_phase1(&self, key: u64) -> Option<Phase1Entry> {
+        let text = std::fs::read_to_string(self.phase1_path(key)).ok()?;
+        let e: Phase1Entry = serde_json::from_str(&text).ok()?;
+        (e.key == key).then_some(e)
+    }
+
+    pub(crate) fn store_phase1(&self, entry: &Phase1Entry) {
+        let json = serde_json::to_string(entry).expect("cache entries always serialize");
+        // Best-effort: a failed write leaves the disk tier cold, not wrong.
+        let _ = std::fs::write(self.phase1_path(entry.key), json);
+    }
+
+    pub(crate) fn load_phase2(&self, ir_fp: u64, db_fp: u64) -> Option<Phase2Entry> {
+        let text = std::fs::read_to_string(self.phase2_path(ir_fp, db_fp)).ok()?;
+        let e: Phase2Entry = serde_json::from_str(&text).ok()?;
+        (e.ir_fp == ir_fp && e.db_fp == db_fp).then_some(e)
+    }
+
+    pub(crate) fn store_phase2(&self, entry: &Phase2Entry) {
+        let json = serde_json::to_string(entry).expect("cache entries always serialize");
+        let _ = std::fs::write(self.phase2_path(entry.ir_fp, entry.db_fp), json);
+    }
+}
+
+/// The incremental recompilation cache: the in-memory tier plus an
+/// optional [`DiskCache`] behind it (see the module docs).
+#[derive(Debug, Default)]
+pub struct CompilationCache {
+    pub(crate) phase1: HashMap<String, Phase1Entry>,
+    pub(crate) phase2: HashMap<String, Phase2Entry>,
+    pub(crate) stats: CacheStats,
+    pub(crate) disk: Option<DiskCache>,
+}
+
+impl CompilationCache {
+    /// An empty, memory-only cache.
+    pub fn new() -> CompilationCache {
+        CompilationCache::default()
+    }
+
+    /// An empty in-memory cache backed by the on-disk tier at `dir`
+    /// (created if absent). Entries found on disk count as hits; entries
+    /// computed by a build are written through.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the cache directory.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> std::io::Result<CompilationCache> {
+        Ok(CompilationCache { disk: Some(DiskCache::open(dir)?), ..CompilationCache::default() })
+    }
+
+    /// The on-disk tier's directory, when one is attached.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(DiskCache::root)
+    }
+
+    /// Drops all in-memory cached phase results (counters survive; the
+    /// on-disk tier, if any, is untouched).
+    pub fn clear(&mut self) {
+        self.phase1.clear();
+        self.phase2.clear();
+    }
+
+    /// Cumulative hit/miss counters across all builds served so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of modules with a cached first phase (in memory).
+    pub fn len(&self) -> usize {
+        self.phase1.len()
+    }
+
+    /// Is the in-memory cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.phase1.is_empty() && self.phase2.is_empty()
+    }
+
+    /// Phase-1 lookup: memory first, then the disk tier (promoting to
+    /// memory). The flag reports whether the entry came from disk.
+    pub(crate) fn lookup_phase1(&mut self, name: &str, key: u64) -> Option<(Phase1Entry, bool)> {
+        if let Some(e) = self.phase1.get(name) {
+            if e.key == key {
+                return Some((e.clone(), false));
+            }
+        }
+        let e = self.disk.as_ref()?.load_phase1(key)?;
+        self.phase1.insert(name.to_string(), e.clone());
+        Some((e, true))
+    }
+
+    /// Stores a freshly computed phase-1 entry in memory and, when
+    /// attached, writes it through to disk.
+    pub(crate) fn store_phase1(&mut self, name: &str, entry: Phase1Entry) {
+        if let Some(d) = &self.disk {
+            d.store_phase1(&entry);
+        }
+        self.phase1.insert(name.to_string(), entry);
+    }
+
+    /// Phase-2 lookup: memory first, then the disk tier (promoting to
+    /// memory). The flag reports whether the object came from disk.
+    pub(crate) fn lookup_phase2(
+        &mut self,
+        name: &str,
+        ir_fp: u64,
+        db_fp: u64,
+    ) -> Option<(ObjectModule, bool)> {
+        if let Some(e) = self.phase2.get(name) {
+            if e.ir_fp == ir_fp && e.db_fp == db_fp {
+                return Some((e.object.clone(), false));
+            }
+        }
+        let e = self.disk.as_ref()?.load_phase2(ir_fp, db_fp)?;
+        let object = e.object.clone();
+        self.phase2.insert(name.to_string(), e);
+        Some((object, true))
+    }
+
+    /// Stores a freshly compiled object in memory and, when attached,
+    /// writes it through to disk.
+    pub(crate) fn store_phase2(&mut self, name: &str, entry: Phase2Entry) {
+        if let Some(d) = &self.disk {
+            d.store_phase2(&entry);
+        }
+        self.phase2.insert(name.to_string(), entry);
+    }
+}

@@ -24,7 +24,14 @@
 //!
 //! [`compile`] is one-shot; [`compile_incremental`] reuses a cache across
 //! builds and reports per-phase timings and hit/miss counts in
-//! [`CompiledProgram::build`].
+//! [`CompiledProgram::build`]. A cache opened with
+//! [`CompilationCache::with_disk`] additionally persists its entries to a
+//! cache directory, so the same fingerprints keep working across *process*
+//! invocations (`cminc --cache-dir`).
+//!
+//! The [`separate`] module stages the same pipeline through real on-disk
+//! artifacts (`.csum`/`.cdir`/`.vo`/`.vx`, see [`ipra_artifact`]) —
+//! required to be bit-identical to the in-memory path.
 //!
 //! Profile feedback (configurations B and F) is a closed loop here: compile
 //! at the baseline, run on a training input, convert the simulator's exact
@@ -46,21 +53,23 @@
 
 #![warn(missing_docs)]
 
+mod cache;
+pub mod separate;
+mod stages;
+
+pub use cache::{BuildReport, CacheStats, CompilationCache, DiskCache, PhaseStats};
+
+use cache::{Phase1Entry, Phase2Entry};
 use cmin_frontend::{analyze as check_module, parse_module, CompileError, Module, ModuleInfo};
 use cmin_ir::interp::{interpret_with, InterpOptions, InterpResult};
-use cmin_ir::ir::{Callee, Inst as IrInst};
-use cmin_ir::{lower_module, optimize_module, IrModule};
 use ipra_core::analyzer::{analyze, analyze_traced, AnalyzerOptions, AnalyzerStats, PaperConfig};
-use ipra_core::fingerprint::Fnv64;
 use ipra_core::trace::AnalyzerTrace;
 use ipra_core::{ProfileData, ProgramDatabase};
 use ipra_obsv::DiffReport;
-use ipra_summary::{summarize_module, ModuleSummary, ProgramSummary};
+use ipra_summary::ProgramSummary;
 use ipra_verify::VerifyReport;
-use std::collections::HashMap;
+use stages::{parallel_map, phase1_key, run_phase1};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 use vpr::program::{link, Executable, LinkError, ObjectModule};
 use vpr::sim::{run_with, RunResult, SimError, SimOptions};
@@ -138,126 +147,6 @@ impl CompileOptions {
     }
 }
 
-/// Cache accounting for one phase of one build.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PhaseStats {
-    /// Modules served from the cache.
-    pub hits: usize,
-    /// Modules recomputed.
-    pub misses: usize,
-    /// Wall-clock seconds spent in the phase (including cache probing).
-    pub seconds: f64,
-}
-
-impl PhaseStats {
-    /// Hit fraction in `[0, 1]` (1.0 for an empty phase).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            1.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
-/// Per-phase wall-clock and cache accounting for one build.
-#[derive(Debug, Clone, Default)]
-pub struct BuildReport {
-    /// Compiler first phase (parse → check → lower → optimize → summarize).
-    pub phase1: PhaseStats,
-    /// Program analyzer seconds (always runs; it is whole-program).
-    pub analyze_seconds: f64,
-    /// Compiler second phase (register allocation + emission).
-    pub phase2: PhaseStats,
-    /// Link seconds (always runs).
-    pub link_seconds: f64,
-    /// End-to-end seconds for the build.
-    pub total_seconds: f64,
-    /// Names of modules whose second phase actually re-ran, in source
-    /// order — the observable of the paper's "only recompile where the
-    /// database changed" claim.
-    pub recompiled: Vec<String>,
-}
-
-/// Cumulative hit/miss counters across every build a cache has served.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Phase-1 cache hits.
-    pub phase1_hits: u64,
-    /// Phase-1 cache misses.
-    pub phase1_misses: u64,
-    /// Phase-2 cache hits.
-    pub phase2_hits: u64,
-    /// Phase-2 cache misses.
-    pub phase2_misses: u64,
-}
-
-/// Everything phase 1 produces for one module, plus the fingerprints that
-/// decide whether it (and its phase 2) can be reused.
-#[derive(Debug, Clone)]
-struct Phase1Entry {
-    /// Fingerprint of (module name, source text, optimize flag).
-    key: u64,
-    /// Fingerprint of the optimized IR (what phase 2 consumes).
-    ir_fp: u64,
-    /// Direct callees named anywhere in the IR — the procedures whose
-    /// database slice codegen will consult at call sites.
-    callees: Vec<String>,
-    ir: IrModule,
-    summary: ModuleSummary,
-}
-
-#[derive(Debug, Clone)]
-struct Phase2Entry {
-    ir_fp: u64,
-    db_fp: u64,
-    object: ObjectModule,
-}
-
-/// The incremental recompilation cache (paper §3's summary-file design as
-/// an in-memory service).
-///
-/// Keyed per module name: phase 1 on a source-content fingerprint, phase 2
-/// on (IR fingerprint, database-slice fingerprint). Reuse across builds —
-/// including builds at *different* [`PaperConfig`]s — is sound because a
-/// matching slice fingerprint certifies codegen would see identical
-/// directives.
-#[derive(Debug, Default)]
-pub struct CompilationCache {
-    phase1: HashMap<String, Phase1Entry>,
-    phase2: HashMap<String, Phase2Entry>,
-    stats: CacheStats,
-}
-
-impl CompilationCache {
-    /// An empty cache.
-    pub fn new() -> CompilationCache {
-        CompilationCache::default()
-    }
-
-    /// Drops all cached phase results (counters survive).
-    pub fn clear(&mut self) {
-        self.phase1.clear();
-        self.phase2.clear();
-    }
-
-    /// Cumulative hit/miss counters across all builds served so far.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
-    }
-
-    /// Number of modules with a cached first phase.
-    pub fn len(&self) -> usize {
-        self.phase1.len()
-    }
-
-    /// Is the cache empty?
-    pub fn is_empty(&self) -> bool {
-        self.phase1.is_empty() && self.phase2.is_empty()
-    }
-}
-
 /// A fully compiled program plus everything the experiments report on.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -287,6 +176,9 @@ pub enum DriverError {
     Compile(CompileError),
     /// A link failure.
     Link(LinkError),
+    /// An artifact file could not be written or read back (separate
+    /// compilation only).
+    Artifact(ipra_artifact::ArtifactError),
 }
 
 impl fmt::Display for DriverError {
@@ -294,6 +186,7 @@ impl fmt::Display for DriverError {
         match self {
             DriverError::Compile(e) => write!(f, "{e}"),
             DriverError::Link(e) => write!(f, "{e}"),
+            DriverError::Artifact(e) => write!(f, "{e}"),
         }
     }
 }
@@ -312,6 +205,12 @@ impl From<LinkError> for DriverError {
     }
 }
 
+impl From<ipra_artifact::ArtifactError> for DriverError {
+    fn from(e: ipra_artifact::ArtifactError) -> DriverError {
+        DriverError::Artifact(e)
+    }
+}
+
 /// Parses and checks every module (the frontend part of phase 1).
 ///
 /// # Errors
@@ -326,79 +225,6 @@ pub fn frontend(sources: &[SourceFile]) -> Result<Vec<(Module, ModuleInfo)>, Com
             Ok((m, info))
         })
         .collect()
-}
-
-/// Applies `f` to every item on up to `jobs` scoped worker threads,
-/// preserving item order in the result. Work is pulled from a shared
-/// index so uneven module sizes balance automatically.
-fn parallel_map<T: Sync, R: Send>(items: &[T], jobs: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let n = items.len();
-    if jobs <= 1 || n <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("worker result slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner().expect("worker result slot poisoned").expect("worker result missing")
-        })
-        .collect()
-}
-
-/// Phase-1 cache key: module name + source text + optimize flag.
-fn phase1_key(src: &SourceFile, optimize: bool) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_str(&src.name);
-    h.write_str(&src.text);
-    h.write_u64(u64::from(optimize));
-    h.finish()
-}
-
-/// Every direct callee named anywhere in the module's IR, sorted and
-/// deduplicated: the procedures whose `safe_caller_across` sets codegen
-/// reads at call sites.
-fn direct_callees(ir: &IrModule) -> Vec<String> {
-    let mut out: Vec<String> = Vec::new();
-    for f in &ir.functions {
-        for b in f.block_ids() {
-            for inst in &f.block(b).insts {
-                if let IrInst::Call { callee: Callee::Direct(name), .. } = inst {
-                    out.push(name.clone());
-                }
-            }
-        }
-    }
-    out.sort();
-    out.dedup();
-    out
-}
-
-/// Runs the full first phase for one module.
-fn run_phase1(src: &SourceFile, optimize: bool, key: u64) -> Result<Phase1Entry, CompileError> {
-    let m = parse_module(&src.name, &src.text)?;
-    let info = check_module(&m)?;
-    let mut ir = lower_module(&m, &info);
-    if optimize {
-        optimize_module(&mut ir);
-    }
-    let summary = summarize_module(&ir);
-    let ir_json = serde_json::to_string(&ir).expect("IR serialization cannot fail");
-    let ir_fp = ipra_core::fingerprint::fingerprint_str(&ir_json);
-    let callees = direct_callees(&ir);
-    Ok(Phase1Entry { key, ir_fp, callees, ir, summary })
 }
 
 /// Compiles a multi-module program through the full two-pass pipeline,
@@ -420,6 +246,9 @@ pub fn compile(
 /// only for modules whose IR or whose slice of the program database
 /// changed. The result is bit-identical to a cold [`compile`] of the same
 /// sources and options; [`CompiledProgram::build`] reports what was reused.
+/// When the cache has an on-disk tier ([`CompilationCache::with_disk`]),
+/// entries persisted by earlier *processes* count as hits too
+/// ([`PhaseStats::disk_hits`]).
 ///
 /// # Errors
 ///
@@ -441,12 +270,13 @@ pub fn compile_incremental(
     let mut entries: Vec<Option<Phase1Entry>> = Vec::with_capacity(sources.len());
     let mut miss_idx: Vec<usize> = Vec::new();
     for (i, src) in sources.iter().enumerate() {
-        match cache.phase1.get(&src.name) {
-            Some(e) if e.key == keys[i] => {
+        match cache.lookup_phase1(&src.name, keys[i]) {
+            Some((e, from_disk)) => {
                 report.phase1.hits += 1;
-                entries.push(Some(e.clone()));
+                report.phase1.disk_hits += usize::from(from_disk);
+                entries.push(Some(e));
             }
-            _ => {
+            None => {
                 report.phase1.misses += 1;
                 miss_idx.push(i);
                 entries.push(None);
@@ -461,7 +291,7 @@ pub fn compile_incremental(
     for (&(i, src, _), result) in work.iter().zip(computed) {
         match result {
             Ok(entry) => {
-                cache.phase1.insert(src.name.clone(), entry.clone());
+                cache.store_phase1(&src.name, entry.clone());
                 entries[i] = Some(entry);
             }
             Err(e) => {
@@ -485,11 +315,7 @@ pub fn compile_incremental(
     // ---- The program analyzer (whole-program; always runs).
     let analyze_start = Instant::now();
     let summary = ProgramSummary { modules: entries.iter().map(|e| e.summary.clone()).collect() };
-    let analyzer_opts = match (&options.analyzer, options.config) {
-        (Some(a), _) => a.clone(),
-        (None, Some(c)) => AnalyzerOptions::paper_config(c, options.profile.clone()),
-        (None, None) => AnalyzerOptions::paper_config(PaperConfig::L2, None),
-    };
+    let analyzer_opts = stages::analyzer_options(options);
     let (analysis, trace) = if options.trace {
         let (a, t) = analyze_traced(&summary, &analyzer_opts);
         (a, Some(t))
@@ -513,12 +339,13 @@ pub fn compile_incremental(
     let mut objects: Vec<Option<ObjectModule>> = Vec::with_capacity(entries.len());
     let mut stale_idx: Vec<usize> = Vec::new();
     for (i, e) in entries.iter().enumerate() {
-        match cache.phase2.get(&e.ir.name) {
-            Some(c) if c.ir_fp == e.ir_fp && c.db_fp == db_fps[i] => {
+        match cache.lookup_phase2(&e.ir.name, e.ir_fp, db_fps[i]) {
+            Some((object, from_disk)) => {
                 report.phase2.hits += 1;
-                objects.push(Some(c.object.clone()));
+                report.phase2.disk_hits += usize::from(from_disk);
+                objects.push(Some(object));
             }
-            _ => {
+            None => {
                 report.phase2.misses += 1;
                 stale_idx.push(i);
                 objects.push(None);
@@ -530,8 +357,8 @@ pub fn compile_incremental(
     for (&i, object) in stale_idx.iter().zip(compiled) {
         let e = &entries[i];
         report.recompiled.push(e.ir.name.clone());
-        cache.phase2.insert(
-            e.ir.name.clone(),
+        cache.store_phase2(
+            &e.ir.name,
             Phase2Entry { ir_fp: e.ir_fp, db_fp: db_fps[i], object: object.clone() },
         );
         objects[i] = Some(object);
@@ -597,8 +424,14 @@ pub fn run_program_attributed(
 /// Converts a run's call accounting into analyzer-ready profile data,
 /// mapping function indices back to link names.
 pub fn collect_profile(program: &CompiledProgram, result: &RunResult) -> ProfileData {
+    collect_profile_from(&program.exe, result)
+}
+
+/// [`collect_profile`] for a bare executable (the separate-compilation
+/// path holds no [`CompiledProgram`]).
+pub fn collect_profile_from(exe: &Executable, result: &RunResult) -> ProfileData {
     let mut profile = ProfileData::new();
-    let funcs = program.exe.funcs();
+    let funcs = exe.funcs();
     for (&(caller, callee), &count) in &result.stats.call_edges {
         let callee_name = match funcs.get(callee) {
             Some(f) => f.name.as_str(),
@@ -760,9 +593,18 @@ pub fn interpret_sources(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn src(name: &str, text: &str) -> SourceFile {
         SourceFile::new(name, text)
+    }
+
+    /// A fresh temp directory, unique per test, wiped before use.
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ipra-driver-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
     }
 
     /// A two-module program with shared globals, statics, indirect calls
@@ -932,6 +774,7 @@ mod tests {
         let warm = compile_incremental(&sources, &opts, &mut cache).unwrap();
         assert_eq!(warm.build.phase1.hits, 2);
         assert_eq!(warm.build.phase2.hits, 2);
+        assert_eq!(warm.build.phase1.disk_hits, 0);
         assert!(warm.build.recompiled.is_empty());
         assert_eq!(warm.exe, cold.exe);
         assert_eq!(warm.database, cold.database);
@@ -953,6 +796,77 @@ mod tests {
         assert_eq!(rebuilt.build.phase1.hits, 1);
         assert_eq!(rebuilt.build.phase2.hits, 2);
         assert!(rebuilt.build.recompiled.is_empty());
+    }
+
+    #[test]
+    fn disk_cache_persists_across_cache_instances() {
+        let sources = two_module_program();
+        let dir = tmpdir("disk-cache");
+        let opts = CompileOptions::paper(PaperConfig::C);
+        let cold = {
+            let mut cache = CompilationCache::with_disk(&dir).unwrap();
+            assert_eq!(cache.cache_dir(), Some(dir.as_path()));
+            compile_incremental(&sources, &opts, &mut cache).unwrap()
+        };
+        assert_eq!(cold.build.phase1.misses, 2);
+        // A *fresh* cache instance over the same directory — the in-process
+        // stand-in for a separate cminc invocation — must be all disk hits.
+        let mut cache = CompilationCache::with_disk(&dir).unwrap();
+        let warm = compile_incremental(&sources, &opts, &mut cache).unwrap();
+        assert_eq!(warm.build.phase1.hits, 2);
+        assert_eq!(warm.build.phase1.disk_hits, 2);
+        assert_eq!(warm.build.phase2.hits, 2);
+        assert_eq!(warm.build.phase2.disk_hits, 2);
+        assert!(warm.build.recompiled.is_empty());
+        assert_eq!(warm.exe, cold.exe);
+        assert_eq!(warm.database, cold.database);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_degrade_to_misses() {
+        let sources = two_module_program();
+        let dir = tmpdir("disk-corrupt");
+        {
+            let mut cache = CompilationCache::with_disk(&dir).unwrap();
+            compile_incremental(&sources, &CompileOptions::default(), &mut cache).unwrap();
+        }
+        // Truncate every persisted entry; the rebuild must recompute, not
+        // fail or produce wrong code.
+        for sub in ["p1", "p2"] {
+            for f in std::fs::read_dir(dir.join(sub)).unwrap() {
+                std::fs::write(f.unwrap().path(), "{garbage").unwrap();
+            }
+        }
+        let mut cache = CompilationCache::with_disk(&dir).unwrap();
+        let rebuilt =
+            compile_incremental(&sources, &CompileOptions::default(), &mut cache).unwrap();
+        assert_eq!(rebuilt.build.phase1.misses, 2);
+        assert_eq!(rebuilt.build.phase2.misses, 2);
+        let r = run_program(&rebuilt, &[]).unwrap();
+        assert_eq!(r.output, vec![1225, 50]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn separate_build_matches_in_memory_compile() {
+        let sources = two_module_program();
+        let dir = tmpdir("separate");
+        let mut cache = CompilationCache::new();
+        let staged =
+            separate::artifact_build(&sources, PaperConfig::C, None, &dir, &mut cache).unwrap();
+        let in_memory = compile(&sources, &CompileOptions::paper(PaperConfig::C)).unwrap();
+        assert_eq!(staged.exe, in_memory.exe);
+        assert_eq!(staged.database, in_memory.database);
+        assert_eq!(staged.recompiled, vec!["counter".to_string(), "app".to_string()]);
+        // The artifacts really are on disk, self-describing and re-readable.
+        assert_eq!(staged.summary_paths.len(), 2);
+        for p in staged.summary_paths.iter().chain(staged.object_paths.iter()) {
+            assert!(p.exists(), "{} missing", p.display());
+        }
+        let (kind, v) = ipra_artifact::sniff_file(&staged.executable_path).unwrap();
+        assert_eq!((kind, v), (ipra_artifact::ArtifactKind::Executable, 1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! The per-module pipeline stages and the worker pool they fan out on.
+//!
+//! Everything here is deliberately *pure* with respect to the build: a
+//! stage maps (source, options) to products and fingerprints, with no
+//! knowledge of caching or artifact files. [`crate::compile_incremental`]
+//! and [`crate::separate`] compose these stages with the
+//! [cache](crate::CompilationCache) and the on-disk artifact formats.
+
+use crate::cache::Phase1Entry;
+use crate::{CompileOptions, SourceFile};
+use cmin_frontend::{analyze as check_module, parse_module, CompileError};
+use cmin_ir::ir::{Callee, Inst as IrInst};
+use cmin_ir::{lower_module, optimize_module, IrModule};
+use ipra_core::analyzer::{AnalyzerOptions, PaperConfig};
+use ipra_core::fingerprint::Fnv64;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `jobs` scoped worker threads,
+/// preserving item order in the result. Work is pulled from a shared
+/// index so uneven module sizes balance automatically.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("worker result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner().expect("worker result slot poisoned").expect("worker result missing")
+        })
+        .collect()
+}
+
+/// Phase-1 cache key: module name + source text + optimize flag.
+pub(crate) fn phase1_key(src: &SourceFile, optimize: bool) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&src.name);
+    h.write_str(&src.text);
+    h.write_u64(u64::from(optimize));
+    h.finish()
+}
+
+/// Every direct callee named anywhere in the module's IR, sorted and
+/// deduplicated: the procedures whose `safe_caller_across` sets codegen
+/// reads at call sites.
+pub(crate) fn direct_callees(ir: &IrModule) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for f in &ir.functions {
+        for b in f.block_ids() {
+            for inst in &f.block(b).insts {
+                if let IrInst::Call { callee: Callee::Direct(name), .. } = inst {
+                    out.push(name.clone());
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Runs the full first phase for one module.
+pub(crate) fn run_phase1(
+    src: &SourceFile,
+    optimize: bool,
+    key: u64,
+) -> Result<Phase1Entry, CompileError> {
+    let m = parse_module(&src.name, &src.text)?;
+    let info = check_module(&m)?;
+    let mut ir = lower_module(&m, &info);
+    if optimize {
+        optimize_module(&mut ir);
+    }
+    let summary = ipra_summary::summarize_module(&ir);
+    let ir_json = serde_json::to_string(&ir).expect("IR serialization cannot fail");
+    let ir_fp = ipra_core::fingerprint::fingerprint_str(&ir_json);
+    let callees = direct_callees(&ir);
+    Ok(Phase1Entry { key, ir_fp, callees, ir, summary })
+}
+
+/// Resolves the analyzer options a build will run under: explicit
+/// [`CompileOptions::analyzer`] wins, then `config`+`profile`, then plain
+/// level-2.
+pub(crate) fn analyzer_options(options: &CompileOptions) -> AnalyzerOptions {
+    match (&options.analyzer, options.config) {
+        (Some(a), _) => a.clone(),
+        (None, Some(c)) => AnalyzerOptions::paper_config(c, options.profile.clone()),
+        (None, None) => AnalyzerOptions::paper_config(PaperConfig::L2, None),
+    }
+}

@@ -164,12 +164,12 @@ pub struct Shape {
 
 /// The shape rotation: iteration `i` uses `shape_for(i)`. Mostly cheap
 /// all-configuration differentials; the expensive build-level scenarios
-/// (incremental rebuilds, trace purity) run on two of every eight
-/// iterations.
+/// (incremental rebuilds, trace purity, artifact-staged separate
+/// compilation) run on three of every nine iterations.
 pub fn shape_for(i: usize) -> Shape {
     let plain = CheckOptions::default();
     let g = GenConfig::default;
-    match i % 8 {
+    match i % 9 {
         0 => Shape { name: "default", gen: g(), check: plain },
         1 => Shape {
             name: "wide",
@@ -209,10 +209,15 @@ pub fn shape_for(i: usize) -> Shape {
             },
             check: CheckOptions { trace_purity: true, ..plain },
         },
-        _ => Shape {
+        7 => Shape {
             name: "deep",
             gen: GenConfig { funcs_per_module: 6, max_stmts: 6, recursion: true, ..g() },
             check: plain,
+        },
+        _ => Shape {
+            name: "separate",
+            gen: GenConfig { modules: 3, alias_mix: true, ..g() },
+            check: CheckOptions { separate: true, ..plain },
         },
     }
 }
@@ -452,13 +457,14 @@ mod tests {
 
     #[test]
     fn shape_rotation_covers_all_extended_shapes() {
-        let shapes: Vec<Shape> = (0..8).map(shape_for).collect();
+        let shapes: Vec<Shape> = (0..9).map(shape_for).collect();
         assert!(shapes.iter().any(|s| s.gen.recursion));
         assert!(shapes.iter().any(|s| s.gen.alias_mix));
         assert!(shapes.iter().any(|s| s.gen.global_fn_ptrs));
         assert!(shapes.iter().any(|s| s.check.incremental));
         assert!(shapes.iter().any(|s| s.check.trace_purity));
-        assert_eq!(shape_for(0).name, shape_for(8).name);
+        assert!(shapes.iter().any(|s| s.check.separate));
+        assert_eq!(shape_for(0).name, shape_for(9).name);
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //!    to cold builds of the same sources;
 //! 5. optionally ([`CheckOptions::trace_purity`]) compiling with decision
 //!    tracing on yields a bit-identical executable (tracing must be pure
-//!    observation).
+//!    observation);
+//! 6. optionally ([`CheckOptions::separate`]) staging the build through
+//!    on-disk artifacts (`.csum` → `.cdir` → `.vo` → `.vx`) yields an
+//!    executable bit-identical to the in-memory `compile()` — the
+//!    serialization layer must be lossless and the artifact pipeline must
+//!    not perturb a single analyzer or codegen decision.
 
 use ipra_core::PaperConfig;
 use ipra_driver::{
@@ -113,6 +118,15 @@ pub enum Failure {
         /// The configuration under test.
         config: PaperConfig,
     },
+    /// The artifact-staged separate-compilation build produced a different
+    /// executable than the in-memory pipeline, or failed where the
+    /// in-memory pipeline succeeded.
+    SeparateDivergence {
+        /// The configuration under test.
+        config: PaperConfig,
+        /// What diverged, including the preserved artifact directory.
+        detail: String,
+    },
 }
 
 impl Failure {
@@ -129,6 +143,7 @@ impl Failure {
             Failure::AttributionMismatch { .. } => "attribution-mismatch",
             Failure::IncrementalDivergence { .. } => "incremental-divergence",
             Failure::TraceImpurity { .. } => "trace-impurity",
+            Failure::SeparateDivergence { .. } => "separate-divergence",
         }
     }
 
@@ -143,7 +158,8 @@ impl Failure {
             | Failure::OutputDivergence { config, .. }
             | Failure::AttributionMismatch { config }
             | Failure::IncrementalDivergence { config, .. }
-            | Failure::TraceImpurity { config } => Some(*config),
+            | Failure::TraceImpurity { config }
+            | Failure::SeparateDivergence { config, .. } => Some(*config),
         }
     }
 
@@ -185,6 +201,9 @@ impl fmt::Display for Failure {
             Failure::TraceImpurity { config } => {
                 write!(f, "[{config}] tracing changed the emitted executable")
             }
+            Failure::SeparateDivergence { config, detail } => {
+                write!(f, "[{config}] artifact-staged build diverged from in-memory: {detail}")
+            }
         }
     }
 }
@@ -201,6 +220,10 @@ pub struct CheckOptions {
     /// Compile once with decision tracing on and demand a bit-identical
     /// executable.
     pub trace_purity: bool,
+    /// Stage the build through on-disk artifacts (`cminc c` → `analyze` →
+    /// `link` equivalent) and demand an executable bit-identical to the
+    /// in-memory pipeline.
+    pub separate: bool,
 }
 
 /// The configuration used for the build-level scenarios (incremental
@@ -267,6 +290,9 @@ pub fn check(sources: &[SourceFile], opts: &CheckOptions) -> Result<(), Failure>
     if opts.trace_purity {
         check_trace_purity(sources)?;
     }
+    if opts.separate {
+        check_separate(sources)?;
+    }
     Ok(())
 }
 
@@ -324,6 +350,70 @@ fn check_trace_purity(sources: &[SourceFile]) -> Result<(), Failure> {
     if exe_bytes(&plain) != exe_bytes(&traced) {
         return Err(Failure::TraceImpurity { config });
     }
+    Ok(())
+}
+
+/// Artifact-staged separate compilation must be invisible: building the
+/// same sources through on-disk `.csum`/`.cdir`/`.vo`/`.vx` artifacts
+/// (every stage re-reading its inputs from disk) must land on an
+/// executable bit-identical to the in-memory pipeline's. The staging
+/// directory is named by a content hash of the sources — deterministic
+/// across `--jobs`, so concurrent workers on the same program stage
+/// identical bytes — and is removed on success but preserved (and named
+/// in the failure) on divergence, giving the debugging session the exact
+/// artifacts that went wrong. The reducer re-runs this leg on every
+/// shrink candidate, so the preserved directory always holds the
+/// artifacts of the *minimal* reproducer.
+fn check_separate(sources: &[SourceFile]) -> Result<(), Failure> {
+    let config = BUILD_SCENARIO_CONFIG;
+    let compile_err =
+        |e: ipra_driver::DriverError| Failure::Compile { config, detail: e.to_string() };
+    let in_memory = compile(sources, &CompileOptions::paper(config)).map_err(compile_err)?;
+
+    let text = crate::corpus::join_sources(sources);
+    let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        fp = (fp ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    let dir = std::env::temp_dir().join(format!("ipra-separate-{fp:016x}"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cache = CompilationCache::new();
+    let staged = match ipra_driver::separate::artifact_build_configured(
+        sources,
+        config,
+        &[],
+        &dir,
+        &mut cache,
+    ) {
+        Err(e) => {
+            return Err(Failure::SeparateDivergence {
+                config,
+                detail: format!("artifact build failed: {e} (artifacts kept in {})", dir.display()),
+            })
+        }
+        Ok(Err(e)) => {
+            return Err(Failure::SeparateDivergence {
+                config,
+                detail: format!(
+                    "training run trapped in artifact build: {e} (artifacts kept in {})",
+                    dir.display()
+                ),
+            })
+        }
+        Ok(Ok(b)) => b,
+    };
+    let staged_bytes = serde_json::to_string(&staged.exe).expect("serialize");
+    if staged_bytes != exe_bytes(&in_memory) {
+        return Err(Failure::SeparateDivergence {
+            config,
+            detail: format!(
+                "staged .vx != in-memory executable (artifacts kept in {})",
+                dir.display()
+            ),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
 

@@ -14,6 +14,8 @@
 //!   instructions for global and procedure references,
 //! * [`cfg`] — per-instruction control-flow graphs over machine functions,
 //!   the substrate for machine-level dataflow (the `ipra-verify` checker),
+//! * [`object`] — symbolic relocation and symbol-table views of object
+//!   modules (what the linker resolves and `objdump` renders),
 //! * [`program`] — machine functions, object modules, and the
 //!   [linker](program::link),
 //! * [`sim`] — the simulator, with cycle, memory-reference (singleton vs.
@@ -42,12 +44,16 @@
 pub mod asm;
 pub mod cfg;
 pub mod inst;
+pub mod object;
 pub mod program;
 pub mod regs;
 pub mod sim;
 
 pub use inst::{AluOp, Cond, Inst, Label, MemClass};
-pub use program::{link, Executable, GlobalDef, LinkError, MachineFunction, ObjectModule};
+pub use object::{program_symbols, RelocKind, Relocation, SymbolTable};
+pub use program::{
+    link, link_with, Executable, GlobalDef, LinkError, LinkOptions, MachineFunction, ObjectModule,
+};
 pub use regs::{Reg, RegSet};
 pub use sim::{
     run, run_with, Attribution, ProcCost, RunResult, RunStats, SimError, SimOptions, STARTUP_PROC,

@@ -6,10 +6,10 @@
 //! instructions, and produces an [`Executable`] for the
 //! [simulator](crate::sim).
 
-use crate::inst::{AluOp, Inst, Label};
+use crate::inst::{AluOp, Inst, Label, MemClass};
 use crate::regs::Reg;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// First word address of the global data segment. `DP` points here.
@@ -271,6 +271,19 @@ impl fmt::Display for LinkError {
 
 impl std::error::Error for LinkError {}
 
+/// Linker options (see [`link_with`]).
+#[derive(Debug, Clone, Default)]
+pub struct LinkOptions {
+    /// Permit procedure references no linked module defines — the
+    /// library-build case where a `.vlib` member calls back into code the
+    /// final program never provides. Each unresolved procedure gets a
+    /// one-instruction *trap stub* appended after all real code, so the
+    /// link succeeds, `symbolize` names it, and actually calling it raises
+    /// a memory fault at `sym+0` instead of executing garbage. Undefined
+    /// *globals* always stay hard errors.
+    pub allow_undefined_functions: bool,
+}
+
 /// Links object modules into an [`Executable`].
 ///
 /// Layout: a two-instruction startup stub (`CALL main; HALT`) at address 0,
@@ -299,6 +312,24 @@ impl std::error::Error for LinkError {}
 /// # }
 /// ```
 pub fn link(modules: &[ObjectModule]) -> Result<Executable, LinkError> {
+    link_with(modules, &LinkOptions::default())
+}
+
+/// [`link`] with explicit [`LinkOptions`].
+///
+/// Symbol resolution happens *before* emission: duplicate definitions,
+/// a missing `main`, and undefined references are all diagnosed from the
+/// modules' [symbol tables](crate::object::program_symbols) up front, in
+/// module order. With
+/// [`allow_undefined_functions`](LinkOptions::allow_undefined_functions),
+/// unresolved procedures link against synthesized trap stubs (appended in
+/// name order after all real code) instead of failing.
+///
+/// # Errors
+///
+/// Returns a [`LinkError`] as for [`link`]; undefined procedures are
+/// errors only when not allowed by `opts`.
+pub fn link_with(modules: &[ObjectModule], opts: &LinkOptions) -> Result<Executable, LinkError> {
     // 1. Lay out globals: scalars first, then aggregates.
     let mut globals: Vec<GlobalInfo> = Vec::new();
     let mut global_addr: HashMap<&str, i64> = HashMap::new();
@@ -325,25 +356,61 @@ pub fn link(modules: &[ObjectModule]) -> Result<Executable, LinkError> {
         next += g.size as i64;
     }
 
-    // 2. Measure expanded function sizes to fix every entry address.
+    // 2. Collect procedure definitions (duplicates are errors) and check
+    //    for `main` — a stub never satisfies the entry point.
+    let mut defined: HashSet<&str> = HashSet::new();
+    for m in modules {
+        for f in &m.functions {
+            if !defined.insert(f.name()) {
+                return Err(LinkError::DuplicateFunction(f.name().to_string()));
+            }
+        }
+    }
+    if !defined.contains("main") {
+        return Err(LinkError::NoMain);
+    }
+
+    // 3. Resolve every relocation up front, in (module, function,
+    //    instruction) order, collecting trap stubs where allowed.
+    let mut stubs: BTreeSet<String> = BTreeSet::new();
+    for m in modules {
+        for r in m.relocations() {
+            if r.kind.is_function() {
+                if !defined.contains(r.sym.as_str()) && !stubs.contains(&r.sym) {
+                    if opts.allow_undefined_functions {
+                        stubs.insert(r.sym);
+                    } else {
+                        return Err(LinkError::UndefinedFunction { name: r.sym, in_func: r.func });
+                    }
+                }
+            } else if !global_addr.contains_key(r.sym.as_str()) {
+                return Err(LinkError::UndefinedGlobal { sym: r.sym, in_func: r.func });
+            }
+        }
+    }
+
+    // 4. Measure expanded function sizes to fix every entry address; trap
+    //    stubs (one instruction each) go after all real code, in name order.
     let stub_len = 2usize;
     let mut func_entry: HashMap<&str, usize> = HashMap::new();
     let mut infos: Vec<FuncInfo> = Vec::new();
     let mut pc = stub_len;
     for m in modules {
         for f in &m.functions {
-            if func_entry.contains_key(f.name()) {
-                return Err(LinkError::DuplicateFunction(f.name().to_string()));
-            }
             let len: usize = f.insts().iter().map(|i| expansion_len(i, &global_addr)).sum();
             func_entry.insert(f.name(), pc);
             infos.push(FuncInfo { name: f.name().to_string(), entry: pc, len });
             pc += len;
         }
     }
-    let main_entry = *func_entry.get("main").ok_or(LinkError::NoMain)?;
+    for s in &stubs {
+        func_entry.insert(s.as_str(), pc);
+        infos.push(FuncInfo { name: s.clone(), entry: pc, len: 1 });
+        pc += 1;
+    }
+    let main_entry = func_entry["main"];
 
-    // 3. Emit, resolving pseudos and labels.
+    // 5. Emit, resolving pseudos and labels.
     let mut insts: Vec<Inst> = Vec::with_capacity(pc);
     insts.push(Inst::CallAbs { entry: main_entry as u32 });
     insts.push(Inst::Halt);
@@ -351,6 +418,11 @@ pub fn link(modules: &[ObjectModule]) -> Result<Executable, LinkError> {
         for f in &m.functions {
             emit_function(f, &global_addr, &func_entry, &mut insts)?;
         }
+    }
+    for _ in &stubs {
+        // Unconditional memory fault: address −1 is below every mapped
+        // word, so an activated stub traps at `sym+0` (see `symbolize`).
+        insts.push(Inst::Ldw { rd: Reg::AT, base: Reg::ZERO, disp: -1, class: MemClass::Indirect });
     }
     debug_assert_eq!(insts.len(), pc);
 
@@ -625,6 +697,76 @@ mod tests {
         f.push(Inst::B { target: l });
         let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
         assert!(matches!(link(&[m]).unwrap_err(), LinkError::UnboundLabel { .. }));
+    }
+
+    #[test]
+    fn allow_undefined_links_trap_stubs() {
+        // main takes `ghost_b`'s address and would call `ghost_a` only
+        // down a branch that never executes.
+        let mut f = MachineFunction::new("main");
+        let done = f.new_label();
+        f.push(Inst::Comb { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, target: done });
+        f.push(Inst::Call { target: "ghost_a".into() });
+        f.bind_label(done);
+        f.push(Inst::Ldfa { rd: Reg::AT, func: "ghost_b".into() });
+        f.push(Inst::Bv { base: Reg::RP });
+        let m = ObjectModule {
+            name: "m".into(),
+            functions: vec![f, ret_fn("present")],
+            globals: vec![],
+        };
+
+        // Without the option the link still fails.
+        assert!(matches!(
+            link(std::slice::from_ref(&m)).unwrap_err(),
+            LinkError::UndefinedFunction { name, .. } if name == "ghost_a"
+        ));
+
+        let opts = LinkOptions { allow_undefined_functions: true };
+        let exe = link_with(&[m], &opts).unwrap();
+        // Stubs are appended after all real code, in name order, and are
+        // symbolized like any procedure.
+        let a = exe.func_named("ghost_a").unwrap();
+        let b = exe.func_named("ghost_b").unwrap();
+        assert_eq!((a.len, b.len), (1, 1));
+        assert!(a.entry > exe.func_named("present").unwrap().entry);
+        assert_eq!(b.entry, a.entry + 1);
+        assert_eq!(exe.symbolize(a.entry).as_deref(), Some("ghost_a+0"));
+        // The program never activates a stub, so it runs cleanly.
+        let r = crate::sim::run(&exe).unwrap();
+        assert_eq!(r.exit, 0);
+    }
+
+    #[test]
+    fn activated_stub_traps_with_symbolized_fault() {
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Call { target: "ghost".into() });
+        f.push(Inst::Bv { base: Reg::RP });
+        let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
+        let exe = link_with(&[m], &LinkOptions { allow_undefined_functions: true }).unwrap();
+        match crate::sim::run(&exe).unwrap_err() {
+            crate::sim::SimError::MemFault { sym, addr, .. } => {
+                assert_eq!(sym.as_deref(), Some("ghost+0"));
+                assert_eq!(addr, -1);
+            }
+            other => panic!("expected a memory fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_globals_stay_errors_even_when_allowed() {
+        let mut f = MachineFunction::new("main");
+        f.push(Inst::Ldg {
+            rd: Reg::RV,
+            sym: "ghost".into(),
+            offset: 0,
+            class: MemClass::ScalarGlobal,
+        });
+        let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
+        assert!(matches!(
+            link_with(&[m], &LinkOptions { allow_undefined_functions: true }).unwrap_err(),
+            LinkError::UndefinedGlobal { .. }
+        ));
     }
 
     #[test]

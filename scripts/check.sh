@@ -66,4 +66,83 @@ grep -q '150 iterations, 0 failure(s)' "$report_dir/fuzz2.txt"
 echo "==> regression corpus replay"
 cargo test -q --test corpus
 
+echo "==> separate-compile smoke (artifact pipeline == one-shot build, byte-for-byte)"
+# A Figure-3-shaped program: main(A) -> {B, C}, B -> {D, E}, C -> {F, G},
+# G -> H, with shared globals g1-g3 split across two modules.
+sep="$report_dir/sep"
+mkdir -p "$sep"
+cat > "$sep/m1.cmin" <<'EOF'
+int g1;
+int g2;
+int g3;
+extern int cc(int);
+int dd(int x) { g1 = g1 + x; return g1; }
+int ee(int x) { g2 = g2 + x; return g2; }
+int bb(int x) { return dd(x) + ee(x + 1); }
+int main() {
+    int t = 0;
+    for (int i = 0; i < 10; i = i + 1) { t = t + bb(i) + cc(i); }
+    out(t);
+    out(g1);
+    out(g2);
+    out(g3);
+    return 0;
+}
+EOF
+cat > "$sep/m2.cmin" <<'EOF'
+extern int g1;
+extern int g3;
+static int h_calls;
+int hh(int x) { h_calls = h_calls + 1; return x + h_calls; }
+int gg(int x) { g3 = g3 + hh(x); return g3; }
+int ff(int x) { return x * 2 + g1; }
+int cc(int x) { return ff(x) + gg(x); }
+EOF
+ccache="$sep/.ccache"
+"$cminc" c "$sep/m1.cmin" -o "$sep/m1.vo" --summary "$sep/m1.csum" --cache-dir "$ccache" 2>/dev/null
+"$cminc" c "$sep/m2.cmin" -o "$sep/m2.vo" --summary "$sep/m2.csum" --cache-dir "$ccache" 2>/dev/null
+"$cminc" analyze "$sep/m1.csum" "$sep/m2.csum" --config C -o "$sep/prog.cdir"
+"$cminc" c "$sep/m1.cmin" -o "$sep/m1.vo" --dir "$sep/prog.cdir" --cache-dir "$ccache" 2>/dev/null
+"$cminc" c "$sep/m2.cmin" -o "$sep/m2.vo" --dir "$sep/prog.cdir" --cache-dir "$ccache" 2>/dev/null
+"$cminc" link "$sep/m1.vo" "$sep/m2.vo" -o "$sep/prog.vx"
+"$cminc" verify "$sep/m1.vo" "$sep/m2.vo" --db "$sep/prog.cdir"
+"$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C -o "$sep/prog2.vx" > /dev/null
+cmp "$sep/prog.vx" "$sep/prog2.vx"
+"$cminc" run "$sep/prog.vx" 2>/dev/null > "$sep/sep-run.txt"
+"$cminc" run "$sep/prog2.vx" 2>/dev/null > "$sep/build-run.txt"
+cmp "$sep/sep-run.txt" "$sep/build-run.txt"
+"$cminc" objdump "$sep/prog.vx" > /dev/null
+"$cminc" objdump "$sep/prog.cdir" > /dev/null
+
+echo "==> persistent cache smoke (second process recompiles only the edited module)"
+bcache="$sep/.bcache"
+"$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C --cache-dir "$bcache" -o "$sep/cache1.vx" > /dev/null
+sed -i 's/x \* 2/x \* 3/' "$sep/m2.cmin"
+"$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C --cache-dir "$bcache" --stats \
+  -o "$sep/cache2.vx" > "$sep/cache-stats.txt" 2>&1
+grep -q 'recompiled: m2$' "$sep/cache-stats.txt"
+"$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C -o "$sep/nocache.vx" > /dev/null
+cmp "$sep/cache2.vx" "$sep/nocache.vx"
+
+echo "==> .vlib link smoke (unresolved library callee: clean failure, then trap stubs)"
+cat > "$sep/libm.cmin" <<'EOF'
+extern int ghost(int);
+int helper(int k) { if (k) { return ghost(k); } return k + 5; }
+EOF
+cat > "$sep/app.cmin" <<'EOF'
+extern int helper(int);
+int main() { out(helper(in())); return 0; }
+EOF
+"$cminc" c "$sep/libm.cmin" -o "$sep/libm.vo" --summary "$sep/libm.csum" 2>/dev/null
+"$cminc" lib "$sep/libm.vo" -o "$sep/mylib.vlib"
+"$cminc" c "$sep/app.cmin" -o "$sep/app.vo" --summary "$sep/app.csum" 2>/dev/null
+if "$cminc" link "$sep/app.vo" "$sep/mylib.vlib" -o "$sep/bad.vx" 2> "$sep/link-err.txt"; then
+  echo "link with an unresolved callee unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q 'ghost' "$sep/link-err.txt"
+"$cminc" link "$sep/app.vo" "$sep/mylib.vlib" --allow-undefined -o "$sep/app.vx"
+"$cminc" run "$sep/app.vx" --input "0" 2>/dev/null | grep -qx '5'
+"$cminc" objdump "$sep/mylib.vlib" > /dev/null
+
 echo "All checks passed."

@@ -28,7 +28,7 @@ fn every_corpus_entry_replays() {
             None => {
                 // Organic failures are only checked in after the underlying
                 // bug is fixed; the oracle must stay clean on them.
-                let opts = CheckOptions { incremental: true, trace_purity: true };
+                let opts = CheckOptions { incremental: true, trace_purity: true, separate: true };
                 if let Err(f) = check(&entry.sources, &opts) {
                     panic!("{}: fixed repro regressed: {f}", path.display());
                 }

@@ -228,6 +228,137 @@ fn generated_indirect_calls_never_promote_across_unresolved_edges() {
     assert!(webs_touching_taken >= 10, "only {webs_touching_taken} webs touched a taken address");
 }
 
+/// Paper §7.2 meets the artifact layer: the interprocedurally-optimized
+/// library ships as a `.vlib` whose members carry both object code and
+/// summaries; the application pulls members by archive selection. One
+/// member calls an external procedure (`ghost`) defined *nowhere* — the
+/// partial-graph assumption "outgoing calls return without re-entering
+/// the graph" in its sharpest form. The contract:
+///
+/// * the analyzer must not promote a global web across the unresolved
+///   edge (no web may claim `ghost`, and the members still verify
+///   cleanly against the library database);
+/// * linking fails by default with a diagnostic naming both the missing
+///   procedure and its caller;
+/// * linking under [`LinkOptions::allow_undefined_functions`] succeeds
+///   with a trap stub, and as long as the `ghost` path stays cold the
+///   program behaves exactly like a baseline in which `ghost` exists.
+#[test]
+fn vlib_with_unresolved_external_callee_links_and_runs() {
+    use ipra_artifact::{ArtifactKind, LibraryArtifact, LibraryMember};
+    use ipra_core::analyzer::AnalyzerOptions;
+    use ipra_core::PaperConfig;
+    use vpr::{link_with, LinkOptions};
+
+    let mut lib_sources = library_sources();
+    lib_sources.push(SourceFile::new(
+        "libesc",
+        "extern int ghost(int);
+         extern int tbl_put(int);
+         int lib_escape(int k) {
+             if (k) { tbl_put(ghost(k)); return 1; }
+             return 0;
+         }",
+    ));
+
+    // Analyze the library alone as a partial graph, under the richest
+    // configuration (E: promotion webs on), and compile its members.
+    let mut summary = ProgramSummary::default();
+    let mut irs = Vec::new();
+    for (m, info) in frontend(&lib_sources).unwrap() {
+        let mut ir = cmin_ir::lower_module(&m, &info);
+        cmin_ir::optimize_module(&mut ir);
+        summary.modules.push(summarize_module(&ir));
+        irs.push(ir);
+    }
+    let analysis = analyze(&summary, &AnalyzerOptions::paper_config(PaperConfig::E, None));
+    for w in &analysis.webs {
+        assert!(
+            !w.nodes.contains(&"ghost".to_string()),
+            "web {} promoted across the unresolved edge into ghost",
+            w.sym
+        );
+    }
+    let objects: Vec<vpr::ObjectModule> =
+        irs.iter().map(|ir| cmin_codegen::compile_module(ir, &analysis.database)).collect();
+    // The whole-program verifier is entitled to flag the unresolved
+    // external itself; everything else — register discipline included —
+    // must be clean.
+    let report = ipra_verify::verify_modules(&objects, &analysis.database);
+    for d in &report.diagnostics {
+        assert!(
+            d.detail.contains("ghost"),
+            "library members failed verification beyond the expected unresolved external:\n{report}"
+        );
+    }
+
+    // Package as a .vlib and round-trip it through the wire format — the
+    // linker below consumes what a file consumer would see.
+    let library = LibraryArtifact {
+        members: objects
+            .iter()
+            .zip(&summary.modules)
+            .map(|(o, s)| LibraryMember { object: o.clone(), summary: s.clone() })
+            .collect(),
+    };
+    let text = ipra_artifact::encode(ArtifactKind::Library, &library);
+    let library: LibraryArtifact = ipra_artifact::decode(ArtifactKind::Library, &text).unwrap();
+
+    // The application: standard convention (empty database), calls into
+    // the library including the ghost-adjacent entry point.
+    let app_src = "extern int lib_init();
+        extern int lib_insert_range(int, int);
+        extern int lib_count_hits(int, int);
+        extern int lib_digest();
+        extern int lib_escape(int);
+        int main() {
+            lib_init();
+            lib_insert_range(0, 40);
+            out(lib_count_hits(0, 300));
+            out(lib_escape(in()));
+            out(lib_digest());
+            return 0;
+        }";
+    let (app, info) = &frontend(&[SourceFile::new("app", app_src)]).unwrap()[0];
+    let mut ir = cmin_ir::lower_module(app, info);
+    cmin_ir::optimize_module(&mut ir);
+    let root = cmin_codegen::compile_module(&ir, &ProgramDatabase::new());
+
+    // Archive selection must pull every member (the app needs libapi and
+    // libesc; libapi and libesc need libtable), to fixpoint.
+    let selected = library.select(std::slice::from_ref(&root));
+    assert_eq!(selected.len(), library.members.len(), "selection must reach fixpoint");
+    let mut modules = vec![root];
+    modules.extend(selected.iter().map(|&i| library.members[i].object.clone()));
+
+    // Default linking refuses: the diagnostic names the missing procedure
+    // and the member that needs it.
+    let err = vpr::program::link(&modules).unwrap_err().to_string();
+    assert!(err.contains("ghost"), "diagnostic must name the missing procedure: {err}");
+    assert!(err.contains("lib_escape"), "diagnostic must name the caller: {err}");
+
+    // With the escape hatch, the link succeeds and the cold ghost path is
+    // behaviorally invisible: same output as a baseline where ghost is a
+    // real (never-called) procedure.
+    let exe = link_with(&modules, &LinkOptions { allow_undefined_functions: true }).unwrap();
+    let got = run_with(&exe, &SimOptions { input: vec![0], ..SimOptions::default() }).unwrap();
+
+    let mut baseline_sources = lib_sources.clone();
+    baseline_sources.push(SourceFile::new("app", app_src));
+    baseline_sources.push(SourceFile::new("ghostmod", "int ghost(int x) { return x; }"));
+    let baseline =
+        ipra_driver::compile(&baseline_sources, &ipra_driver::CompileOptions::default()).unwrap();
+    let expect = ipra_driver::run_program(&baseline, &[0]).unwrap();
+    assert_eq!(got.output, expect.output);
+    assert_eq!(got.exit, expect.exit);
+
+    // The warm ghost path hits the trap stub, symbolized by name.
+    let trap = run_with(&exe, &SimOptions { input: vec![1], ..SimOptions::default() })
+        .unwrap_err()
+        .to_string();
+    assert!(trap.contains("ghost"), "the trap must be attributed to the stub: {trap}");
+}
+
 #[test]
 fn library_database_has_no_entry_for_external_callers() {
     let mut db = ProgramDatabase::new();
