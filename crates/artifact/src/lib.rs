@@ -48,7 +48,11 @@ use vpr::program::{Executable, ObjectModule};
 /// The one format version this build reads and writes. Bump on any
 /// incompatible payload or header change; readers reject other versions
 /// with [`ArtifactError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: summary records carry split per-global alias bits
+/// (`ptr_mod`/`ptr_ref`/`escapes`) and a per-procedure pointer-flow
+/// constraint record in place of the lumped `address_taken` flag.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// First token of every artifact header line.
 pub const MAGIC: &str = ";ipra-artifact";
@@ -423,6 +427,7 @@ mod tests {
             makes_indirect_calls: false,
             callee_saves_estimate: 2,
             caller_saves_estimate: 1,
+            alias: Default::default(),
         }
     }
 
@@ -444,7 +449,7 @@ mod tests {
         let text = encode(ArtifactKind::Summary, &sample_summary());
         assert_eq!(sniff(&text).unwrap(), (ArtifactKind::Summary, FORMAT_VERSION));
         // Sniff tolerates future versions and corrupt bodies.
-        let future = text.replace("v1 ", "v99 ");
+        let future = text.replace("v2 ", "v99 ");
         assert_eq!(sniff(&future).unwrap().1, 99);
     }
 
@@ -461,9 +466,9 @@ mod tests {
             }
         );
 
-        let future = text.replace("v1 ", "v2 ");
+        let future = text.replace("v2 ", "v3 ");
         let e = decode::<SummaryArtifact>(ArtifactKind::Summary, &future).unwrap_err();
-        assert_eq!(e, ArtifactError::UnsupportedVersion { found: 2, supported: 1 });
+        assert_eq!(e, ArtifactError::UnsupportedVersion { found: 3, supported: 2 });
 
         let truncated = &text[..text.len() - 10];
         let e = decode::<SummaryArtifact>(ArtifactKind::Summary, truncated).unwrap_err();

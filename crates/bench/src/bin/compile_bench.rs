@@ -29,9 +29,13 @@
 //! `scripts/check.sh`.
 
 use ipra_core::PaperConfig;
-use ipra_driver::{compile_incremental, CompilationCache, CompileOptions, CompiledProgram};
+use ipra_driver::{
+    compile_incremental, run_program, CompilationCache, CompileOptions, CompiledProgram,
+};
+use ipra_workloads::generator::{random_program_with, GenConfig};
 use ipra_workloads::scaled::{perturb, scaled_program};
 use serde::Serialize;
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -70,12 +74,34 @@ struct SizeReport {
     disk_warm_speedup: f64,
 }
 
+/// The alias-precision regime: a deterministic pointer-heavy program
+/// compiled under the blanket address-taken configuration (C) and the
+/// points-to configuration (P), tracking how many distinct globals each
+/// promotes and what the precision buys at run time.
+#[derive(Debug, Serialize)]
+struct AliasReport {
+    /// Generator seed (the regime is fully deterministic).
+    seed: u64,
+    /// Distinct globals promoted anywhere in the program database.
+    promoted_c: usize,
+    promoted_p: usize,
+    /// Simulator cycles on the empty input.
+    cycles_c: u64,
+    cycles_p: u64,
+    /// Cycles saved by P relative to C (positive means P is faster).
+    cycle_delta: i64,
+    /// Singleton memory references (Table 5's metric) under each config.
+    singleton_refs_c: u64,
+    singleton_refs_p: u64,
+}
+
 /// The whole benchmark run, as serialized to `BENCH_compile.json`.
 #[derive(Debug, Serialize)]
 struct BenchReport {
     config: String,
     jobs: usize,
     sizes: Vec<SizeReport>,
+    alias: AliasReport,
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -155,6 +181,50 @@ fn measure(modules: usize, jobs: usize, config: PaperConfig) -> SizeReport {
     }
 }
 
+/// Distinct globals promoted anywhere in the program database.
+fn promoted_globals(p: &CompiledProgram) -> usize {
+    let syms: BTreeSet<&str> =
+        p.database.iter().flat_map(|d| d.promotions.iter().map(|q| q.sym.as_str())).collect();
+    syms.len()
+}
+
+/// Compiles the pointer-heavy generator program under C and P and compares
+/// promotion counts and run-time cost. The seed is fixed so the regime is
+/// a trend line, not a lottery.
+fn measure_alias() -> AliasReport {
+    let seed: u64 = 57;
+    let sources = random_program_with(
+        seed,
+        &GenConfig {
+            globals_per_module: 6,
+            alias_mix: true,
+            ptr_shapes: true,
+            ..GenConfig::default()
+        },
+    );
+    let compile = |config| {
+        let mut cache = CompilationCache::new();
+        compile_incremental(&sources, &CompileOptions::paper(config), &mut cache)
+            .expect("alias regime build")
+    };
+    let c = compile(PaperConfig::C);
+    let p = compile(PaperConfig::P);
+    let rc = run_program(&c, &[]).expect("alias regime run under C");
+    let rp = run_program(&p, &[]).expect("alias regime run under P");
+    assert_eq!(rc.output, rp.output, "C and P diverged on the alias regime program");
+    assert_eq!(rc.exit, rp.exit, "C and P exit codes diverged on the alias regime program");
+    AliasReport {
+        seed,
+        promoted_c: promoted_globals(&c),
+        promoted_p: promoted_globals(&p),
+        cycles_c: rc.stats.cycles,
+        cycles_p: rp.stats.cycles,
+        cycle_delta: rc.stats.cycles as i64 - rp.stats.cycles as i64,
+        singleton_refs_c: rc.stats.singleton_refs(),
+        singleton_refs_p: rp.stats.singleton_refs(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sizes: Vec<usize> = match flag_value(&args, "--modules") {
@@ -173,8 +243,35 @@ fn main() -> ExitCode {
     let effective = CompileOptions { jobs, ..CompileOptions::default() }.effective_jobs();
     eprintln!("compile_bench: sizes {sizes:?}, jobs {effective}, config {config}");
 
-    let mut report = BenchReport { config: config.to_string(), jobs: effective, sizes: Vec::new() };
+    let alias = measure_alias();
+    eprintln!(
+        "  alias regime (seed {}): C promotes {} globals, P promotes {} \
+         (cycles {} vs {}, delta {})",
+        alias.seed,
+        alias.promoted_c,
+        alias.promoted_p,
+        alias.cycles_c,
+        alias.cycles_p,
+        alias.cycle_delta,
+    );
+    let mut report =
+        BenchReport { config: config.to_string(), jobs: effective, sizes: Vec::new(), alias };
     let mut failures: Vec<String> = Vec::new();
+    if check {
+        let a = &report.alias;
+        if a.promoted_p < a.promoted_c {
+            failures.push(format!(
+                "alias regime: P promoted fewer globals than C ({} vs {})",
+                a.promoted_p, a.promoted_c
+            ));
+        }
+        if a.singleton_refs_p > a.singleton_refs_c {
+            failures.push(format!(
+                "alias regime: P made more singleton memory references than C ({} vs {})",
+                a.singleton_refs_p, a.singleton_refs_c
+            ));
+        }
+    }
     for &n in &sizes {
         let row = measure(n, jobs, config);
         eprintln!(

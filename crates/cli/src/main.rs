@@ -74,7 +74,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cminc c <src.cmin> [-o <mod.vo>] [--summary <mod.csum>] [--dir <prog.cdir>] [--cache-dir DIR]
-  cminc analyze <mod.csum|lib.vlib>... [--config L2|A|B|C|D|E|F] [--profile <prof.json>] [--report] [--dot <graph.dot>] [--trace <trace.json>] -o <prog.cdir>
+  cminc analyze <mod.csum|lib.vlib>... [--config L2|A|B|C|D|E|F|P] [--profile <prof.json>] [--report] [--dot <graph.dot>] [--trace <trace.json>] -o <prog.cdir>
   cminc link <mod.vo|lib.vlib>... [--allow-undefined] -o <prog.vx>
   cminc lib <mod.vo>... -o <lib.vlib>
   cminc verify <mod.vo>... [--db <prog.cdir>]
@@ -84,7 +84,7 @@ const USAGE: &str = "usage:
   cminc phase1 <src.cmin> [--summary <out.sum>] [--ir <out.ir>]
   cminc phase2 <mod.ir> --db <prog.cdir> -o <mod.obj>
   cminc explain <symbol> (--trace <trace.json> | <src.cmin>... [--config ...])
-  cminc report <src.cmin>... --config-b L2|A|B|C|D|E|F [--config-a ...] [--input \"v v v\"] [--json <out.json>]
+  cminc report <src.cmin>... --config-b L2|A|B|C|D|E|F|P [--config-a ...] [--input \"v v v\"] [--json <out.json>]
   cminc fuzz [--seed N] [--iters N | --time-budget SECS] [-j|--jobs N] [--corpus DIR] [--reduce-budget N] [--self-validate]
 
 artifacts (`objdump` prints any of them):
@@ -212,6 +212,7 @@ fn config_by_name(name: Option<&str>) -> Result<PaperConfig, String> {
         Some("D") => Ok(PaperConfig::D),
         Some("E") => Ok(PaperConfig::E),
         Some("F") => Ok(PaperConfig::F),
+        Some("P") => Ok(PaperConfig::P),
         Some(other) => Err(format!("unknown config `{other}`")),
     }
 }

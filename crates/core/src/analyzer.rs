@@ -58,10 +58,14 @@ pub enum PaperConfig {
     E,
     /// Configuration C with profile data.
     F,
+    /// Configuration C with interprocedural alias analysis replacing the
+    /// blanket address-taken rejection (not in the paper's table; the
+    /// extension this reproduction adds).
+    P,
 }
 
 impl PaperConfig {
-    /// All configurations, in table order.
+    /// The paper's measured configurations, in table order.
     pub const ALL: [PaperConfig; 7] = [
         PaperConfig::L2,
         PaperConfig::A,
@@ -70,6 +74,18 @@ impl PaperConfig {
         PaperConfig::D,
         PaperConfig::E,
         PaperConfig::F,
+    ];
+
+    /// The paper's configurations plus the alias-precision extension.
+    pub const ALL_WITH_ALIAS: [PaperConfig; 8] = [
+        PaperConfig::L2,
+        PaperConfig::A,
+        PaperConfig::B,
+        PaperConfig::C,
+        PaperConfig::D,
+        PaperConfig::E,
+        PaperConfig::F,
+        PaperConfig::P,
     ];
 
     /// Does this configuration consume profile data?
@@ -87,6 +103,7 @@ impl PaperConfig {
             PaperConfig::D => "D",
             PaperConfig::E => "E",
             PaperConfig::F => "F",
+            PaperConfig::P => "P",
         }
     }
 }
@@ -115,6 +132,9 @@ pub struct AnalyzerOptions {
     /// Enable the §7.6.2 caller-saves preallocation extension ([Chow 88]
     /// style bottom-up claim propagation).
     pub caller_preallocation: bool,
+    /// Replace the blanket address-taken rejection with the interprocedural
+    /// points-to/mod-ref analysis (configuration P).
+    pub alias_precision: bool,
 }
 
 impl Default for AnalyzerOptions {
@@ -127,6 +147,7 @@ impl Default for AnalyzerOptions {
             cluster: ClusterHeuristics::default(),
             precise_web_cluster_interaction: false,
             caller_preallocation: false,
+            alias_precision: false,
         }
     }
 }
@@ -163,6 +184,12 @@ impl AnalyzerOptions {
             PaperConfig::F => AnalyzerOptions {
                 promotion: PromotionMode::Coloring { registers: 6 },
                 profile,
+                ..base
+            },
+            PaperConfig::P => AnalyzerOptions {
+                promotion: PromotionMode::Coloring { registers: 6 },
+                profile: None,
+                alias_precision: true,
                 ..base
             },
         }
@@ -245,14 +272,31 @@ pub fn analyze_traced(
     (analysis, trace)
 }
 
+/// Runs the interprocedural alias analysis over the summaries' embedded
+/// constraint records. Roots: `main` when defined (a closed-world
+/// executable, so uncalled procedures are dead code); otherwise every
+/// procedure (the open-world stance for partial programs, §7.2).
+pub fn solve_alias(summary: &ProgramSummary) -> ipra_alias::Solution {
+    let procs: std::collections::BTreeMap<String, &ipra_alias::ProcConstraints> =
+        summary.procs().map(|p| (p.name.clone(), &p.alias)).collect();
+    let roots: Vec<String> =
+        if procs.contains_key("main") { vec!["main".to_string()] } else { Vec::new() };
+    ipra_alias::solve(&procs, &roots)
+}
+
 fn analyze_impl(
     summary: &ProgramSummary,
     opts: &AnalyzerOptions,
     mut trace: Option<&mut AnalyzerTrace>,
 ) -> Analysis {
     let graph = CallGraph::build(summary, opts.profile.as_ref());
-    let elig = Eligibility::compute(&graph, summary);
+    let alias_solution = if opts.alias_precision { Some(solve_alias(summary)) } else { None };
+    let elig = Eligibility::compute_with_alias(&graph, summary, alias_solution.as_ref());
     let refs = RefSets::compute(&graph, &elig);
+
+    if let (Some(t), Some(sol)) = (trace.as_deref_mut(), alias_solution.as_ref()) {
+        emit_alias_events(t, summary, sol);
+    }
 
     let mut stats = AnalyzerStats {
         nodes: graph.len(),
@@ -407,6 +451,44 @@ fn analyze_impl(
         });
     }
     Analysis { database, stats, webs: web_reports }
+}
+
+/// Records the alias-precision verdict for every address-taken global: an
+/// `AliasPromotable` event when the points-to analysis keeps a global the
+/// blanket rule would demote, an `AliasDemoted` event (with the witnessing
+/// procedure) when memory residence is confirmed. Emitted in symbol order,
+/// before the web events, since eligibility precedes web formation.
+fn emit_alias_events(t: &mut AnalyzerTrace, summary: &ProgramSummary, sol: &ipra_alias::Solution) {
+    let mut blanket = Eligibility::blanket_aliased(summary);
+    blanket.sort();
+    let demoted = Eligibility::alias_aliased(summary, sol);
+    for sym in &blanket {
+        if demoted.contains(sym) {
+            continue;
+        }
+        let justification = match sol.ind_ref_witness(sym) {
+            Some(w) => {
+                format!("only read through pointers (e.g. in {w}); never written in reachable code")
+            }
+            None => "address never dereferenced or leaked in reachable code".to_string(),
+        };
+        t.push(TraceEvent::AliasPromotable { sym: sym.clone(), justification });
+    }
+    for sym in &demoted {
+        let justification = if sol.is_escaped(sym) {
+            match sol.escape_witness.get(sym) {
+                Some(w) => format!("address escapes to unknown code (leaked in {w})"),
+                None => "address escapes to unknown code".to_string(),
+            }
+        } else if let Some(w) = sol.ind_mod_witness(sym) {
+            format!("may be written through a pointer in {w}")
+        } else if let Some(w) = sol.ind_ref_witness(sym) {
+            format!("read through a pointer in {w} while also written directly")
+        } else {
+            "aliased".to_string()
+        };
+        t.push(TraceEvent::AliasDemoted { sym: sym.clone(), justification });
+    }
 }
 
 /// Records the promotion decisions: one `WebFormed` per identified web (in
@@ -754,7 +836,72 @@ mod tests {
     #[test]
     fn stats_config_labels() {
         assert_eq!(PaperConfig::ALL.len(), 7);
+        assert_eq!(PaperConfig::ALL_WITH_ALIAS.len(), 8);
+        assert!(!PaperConfig::ALL.contains(&PaperConfig::P));
+        assert_eq!(PaperConfig::ALL_WITH_ALIAS[7], PaperConfig::P);
         assert_eq!(PaperConfig::C.to_string(), "C");
         assert_eq!(PaperConfig::L2.to_string(), "L2");
+        assert_eq!(PaperConfig::P.to_string(), "P");
+        assert!(!PaperConfig::P.wants_profile());
+    }
+
+    #[test]
+    fn alias_precision_config_promotes_read_only_aliased_global() {
+        use ipra_alias::{Constraint, Node, ProcConstraints};
+        let mut s = summary(&[("main", &[], &["g"])], &["g"]);
+        // main reads g through a pointer and never writes it at all.
+        s.modules[0].procs[0].global_refs[0].written = false;
+        s.modules[0].procs[0].global_refs[0].ptr_ref = true;
+        s.modules[0].procs[0].alias = ProcConstraints {
+            params: 0,
+            constraints: vec![
+                Constraint::AddrGlobal { dst: Node::Var(0), sym: "g".into() },
+                Constraint::Load { dst: Node::Var(1), addr: Node::Var(0) },
+            ],
+        };
+        let blanket = analyze(&s, &AnalyzerOptions::paper_config(PaperConfig::C, None));
+        assert_eq!(blanket.stats.eligible_globals, 0);
+        let (precise, trace) =
+            analyze_traced(&s, &AnalyzerOptions::paper_config(PaperConfig::P, None));
+        assert_eq!(precise.stats.eligible_globals, 1);
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::AliasPromotable { sym, .. } if sym == "g")));
+        // With a direct write added, the register copy a pointer read sees
+        // would go stale: config P must demote again, with a witness.
+        s.modules[0].procs[0].global_refs[0].written = true;
+        let (demoted, trace) =
+            analyze_traced(&s, &AnalyzerOptions::paper_config(PaperConfig::P, None));
+        assert_eq!(demoted.stats.eligible_globals, 0);
+        assert!(trace.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::AliasDemoted { sym, justification } if sym == "g" && justification.contains("main")
+        )));
+    }
+
+    #[test]
+    fn alias_events_do_not_perturb_the_database() {
+        use ipra_alias::{Constraint, Node, ProcConstraints};
+        let mut s = figure3();
+        s.modules[0].procs[1].alias = ProcConstraints {
+            params: 0,
+            constraints: vec![
+                Constraint::AddrGlobal { dst: Node::Var(0), sym: "g1".into() },
+                Constraint::Store { addr: Node::Var(0), src: None },
+            ],
+        };
+        s.modules[0].procs[1].global_refs[0].ptr_mod = true;
+        let opts = AnalyzerOptions::paper_config(PaperConfig::P, None);
+        let plain = analyze(&s, &opts);
+        let (traced, trace) = analyze_traced(&s, &opts);
+        assert_eq!(plain.database, traced.database);
+        // g1 is pointer-written in B (reachable from the start node A? A is
+        // the only start; B is called by A): demoted under P as well.
+        assert_eq!(plain.stats.eligible_globals, 2);
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::AliasDemoted { sym, .. } if sym == "g1")));
     }
 }

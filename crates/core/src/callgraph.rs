@@ -442,6 +442,7 @@ pub(crate) mod tests {
             makes_indirect_calls: false,
             callee_saves_estimate: 2,
             caller_saves_estimate: 2,
+            alias: Default::default(),
         }
     }
 

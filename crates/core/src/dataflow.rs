@@ -67,15 +67,81 @@ pub struct Eligibility {
 }
 
 impl Eligibility {
-    /// Determines the promotable globals of a program.
+    /// Determines the promotable globals of a program, treating every
+    /// address-taken global as aliased (the classic conservative rule).
     pub fn compute(graph: &CallGraph, summary: &ProgramSummary) -> Eligibility {
+        Self::compute_with_alias(graph, summary, None)
+    }
+
+    /// The set of globals the conservative rule rejects as aliased: any
+    /// global whose address is taken anywhere.
+    pub fn blanket_aliased(summary: &ProgramSummary) -> Vec<String> {
         let mut aliased: Vec<String> = Vec::new();
+        for p in summary.procs() {
+            for r in &p.global_refs {
+                if r.address_taken() && !aliased.contains(&r.sym) {
+                    aliased.push(r.sym.clone());
+                }
+            }
+        }
+        aliased
+    }
+
+    /// The set of globals the precise interprocedural rule rejects. A
+    /// global stays register-promotable despite `&g` appearing somewhere
+    /// unless keeping it in a register could actually be observed:
+    ///
+    /// * its address escapes to unknown code (anything may happen), or
+    /// * some reachable procedure may *write* it through a pointer (the
+    ///   register copy would go stale), or
+    /// * some reachable procedure may *read* it through a pointer while a
+    ///   reachable procedure also writes it directly (the memory home the
+    ///   read sees would go stale).
+    ///
+    /// Read-only aliasing of a never-written global is harmless: memory
+    /// always holds the initial value, and so does the register.
+    pub fn alias_aliased(summary: &ProgramSummary, solution: &ipra_alias::Solution) -> Vec<String> {
+        let mut dir_mod: Vec<&str> = Vec::new();
+        for p in summary.procs() {
+            if !solution.reachable.contains(&p.name) {
+                continue;
+            }
+            for r in &p.global_refs {
+                if r.written && !dir_mod.contains(&r.sym.as_str()) {
+                    dir_mod.push(&r.sym);
+                }
+            }
+        }
+        let mut candidates: std::collections::BTreeSet<&str> =
+            solution.escaped.iter().map(String::as_str).collect();
+        for syms in solution.proc_ind_mod.values().chain(solution.proc_ind_ref.values()) {
+            candidates.extend(syms.iter().map(String::as_str));
+        }
+        candidates
+            .into_iter()
+            .filter(|g| {
+                solution.is_escaped(g)
+                    || solution.ind_mod_witness(g).is_some()
+                    || (solution.ind_ref_witness(g).is_some() && dir_mod.contains(g))
+            })
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Determines the promotable globals, using the interprocedural alias
+    /// solution for the aliasing rejection when one is given.
+    pub fn compute_with_alias(
+        graph: &CallGraph,
+        summary: &ProgramSummary,
+        solution: Option<&ipra_alias::Solution>,
+    ) -> Eligibility {
+        let aliased: Vec<String> = match solution {
+            None => Self::blanket_aliased(summary),
+            Some(sol) => Self::alias_aliased(summary, sol),
+        };
         let mut referenced: Vec<String> = Vec::new();
         for p in summary.procs() {
             for r in &p.global_refs {
-                if r.address_taken && !aliased.contains(&r.sym) {
-                    aliased.push(r.sym.clone());
-                }
                 if !referenced.contains(&r.sym) {
                     referenced.push(r.sym.clone());
                 }
@@ -274,7 +340,9 @@ pub(crate) mod testutil {
                         sym: g.to_string(),
                         freq: 10,
                         written: true,
-                        address_taken: false,
+                        ptr_mod: false,
+                        ptr_ref: false,
+                        escapes: false,
                     })
                     .collect(),
                 calls: calls
@@ -285,6 +353,7 @@ pub(crate) mod testutil {
                 makes_indirect_calls: false,
                 callee_saves_estimate: 2,
                 caller_saves_estimate: 2,
+                alias: Default::default(),
             })
             .collect();
         let globals = globals
@@ -377,7 +446,7 @@ mod tests {
     fn aliased_and_array_globals_rejected() {
         let mut s = summary(&[("main", &[], &["g", "h"])], &["g", "h"]);
         // g's address is taken; h stays eligible. Add an array too.
-        s.modules[0].procs[0].global_refs[0].address_taken = true;
+        s.modules[0].procs[0].global_refs[0].escapes = true;
         s.modules[0].globals.push(GlobalFact {
             sym: "arr".into(),
             size: 10,
@@ -407,13 +476,16 @@ mod tests {
                         sym: "ctype".into(),
                         freq: 1,
                         written: false,
-                        address_taken: false,
+                        ptr_mod: false,
+                        ptr_ref: false,
+                        escapes: false,
                     }],
                     calls: vec![],
                     taken_addresses: vec![],
                     makes_indirect_calls: false,
                     callee_saves_estimate: 0,
                     caller_saves_estimate: 2,
+                    alias: Default::default(),
                 }],
                 globals: vec![],
             }],

@@ -153,6 +153,22 @@ pub enum TraceEvent {
         /// Pool registers no callee in its subtree claims.
         safe_across: RegSet,
     },
+    /// The interprocedural alias analysis kept an address-taken global
+    /// promotable that the blanket rule would have rejected.
+    AliasPromotable {
+        /// The global's link name.
+        sym: String,
+        /// The points-to justification (why aliasing is harmless).
+        justification: String,
+    },
+    /// The interprocedural alias analysis confirmed a global must stay in
+    /// memory, with the witnessing procedure.
+    AliasDemoted {
+        /// The global's link name.
+        sym: String,
+        /// The points-to justification (which effect demands memory).
+        justification: String,
+    },
 }
 
 impl TraceEvent {
@@ -172,6 +188,10 @@ impl TraceEvent {
             | TraceEvent::SpillHoisted { root, members, .. } => hit(root) || any(members),
             TraceEvent::FreeRegsGranted { proc, .. }
             | TraceEvent::CallerClaimGranted { proc, .. } => hit(proc),
+            TraceEvent::AliasPromotable { sym, justification }
+            | TraceEvent::AliasDemoted { sym, justification } => {
+                hit(sym) || justification.contains(symbol)
+            }
         }
     }
 }

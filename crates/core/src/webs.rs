@@ -389,7 +389,9 @@ mod tests {
                     sym: g.to_string(),
                     freq: 5,
                     written: true,
-                    address_taken: false,
+                    ptr_mod: false,
+                    ptr_ref: false,
+                    escapes: false,
                 })
                 .collect(),
             calls: calls.iter().map(|(c, f)| CallRef { callee: c.to_string(), freq: *f }).collect(),
@@ -397,6 +399,7 @@ mod tests {
             makes_indirect_calls: false,
             callee_saves_estimate: 1,
             caller_saves_estimate: 2,
+            alias: Default::default(),
         };
         let s = ProgramSummary {
             modules: vec![

@@ -641,7 +641,7 @@ mod tests {
         let sources = two_module_program();
         let oracle = interpret_sources(&sources, &[]).unwrap().unwrap();
         assert_eq!(oracle.output, vec![1225, 50]);
-        for config in PaperConfig::ALL {
+        for config in PaperConfig::ALL_WITH_ALIAS {
             let program = if config.wants_profile() {
                 compile_with_profile(&sources, config, &[]).unwrap().unwrap()
             } else {
@@ -656,7 +656,7 @@ mod tests {
     #[test]
     fn every_config_passes_the_machine_code_verifier() {
         let sources = two_module_program();
-        for config in PaperConfig::ALL {
+        for config in PaperConfig::ALL_WITH_ALIAS {
             let program = if config.wants_profile() {
                 compile_with_profile(&sources, config, &[]).unwrap().unwrap()
             } else {
@@ -865,7 +865,10 @@ mod tests {
             assert!(p.exists(), "{} missing", p.display());
         }
         let (kind, v) = ipra_artifact::sniff_file(&staged.executable_path).unwrap();
-        assert_eq!((kind, v), (ipra_artifact::ArtifactKind::Executable, 1));
+        assert_eq!(
+            (kind, v),
+            (ipra_artifact::ArtifactKind::Executable, ipra_artifact::FORMAT_VERSION)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -165,11 +165,11 @@ pub struct Shape {
 /// The shape rotation: iteration `i` uses `shape_for(i)`. Mostly cheap
 /// all-configuration differentials; the expensive build-level scenarios
 /// (incremental rebuilds, trace purity, artifact-staged separate
-/// compilation) run on three of every nine iterations.
+/// compilation) run on three of every ten iterations.
 pub fn shape_for(i: usize) -> Shape {
     let plain = CheckOptions::default();
     let g = GenConfig::default;
-    match i % 9 {
+    match i % 10 {
         0 => Shape { name: "default", gen: g(), check: plain },
         1 => Shape {
             name: "wide",
@@ -189,6 +189,7 @@ pub fn shape_for(i: usize) -> Shape {
                 recursion: true,
                 alias_mix: true,
                 global_fn_ptrs: true,
+                ptr_shapes: true,
                 ..g()
             },
             check: plain,
@@ -214,10 +215,18 @@ pub fn shape_for(i: usize) -> Shape {
             gen: GenConfig { funcs_per_module: 6, max_stmts: 6, recursion: true, ..g() },
             check: plain,
         },
-        _ => Shape {
+        8 => Shape {
             name: "separate",
             gen: GenConfig { modules: 3, alias_mix: true, ..g() },
             check: CheckOptions { separate: true, ..plain },
+        },
+        // Pointer-heavy: globals flowing into pointer parameters and
+        // reassigned pointers, the shapes whose promotion decisions hinge
+        // on the interprocedural points-to solve (configuration P).
+        _ => Shape {
+            name: "ptr",
+            gen: GenConfig { globals_per_module: 6, alias_mix: true, ptr_shapes: true, ..g() },
+            check: plain,
         },
     }
 }
@@ -457,14 +466,15 @@ mod tests {
 
     #[test]
     fn shape_rotation_covers_all_extended_shapes() {
-        let shapes: Vec<Shape> = (0..9).map(shape_for).collect();
+        let shapes: Vec<Shape> = (0..10).map(shape_for).collect();
         assert!(shapes.iter().any(|s| s.gen.recursion));
         assert!(shapes.iter().any(|s| s.gen.alias_mix));
         assert!(shapes.iter().any(|s| s.gen.global_fn_ptrs));
+        assert!(shapes.iter().any(|s| s.gen.ptr_shapes));
         assert!(shapes.iter().any(|s| s.check.incremental));
         assert!(shapes.iter().any(|s| s.check.trace_purity));
         assert!(shapes.iter().any(|s| s.check.separate));
-        assert_eq!(shape_for(0).name, shape_for(9).name);
+        assert_eq!(shape_for(0).name, shape_for(10).name);
     }
 
     #[test]

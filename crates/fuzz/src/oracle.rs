@@ -245,12 +245,13 @@ pub fn check(sources: &[SourceFile], opts: &CheckOptions) -> Result<(), Failure>
         Ok(r) => r,
     };
 
-    // One cache across all seven configurations: phase-1 entries must be
-    // reusable between configs, and phase-2 entries must be correctly
-    // invalidated as the database changes per config.
+    // One cache across all eight configurations (the seven paper configs
+    // plus alias-precision P): phase-1 entries must be reusable between
+    // configs, and phase-2 entries must be correctly invalidated as the
+    // database changes per config.
     let mut cache = CompilationCache::new();
     let copts = CompileOptions::default();
-    for config in PaperConfig::ALL {
+    for config in PaperConfig::ALL_WITH_ALIAS {
         let program = match compile_configured(sources, config, &[], &copts, &mut cache) {
             Err(e) => return Err(Failure::Compile { config, detail: e.to_string() }),
             Ok(Err(e)) => return Err(Failure::TrainingTrap { config, detail: e.to_string() }),

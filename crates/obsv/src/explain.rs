@@ -70,6 +70,12 @@ pub fn render_event(e: &TraceEvent) -> String {
         TraceEvent::CallerClaimGranted { proc, claimed, safe_across } => {
             format!("`{proc}`: caller-saves claim {claimed}; safe across its calls {safe_across}")
         }
+        TraceEvent::AliasPromotable { sym, justification } => {
+            format!("`{sym}` stays promotable despite its address being taken: {justification}")
+        }
+        TraceEvent::AliasDemoted { sym, justification } => {
+            format!("`{sym}` must stay memory-resident: {justification}")
+        }
     }
 }
 

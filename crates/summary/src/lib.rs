@@ -30,6 +30,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How a procedure uses one global variable.
+///
+/// The classic lumped *address-taken* flag is split three ways (`ptr_mod`,
+/// `ptr_ref`, `escapes`), so a read-only `&g` is no longer treated as a
+/// potential write; [`GlobalRef::address_taken`] recovers the old bit as
+/// the union.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GlobalRef {
     /// The global's link name.
@@ -37,10 +42,26 @@ pub struct GlobalRef {
     /// Estimated dynamic reference frequency within this procedure
     /// (loads + stores, loop-depth weighted).
     pub freq: u64,
-    /// Does the procedure write the global?
+    /// Does the procedure write the global directly (by name)?
     pub written: bool,
-    /// Is the global's address taken in this procedure (aliasing)?
-    pub address_taken: bool,
+    /// May the procedure write the global through a pointer?
+    #[serde(default)]
+    pub ptr_mod: bool,
+    /// May the procedure read the global through a pointer?
+    #[serde(default)]
+    pub ptr_ref: bool,
+    /// Does the global's address escape the procedure (stored to memory,
+    /// passed to a call, returned, or printed)?
+    #[serde(default)]
+    pub escapes: bool,
+}
+
+impl GlobalRef {
+    /// The classic lumped flag: is the global's address taken at all in
+    /// this procedure? Exactly the union of the three split bits.
+    pub fn address_taken(&self) -> bool {
+        self.ptr_mod || self.ptr_ref || self.escapes
+    }
 }
 
 /// One call site group: all calls from a procedure to one callee.
@@ -75,6 +96,10 @@ pub struct ProcSummary {
     /// §7.6.2 caller-saves preallocation extension.
     #[serde(default)]
     pub caller_saves_estimate: u32,
+    /// Pointer-flow constraint record for the interprocedural alias
+    /// analysis; the program analyzer composes these into one system.
+    #[serde(default)]
+    pub alias: ipra_alias::ProcConstraints,
 }
 
 /// Facts about a global definition, program-wide.
@@ -188,9 +213,6 @@ pub fn summarize_module(ir: &IrModule) -> ModuleSummary {
                             e.freq += w;
                             e.written = true;
                         }
-                        Inst::AddrGlobal { sym, .. } => {
-                            entry(&mut grefs, sym).address_taken = true;
-                        }
                         Inst::AddrFunc { func, .. } if !taken.contains(func) => {
                             taken.push(func.clone());
                         }
@@ -201,6 +223,16 @@ pub fn summarize_module(ir: &IrModule) -> ModuleSummary {
                         _ => {}
                     }
                 }
+            }
+            // The alias constraint record doubles as the source of the
+            // split per-global bits: address-taken is classified into
+            // pointer-read, pointer-write and escape by local flow.
+            let alias = ipra_alias::constraints_for(f);
+            for (sym, bits) in ipra_alias::local_bits(&alias) {
+                let e = entry(&mut grefs, &sym);
+                e.ptr_mod = bits.ptr_mod;
+                e.ptr_ref = bits.ptr_ref;
+                e.escapes = bits.escapes;
             }
             let liveness = Liveness::compute(f, &cfg);
             let across = live_across_calls(f, &liveness);
@@ -230,6 +262,7 @@ pub fn summarize_module(ir: &IrModule) -> ModuleSummary {
                 makes_indirect_calls: indirect,
                 callee_saves_estimate: (across.len() as u32).min(MAX_CALLEE_SAVES),
                 caller_saves_estimate: ever_live_count.min(MAX_CALLER_SAVES),
+                alias,
             }
         })
         .collect();
@@ -242,7 +275,9 @@ fn entry<'a>(m: &'a mut BTreeMap<String, GlobalRef>, sym: &str) -> &'a mut Globa
         sym: sym.to_string(),
         freq: 0,
         written: false,
-        address_taken: false,
+        ptr_mod: false,
+        ptr_ref: false,
+        escapes: false,
     })
 }
 
@@ -286,7 +321,36 @@ mod tests {
         let s = summarize("int g; int f() { return *(&g); }");
         let f = proc(&s, "f");
         let g = f.global_refs.iter().find(|r| r.sym == "g").unwrap();
-        assert!(g.address_taken);
+        assert!(g.address_taken());
+        // A read-only deref is a pointer ref, not a potential write.
+        assert!(g.ptr_ref && !g.ptr_mod && !g.escapes);
+    }
+
+    #[test]
+    fn split_alias_bits_classify_uses() {
+        let s = summarize(
+            "int a; int b; int c; int q;
+             extern int ext(int);
+             int f() { int p = &a; *p = 1; int x = *(&b); q = &c; return x + ext(&c); }",
+        );
+        let f = proc(&s, "f");
+        let r = |sym: &str| f.global_refs.iter().find(|r| r.sym == sym).unwrap();
+        assert!(r("a").ptr_mod && !r("a").ptr_ref && !r("a").escapes);
+        assert!(r("b").ptr_ref && !r("b").ptr_mod);
+        assert!(r("c").escapes && !r("c").ptr_mod && !r("c").ptr_ref);
+        assert!(!r("q").address_taken(), "q stores an address but its own is not taken");
+    }
+
+    #[test]
+    fn alias_constraints_ride_in_the_record() {
+        let s = summarize("int g; int f(int p) { *p = 3; return g; }");
+        let f = proc(&s, "f");
+        assert_eq!(f.alias.params, 1);
+        assert!(!f.alias.constraints.is_empty());
+        // The record serializes with the rest of the summary.
+        let prog = ProgramSummary { modules: vec![s] };
+        let back = ProgramSummary::from_json(&prog.to_json()).unwrap();
+        assert_eq!(prog, back);
     }
 
     #[test]

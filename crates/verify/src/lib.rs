@@ -27,6 +27,14 @@
 //!   entry nodes, all members agree on the home register, no callee
 //!   reachable from a web member clobbers the home register or touches
 //!   the global's memory home behind the web's back.
+//! * **Alias soundness** — no store through a pointer may land in the
+//!   memory home of a promoted global (the register copy would silently
+//!   go stale), and no pointer load may read the home of a *written*
+//!   web's global. Checked by a flow-sensitive address-tracking pass over
+//!   the machine code, independent of the `ipra-alias` points-to solver
+//!   whose promotion decisions it polices — so an unsound promotion under
+//!   the alias-precision configuration surfaces here even though both
+//!   were derived from the same source program.
 //! * **Caller-saves correctness** — no value is live across a call in a
 //!   caller-saves register the callee may clobber. "May clobber" is a
 //!   machine-level least fixpoint over the whole program (indirect calls
@@ -45,7 +53,7 @@
 pub mod engine;
 pub mod liveness;
 
-use ipra_core::{ProcDirectives, ProgramDatabase};
+use ipra_core::{ProcDirectives, ProgramDatabase, Promotion};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -81,6 +89,12 @@ pub enum DiagKind {
     /// A callee reachable from a web member accesses the promoted
     /// global's memory home while the register copy is live (stale data).
     WebEscape,
+    /// A store through a pointer that may address a promoted global: the
+    /// memory home would diverge from the register copy. Promotion of an
+    /// address-taken global is only sound when the alias analysis proved
+    /// no reachable indirect write exists, so any occurrence is an
+    /// analyzer or code-generator bug.
+    IndirectStoreToPromoted,
     /// A value is live across a call in a caller-saves register the
     /// callee may clobber.
     CallerSavesLiveAcrossCall,
@@ -112,6 +126,7 @@ impl fmt::Display for DiagKind {
             DiagKind::WebEntryBypass => "web-entry-bypass",
             DiagKind::InconsistentWebReg => "inconsistent-web-reg",
             DiagKind::WebEscape => "web-escape",
+            DiagKind::IndirectStoreToPromoted => "indirect-store-to-promoted",
             DiagKind::CallerSavesLiveAcrossCall => "caller-saves-live-across-call",
             DiagKind::ReservedRegWrite => "reserved-reg-write",
             DiagKind::ReturnAddressClobbered => "return-address-clobbered",
@@ -393,30 +408,19 @@ fn fix_clobbers(
     }
 }
 
-/// Transitively accessed global symbols per procedure (via `LDG`/`STG`/
-/// `LGA` and all resolvable calls). Feeds the web-escape check: a web
-/// member must never reach code that touches the promoted global's memory
-/// home, because that home is stale while the web holds the register copy.
+/// Transitively accessed global symbols per procedure (seeded by `seed`,
+/// closed over all resolvable calls). Feeds the web-escape check: a web
+/// member must never reach code that *writes* the promoted global's memory
+/// home — nor code that merely reads it, when the web holds a written
+/// (and therefore newer) register copy.
 fn fix_mem_access(
     procs: &[Proc<'_>],
     by_name: &HashMap<&str, usize>,
     taken: &[usize],
+    seed: &dyn Fn(&Inst) -> Option<String>,
 ) -> Vec<BTreeSet<String>> {
-    let mut mem: Vec<BTreeSet<String>> = procs
-        .iter()
-        .map(|p| {
-            p.func
-                .insts()
-                .iter()
-                .filter_map(|i| match i {
-                    Inst::Ldg { sym, .. } | Inst::Stg { sym, .. } | Inst::Lga { sym, .. } => {
-                        Some(sym.clone())
-                    }
-                    _ => None,
-                })
-                .collect()
-        })
-        .collect();
+    let mut mem: Vec<BTreeSet<String>> =
+        procs.iter().map(|p| p.func.insts().iter().filter_map(seed).collect()).collect();
     loop {
         let mut changed = false;
         for i in 0..procs.len() {
@@ -436,6 +440,218 @@ fn fix_mem_access(
         }
         if !changed {
             return mem;
+        }
+    }
+}
+
+/// Procedures reachable from `main` in the emitted machine code: closure
+/// over direct `Call` edges, with `CallInd` resolving to every procedure
+/// whose address is taken (`LDFA`) *in already-reachable code* — the same
+/// closed-world refinement the alias analysis uses, so code only dead
+/// code ever points at stays out of the alias-sensitive checks. Without a
+/// `main`, the program is an open world and everything counts.
+///
+/// Also returns the fixpoint's address-taken set — the procedures an
+/// indirect call can actually transfer to at runtime (an `LDFA` in
+/// unreachable code never executes, so it never produces a callable
+/// value). Every `CallInd`-resolving check uses this set; the blanket
+/// all-procedures variant would resolve live indirect calls to dead
+/// procedures and manufacture false escapes/clobbers.
+fn machine_reachable(
+    procs: &[Proc<'_>],
+    by_name: &HashMap<&str, usize>,
+) -> (Vec<bool>, Vec<usize>) {
+    let all_taken = || {
+        let mut t: Vec<usize> = procs
+            .iter()
+            .flat_map(|p| p.func.insts())
+            .filter_map(|i| match i {
+                Inst::Ldfa { func, .. } => by_name.get(func.as_str()).copied(),
+                _ => None,
+            })
+            .collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    let Some(&mi) = by_name.get("main") else {
+        return (vec![true; procs.len()], all_taken());
+    };
+    let mut reach = vec![false; procs.len()];
+    reach[mi] = true;
+    loop {
+        let mut changed = false;
+        let taken: Vec<usize> = {
+            let mut t: Vec<usize> = procs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| reach[*i])
+                .flat_map(|(_, p)| p.func.insts())
+                .filter_map(|i| match i {
+                    Inst::Ldfa { func, .. } => by_name.get(func.as_str()).copied(),
+                    _ => None,
+                })
+                .collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        for i in 0..procs.len() {
+            if !reach[i] {
+                continue;
+            }
+            for inst in procs[i].func.insts() {
+                for t in call_targets(inst, by_name, &taken) {
+                    if !reach[t] {
+                        reach[t] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return (reach, taken);
+        }
+    }
+}
+
+/// Does `p` redefine the dedicated register of promotion `q` by anything
+/// other than the web entry's home load or a reload from its own frame?
+/// Those are the only defs that cannot change the promoted value; any
+/// other def means this web member really writes the global, so the
+/// memory home can hold a stale value while the web runs.
+fn modifies_register_copy(p: &Proc<'_>, q: &Promotion) -> bool {
+    p.func.insts().iter().any(|inst| {
+        inst.def() == Some(q.reg)
+            && match inst {
+                Inst::Ldg { sym, .. } => *sym != q.sym,
+                Inst::Ldw { base: Reg::SP, .. } => false,
+                _ => true,
+            }
+    })
+}
+
+/// The alias-soundness check: a forward, flow-sensitive pass tracking
+/// which registers may hold the address of a global (seeded by `LGA`,
+/// propagated through `COPY` and address arithmetic, killed by any other
+/// definition and by the caller-saves half of every call). A `STW` whose
+/// base may address a promoted global is flagged — the store would land
+/// in the memory home while the current value lives in a register. A
+/// `LDW` through such a pointer is flagged only when some web for the
+/// global is *written* (a read-only web's memory home is always current,
+/// which is exactly why the alias-precision configuration may promote
+/// address-taken read-only globals at all).
+///
+/// The pass is intraprocedural by design — an address received as an
+/// argument is not tracked — so it under-approximates; but everything it
+/// flags is a real divergence between the register copy and memory.
+fn check_indirect_stores(
+    p: &Proc<'_>,
+    cfg: &Cfg,
+    promoted: &BTreeSet<String>,
+    written: &BTreeSet<String>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    use vpr::inst::AluOp;
+    let insts = p.func.insts();
+    let n = insts.len();
+    type AddrState = Vec<BTreeSet<String>>; // indexed by register number
+    let empty: AddrState = vec![BTreeSet::new(); Reg::COUNT];
+    let transfer = |inst: &Inst, st: &mut AddrState| match inst {
+        Inst::Lga { rd, sym, .. } => {
+            st[rd.index()] = std::iter::once(sym.clone()).collect();
+        }
+        Inst::Copy { rd, rs } => {
+            st[rd.index()] = st[rs.index()].clone();
+        }
+        // Address arithmetic (element indexing) still points into the
+        // same global.
+        Inst::Alu { op: AluOp::Add | AluOp::Sub, rd, rs1, rs2 } => {
+            let mut s = st[rs1.index()].clone();
+            s.extend(st[rs2.index()].iter().cloned());
+            st[rd.index()] = s;
+        }
+        Inst::Alui { op: AluOp::Add | AluOp::Sub, rd, rs1, .. } => {
+            st[rd.index()] = st[rs1.index()].clone();
+        }
+        Inst::Call { .. } | Inst::CallAbs { .. } | Inst::CallInd { .. } => {
+            let mut killed = convention_clobber();
+            killed.insert(Reg::RP);
+            for r in killed.iter() {
+                st[r.index()].clear();
+            }
+        }
+        _ => {
+            if let Some(rd) = inst.def() {
+                st[rd.index()].clear();
+            }
+        }
+    };
+    let mut in_states: Vec<Option<AddrState>> = vec![None; n];
+    in_states[0] = Some(empty.clone());
+    let mut queued = vec![false; n];
+    let mut work = std::collections::VecDeque::from([0usize]);
+    queued[0] = true;
+    while let Some(i) = work.pop_front() {
+        queued[i] = false;
+        let mut st = in_states[i].clone().expect("queued node has a state");
+        transfer(&insts[i], &mut st);
+        for &s in cfg.succs(i) {
+            let grew = match &mut in_states[s] {
+                slot @ None => {
+                    *slot = Some(st.clone());
+                    true
+                }
+                Some(cur) => {
+                    let mut changed = false;
+                    for (c, v) in cur.iter_mut().zip(&st) {
+                        for sym in v {
+                            changed |= c.insert(sym.clone());
+                        }
+                    }
+                    changed
+                }
+            };
+            if grew && !queued[s] {
+                queued[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    for (idx, inst) in insts.iter().enumerate() {
+        let Some(st) = &in_states[idx] else { continue };
+        match inst {
+            Inst::Stw { base, .. } if *base != Reg::SP => {
+                for sym in st[base.index()].intersection(promoted) {
+                    diags.push(Diagnostic {
+                        kind: DiagKind::IndirectStoreToPromoted,
+                        module: p.module.to_string(),
+                        proc: p.func.name().to_string(),
+                        inst: Some(idx),
+                        detail: format!(
+                            "stores through a pointer that may address promoted global `{sym}` \
+                             (the register copy would go stale)"
+                        ),
+                    });
+                }
+            }
+            Inst::Ldw { base, .. } if *base != Reg::SP => {
+                for sym in st[base.index()].intersection(promoted) {
+                    if written.contains(sym) {
+                        diags.push(Diagnostic {
+                            kind: DiagKind::ResidualGlobalAccess,
+                            module: p.module.to_string(),
+                            proc: p.func.name().to_string(),
+                            inst: Some(idx),
+                            detail: format!(
+                                "loads promoted global `{sym}` through a pointer while its \
+                                 written web may hold a newer register copy"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -526,26 +742,60 @@ pub fn verify_modules(modules: &[ObjectModule], db: &ProgramDatabase) -> VerifyR
         }
     }
 
-    // Address-taken procedures: the possible targets of every CallInd.
-    let mut taken: Vec<usize> = procs
-        .iter()
-        .flat_map(|p| p.func.insts())
-        .filter_map(|i| match i {
-            Inst::Ldfa { func, .. } => by_name.get(func.as_str()).copied(),
-            _ => None,
-        })
-        .collect();
-    taken.sort_unstable();
-    taken.dedup();
+    // Reachability from the entry, and the address-taken procedures whose
+    // `LDFA` can actually execute: the possible targets of every CallInd.
+    let (reach, taken) = machine_reachable(&procs, &by_name);
 
     let saved: Vec<RegSet> = procs.iter().map(|p| saved_regs(p.func)).collect();
     let clobber = fix_clobbers(&procs, &by_name, &taken);
-    let mem = fix_mem_access(&procs, &by_name, &taken);
+    let mem = fix_mem_access(&procs, &by_name, &taken, &|i| match i {
+        Inst::Ldg { sym, .. } | Inst::Stg { sym, .. } | Inst::Lga { sym, .. } => Some(sym.clone()),
+        _ => None,
+    });
+    let mem_write = fix_mem_access(&procs, &by_name, &taken, &|i| match i {
+        Inst::Stg { sym, .. } => Some(sym.clone()),
+        _ => None,
+    });
     let arg_uses = fix_arg_uses(&procs, &by_name, &taken, &clobber);
     let auth = fix_auth_dirty(&procs, &by_name, &taken, &saved);
 
+    // Alias-sensitive facts, restricted to code reachable from `main`:
+    // which globals are promoted at all, and which of those belong to a
+    // web that writes them (their memory home can go stale mid-web).
+    // The database's `store_at_exit` bit is the analyzer's claim, but it
+    // is computed over every web member including dead code; what makes a
+    // home actually go stale is *machine-reachable* code redefining the
+    // dedicated register after the entry's home load (direct writes
+    // inside a web compile to register defs), so that is what we derive.
+    let live_procs = || procs.iter().enumerate().filter(|(i, _)| reach[*i]).map(|(_, p)| p);
+    let promoted: BTreeSet<String> =
+        live_procs().flat_map(|p| p.dirs.promotions.iter().map(|q| q.sym.clone())).collect();
+    let written_webs: BTreeSet<String> = live_procs()
+        .flat_map(|p| {
+            p.dirs.promotions.iter().filter(|q| modifies_register_copy(p, q)).map(|q| q.sym.clone())
+        })
+        .collect();
+
     for (i, p) in procs.iter().enumerate() {
-        check_proc(p, &procs, &by_name, &taken, &clobber, &mem, &arg_uses, auth[i], &mut diags);
+        check_proc(
+            p,
+            &procs,
+            &by_name,
+            &taken,
+            &clobber,
+            &mem,
+            &mem_write,
+            &written_webs,
+            reach[i],
+            &arg_uses,
+            auth[i],
+            &mut diags,
+        );
+        if reach[i] {
+            if let Some(cfg) = &p.cfg {
+                check_indirect_stores(p, cfg, &promoted, &written_webs, &mut diags);
+            }
+        }
     }
 
     // Web interiors reachable without a call edge the per-edge checks can
@@ -590,6 +840,9 @@ fn check_proc(
     taken: &[usize],
     clobber: &[RegSet],
     mem: &[BTreeSet<String>],
+    mem_write: &[BTreeSet<String>],
+    written_webs: &BTreeSet<String>,
+    reachable: bool,
     arg_uses: &[RegSet],
     auth: RegSet,
     diags: &mut Vec<Diagnostic>,
@@ -704,11 +957,23 @@ fn check_proc(
                     }
                 }
             }
-            Inst::Lga { sym, .. } if p.dirs.promotions.iter().any(|q| q.sym == *sym) => {
+            // Taking the address of a promoted global is legal exactly
+            // when every web for it is read-only: the memory home then
+            // always matches the register copy, which is what lets the
+            // alias-precision configuration promote read-only aliased
+            // globals. A written web's home goes stale mid-web, so there
+            // the address must never materialize — in *reachable* code;
+            // the alias analysis legitimately ignores address-takes in
+            // procedures no path from `main` can execute.
+            Inst::Lga { sym, .. }
+                if reachable
+                    && p.dirs.promotions.iter().any(|q| q.sym == *sym)
+                    && written_webs.contains(sym) =>
+            {
                 report(
                     DiagKind::ResidualGlobalAccess,
                     Some(idx),
-                    format!("takes the address of promoted global `{sym}`"),
+                    format!("takes the address of promoted (written) global `{sym}`"),
                 );
             }
             _ => {}
@@ -748,7 +1013,20 @@ fn check_proc(
                                     ),
                                 );
                             }
-                            if mem[t].contains(&pr.sym) {
+                            // A read-only web's memory home is always
+                            // current, so a callee merely *reading* it is
+                            // harmless; only writes diverge it. A written
+                            // web's home is stale, so any access escapes.
+                            // Only machine-reachable call sites count: a
+                            // dead web member's calls never execute, and
+                            // the alias analysis legitimately promotes
+                            // past whatever they would have reached.
+                            let escapes = if written_webs.contains(&pr.sym) {
+                                mem[t].contains(&pr.sym)
+                            } else {
+                                mem_write[t].contains(&pr.sym)
+                            };
+                            if escapes && reachable {
                                 report(
                                     DiagKind::WebEscape,
                                     Some(idx),
@@ -817,6 +1095,14 @@ fn check_proc(
     }
 
     // ---- Backward liveness pass: caller-saves values across calls.
+    // Only for machine-reachable procedures: the whole-program facts the
+    // pass leans on (indirect-call demand and clobber resolution over the
+    // reachable-taken set) describe executions, and a dead procedure has
+    // none — its null-function-pointer call sites would otherwise inherit
+    // phantom argument demands from targets they can never reach.
+    if !reachable {
+        return;
+    }
     let all_args: RegSet = Reg::ARGS.into_iter().collect();
     let live = liveness::analyze(
         p.func,

@@ -326,12 +326,19 @@ fn callee_clobbering_home_register_is_flagged() {
 fn reaching_the_globals_memory_home_from_inside_the_web_is_flagged() {
     let r5 = Reg::new(5);
     // `outside` legitimately uses gv's memory home — legal on its own,
-    // but not reachable from inside the web, where the home is stale.
+    // but not reachable from inside the web, where the home is stale
+    // because the entry updates the register copy before the call.
     let outside = leaf(
         "outside",
         vec![Inst::Ldg { rd: Reg::RV, sym: "gv".into(), offset: 0, class: MemClass::ScalarGlobal }],
     );
-    let entry = web_entry(r5, vec![Inst::Call { target: "outside".into() }]);
+    let entry = web_entry(
+        r5,
+        vec![
+            Inst::Alui { op: AluOp::Add, rd: r5, rs1: r5, imm: 1 },
+            Inst::Call { target: "outside".into() },
+        ],
+    );
     let main = framed("main", &[Reg::RP], vec![Inst::Call { target: "entry".into() }]);
     let report = verify_modules(&[module(vec![main, entry, outside])], &web_db(r5));
     assert_eq!(report.of_kind(DiagKind::WebEscape).count(), 1);
@@ -402,4 +409,131 @@ fn report_display_carries_provenance() {
     let text = report.to_string();
     assert!(text.contains("t::main"), "missing module/proc provenance: {text}");
     assert!(text.contains("callee-saves-clobber"), "missing kind: {text}");
+}
+
+/// A database promoting `gv` into `reg` for `main` alone, as the
+/// alias-precision configuration does for a read-only aliased global:
+/// single-node web, no store-back at exit.
+fn read_only_db(reg: Reg) -> ProgramDatabase {
+    let mut db = ProgramDatabase::new();
+    let mut m = ProcDirectives::standard("main");
+    m.promotions.push(Promotion { sym: "gv".into(), reg, is_entry: true, store_at_exit: false });
+    db.insert(m);
+    db
+}
+
+#[test]
+fn read_only_aliasing_of_a_promoted_global_verifies_clean() {
+    let (r5, p, v) = (Reg::new(5), Reg::new(19), Reg::new(20));
+    // main holds gv in r5 (read-only web) and also reads it through a
+    // pointer — legal: the memory home always matches the register copy.
+    let main = framed(
+        "main",
+        &[Reg::RP, r5],
+        vec![
+            Inst::Ldg { rd: r5, sym: "gv".into(), offset: 0, class: MemClass::ScalarGlobal },
+            Inst::Lga { rd: p, sym: "gv".into(), offset: 0 },
+            Inst::Ldw { rd: v, base: p, disp: 0, class: MemClass::Indirect },
+            Inst::Alu { op: AluOp::Add, rd: Reg::RV, rs1: r5, rs2: v },
+        ],
+    );
+    let report = verify_modules(&[module(vec![main])], &read_only_db(r5));
+    assert!(report.is_clean(), "got:\n{report}");
+}
+
+#[test]
+fn indirect_store_to_a_promoted_global_is_flagged() {
+    let (r5, p) = (Reg::new(5), Reg::new(19));
+    let main = framed(
+        "main",
+        &[Reg::RP, r5],
+        vec![
+            Inst::Ldg { rd: r5, sym: "gv".into(), offset: 0, class: MemClass::ScalarGlobal },
+            Inst::Lga { rd: p, sym: "gv".into(), offset: 0 },
+            Inst::Stw { rs: Reg::ZERO, base: p, disp: 0, class: MemClass::Indirect },
+        ],
+    );
+    let report = verify_modules(&[module(vec![main])], &read_only_db(r5));
+    assert_eq!(report.of_kind(DiagKind::IndirectStoreToPromoted).count(), 1, "got:\n{report}");
+    let d = report.of_kind(DiagKind::IndirectStoreToPromoted).next().unwrap();
+    assert!(d.detail.contains("gv"), "{d}");
+    assert_eq!(d.inst, Some(5), "the store, not the address-take");
+}
+
+#[test]
+fn address_flow_survives_copies_and_address_arithmetic() {
+    let (r5, p, q) = (Reg::new(5), Reg::new(19), Reg::new(20));
+    let main = framed(
+        "main",
+        &[Reg::RP, r5],
+        vec![
+            Inst::Ldg { rd: r5, sym: "gv".into(), offset: 0, class: MemClass::ScalarGlobal },
+            Inst::Lga { rd: p, sym: "gv".into(), offset: 0 },
+            Inst::Copy { rd: q, rs: p },
+            Inst::Alui { op: AluOp::Add, rd: q, rs1: q, imm: 0 },
+            Inst::Stw { rs: Reg::ZERO, base: q, disp: 0, class: MemClass::Indirect },
+        ],
+    );
+    let report = verify_modules(&[module(vec![main])], &read_only_db(r5));
+    assert_eq!(report.of_kind(DiagKind::IndirectStoreToPromoted).count(), 1, "got:\n{report}");
+}
+
+#[test]
+fn pointer_load_from_a_written_web_global_is_flagged() {
+    let (r5, p, v) = (Reg::new(5), Reg::new(19), Reg::new(20));
+    // entry/member form a *written* web for gv; the member reads gv
+    // through a pointer while the register copy may be newer.
+    let member = leaf(
+        "member",
+        vec![
+            Inst::Alui { op: AluOp::Add, rd: r5, rs1: r5, imm: 1 },
+            Inst::Lga { rd: p, sym: "gv".into(), offset: 0 },
+            Inst::Ldw { rd: v, base: p, disp: 0, class: MemClass::Indirect },
+        ],
+    );
+    let entry = web_entry(r5, vec![Inst::Call { target: "member".into() }]);
+    let main = framed("main", &[Reg::RP], vec![Inst::Call { target: "entry".into() }]);
+    let report = verify_modules(&[module(vec![main, entry, member])], &web_db(r5));
+    // Both the materialized address and the stale read are reported.
+    assert_eq!(report.of_kind(DiagKind::ResidualGlobalAccess).count(), 2, "got:\n{report}");
+}
+
+#[test]
+fn indirect_stores_in_unreachable_code_are_ignored() {
+    let (r5, p) = (Reg::new(5), Reg::new(19));
+    let main = framed(
+        "main",
+        &[Reg::RP, r5],
+        vec![Inst::Ldg { rd: r5, sym: "gv".into(), offset: 0, class: MemClass::ScalarGlobal }],
+    );
+    // `dead` is never called; its pointer write to gv cannot execute.
+    let dead = leaf(
+        "dead",
+        vec![
+            Inst::Lga { rd: p, sym: "gv".into(), offset: 0 },
+            Inst::Stw { rs: Reg::ZERO, base: p, disp: 0, class: MemClass::Indirect },
+        ],
+    );
+    let report = verify_modules(&[module(vec![main, dead])], &read_only_db(r5));
+    assert!(report.is_clean(), "got:\n{report}");
+}
+
+#[test]
+fn calls_kill_caller_saves_address_knowledge() {
+    let (r5, p) = (Reg::new(5), Reg::new(19));
+    // p (caller-saves) is clobbered by the call, so the store afterwards
+    // is through an unknown pointer — not flagged (may-analysis resets).
+    let callee = leaf("f", vec![Inst::Ldi { rd: p, imm: 0 }]);
+    let main = framed(
+        "main",
+        &[Reg::RP, r5],
+        vec![
+            Inst::Ldg { rd: r5, sym: "gv".into(), offset: 0, class: MemClass::ScalarGlobal },
+            Inst::Lga { rd: p, sym: "gv".into(), offset: 0 },
+            Inst::Call { target: "f".into() },
+            Inst::Stw { rs: Reg::ZERO, base: p, disp: 0, class: MemClass::Indirect },
+        ],
+    );
+    let report = verify_modules(&[module(vec![main, callee])], &read_only_db(r5));
+    assert_eq!(report.of_kind(DiagKind::IndirectStoreToPromoted).count(), 0, "got:\n{report}");
 }

@@ -20,7 +20,7 @@ use std::fmt::Write;
 
 /// Shape limits for generation.
 ///
-/// The three `bool` knobs gate shapes the default generator does not (or
+/// The `bool` knobs gate shapes the default generator does not (or
 /// only rarely) produces; they are off by default so that existing seeds
 /// keep their exact random streams, and the fuzzer rotates them on.
 #[derive(Debug, Clone)]
@@ -48,6 +48,14 @@ pub struct GenConfig {
     /// the top of `main` and called indirectly from anywhere below the
     /// target in the call order.
     pub global_fn_ptrs: bool,
+    /// Pointer-heavy shapes for the interprocedural alias analysis: a pair
+    /// of template procedures that read (`pread`) and write (`pwrite`)
+    /// through a pointer *parameter*, called with `&global` arguments from
+    /// anywhere — so mod/ref effects must flow through call bindings — and
+    /// a local pointer that is conditionally *reassigned* between two
+    /// globals before being dereferenced, so points-to sets grow past one
+    /// element.
+    pub ptr_shapes: bool,
 }
 
 impl Default for GenConfig {
@@ -61,6 +69,7 @@ impl Default for GenConfig {
             recursion: false,
             alias_mix: false,
             global_fn_ptrs: false,
+            ptr_shapes: false,
         }
     }
 }
@@ -84,6 +93,10 @@ enum FuncKind {
     MutualA,
     /// Templated mutual recursion, second half (calls back).
     MutualB,
+    /// Template reading through its pointer parameter (`return (*p0) + p1`).
+    PtrRead,
+    /// Template writing through its pointer parameter (`*p0 = p1`).
+    PtrWrite,
 }
 
 #[derive(Clone)]
@@ -156,6 +169,15 @@ fn generate_candidate(seed: u64, cfg: &GenConfig) -> Vec<SourceFile> {
     // procedure and all non-static globals.
     let mut globals = Vec::new();
     let mut funcs = Vec::new();
+    // Pointer templates sit at the very front: every other procedure may
+    // pass them a `&global`. They are excluded from the generic callable
+    // list — their pointer parameter must never receive a plain integer
+    // (address tokens are opaque; dereferencing an integer would trap).
+    if cfg.ptr_shapes {
+        for (name, kind) in [("pread", FuncKind::PtrRead), ("pwrite", FuncKind::PtrWrite)] {
+            funcs.push(FuncSym { name: name.into(), module: 0, arity: 2, is_static: false, kind });
+        }
+    }
     // Recursive procedures sit at the *front* of the table so every normal
     // procedure (which may only call strictly-earlier indices) can reach
     // them; their own bodies are templates with a built-in depth clamp.
@@ -222,7 +244,12 @@ fn generate_candidate(seed: u64, cfg: &GenConfig) -> Vec<SourceFile> {
     // so every later procedure may call through `fptr` without creating a
     // dynamic cycle (`main` stores the address before anything else runs).
     let fptr_target = if cfg.global_fn_ptrs {
-        let lo: Vec<usize> = (0..funcs.len().min(4)).filter(|&i| !funcs[i].is_static).collect();
+        let lo: Vec<usize> = (0..funcs.len().min(4))
+            .filter(|&i| {
+                !funcs[i].is_static
+                    && !matches!(funcs[i].kind, FuncKind::PtrRead | FuncKind::PtrWrite)
+            })
+            .collect();
         if lo.is_empty() {
             None
         } else {
@@ -295,15 +322,26 @@ impl Gen {
             let params: Vec<String> = (0..fsym.arity).map(|i| format!("int p{i}")).collect();
             let kw = if fsym.is_static { "static " } else { "" };
             let _ = writeln!(out, "{kw}int {}({}) {{", fsym.name, params.join(", "));
-            if fsym.kind == FuncKind::Normal {
-                self.calls_in_fn = 0;
-                let mut scope: Vec<String> = (0..fsym.arity).map(|i| format!("p{i}")).collect();
-                let body = self.block(idx, &mut scope, 1);
-                out.push_str(&body);
-                let ret = self.expr(idx, &scope, 2);
-                let _ = writeln!(out, "    return {ret};");
-            } else {
-                out.push_str(&self.recursive_body(idx, &fsym));
+            match fsym.kind {
+                FuncKind::Normal => {
+                    self.calls_in_fn = 0;
+                    let mut scope: Vec<String> = (0..fsym.arity).map(|i| format!("p{i}")).collect();
+                    let body = self.block(idx, &mut scope, 1);
+                    out.push_str(&body);
+                    let ret = self.expr(idx, &scope, 2);
+                    let _ = writeln!(out, "    return {ret};");
+                }
+                // Fixed bodies: the only procedures whose parameter holds
+                // an address, so their mod/ref effects are entirely a
+                // matter of what flows into the call.
+                FuncKind::PtrRead => {
+                    let _ = writeln!(out, "    return (*p0) + p1;");
+                }
+                FuncKind::PtrWrite => {
+                    let _ = writeln!(out, "    *p0 = p1;");
+                    let _ = writeln!(out, "    return (*p0);");
+                }
+                _ => out.push_str(&self.recursive_body(idx, &fsym)),
             }
             let _ = writeln!(out, "}}");
         }
@@ -363,7 +401,9 @@ impl Gen {
                 }
                 let _ = writeln!(s, "    return mrec_a(p0 - 1) + 2;");
             }
-            FuncKind::Normal => unreachable!("normal bodies come from block()"),
+            FuncKind::Normal | FuncKind::PtrRead | FuncKind::PtrWrite => {
+                unreachable!("only recursive templates come here")
+            }
         }
         s
     }
@@ -445,6 +485,45 @@ impl Gen {
                         f.name,
                         args.join(", ")
                     )
+                }
+            } else if self.cfg.ptr_shapes && choice < 93 && caller > 1 && self.calls_in_fn < 3 {
+                // Pointer-parameter call: a global's address flows into a
+                // template that reads or writes through it, so the alias
+                // analysis must carry the effect across the call binding.
+                match self.scalar_global(caller) {
+                    Some(gname) => {
+                        self.calls_in_fn += 1;
+                        let f = if self.rng.gen_bool(0.5) { "pread" } else { "pwrite" };
+                        let e = self.expr(caller, scope, 1);
+                        format!("{indent}out({f}(&{gname}, {e}));\n")
+                    }
+                    None => {
+                        let e = self.expr(caller, scope, 1);
+                        format!("{indent}out({e});\n")
+                    }
+                }
+            } else if self.cfg.ptr_shapes && choice < 95 {
+                // Pointer reassignment: a local pointer conditionally
+                // retargeted between two globals, then dereferenced both
+                // ways — its points-to set has two elements. The pointer
+                // never enters the value scope (address tokens are opaque).
+                match (self.scalar_global(caller), self.scalar_global(caller)) {
+                    (Some(g1), Some(g2)) => {
+                        self.fp_counter += 1;
+                        let p = format!("pq{}", self.fp_counter);
+                        let c = self.expr(caller, scope, 1);
+                        let e = self.expr(caller, scope, 1);
+                        format!(
+                            "{indent}int {p} = &{g1};\n\
+                             {indent}if ({c}) {{ {p} = &{g2}; }}\n\
+                             {indent}*{p} = {e};\n\
+                             {indent}out((*{p}));\n"
+                        )
+                    }
+                    _ => {
+                        let e = self.expr(caller, scope, 1);
+                        format!("{indent}out({e});\n")
+                    }
                 }
             } else if self.cfg.global_fn_ptrs
                 && choice >= 95
@@ -546,6 +625,10 @@ impl Gen {
         let module = self.module_of(caller);
         (0..caller)
             .filter(|&i| !self.funcs[i].is_static || self.funcs[i].module == module)
+            // Pointer templates are only callable through the dedicated
+            // `&global` call shape: their first parameter must hold an
+            // address, never a plain integer.
+            .filter(|&i| !matches!(self.funcs[i].kind, FuncKind::PtrRead | FuncKind::PtrWrite))
             .collect()
     }
 
@@ -695,9 +778,29 @@ mod tests {
             recursion: false,
             alias_mix: false,
             global_fn_ptrs: false,
+            ptr_shapes: false,
             ..GenConfig::default()
         };
         assert_eq!(random_program(11), random_program_with(11, &explicit));
+    }
+
+    #[test]
+    fn pointer_shapes_generate_and_run() {
+        let cfg = GenConfig { ptr_shapes: true, ..GenConfig::default() };
+        let mut saw_ptr_call = false;
+        let mut saw_reassign = false;
+        for seed in 60..76 {
+            let sources = random_program_with(seed, &cfg);
+            let text: String = sources.iter().map(|s| s.text.clone()).collect();
+            assert!(text.contains("int pread(int p0, int p1)"), "pread missing:\n{text}");
+            assert!(text.contains("int pwrite(int p0, int p1)"), "pwrite missing:\n{text}");
+            saw_ptr_call |= text.contains("out(pread(&") || text.contains("out(pwrite(&");
+            saw_reassign |= text.contains("int pq");
+            let r = interpret_sources(&sources, &[]).unwrap();
+            r.unwrap_or_else(|e| panic!("seed {seed}: interpreter trap {e}\n{text}"));
+        }
+        assert!(saw_ptr_call, "no seed passed a global's address to a pointer template");
+        assert!(saw_reassign, "no seed produced a reassigned pointer");
     }
 
     #[test]

@@ -261,7 +261,7 @@ mod tests {
             assert!(report.is_clean(), "{}/L2 failed verification:\n{report}", w.name);
             let expect = run_program(&baseline, &w.training_input)
                 .unwrap_or_else(|e| panic!("{}: sim trap {e}", w.name));
-            for config in PaperConfig::ALL {
+            for config in PaperConfig::ALL_WITH_ALIAS {
                 if config == PaperConfig::L2 {
                     continue;
                 }

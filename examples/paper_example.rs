@@ -22,7 +22,9 @@ fn figure3() -> ProgramSummary {
                 sym: g.to_string(),
                 freq: 10,
                 written: true,
-                address_taken: false,
+                ptr_mod: false,
+                ptr_ref: false,
+                escapes: false,
             })
             .collect(),
         calls: calls.iter().map(|c| CallRef { callee: c.to_string(), freq: 1 }).collect(),
@@ -30,6 +32,7 @@ fn figure3() -> ProgramSummary {
         makes_indirect_calls: false,
         callee_saves_estimate: 2,
         caller_saves_estimate: 2,
+        alias: Default::default(),
     };
     let global = |sym: &str| GlobalFact {
         sym: sym.into(),

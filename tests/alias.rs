@@ -1,0 +1,149 @@
+//! Regression tests for the interprocedural alias analysis (config P).
+//!
+//! The blanket address-taken flags demote a global the moment any
+//! procedure mentions `&g`, even if that procedure is never called. The
+//! points-to solver only believes facts derivable from the reachable
+//! program, so a dead-code-only escape must not block promotion under P —
+//! while behavior stays bit-identical and the verifier stays clean.
+
+use ipra_core::PaperConfig;
+use ipra_driver::{compile, interpret_sources, run_program, CompileOptions, SourceFile};
+use std::collections::BTreeSet;
+
+fn src(name: &str, text: &str) -> SourceFile {
+    SourceFile::new(name, text)
+}
+
+/// Globals promoted anywhere in the program, by link name.
+fn promoted_syms(db: &ipra_core::ProgramDatabase) -> BTreeSet<String> {
+    db.iter().flat_map(|d| d.promotions.iter().map(|p| p.sym.clone())).collect()
+}
+
+/// A two-module program where `counter`'s address escapes only inside a
+/// static procedure that nothing ever calls. The hot loop in `main` reads
+/// and writes `counter` directly, so promotion is clearly profitable.
+fn dead_escape_program() -> Vec<SourceFile> {
+    vec![
+        src(
+            "hot",
+            "int counter;
+             int step(int k) { counter = counter + k; return counter; }
+             static int never_called(int x) {
+                 int p = &counter;
+                 *p = x;
+                 return (*p);
+             }",
+        ),
+        src(
+            "app",
+            "extern int counter;
+             extern int step(int);
+             int main() {
+                 for (int i = 0; i < 40; i = i + 1) { step(i); }
+                 out(counter);
+                 return counter;
+             }",
+        ),
+    ]
+}
+
+#[test]
+fn dead_code_escape_blocks_c_but_not_p() {
+    let sources = dead_escape_program();
+    let c = compile(&sources, &CompileOptions::paper(PaperConfig::C)).unwrap();
+    let p = compile(&sources, &CompileOptions::paper(PaperConfig::P)).unwrap();
+
+    let promoted_c = promoted_syms(&c.database);
+    let promoted_p = promoted_syms(&p.database);
+    assert!(
+        !promoted_c.contains("counter"),
+        "blanket flags must demote the address-taken global, got {promoted_c:?}"
+    );
+    assert!(
+        promoted_p.contains("counter"),
+        "the alias solver must see the escape is dead code, got {promoted_p:?}"
+    );
+    assert!(
+        promoted_p.is_superset(&promoted_c),
+        "P must promote a superset of C: {promoted_p:?} vs {promoted_c:?}"
+    );
+}
+
+#[test]
+fn p_and_c_agree_with_the_interpreter_on_the_dead_escape_program() {
+    let sources = dead_escape_program();
+    let oracle = interpret_sources(&sources, &[]).unwrap().unwrap();
+    for config in [PaperConfig::C, PaperConfig::P] {
+        let program = compile(&sources, &CompileOptions::paper(config)).unwrap();
+        let report = ipra_driver::verify_program(&program);
+        assert!(report.is_clean(), "{config} failed verification:\n{report}");
+        let r = run_program(&program, &[]).unwrap();
+        assert_eq!(r.output, oracle.output, "{config} output diverged");
+        assert_eq!(r.exit, oracle.exit, "{config} exit diverged");
+    }
+}
+
+/// Read-only aliasing: a live procedure reads a never-written global
+/// through a pointer. The memory home stays current forever, so P may
+/// keep the global in a register at its direct-read sites.
+#[test]
+fn read_only_aliasing_does_not_block_promotion_under_p() {
+    let sources = vec![src(
+        "ro",
+        "int limit;
+         int seven;
+         int peek(int p) { return (*p); }
+         int main() {
+             limit = 90;
+             int acc = 0;
+             for (int i = 0; i < limit; i = i + 1) { acc = acc + peek(&limit); }
+             out(acc);
+             return 0;
+         }",
+    )];
+    let oracle = interpret_sources(&sources, &[]).unwrap().unwrap();
+    let c = compile(&sources, &CompileOptions::paper(PaperConfig::C)).unwrap();
+    let p = compile(&sources, &CompileOptions::paper(PaperConfig::P)).unwrap();
+    // `limit` is written in main and its address flows into a live callee
+    // that dereferences it: ind_ref + direct write means it must stay
+    // demoted even under P (the callee reads the memory home).
+    assert!(!promoted_syms(&p.database).contains("limit"));
+    assert!(promoted_syms(&p.database).is_superset(&promoted_syms(&c.database)));
+    for (config, program) in [(PaperConfig::C, &c), (PaperConfig::P, &p)] {
+        let report = ipra_driver::verify_program(program);
+        assert!(report.is_clean(), "{config} failed verification:\n{report}");
+        let r = run_program(program, &[]).unwrap();
+        assert_eq!(r.output, oracle.output, "{config} output diverged");
+    }
+}
+
+/// An indirect write through a live pointer must demote under P too — the
+/// solver is precise about *which* globals a pointer may target.
+#[test]
+fn live_indirect_write_still_demotes_under_p() {
+    let sources = vec![src(
+        "iw",
+        "int tally;
+         int other;
+         int poke(int p, int v) { *p = v; return (*p); }
+         int main() {
+             for (int i = 0; i < 25; i = i + 1) {
+                 poke(&tally, i);
+                 other = other + tally;
+             }
+             out(tally);
+             out(other);
+             return 0;
+         }",
+    )];
+    let oracle = interpret_sources(&sources, &[]).unwrap().unwrap();
+    let p = compile(&sources, &CompileOptions::paper(PaperConfig::P)).unwrap();
+    let promoted = promoted_syms(&p.database);
+    assert!(!promoted.contains("tally"), "indirectly-written global promoted: {promoted:?}");
+    // `other` is never address-taken anywhere; P keeps promoting it.
+    assert!(promoted.contains("other"), "clean global lost its promotion: {promoted:?}");
+    let report = ipra_driver::verify_program(&p);
+    assert!(report.is_clean(), "P failed verification:\n{report}");
+    let r = run_program(&p, &[]).unwrap();
+    assert_eq!(r.output, oracle.output);
+}

@@ -201,7 +201,7 @@ fn header_mismatches_are_clean_errors() {
     }
 
     // Future version: decode refuses, sniff still works.
-    let future = good.replacen(" v1 ", " v999 ", 1);
+    let future = good.replacen(" v2 ", " v999 ", 1);
     match ipra_artifact::decode::<ExecutableArtifact>(ArtifactKind::Executable, &future) {
         Err(ArtifactError::UnsupportedVersion { found, supported }) => {
             assert_eq!(found, 999);

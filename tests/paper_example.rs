@@ -20,7 +20,9 @@ fn figure3_summary() -> ProgramSummary {
                 sym: g.to_string(),
                 freq: 10,
                 written: true,
-                address_taken: false,
+                ptr_mod: false,
+                ptr_ref: false,
+                escapes: false,
             })
             .collect(),
         calls: calls.iter().map(|c| CallRef { callee: c.to_string(), freq: 1 }).collect(),
@@ -28,6 +30,7 @@ fn figure3_summary() -> ProgramSummary {
         makes_indirect_calls: false,
         callee_saves_estimate: 2,
         caller_saves_estimate: 2,
+        alias: Default::default(),
     };
     let global = |sym: &str| GlobalFact {
         sym: sym.into(),

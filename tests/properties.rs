@@ -45,7 +45,9 @@ fn random_summary(seed: u64) -> ProgramSummary {
                     sym: format!("g{}", rng.gen_range(0..g)),
                     freq: rng.gen_range(1..100),
                     written: rng.gen_bool(0.7),
-                    address_taken: rng.gen_bool(0.05),
+                    ptr_mod: rng.gen_bool(0.05),
+                    ptr_ref: rng.gen_bool(0.05),
+                    escapes: rng.gen_bool(0.05),
                 })
                 .collect();
             ProcSummary {
@@ -61,6 +63,7 @@ fn random_summary(seed: u64) -> ProgramSummary {
                 makes_indirect_calls: rng.gen_bool(0.1),
                 callee_saves_estimate: rng.gen_range(0..8),
                 caller_saves_estimate: 2,
+                alias: Default::default(),
             }
         })
         .collect::<Vec<_>>();
