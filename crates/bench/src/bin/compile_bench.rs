@@ -15,18 +15,26 @@
 //!   then a *fresh* cache instance over the same directory (the separate
 //!   `cminc` invocation scenario) rebuilding entirely from disk.
 //!
+//! Every leg is timed best-of-three with its precondition re-established
+//! before each trial (empty cache, wiped directory, fresh re-tune):
+//! individual builds run in milliseconds, so the minimum — not the mean —
+//! is the least-disturbed estimate on a shared host, mirroring `sim_bench`.
+//!
 //! Results (plus the cache accounting that certifies what was skipped) are
 //! written to `BENCH_compile.json`, the repo's compile-time trend line.
+//! When `--sim-json` (default `BENCH_sim.json`, as written by `sim_bench`)
+//! exists, its headline numbers are folded in as a `sim` regime so one file
+//! carries both trend lines.
 //!
 //! ```sh
-//! cargo run --release -p ipra-bench --bin compile_bench            # 10/40/100 modules
+//! cargo run --release -p ipra-bench --bin compile_bench            # 8/64/256 modules
 //! cargo run --release -p ipra-bench --bin compile_bench -- --modules 8 --check
 //! ```
 //!
 //! `--check` asserts the cache behaved (warm build all hits, one-edit
-//! rebuild touching fewer modules than cold, warm faster than cold) and
-//! exits nonzero otherwise — the CI smoke mode wired into
-//! `scripts/check.sh`.
+//! rebuild touching fewer modules than cold, warm faster than cold,
+//! disk-warm faster than disk-cold) and exits nonzero otherwise — the CI
+//! smoke mode wired into `scripts/check.sh`.
 
 use ipra_core::PaperConfig;
 use ipra_driver::{
@@ -95,6 +103,19 @@ struct AliasReport {
     singleton_refs_p: u64,
 }
 
+/// The simulator regime, echoed from `sim_bench`'s report so the compile
+/// and execution trend lines travel together.
+#[derive(Debug, Serialize)]
+struct SimRegime {
+    /// The `sim_bench` report the numbers came from.
+    source: String,
+    /// Fast-engine speedup over the reference on the scaled workload.
+    scaled_speedup: f64,
+    scaled_speedup_attributed: f64,
+    /// Both engines produced bit-identical results on every row.
+    parity_ok: bool,
+}
+
 /// The whole benchmark run, as serialized to `BENCH_compile.json`.
 #[derive(Debug, Serialize)]
 struct BenchReport {
@@ -102,11 +123,38 @@ struct BenchReport {
     jobs: usize,
     sizes: Vec<SizeReport>,
     alias: AliasReport,
+    /// Present when the `--sim-json` report was found and well-formed.
+    sim: Option<SimRegime>,
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
+
+/// Reads the headline fields out of a `sim_bench` report, if one exists at
+/// `path`. Malformed files read as absent — the sim regime is an optional
+/// rider, not a dependency.
+fn read_sim_regime(path: &str) -> Option<SimRegime> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: serde::Value = serde_json::from_str(&text).ok()?;
+    let num = |key: &str| match v.get(key) {
+        Some(serde::Value::Float(x)) => Some(*x),
+        Some(serde::Value::Int(x)) => Some(*x as f64),
+        _ => None,
+    };
+    Some(SimRegime {
+        source: path.to_string(),
+        scaled_speedup: num("scaled_speedup")?,
+        scaled_speedup_attributed: num("scaled_speedup_attributed")?,
+        parity_ok: matches!(v.get("parity_ok"), Some(serde::Value::Bool(true))),
+    })
+}
+
+/// Timed trials per leg; the leg reports the fastest. Individual builds
+/// run in single-digit milliseconds, where one scheduler hiccup on a
+/// shared host swamps the cache margins being measured — the minimum is
+/// the least-disturbed estimate (same policy as `sim_bench`).
+const TRIALS: usize = 3;
 
 fn timed(f: impl FnOnce() -> CompiledProgram) -> (CompiledProgram, f64) {
     let t = Instant::now();
@@ -114,49 +162,88 @@ fn timed(f: impl FnOnce() -> CompiledProgram) -> (CompiledProgram, f64) {
     (p, t.elapsed().as_secs_f64())
 }
 
+/// Runs `setup` (untimed: it re-establishes the leg's precondition) then
+/// `build` (timed), [`TRIALS`] times over. Returns the last trial's state
+/// and program — every trial is equivalent, and the hit-count fields come
+/// from there — with the fastest build time.
+fn timed_best<S>(
+    mut setup: impl FnMut() -> S,
+    mut build: impl FnMut(&mut S) -> CompiledProgram,
+) -> (S, CompiledProgram, f64) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..TRIALS {
+        let mut state = setup();
+        let t = Instant::now();
+        let program = build(&mut state);
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some((state, program));
+    }
+    let (state, program) = last.expect("TRIALS >= 1");
+    (state, program, best)
+}
+
 fn measure(modules: usize, jobs: usize, config: PaperConfig) -> SizeReport {
     let opts = CompileOptions::paper(config);
     let par_opts = CompileOptions { jobs, ..CompileOptions::paper(config) };
     let mut sources = scaled_program(modules);
 
-    // Cold, serial.
-    let mut cache = CompilationCache::new();
-    let (cold, cold_seconds) =
-        timed(|| compile_incremental(&sources, &opts, &mut cache).expect("cold build"));
+    // Cold, serial: every trial starts from an empty cache; the last
+    // trial's (now fully populated) cache feeds the warm and edit legs.
+    let (mut cache, cold, cold_seconds) = timed_best(CompilationCache::new, |cache| {
+        compile_incremental(&sources, &opts, cache).expect("cold build")
+    });
 
-    // Cold, parallel (fresh cache so nothing is reused).
-    let mut par_cache = CompilationCache::new();
-    let (par, cold_parallel_seconds) =
-        timed(|| compile_incremental(&sources, &par_opts, &mut par_cache).expect("parallel build"));
+    // Cold, parallel (fresh cache each trial so nothing is reused).
+    let (_, par, cold_parallel_seconds) = timed_best(CompilationCache::new, |cache| {
+        compile_incremental(&sources, &par_opts, cache).expect("parallel build")
+    });
     assert_eq!(par.exe, cold.exe, "parallel build must be bit-identical to serial");
 
-    // Warm: unchanged rebuild through the serial cache.
-    let (warm, warm_seconds) =
-        timed(|| compile_incremental(&sources, &opts, &mut cache).expect("warm build"));
+    // Warm: unchanged rebuilds through the populated cache (each trial
+    // leaves the cache exactly as warm as it found it).
+    let (_, warm, warm_seconds) = timed_best(
+        || (),
+        |()| compile_incremental(&sources, &opts, &mut cache).expect("warm build"),
+    );
     assert_eq!(warm.exe, cold.exe, "warm build must be bit-identical to cold");
 
-    // Disk cold: write-through into an empty cache directory.
+    // Disk cold: write-through into a directory wiped before every trial.
     let cache_dir =
         std::env::temp_dir().join(format!("ipra-compile-bench-{}-{modules}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&cache_dir);
-    let mut disk_cache = CompilationCache::with_disk(&cache_dir).expect("cache dir");
-    let (disk_cold, disk_cold_seconds) =
-        timed(|| compile_incremental(&sources, &opts, &mut disk_cache).expect("disk cold build"));
+    let (disk_cache, disk_cold, disk_cold_seconds) = timed_best(
+        || {
+            let _ = std::fs::remove_dir_all(&cache_dir);
+            CompilationCache::with_disk(&cache_dir).expect("cache dir")
+        },
+        |cache| compile_incremental(&sources, &opts, cache).expect("disk cold build"),
+    );
     assert_eq!(disk_cold.exe, cold.exe, "write-through build must be bit-identical to cold");
 
     // Disk warm: a fresh cache instance (empty memory tier) over the now
     // populated directory — the second `cminc` invocation.
     drop(disk_cache);
-    let mut disk_cache = CompilationCache::with_disk(&cache_dir).expect("cache dir");
-    let (disk_warm, disk_warm_seconds) =
-        timed(|| compile_incremental(&sources, &opts, &mut disk_cache).expect("disk warm build"));
+    let (_, disk_warm, disk_warm_seconds) = timed_best(
+        || CompilationCache::with_disk(&cache_dir).expect("cache dir"),
+        |cache| compile_incremental(&sources, &opts, cache).expect("disk warm build"),
+    );
     assert_eq!(disk_warm.exe, cold.exe, "disk-served build must be bit-identical to cold");
     let _ = std::fs::remove_dir_all(&cache_dir);
 
-    // One edit: re-tune the middle module and rebuild incrementally.
-    perturb(&mut sources, modules / 2, 1);
-    let (edited, edit_seconds) =
-        timed(|| compile_incremental(&sources, &opts, &mut cache).expect("edit build"));
+    // One edit: re-tune the middle module and rebuild incrementally. Each
+    // trial applies a *different* tune so exactly one module is stale
+    // every time (`timed_best` can't be used here: retuning mutates
+    // `sources`, which the build closure also reads).
+    let mut edit_seconds = f64::INFINITY;
+    let mut edited = None;
+    for tune in 1..=TRIALS as i64 {
+        perturb(&mut sources, modules / 2, tune);
+        let (p, s) =
+            timed(|| compile_incremental(&sources, &opts, &mut cache).expect("edit build"));
+        edit_seconds = edit_seconds.min(s);
+        edited = Some(p);
+    }
+    let edited = edited.expect("TRIALS >= 1");
     let mut scratch = CompilationCache::new();
     let fresh = compile_incremental(&sources, &opts, &mut scratch).expect("fresh edited build");
     assert_eq!(edited.exe, fresh.exe, "incremental edit build must match a fresh build");
@@ -232,11 +319,12 @@ fn main() -> ExitCode {
             .split(',')
             .map(|t| t.trim().parse().unwrap_or_else(|_| panic!("bad module count `{t}`")))
             .collect(),
-        None => vec![10, 40, 100],
+        None => vec![8, 64, 256],
     };
     let jobs =
         flag_value(&args, "--jobs").map(|v| v.parse::<usize>().expect("bad --jobs")).unwrap_or(0); // 0 = one worker per core
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_compile.json".to_string());
+    let sim_path = flag_value(&args, "--sim-json").unwrap_or_else(|| "BENCH_sim.json".to_string());
     let check = args.iter().any(|a| a == "--check");
     let config = PaperConfig::C;
 
@@ -254,10 +342,32 @@ fn main() -> ExitCode {
         alias.cycles_p,
         alias.cycle_delta,
     );
+    let sim = read_sim_regime(&sim_path);
+    match &sim {
+        Some(s) => eprintln!(
+            "  sim regime ({}): fast engine {:.1}x reference ({:.1}x attributed), parity {}",
+            s.source,
+            s.scaled_speedup,
+            s.scaled_speedup_attributed,
+            if s.parity_ok { "ok" } else { "BROKEN" },
+        ),
+        None => eprintln!("  sim regime: no report at {sim_path}, skipping"),
+    }
     let mut report =
-        BenchReport { config: config.to_string(), jobs: effective, sizes: Vec::new(), alias };
+        BenchReport { config: config.to_string(), jobs: effective, sizes: Vec::new(), alias, sim };
     let mut failures: Vec<String> = Vec::new();
     if check {
+        if let Some(s) = &report.sim {
+            if !s.parity_ok {
+                failures.push(format!("sim regime: {} reports an engine parity break", s.source));
+            }
+            if s.scaled_speedup < 1.0 {
+                failures.push(format!(
+                    "sim regime: fast engine slower than reference ({:.2}x)",
+                    s.scaled_speedup
+                ));
+            }
+        }
         let a = &report.alias;
         if a.promoted_p < a.promoted_c {
             failures.push(format!(
@@ -318,10 +428,20 @@ fn main() -> ExitCode {
                     row.cold_seconds * 1e3
                 ));
             }
-            // No wall-clock assertion for the disk tier: on the tiny
-            // modules `--check` uses, parsing a cached entry rivals
-            // recompiling it. The accounting (fully disk-served) and the
-            // bit-identity asserts in `measure` are the invariants.
+            // The disk tier must win on wall clock too: with binary cache
+            // frames, a disk-served rebuild beats the cold build that had
+            // to compile *and* write every frame. (Against the plain cold
+            // build the disk-warm margin is real but only a few percent at
+            // the large sizes — decoding a frame of a tiny module costs
+            // about what compiling it does — so the gate uses the
+            // wide-margin comparison and the JSON records both.)
+            if row.disk_warm_seconds >= row.disk_cold_seconds {
+                failures.push(format!(
+                    "{n} modules: disk-warm build not faster than disk-cold ({:.1}ms vs {:.1}ms)",
+                    row.disk_warm_seconds * 1e3,
+                    row.disk_cold_seconds * 1e3
+                ));
+            }
             if row.disk_warm_phase1_hits != n || row.disk_warm_phase2_hits != n {
                 failures.push(format!(
                     "{n} modules: disk-warm build not fully disk-served \

@@ -78,7 +78,7 @@ const USAGE: &str = "usage:
   cminc link <mod.vo|lib.vlib>... [--allow-undefined] -o <prog.vx>
   cminc lib <mod.vo>... -o <lib.vlib>
   cminc verify <mod.vo>... [--db <prog.cdir>]
-  cminc run <prog.vx> [--input \"v v v\"] [--stats] [--stats-json <out.json>] [--profile-out <prof.json>] [--asm]
+  cminc run <prog.vx> [--input \"v v v\"] [--engine fast|ref] [--stats] [--stats-json <out.json>] [--profile-out <prof.json>] [--asm]
   cminc build <src.cmin>... [--config ...] [-o <prog.vx>] [--cache-dir DIR] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--input \"v v v\"]
   cminc objdump <artifact-file>
   cminc phase1 <src.cmin> [--summary <out.sum>] [--ir <out.ir>]
@@ -175,6 +175,7 @@ pub(crate) fn positionals(args: &[String]) -> Vec<String> {
                     | "--reduce-budget"
                     | "--dir"
                     | "--cache-dir"
+                    | "--engine"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
@@ -399,8 +400,17 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     }
     let input = parse_input(args)?;
     let stats_json = flag_value(args, "--stats-json");
-    let opts =
-        vpr::SimOptions { input, attribute: stats_json.is_some(), ..vpr::SimOptions::default() };
+    let engine = match flag_value(args, "--engine").as_deref() {
+        None | Some("fast") => vpr::Engine::Fast,
+        Some("ref") | Some("reference") => vpr::Engine::Reference,
+        Some(other) => return Err(format!("unknown engine `{other}` (use fast or ref)")),
+    };
+    let opts = vpr::SimOptions {
+        input,
+        attribute: stats_json.is_some(),
+        engine,
+        ..vpr::SimOptions::default()
+    };
     let result = vpr::run_with(&exe, &opts).map_err(|e| e.to_string())?;
     for v in &result.output {
         println!("{v}");

@@ -23,6 +23,7 @@ use ipra_summary::ModuleSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use vpr::program::ObjectModule;
 
 /// Cache accounting for one phase of one build.
@@ -105,16 +106,26 @@ pub(crate) struct Phase2Entry {
     pub(crate) object: ObjectModule,
 }
 
-/// The persistent tier: cache entries as JSON files content-addressed by
-/// their fingerprint keys under `p1/` and `p2/` of a cache directory.
+/// The persistent tier: cache entries as length-prefixed binary frames
+/// ([`crate::framed`]) content-addressed by their fingerprint keys under
+/// `p1/` and `p2/` of a cache directory.
 ///
 /// Because file names *are* the keys, concurrent writers can only race on
-/// identical content, and a load cross-checks the embedded fingerprints
-/// against the requested key — a corrupt or truncated file degrades to a
-/// cache miss, never to a wrong object.
+/// identical content, and a load checks the frame's checksum and
+/// cross-checks the embedded fingerprints against the requested key — a
+/// corrupt or truncated file degrades to a cache miss, never to a wrong
+/// object.
+///
+/// Stores are *batched*: entries are encoded immediately but buffered in
+/// memory and written out together by [`DiskCache::flush`] (the driver
+/// flushes at the end of each build, and `Drop` flushes whatever remains),
+/// so a build issues one burst of writes instead of interleaving I/O with
+/// compilation. Same-build reuse is unaffected — the in-memory tier serves
+/// entries the current process computed.
 #[derive(Debug)]
 pub struct DiskCache {
     root: PathBuf,
+    pending: Vec<(PathBuf, Vec<u8>)>,
 }
 
 impl DiskCache {
@@ -127,7 +138,7 @@ impl DiskCache {
         let root = root.into();
         std::fs::create_dir_all(root.join("p1"))?;
         std::fs::create_dir_all(root.join("p2"))?;
-        Ok(DiskCache { root })
+        Ok(DiskCache { root, pending: Vec::new() })
     }
 
     /// The cache directory this tier persists under.
@@ -136,37 +147,50 @@ impl DiskCache {
     }
 
     fn phase1_path(&self, key: u64) -> PathBuf {
-        self.root.join("p1").join(format!("{key:016x}.json"))
+        self.root.join("p1").join(format!("{key:016x}.bin"))
     }
 
     fn phase2_path(&self, ir_fp: u64, db_fp: u64) -> PathBuf {
         let mut h = Fnv64::new();
         h.write_u64(ir_fp);
         h.write_u64(db_fp);
-        self.root.join("p2").join(format!("{:016x}.json", h.finish()))
+        self.root.join("p2").join(format!("{:016x}.bin", h.finish()))
     }
 
     pub(crate) fn load_phase1(&self, key: u64) -> Option<Phase1Entry> {
-        let text = std::fs::read_to_string(self.phase1_path(key)).ok()?;
-        let e: Phase1Entry = serde_json::from_str(&text).ok()?;
+        let bytes = std::fs::read(self.phase1_path(key)).ok()?;
+        let e: Phase1Entry = crate::framed::decode_frame(&bytes, crate::framed::KIND_PHASE1)?;
         (e.key == key).then_some(e)
     }
 
-    pub(crate) fn store_phase1(&self, entry: &Phase1Entry) {
-        let json = serde_json::to_string(entry).expect("cache entries always serialize");
-        // Best-effort: a failed write leaves the disk tier cold, not wrong.
-        let _ = std::fs::write(self.phase1_path(entry.key), json);
+    pub(crate) fn store_phase1(&mut self, entry: &Phase1Entry) {
+        let frame = crate::framed::encode_frame(crate::framed::KIND_PHASE1, entry);
+        self.pending.push((self.phase1_path(entry.key), frame));
     }
 
     pub(crate) fn load_phase2(&self, ir_fp: u64, db_fp: u64) -> Option<Phase2Entry> {
-        let text = std::fs::read_to_string(self.phase2_path(ir_fp, db_fp)).ok()?;
-        let e: Phase2Entry = serde_json::from_str(&text).ok()?;
+        let bytes = std::fs::read(self.phase2_path(ir_fp, db_fp)).ok()?;
+        let e: Phase2Entry = crate::framed::decode_frame(&bytes, crate::framed::KIND_PHASE2)?;
         (e.ir_fp == ir_fp && e.db_fp == db_fp).then_some(e)
     }
 
-    pub(crate) fn store_phase2(&self, entry: &Phase2Entry) {
-        let json = serde_json::to_string(entry).expect("cache entries always serialize");
-        let _ = std::fs::write(self.phase2_path(entry.ir_fp, entry.db_fp), json);
+    pub(crate) fn store_phase2(&mut self, entry: &Phase2Entry) {
+        let frame = crate::framed::encode_frame(crate::framed::KIND_PHASE2, entry);
+        self.pending.push((self.phase2_path(entry.ir_fp, entry.db_fp), frame));
+    }
+
+    /// Writes all buffered entries to disk. Best-effort per entry: a failed
+    /// write leaves the disk tier cold for that key, not wrong.
+    pub fn flush(&mut self) {
+        for (path, bytes) in self.pending.drain(..) {
+            let _ = std::fs::write(path, bytes);
+        }
+    }
+}
+
+impl Drop for DiskCache {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -174,7 +198,7 @@ impl DiskCache {
 /// optional [`DiskCache`] behind it (see the module docs).
 #[derive(Debug, Default)]
 pub struct CompilationCache {
-    pub(crate) phase1: HashMap<String, Phase1Entry>,
+    pub(crate) phase1: HashMap<String, Arc<Phase1Entry>>,
     pub(crate) phase2: HashMap<String, Phase2Entry>,
     pub(crate) stats: CacheStats,
     pub(crate) disk: Option<DiskCache>,
@@ -226,24 +250,35 @@ impl CompilationCache {
 
     /// Phase-1 lookup: memory first, then the disk tier (promoting to
     /// memory). The flag reports whether the entry came from disk.
-    pub(crate) fn lookup_phase1(&mut self, name: &str, key: u64) -> Option<(Phase1Entry, bool)> {
+    ///
+    /// Entries are shared, not copied: a hit is a refcount bump, so the
+    /// hot path of a warm (or disk-warm) build never deep-clones an
+    /// `IrModule`.
+    pub(crate) fn lookup_phase1(
+        &mut self,
+        name: &str,
+        key: u64,
+    ) -> Option<(Arc<Phase1Entry>, bool)> {
         if let Some(e) = self.phase1.get(name) {
             if e.key == key {
-                return Some((e.clone(), false));
+                return Some((Arc::clone(e), false));
             }
         }
-        let e = self.disk.as_ref()?.load_phase1(key)?;
-        self.phase1.insert(name.to_string(), e.clone());
+        let e = Arc::new(self.disk.as_ref()?.load_phase1(key)?);
+        self.phase1.insert(name.to_string(), Arc::clone(&e));
         Some((e, true))
     }
 
     /// Stores a freshly computed phase-1 entry in memory and, when
-    /// attached, writes it through to disk.
-    pub(crate) fn store_phase1(&mut self, name: &str, entry: Phase1Entry) {
-        if let Some(d) = &self.disk {
+    /// attached, writes it through to disk. Returns the shared handle so
+    /// the caller keeps using the entry without cloning it.
+    pub(crate) fn store_phase1(&mut self, name: &str, entry: Phase1Entry) -> Arc<Phase1Entry> {
+        if let Some(d) = &mut self.disk {
             d.store_phase1(&entry);
         }
-        self.phase1.insert(name.to_string(), entry);
+        let entry = Arc::new(entry);
+        self.phase1.insert(name.to_string(), Arc::clone(&entry));
+        entry
     }
 
     /// Phase-2 lookup: memory first, then the disk tier (promoting to
@@ -268,9 +303,19 @@ impl CompilationCache {
     /// Stores a freshly compiled object in memory and, when attached,
     /// writes it through to disk.
     pub(crate) fn store_phase2(&mut self, name: &str, entry: Phase2Entry) {
-        if let Some(d) = &self.disk {
+        if let Some(d) = &mut self.disk {
             d.store_phase2(&entry);
         }
         self.phase2.insert(name.to_string(), entry);
+    }
+
+    /// Flushes the disk tier's buffered writes, if one is attached. Called
+    /// by the driver at the end of each build; dropping the cache flushes
+    /// too, so entries are never lost — flushing early just bounds how long
+    /// they sit in memory.
+    pub fn flush(&mut self) {
+        if let Some(d) = &mut self.disk {
+            d.flush();
+        }
     }
 }

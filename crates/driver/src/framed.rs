@@ -1,0 +1,167 @@
+//! Length-prefixed binary frames for the persistent cache tier.
+//!
+//! The disk cache originally stored canonical JSON; at production module
+//! counts the char-by-char JSON format/parse dominated the build, making a
+//! disk-warm build *slower* than a cold one. Version 1 frames replaced the
+//! text with a tagged binary encoding of the serde stand-in's `Value`
+//! tree — faster, but a load still materialized every node (and every
+//! field-name string) twice: once building the tree, once walking it into
+//! structs. At large module counts that double materialization cost about
+//! as much as compiling the module in the first place.
+//!
+//! Version 2 frames go straight between structs and bytes through the
+//! derive-emitted positional codec ([`serde::BinSerialize`] /
+//! [`serde::BinDeserialize`]): no field names on the wire, no intermediate
+//! tree, each string and vector allocated exactly once on load. A version-1
+//! (or corrupt, or truncated) file simply fails the header check and
+//! degrades to a cache miss — never a wrong object.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! magic "IPRF" | version u8 | kind u8 | payload_len u32 | payload | fnv64(payload)
+//! ```
+//!
+//! `kind` separates entry types so a phase-1 frame can never deserialize as
+//! a phase-2 entry. The trailing FNV-64 checksum plus the decoder's strict
+//! bounds checks make a truncated or corrupted file decode to `None` — a
+//! cache miss. (The caller additionally cross-checks the embedded
+//! fingerprints against the requested key, exactly as the JSON tier did.)
+
+use ipra_core::fingerprint::Fnv64;
+use serde::{BinDeserialize, BinSerialize};
+
+const MAGIC: [u8; 4] = *b"IPRF";
+const VERSION: u8 = 2;
+
+/// Frame kind for phase-1 cache entries.
+pub(crate) const KIND_PHASE1: u8 = 1;
+/// Frame kind for phase-2 cache entries.
+pub(crate) const KIND_PHASE2: u8 = 2;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Encodes `value` as a self-checking binary frame of the given kind.
+pub(crate) fn encode_frame<T: BinSerialize>(kind: u8, value: &T) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(256);
+    value.bin_serialize(&mut payload);
+    let mut out = Vec::with_capacity(payload.len() + 18);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let checksum = fnv64(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decodes a frame of the expected kind directly into its entry type. Any
+/// mismatch — magic, version, kind, length, checksum, or payload shape —
+/// yields `None` (the caller treats that as a cache miss).
+pub(crate) fn decode_frame<T: BinDeserialize>(bytes: &[u8], kind: u8) -> Option<T> {
+    let rest = bytes.strip_prefix(&MAGIC)?;
+    let (&[version, got_kind], rest) = rest.split_first_chunk::<2>()?;
+    if version != VERSION || got_kind != kind {
+        return None;
+    }
+    let (len_bytes, rest) = rest.split_first_chunk::<4>()?;
+    let payload_len = u32::from_le_bytes(*len_bytes) as usize;
+    if rest.len() != payload_len + 8 {
+        return None;
+    }
+    let (payload, checksum_bytes) = rest.split_at(payload_len);
+    if u64::from_le_bytes(checksum_bytes.try_into().ok()?) != fnv64(payload) {
+        return None;
+    }
+    let mut cursor = payload;
+    let value = T::bin_deserialize(&mut cursor).ok()?;
+    // Trailing garbage inside a checksummed payload means a codec bug, but
+    // treat it as corruption all the same.
+    cursor.is_empty().then_some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    /// Exercises every shape the derive emits binary code for: named and
+    /// newtype structs, unit/newtype/tuple/struct enum variants, options,
+    /// strings, vectors and nesting.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Node {
+        Leaf,
+        Count(u64),
+        Pair(i32, bool),
+        Labeled { label: String, weight: f64 },
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        key: u64,
+        neg: i64,
+        name: String,
+        nodes: Vec<Node>,
+        maybe: Option<String>,
+        empty: Vec<u8>,
+    }
+
+    fn sample() -> Sample {
+        Sample {
+            key: u64::MAX,
+            neg: -42,
+            name: "mödule".to_string(),
+            nodes: vec![
+                Node::Leaf,
+                Node::Count(7),
+                Node::Pair(-3, true),
+                Node::Labeled { label: "w".to_string(), weight: 3.5 },
+            ],
+            maybe: None,
+            empty: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let v = sample();
+        let frame = encode_frame(KIND_PHASE1, &v);
+        assert_eq!(decode_frame::<Sample>(&frame, KIND_PHASE1), Some(v));
+    }
+
+    #[test]
+    fn kind_and_version_are_enforced() {
+        let frame = encode_frame(KIND_PHASE1, &sample());
+        assert_eq!(decode_frame::<Sample>(&frame, KIND_PHASE2), None);
+        let mut wrong_version = frame.clone();
+        wrong_version[4] = VERSION + 1;
+        assert_eq!(decode_frame::<Sample>(&wrong_version, KIND_PHASE1), None);
+        // A version-1 (Value-tree) frame from an old cache directory must
+        // read as a miss, not decode.
+        let mut old_version = frame;
+        old_version[4] = 1;
+        assert_eq!(decode_frame::<Sample>(&old_version, KIND_PHASE1), None);
+    }
+
+    #[test]
+    fn corruption_decodes_to_none() {
+        let frame = encode_frame(KIND_PHASE2, &sample());
+        // Flip each byte in turn: no single-byte corruption may decode.
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x41;
+            assert_eq!(decode_frame::<Sample>(&bad, KIND_PHASE2), None, "byte {i}");
+        }
+        // Truncations at every length.
+        for len in 0..frame.len() {
+            assert_eq!(decode_frame::<Sample>(&frame[..len], KIND_PHASE2), None, "len {len}");
+        }
+        // Arbitrary garbage (the corrupt-cache test writes text here).
+        assert_eq!(decode_frame::<Sample>(b"this is not a cache entry", KIND_PHASE1), None);
+    }
+}

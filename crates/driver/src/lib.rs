@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod framed;
 pub mod separate;
 mod stages;
 
@@ -70,6 +71,7 @@ use ipra_summary::ProgramSummary;
 use ipra_verify::VerifyReport;
 use stages::{parallel_map, phase1_key, run_phase1};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 use vpr::program::{link, Executable, LinkError, ObjectModule};
 use vpr::sim::{run_with, RunResult, SimError, SimOptions};
@@ -267,7 +269,7 @@ pub fn compile_incremental(
     // ---- Compiler first phase, cache-probed then fanned out per module.
     let phase1_start = Instant::now();
     let keys: Vec<u64> = sources.iter().map(|s| phase1_key(s, options.optimize)).collect();
-    let mut entries: Vec<Option<Phase1Entry>> = Vec::with_capacity(sources.len());
+    let mut entries: Vec<Option<Arc<Phase1Entry>>> = Vec::with_capacity(sources.len());
     let mut miss_idx: Vec<usize> = Vec::new();
     for (i, src) in sources.iter().enumerate() {
         match cache.lookup_phase1(&src.name, keys[i]) {
@@ -291,8 +293,7 @@ pub fn compile_incremental(
     for (&(i, src, _), result) in work.iter().zip(computed) {
         match result {
             Ok(entry) => {
-                cache.store_phase1(&src.name, entry.clone());
-                entries[i] = Some(entry);
+                entries[i] = Some(cache.store_phase1(&src.name, entry));
             }
             Err(e) => {
                 // Keep the lowest-index diagnostic: the same error a serial
@@ -308,7 +309,7 @@ pub fn compile_incremental(
     if let Some((_, e)) = first_error {
         return Err(e.into());
     }
-    let entries: Vec<Phase1Entry> =
+    let entries: Vec<Arc<Phase1Entry>> =
         entries.into_iter().map(|e| e.expect("all phase-1 slots filled")).collect();
     report.phase1.seconds = phase1_start.elapsed().as_secs_f64();
 
@@ -352,7 +353,7 @@ pub fn compile_incremental(
             }
         }
     }
-    let stale: Vec<&Phase1Entry> = stale_idx.iter().map(|&i| &entries[i]).collect();
+    let stale: Vec<&Phase1Entry> = stale_idx.iter().map(|&i| &*entries[i]).collect();
     let compiled = parallel_map(&stale, jobs, |e| cmin_codegen::compile_module(&e.ir, database));
     for (&i, object) in stale_idx.iter().zip(compiled) {
         let e = &entries[i];
@@ -373,6 +374,10 @@ pub fn compile_incremental(
     let link_start = Instant::now();
     let exe = link(&objects)?;
     report.link_seconds = link_start.elapsed().as_secs_f64();
+
+    // One burst of disk-tier writes per build (entries stay served from
+    // memory either way; see `DiskCache`). Charged to the build total.
+    cache.flush();
     report.total_seconds = build_start.elapsed().as_secs_f64();
 
     Ok(CompiledProgram {
@@ -402,6 +407,21 @@ pub fn verify_program(program: &CompiledProgram) -> VerifyReport {
 /// Propagates simulator traps ([`SimError`]).
 pub fn run_program(program: &CompiledProgram, input: &[i64]) -> Result<RunResult, SimError> {
     let opts = SimOptions { input: input.to_vec(), ..SimOptions::default() };
+    run_with(&program.exe, &opts)
+}
+
+/// [`run_program`] on an explicit [`vpr::Engine`] (the default runner uses
+/// the fast engine; the reference engine is the differential oracle).
+///
+/// # Errors
+///
+/// Propagates simulator traps ([`SimError`]).
+pub fn run_program_on(
+    program: &CompiledProgram,
+    input: &[i64],
+    engine: vpr::Engine,
+) -> Result<RunResult, SimError> {
+    let opts = SimOptions { input: input.to_vec(), engine, ..SimOptions::default() };
     run_with(&program.exe, &opts)
 }
 

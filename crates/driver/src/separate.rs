@@ -69,7 +69,7 @@ pub fn build_module(
         None => {
             let e = stages::run_phase1(src, optimize, key)?;
             cache.stats.phase1_misses += 1;
-            cache.store_phase1(&src.name, e.clone());
+            let e = cache.store_phase1(&src.name, e);
             (e, false)
         }
     };
@@ -92,8 +92,14 @@ pub fn build_module(
             (object, false)
         }
     };
+    // One burst of disk-tier writes per module build (see `DiskCache`).
+    cache.flush();
     Ok(ModuleProduct {
-        summary: SummaryArtifact { summary: entry.summary, source_fp: key, ir_fp: entry.ir_fp },
+        summary: SummaryArtifact {
+            summary: entry.summary.clone(),
+            source_fp: key,
+            ir_fp: entry.ir_fp,
+        },
         object: ObjectArtifact { object, ir_fp: entry.ir_fp, dir_fp: db_fp },
         phase1_hit,
         phase2_hit,
@@ -156,13 +162,13 @@ pub fn artifact_build(
             None => {
                 let e = stages::run_phase1(src, true, key)?;
                 cache.stats.phase1_misses += 1;
-                cache.store_phase1(&src.name, e.clone());
+                let e = cache.store_phase1(&src.name, e);
                 (e, false)
             }
         };
         let path = dir.join(format!("{}.csum", src.name));
         let payload =
-            SummaryArtifact { summary: entry.summary, source_fp: key, ir_fp: entry.ir_fp };
+            SummaryArtifact { summary: entry.summary.clone(), source_fp: key, ir_fp: entry.ir_fp };
         ipra_artifact::write_file(ArtifactKind::Summary, &path, &payload)?;
         summary_paths.push(path);
     }

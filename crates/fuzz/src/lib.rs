@@ -165,7 +165,11 @@ pub struct Shape {
 /// The shape rotation: iteration `i` uses `shape_for(i)`. Mostly cheap
 /// all-configuration differentials; the expensive build-level scenarios
 /// (incremental rebuilds, trace purity, artifact-staged separate
-/// compilation) run on three of every ten iterations.
+/// compilation) run on three of every ten iterations. The simulator
+/// engine rotates too: most iterations run the default fast engine, two
+/// pin the reference interpreter (so the oracle keeps exercising it), and
+/// two run *both* engines demanding identical results
+/// ([`CheckOptions::cross_engine`]).
 pub fn shape_for(i: usize) -> Shape {
     let plain = CheckOptions::default();
     let g = GenConfig::default;
@@ -174,7 +178,7 @@ pub fn shape_for(i: usize) -> Shape {
         1 => Shape {
             name: "wide",
             gen: GenConfig { modules: 3, funcs_per_module: 3, ..g() },
-            check: plain,
+            check: CheckOptions { engine: vpr::Engine::Reference, ..plain },
         },
         2 => Shape {
             name: "alias",
@@ -192,7 +196,7 @@ pub fn shape_for(i: usize) -> Shape {
                 ptr_shapes: true,
                 ..g()
             },
-            check: plain,
+            check: CheckOptions { cross_engine: true, ..plain },
         },
         5 => Shape {
             name: "incremental",
@@ -213,7 +217,7 @@ pub fn shape_for(i: usize) -> Shape {
         7 => Shape {
             name: "deep",
             gen: GenConfig { funcs_per_module: 6, max_stmts: 6, recursion: true, ..g() },
-            check: plain,
+            check: CheckOptions { engine: vpr::Engine::Reference, ..plain },
         },
         8 => Shape {
             name: "separate",
@@ -226,7 +230,7 @@ pub fn shape_for(i: usize) -> Shape {
         _ => Shape {
             name: "ptr",
             gen: GenConfig { globals_per_module: 6, alias_mix: true, ptr_shapes: true, ..g() },
-            check: plain,
+            check: CheckOptions { cross_engine: true, ..plain },
         },
     }
 }
@@ -474,6 +478,11 @@ mod tests {
         assert!(shapes.iter().any(|s| s.check.incremental));
         assert!(shapes.iter().any(|s| s.check.trace_purity));
         assert!(shapes.iter().any(|s| s.check.separate));
+        // The engine rotation: the reference interpreter still gets fuzzed
+        // directly, and the cross-engine differential runs on some shapes.
+        assert!(shapes.iter().any(|s| s.check.engine == vpr::Engine::Reference));
+        assert!(shapes.iter().any(|s| s.check.engine == vpr::Engine::Fast));
+        assert!(shapes.iter().any(|s| s.check.cross_engine));
         assert_eq!(shape_for(0).name, shape_for(10).name);
     }
 

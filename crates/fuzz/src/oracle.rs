@@ -23,7 +23,12 @@
 //!    on-disk artifacts (`.csum` → `.cdir` → `.vo` → `.vx`) yields an
 //!    executable bit-identical to the in-memory `compile()` — the
 //!    serialization layer must be lossless and the artifact pipeline must
-//!    not perturb a single analyzer or codegen decision.
+//!    not perturb a single analyzer or codegen decision;
+//! 7. optionally ([`CheckOptions::cross_engine`]) the *other* simulator
+//!    engine (fast pre-decoded vs reference interpreter,
+//!    [`vpr::Engine`]) produces an identical `Result<RunResult, SimError>`
+//!    under every configuration — output, exit, stats, attribution, and
+//!    trap kind/pc/symbolization must all agree bit-for-bit.
 
 use ipra_core::PaperConfig;
 use ipra_driver::{
@@ -127,6 +132,14 @@ pub enum Failure {
         /// What diverged, including the preserved artifact directory.
         detail: String,
     },
+    /// The two simulator engines disagreed on any observable of the same
+    /// program — the fast engine's bit-identity contract is broken.
+    EngineDivergence {
+        /// The configuration under test.
+        config: PaperConfig,
+        /// The first observable that differed, with both engines' values.
+        detail: String,
+    },
 }
 
 impl Failure {
@@ -144,6 +157,7 @@ impl Failure {
             Failure::IncrementalDivergence { .. } => "incremental-divergence",
             Failure::TraceImpurity { .. } => "trace-impurity",
             Failure::SeparateDivergence { .. } => "separate-divergence",
+            Failure::EngineDivergence { .. } => "engine-divergence",
         }
     }
 
@@ -159,7 +173,8 @@ impl Failure {
             | Failure::AttributionMismatch { config }
             | Failure::IncrementalDivergence { config, .. }
             | Failure::TraceImpurity { config }
-            | Failure::SeparateDivergence { config, .. } => Some(*config),
+            | Failure::SeparateDivergence { config, .. }
+            | Failure::EngineDivergence { config, .. } => Some(*config),
         }
     }
 
@@ -204,6 +219,9 @@ impl fmt::Display for Failure {
             Failure::SeparateDivergence { config, detail } => {
                 write!(f, "[{config}] artifact-staged build diverged from in-memory: {detail}")
             }
+            Failure::EngineDivergence { config, detail } => {
+                write!(f, "[{config}] simulator engines diverged: {detail}")
+            }
         }
     }
 }
@@ -224,6 +242,13 @@ pub struct CheckOptions {
     /// `link` equivalent) and demand an executable bit-identical to the
     /// in-memory pipeline.
     pub separate: bool,
+    /// Which simulator engine runs the per-configuration differential leg
+    /// (the fuzzer rotates this so the reference interpreter keeps getting
+    /// fuzzed even though the fast engine is the default).
+    pub engine: vpr::Engine,
+    /// Additionally run every configuration's program under the *other*
+    /// engine and demand an identical `Result<RunResult, SimError>`.
+    pub cross_engine: bool,
 }
 
 /// The configuration used for the build-level scenarios (incremental
@@ -264,9 +289,21 @@ pub fn check(sources: &[SourceFile], opts: &CheckOptions) -> Result<(), Failure>
         let sim_opts = vpr::SimOptions {
             attribute: true,
             max_steps: ORACLE_SIM_STEPS,
+            engine: opts.engine,
             ..vpr::SimOptions::default()
         };
-        let r = match vpr::run_with(&program.exe, &sim_opts) {
+        let primary = vpr::run_with(&program.exe, &sim_opts);
+        if opts.cross_engine {
+            let other_opts = vpr::SimOptions { engine: opts.engine.other(), ..sim_opts.clone() };
+            let other = vpr::run_with(&program.exe, &other_opts);
+            if primary != other {
+                return Err(Failure::EngineDivergence {
+                    config,
+                    detail: divergence_detail(opts.engine, &primary, &other),
+                });
+            }
+        }
+        let r = match primary {
             Err(e) => return Err(Failure::SimTrap { config, detail: e.to_string() }),
             Ok(r) => r,
         };
@@ -295,6 +332,34 @@ pub fn check(sources: &[SourceFile], opts: &CheckOptions) -> Result<(), Failure>
         check_separate(sources)?;
     }
     Ok(())
+}
+
+/// Names the first observable on which the two engines disagreed, with
+/// both values — compact enough for a corpus entry, precise enough to
+/// start debugging from.
+fn divergence_detail(
+    primary: vpr::Engine,
+    a: &Result<vpr::RunResult, vpr::SimError>,
+    b: &Result<vpr::RunResult, vpr::SimError>,
+) -> String {
+    let (pn, on) = (primary.name(), primary.other().name());
+    match (a, b) {
+        (Ok(ra), Ok(rb)) => {
+            let field = if ra.output != rb.output {
+                format!("output {:?} vs {:?}", ra.output, rb.output)
+            } else if ra.exit != rb.exit {
+                format!("exit {} vs {}", ra.exit, rb.exit)
+            } else if ra.stats != rb.stats {
+                format!("stats {:?} vs {:?}", ra.stats, rb.stats)
+            } else {
+                "attribution differs".to_string()
+            };
+            format!("{pn} vs {on}: {field}")
+        }
+        (Ok(_), Err(e)) => format!("{pn} ran clean but {on} trapped: {e}"),
+        (Err(e), Ok(_)) => format!("{pn} trapped but {on} ran clean: {e}"),
+        (Err(ea), Err(eb)) => format!("different traps: {pn} {ea} vs {on} {eb}"),
+    }
 }
 
 /// The linked executable, serialized — the bit-identity currency for the

@@ -15,6 +15,12 @@
 //! data model (externally tagged enums, transparent newtypes, `null` for
 //! `None`), so the on-disk JSON produced by the real serde for these types
 //! round-trips here and vice versa.
+//!
+//! The same derives additionally emit a positional **binary** codec
+//! ([`BinSerialize`] / [`BinDeserialize`]) that skips the `Value` tree
+//! entirely — see the binary-codec section below. It is a private wire
+//! format for callers that own both ends (the persistent compilation
+//! cache); JSON remains the interchange format.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -422,5 +428,365 @@ impl Serialize for Value {
 impl Deserialize for Value {
     fn deserialize(v: &Value) -> Result<Value, DeError> {
         Ok(v.clone())
+    }
+}
+
+// ------------------------------------------------------------ binary codec
+//
+// A second, positional wire format alongside the [`Value`] tree. The JSON
+// data model spends most of its decode time materializing an intermediate
+// tree — every field name a heap `String`, every node an enum — only to
+// walk it once and throw it away. The binary codec goes straight between
+// structs and bytes: fields travel in declaration order with no names, so
+// the schema lives in the type and a load allocates each string and vector
+// exactly once. Both formats are emitted by the same derives; callers that
+// own both ends of the wire (the persistent compilation cache) use this
+// one, while JSON stays the interchange format.
+//
+// Wire format (all integers little-endian): integers widen to 8 bytes;
+// `bool` and `Option` tags are 1 byte; strings and collections are
+// u32-length-prefixed; enums are a u32 variant index (declaration order)
+// followed by the payload fields. Hash-ordered containers sort by encoded
+// key so identical values always produce identical bytes.
+
+/// Types that can append themselves to the positional binary format.
+pub trait BinSerialize {
+    /// Appends the binary encoding of `self` to `out`.
+    fn bin_serialize(&self, out: &mut Vec<u8>);
+}
+
+/// Types that can be rebuilt from the positional binary format.
+pub trait BinDeserialize: Sized {
+    /// Consumes `Self`'s encoding from the front of `cursor`.
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<Self, DeError>;
+}
+
+/// Splits `n` bytes off the front of `cursor` (decode building block).
+pub fn bin_take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], DeError> {
+    if cursor.len() < n {
+        return Err(DeError(format!(
+            "binary payload truncated: need {n} bytes, have {}",
+            cursor.len()
+        )));
+    }
+    let (head, tail) = cursor.split_at(n);
+    *cursor = tail;
+    Ok(head)
+}
+
+/// Writes a u32 length prefix (panics on `> u32::MAX` elements).
+pub fn bin_put_len(n: usize, out: &mut Vec<u8>) {
+    let n = u32::try_from(n).expect("binary codec: collection exceeds u32::MAX elements");
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+/// Reads a u32 (length prefixes, enum variant indices).
+pub fn bin_take_u32(cursor: &mut &[u8]) -> Result<u32, DeError> {
+    Ok(u32::from_le_bytes(bin_take(cursor, 4)?.try_into().expect("4-byte slice")))
+}
+
+/// Reads a length prefix. The value is *claimed*, not trusted: callers cap
+/// pre-allocation at the bytes actually remaining, so a corrupt length
+/// fails on a later read instead of ballooning memory.
+pub fn bin_take_len(cursor: &mut &[u8]) -> Result<usize, DeError> {
+    Ok(bin_take_u32(cursor)? as usize)
+}
+
+/// Builds an "unknown variant index" error (used by derived code).
+pub fn bin_bad_variant<T>(ty: &str, index: u32) -> Result<T, DeError> {
+    Err(DeError(format!("{ty}: unknown binary variant index {index}")))
+}
+
+macro_rules! impl_bin_int {
+    ($wide:ty; $($t:ty),*) => {$(
+        impl BinSerialize for $t {
+            fn bin_serialize(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&(*self as $wide).to_le_bytes());
+            }
+        }
+        impl BinDeserialize for $t {
+            fn bin_deserialize(cursor: &mut &[u8]) -> Result<$t, DeError> {
+                let n = <$wide>::from_le_bytes(bin_take(cursor, 8)?.try_into().expect("8-byte slice"));
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_bin_int!(i64; i8, i16, i32, i64, isize);
+impl_bin_int!(u64; u8, u16, u32, u64, usize);
+
+impl BinSerialize for bool {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl BinDeserialize for bool {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<bool, DeError> {
+        match bin_take(cursor, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DeError(format!("bool: invalid byte {other}"))),
+        }
+    }
+}
+
+impl BinSerialize for f64 {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl BinDeserialize for f64 {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<f64, DeError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            bin_take(cursor, 8)?.try_into().expect("8-byte slice"),
+        )))
+    }
+}
+
+impl BinSerialize for String {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        self.as_str().bin_serialize(out);
+    }
+}
+
+impl BinDeserialize for String {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<String, DeError> {
+        let len = bin_take_len(cursor)?;
+        String::from_utf8(bin_take(cursor, len)?.to_vec())
+            .map_err(|_| DeError("string: invalid UTF-8".to_string()))
+    }
+}
+
+impl BinSerialize for str {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        bin_put_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl BinSerialize for char {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u32).to_le_bytes());
+    }
+}
+
+impl BinDeserialize for char {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<char, DeError> {
+        let n = bin_take_u32(cursor)?;
+        char::from_u32(n).ok_or_else(|| DeError(format!("char: invalid scalar value {n}")))
+    }
+}
+
+impl<T: BinSerialize + ?Sized> BinSerialize for &T {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        (**self).bin_serialize(out);
+    }
+}
+
+impl<T: BinSerialize + ?Sized> BinSerialize for Box<T> {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        (**self).bin_serialize(out);
+    }
+}
+
+impl<T: BinDeserialize> BinDeserialize for Box<T> {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<Box<T>, DeError> {
+        Ok(Box::new(T::bin_deserialize(cursor)?))
+    }
+}
+
+impl<T: BinSerialize> BinSerialize for Option<T> {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(x) => {
+                out.push(1);
+                x.bin_serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: BinDeserialize> BinDeserialize for Option<T> {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<Option<T>, DeError> {
+        match bin_take(cursor, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::bin_deserialize(cursor)?)),
+            other => Err(DeError(format!("Option: invalid tag {other}"))),
+        }
+    }
+}
+
+impl<T: BinSerialize> BinSerialize for Vec<T> {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        self.as_slice().bin_serialize(out);
+    }
+}
+
+impl<T: BinDeserialize> BinDeserialize for Vec<T> {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<Vec<T>, DeError> {
+        let n = bin_take_len(cursor)?;
+        let mut items = Vec::with_capacity(n.min(cursor.len()));
+        for _ in 0..n {
+            items.push(T::bin_deserialize(cursor)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: BinSerialize> BinSerialize for [T] {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        bin_put_len(self.len(), out);
+        for item in self {
+            item.bin_serialize(out);
+        }
+    }
+}
+
+macro_rules! impl_bin_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: BinSerialize),+> BinSerialize for ($($t,)+) {
+            fn bin_serialize(&self, out: &mut Vec<u8>) {
+                $(self.$n.bin_serialize(out);)+
+            }
+        }
+        impl<$($t: BinDeserialize),+> BinDeserialize for ($($t,)+) {
+            fn bin_deserialize(cursor: &mut &[u8]) -> Result<($($t,)+), DeError> {
+                Ok(($($t::bin_deserialize(cursor)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_bin_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Length-prefixed `(key, value)` stream, sorted by encoded key bytes so
+/// hash-ordered maps encode deterministically (keys are unique, so the
+/// byte order is total).
+fn bin_encode_pairs<'a, K, V>(
+    pairs: impl Iterator<Item = (&'a K, &'a V)>,
+    len: usize,
+    out: &mut Vec<u8>,
+) where
+    K: BinSerialize + 'a,
+    V: BinSerialize + 'a,
+{
+    let mut entries: Vec<(Vec<u8>, &V)> = pairs
+        .map(|(k, v)| {
+            let mut kb = Vec::new();
+            k.bin_serialize(&mut kb);
+            (kb, v)
+        })
+        .collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    bin_put_len(len, out);
+    for (kb, v) in entries {
+        out.extend_from_slice(&kb);
+        v.bin_serialize(out);
+    }
+}
+
+impl<K: BinSerialize, V: BinSerialize, S> BinSerialize for HashMap<K, V, S> {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        bin_encode_pairs(self.iter(), self.len(), out);
+    }
+}
+
+impl<K, V, S> BinDeserialize for HashMap<K, V, S>
+where
+    K: BinDeserialize + Eq + std::hash::Hash,
+    V: BinDeserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<HashMap<K, V, S>, DeError> {
+        let n = bin_take_len(cursor)?;
+        let mut map = HashMap::with_capacity_and_hasher(n.min(cursor.len()), S::default());
+        for _ in 0..n {
+            map.insert(K::bin_deserialize(cursor)?, V::bin_deserialize(cursor)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: BinSerialize, V: BinSerialize> BinSerialize for BTreeMap<K, V> {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        bin_put_len(self.len(), out);
+        for (k, v) in self {
+            k.bin_serialize(out);
+            v.bin_serialize(out);
+        }
+    }
+}
+
+impl<K: BinDeserialize + Ord, V: BinDeserialize> BinDeserialize for BTreeMap<K, V> {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<BTreeMap<K, V>, DeError> {
+        let n = bin_take_len(cursor)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::bin_deserialize(cursor)?;
+            let v = V::bin_deserialize(cursor)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: BinSerialize, S> BinSerialize for HashSet<T, S> {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        let mut entries: Vec<Vec<u8>> = self
+            .iter()
+            .map(|x| {
+                let mut xb = Vec::new();
+                x.bin_serialize(&mut xb);
+                xb
+            })
+            .collect();
+        entries.sort_unstable();
+        bin_put_len(entries.len(), out);
+        for xb in entries {
+            out.extend_from_slice(&xb);
+        }
+    }
+}
+
+impl<T: BinDeserialize + Eq + std::hash::Hash, S: std::hash::BuildHasher + Default> BinDeserialize
+    for HashSet<T, S>
+{
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<HashSet<T, S>, DeError> {
+        let n = bin_take_len(cursor)?;
+        let mut set = HashSet::with_capacity_and_hasher(n.min(cursor.len()), S::default());
+        for _ in 0..n {
+            set.insert(T::bin_deserialize(cursor)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<T: BinSerialize> BinSerialize for BTreeSet<T> {
+    fn bin_serialize(&self, out: &mut Vec<u8>) {
+        bin_put_len(self.len(), out);
+        for item in self {
+            item.bin_serialize(out);
+        }
+    }
+}
+
+impl<T: BinDeserialize + Ord> BinDeserialize for BTreeSet<T> {
+    fn bin_deserialize(cursor: &mut &[u8]) -> Result<BTreeSet<T>, DeError> {
+        let n = bin_take_len(cursor)?;
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert(T::bin_deserialize(cursor)?);
+        }
+        Ok(set)
     }
 }

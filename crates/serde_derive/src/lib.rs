@@ -60,13 +60,15 @@ struct Input {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
-    gen_serialize(&input).parse().expect("serde_derive: generated invalid Serialize impl")
+    let src = format!("{}{}", gen_serialize(&input), gen_bin_serialize(&input));
+    src.parse().expect("serde_derive: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
-    gen_deserialize(&input).parse().expect("serde_derive: generated invalid Deserialize impl")
+    let src = format!("{}{}", gen_deserialize(&input), gen_bin_deserialize(&input));
+    src.parse().expect("serde_derive: generated invalid Deserialize impl")
 }
 
 // ------------------------------------------------------------------ parsing
@@ -493,6 +495,168 @@ fn gen_named_field_inits(ty: &str, fields: &[Field]) -> String {
         })
         .collect::<Vec<_>>()
         .join(",\n")
+}
+
+// ------------------------------------------------------- binary codegen
+//
+// The positional binary codec (`serde::BinSerialize` / `BinDeserialize`):
+// struct fields and enum payloads travel in declaration order with no
+// names; enums are a u32 variant index in declaration order. Field-level
+// `#[serde(default)]` is irrelevant here — the binary format always
+// carries every field — and `into`/`from` convert through the repr type
+// exactly like the `Value` path.
+
+fn gen_bin_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(into) = &input.attrs.into {
+        format!(
+            "let __repr: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::BinSerialize::bin_serialize(&__repr, __out)"
+        )
+    } else {
+        match &input.kind {
+            Kind::Struct(Shape::Unit) => "let _ = __out;".to_string(),
+            Kind::Struct(Shape::Tuple(n)) => (0..*n)
+                .map(|i| format!("::serde::BinSerialize::bin_serialize(&self.{i}, __out);\n"))
+                .collect(),
+            Kind::Struct(Shape::Named(fields)) => fields
+                .iter()
+                .map(|f| {
+                    format!("::serde::BinSerialize::bin_serialize(&self.{}, __out);\n", f.name)
+                })
+                .collect(),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, v)| {
+                        let vn = &v.name;
+                        let tag = format!("__out.extend_from_slice(&{idx}u32.to_le_bytes());\n");
+                        match &v.shape {
+                            Shape::Unit => format!("{name}::{vn} => {{ {tag} }}\n"),
+                            Shape::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|i| format!("__x{i}")).collect();
+                                let writes: String = binds
+                                    .iter()
+                                    .map(|b| {
+                                        format!(
+                                            "::serde::BinSerialize::bin_serialize({b}, __out);\n"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vn}({}) => {{ {tag}{writes} }}\n",
+                                    binds.join(", ")
+                                )
+                            }
+                            Shape::Named(fields) => {
+                                let binds: Vec<&str> =
+                                    fields.iter().map(|f| f.name.as_str()).collect();
+                                let writes: String = binds
+                                    .iter()
+                                    .map(|b| {
+                                        format!(
+                                            "::serde::BinSerialize::bin_serialize({b}, __out);\n"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vn} {{ {} }} => {{ {tag}{writes} }}\n",
+                                    binds.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "{IMPL_HEADER}impl ::serde::BinSerialize for {name} {{\n\
+         fn bin_serialize(&self, __out: &mut ::std::vec::Vec<u8>) {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_bin_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(from) = &input.attrs.from {
+        format!(
+            "let __repr: {from} = ::serde::BinDeserialize::bin_deserialize(__c)?;\n\
+             ::std::result::Result::Ok(::core::convert::From::from(__repr))"
+        )
+    } else {
+        match &input.kind {
+            Kind::Struct(Shape::Unit) => {
+                format!("let _ = __c;\n::std::result::Result::Ok({name})")
+            }
+            Kind::Struct(Shape::Tuple(n)) => {
+                let items = (0..*n)
+                    .map(|_| "::serde::BinDeserialize::bin_deserialize(__c)?".to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::std::result::Result::Ok({name}({items}))")
+            }
+            Kind::Struct(Shape::Named(fields)) => {
+                let inits = fields
+                    .iter()
+                    .map(|f| format!("{}: ::serde::BinDeserialize::bin_deserialize(__c)?", f.name))
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!("::std::result::Result::Ok({name} {{ {inits} }})")
+            }
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, v)| {
+                        let vn = &v.name;
+                        match &v.shape {
+                            Shape::Unit => format!(
+                                "{idx}u32 => ::std::result::Result::Ok({name}::{vn}),\n"
+                            ),
+                            Shape::Tuple(n) => {
+                                let items = (0..*n)
+                                    .map(|_| {
+                                        "::serde::BinDeserialize::bin_deserialize(__c)?".to_string()
+                                    })
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!(
+                                    "{idx}u32 => ::std::result::Result::Ok({name}::{vn}({items})),\n"
+                                )
+                            }
+                            Shape::Named(fields) => {
+                                let inits = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "{}: ::serde::BinDeserialize::bin_deserialize(__c)?",
+                                            f.name
+                                        )
+                                    })
+                                    .collect::<Vec<_>>()
+                                    .join(",\n");
+                                format!(
+                                    "{idx}u32 => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),\n"
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match ::serde::bin_take_u32(__c)? {{\n{arms}\
+                     __other => ::serde::bin_bad_variant(\"{name}\", __other),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "{IMPL_HEADER}impl ::serde::BinDeserialize for {name} {{\n\
+         fn bin_deserialize(__c: &mut &[u8]) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
 }
 
 fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {

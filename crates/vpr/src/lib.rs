@@ -18,8 +18,10 @@
 //!   modules (what the linker resolves and `objdump` renders),
 //! * [`program`] — machine functions, object modules, and the
 //!   [linker](program::link),
-//! * [`sim`] — the simulator, with cycle, memory-reference (singleton vs.
-//!   other), and call-profile accounting,
+//! * [`sim`] — the reference simulator, with cycle, memory-reference
+//!   (singleton vs. other), and call-profile accounting,
+//! * [`exec`] — the fast pre-decoded execution engine, bit-identical to
+//!   [`sim`] in every observable (selected via [`sim::Engine`]),
 //! * [`asm`] — diagnostic assembly rendering.
 //!
 //! # Examples
@@ -43,12 +45,14 @@
 
 pub mod asm;
 pub mod cfg;
+pub mod exec;
 pub mod inst;
 pub mod object;
 pub mod program;
 pub mod regs;
 pub mod sim;
 
+pub use exec::{decode, DecodedProgram};
 pub use inst::{AluOp, Cond, Inst, Label, MemClass};
 pub use object::{program_symbols, RelocKind, Relocation, SymbolTable};
 pub use program::{
@@ -56,5 +60,6 @@ pub use program::{
 };
 pub use regs::{Reg, RegSet};
 pub use sim::{
-    run, run_with, Attribution, ProcCost, RunResult, RunStats, SimError, SimOptions, STARTUP_PROC,
+    run, run_with, Attribution, Engine, ProcCost, RunResult, RunStats, SimError, SimOptions,
+    STARTUP_PROC,
 };

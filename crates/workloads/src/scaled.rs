@@ -25,6 +25,20 @@ use std::fmt::Write;
 ///
 /// Panics when `i >= n` or `n == 0`.
 pub fn scaled_module(i: usize, n: usize, tune: i64) -> SourceFile {
+    scaled_module_with_outer(i, n, tune, 4)
+}
+
+/// [`scaled_module`] with a configurable `main` loop count: the same
+/// cross-module structure, but `main` drives the call chain `outer` times
+/// instead of 4. With a large `outer` the program's *execution* scales
+/// into the millions of instructions while its compile cost stays put —
+/// the workload behind `sim_bench` / `BENCH_sim.json`, where per-run
+/// setup must be noise against the dispatch loop being measured.
+///
+/// # Panics
+///
+/// Panics when `i >= n` or `n == 0`.
+pub fn scaled_module_with_outer(i: usize, n: usize, tune: i64, outer: i64) -> SourceFile {
     assert!(n > 0 && i < n, "module index {i} out of range for {n} modules");
     let mut out = String::new();
     if i > 0 {
@@ -65,7 +79,7 @@ pub fn scaled_module(i: usize, n: usize, tune: i64) -> SourceFile {
         let _ = writeln!(out, "    int t = 0;");
         let _ = writeln!(
             out,
-            "    for (int k = 0; k < 4; k = k + 1) {{ t = t + s{}_entry(k); }}",
+            "    for (int k = 0; k < {outer}; k = k + 1) {{ t = t + s{}_entry(k); }}",
             n - 1
         );
         let _ = writeln!(out, "    out(t);");
@@ -83,6 +97,16 @@ pub fn scaled_module(i: usize, n: usize, tune: i64) -> SourceFile {
 /// Panics when `n == 0`.
 pub fn scaled_program(n: usize) -> Vec<SourceFile> {
     (0..n).map(|i| scaled_module(i, n, 0)).collect()
+}
+
+/// A deterministic `n`-module program whose `main` loop runs `outer`
+/// times — the execution-scaled variant for simulator benchmarking.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn scaled_sim_program(n: usize, outer: i64) -> Vec<SourceFile> {
+    (0..n).map(|i| scaled_module_with_outer(i, n, 0, outer)).collect()
 }
 
 /// Replaces module `index` with a re-tuned copy: the canonical "edit one
@@ -144,5 +168,21 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         assert_eq!(scaled_program(8), scaled_program(8));
+    }
+
+    #[test]
+    fn sim_variant_scales_execution_not_sources() {
+        // `outer = 4` is exactly the compile-bench program.
+        assert_eq!(scaled_sim_program(4, 4), scaled_program(4));
+        let short = compile(&scaled_sim_program(4, 2), &CompileOptions::default()).unwrap();
+        let long = compile(&scaled_sim_program(4, 20), &CompileOptions::default()).unwrap();
+        let rs = run_program(&short, &[]).unwrap();
+        let rl = run_program(&long, &[]).unwrap();
+        assert!(
+            rl.stats.cycles > 5 * rs.stats.cycles,
+            "outer=20 ran {} cycles vs {} for outer=2",
+            rl.stats.cycles,
+            rs.stats.cycles
+        );
     }
 }

@@ -24,9 +24,15 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
-echo "==> compile-time benchmark smoke (tiny workload, cache checks on)"
-cargo run --release -q -p ipra-bench --bin compile_bench -- --modules 8 --check --out BENCH_compile.json
+echo "==> simulator benchmark (both engines, parity gated)"
+cargo run --release -q -p ipra-bench --bin sim_bench -- --check --out BENCH_sim.json
+test -s BENCH_sim.json
+
+echo "==> compile-time benchmark (8/64/256 modules, cache checks on, sim regime folded in)"
+cargo run --release -q -p ipra-bench --bin compile_bench -- --check \
+  --sim-json BENCH_sim.json --out BENCH_compile.json
 test -s BENCH_compile.json
+grep -q '"sim"' BENCH_compile.json
 
 echo "==> cminc report smoke (two runs must be byte-identical)"
 report_dir="$(mktemp -d)"
@@ -111,6 +117,12 @@ cmp "$sep/prog.vx" "$sep/prog2.vx"
 "$cminc" run "$sep/prog.vx" 2>/dev/null > "$sep/sep-run.txt"
 "$cminc" run "$sep/prog2.vx" 2>/dev/null > "$sep/build-run.txt"
 cmp "$sep/sep-run.txt" "$sep/build-run.txt"
+
+echo "==> engine parity smoke (fast vs reference: identical output, stats, attribution)"
+"$cminc" run "$sep/prog.vx" --engine fast --stats-json "$sep/fast-stats.json" 2>/dev/null > "$sep/fast-run.txt"
+"$cminc" run "$sep/prog.vx" --engine ref --stats-json "$sep/ref-stats.json" 2>/dev/null > "$sep/ref-run.txt"
+cmp "$sep/fast-run.txt" "$sep/ref-run.txt"
+cmp "$sep/fast-stats.json" "$sep/ref-stats.json"
 "$cminc" objdump "$sep/prog.vx" > /dev/null
 "$cminc" objdump "$sep/prog.cdir" > /dev/null
 

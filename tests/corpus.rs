@@ -28,7 +28,13 @@ fn every_corpus_entry_replays() {
             None => {
                 // Organic failures are only checked in after the underlying
                 // bug is fixed; the oracle must stay clean on them.
-                let opts = CheckOptions { incremental: true, trace_purity: true, separate: true };
+                let opts = CheckOptions {
+                    incremental: true,
+                    trace_purity: true,
+                    separate: true,
+                    cross_engine: true,
+                    ..CheckOptions::default()
+                };
                 if let Err(f) = check(&entry.sources, &opts) {
                     panic!("{}: fixed repro regressed: {f}", path.display());
                 }
