@@ -40,6 +40,7 @@ use ipra_core::PaperConfig;
 use ipra_driver::{
     compile_incremental, run_program, CompilationCache, CompileOptions, CompiledProgram,
 };
+use ipra_telemetry::{CountersSnapshot, Telemetry};
 use ipra_workloads::generator::{random_program_with, GenConfig};
 use ipra_workloads::scaled::{perturb, scaled_program};
 use serde::Serialize;
@@ -80,6 +81,13 @@ struct SizeReport {
     parallel_speedup: f64,
     /// cold / disk-warm wall-clock ratio: what a second process gains.
     disk_warm_speedup: f64,
+    /// Deterministic pipeline counters of one cold build (cache tiers,
+    /// analyzer and linker work), from an untimed telemetry-attached
+    /// build so the timed legs stay unperturbed.
+    counters: CountersSnapshot,
+    /// The counters were identical across two cold builds at different
+    /// `--jobs` widths (run-to-run and parallelism identity).
+    counters_ok: bool,
 }
 
 /// The alias-precision regime: a deterministic pointer-heavy program
@@ -200,6 +208,19 @@ fn measure(modules: usize, jobs: usize, config: PaperConfig) -> SizeReport {
     });
     assert_eq!(par.exe, cold.exe, "parallel build must be bit-identical to serial");
 
+    // Counters snapshot: two untimed cold builds with a collector
+    // attached, serial then parallel, certifying the counted work is
+    // identical regardless of the worker-pool width.
+    let counted = |opts: &CompileOptions| {
+        let tele = Telemetry::new();
+        let opts = CompileOptions { telemetry: Some(tele.clone()), ..opts.clone() };
+        compile_incremental(&sources, &opts, &mut CompilationCache::new())
+            .expect("counted cold build");
+        tele.counters()
+    };
+    let counters = counted(&opts);
+    let counters_ok = counters == counted(&par_opts);
+
     // Warm: unchanged rebuilds through the populated cache (each trial
     // leaves the cache exactly as warm as it found it).
     let (_, warm, warm_seconds) = timed_best(
@@ -265,6 +286,8 @@ fn measure(modules: usize, jobs: usize, config: PaperConfig) -> SizeReport {
         edit_speedup: cold_seconds / edit_seconds.max(1e-9),
         parallel_speedup: cold_seconds / cold_parallel_seconds.max(1e-9),
         disk_warm_speedup: cold_seconds / disk_warm_seconds.max(1e-9),
+        counters: CountersSnapshot(counters),
+        counters_ok,
     }
 }
 
@@ -448,6 +471,10 @@ fn main() -> ExitCode {
                      ({}/{} phase1, {}/{} phase2)",
                     row.disk_warm_phase1_hits, n, row.disk_warm_phase2_hits, n
                 ));
+            }
+            if !row.counters_ok {
+                failures
+                    .push(format!("{n} modules: build counters not identical across jobs widths"));
             }
         }
         report.sizes.push(row);

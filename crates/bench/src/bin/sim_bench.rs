@@ -39,6 +39,7 @@
 use ipra_core::fingerprint::Fnv64;
 use ipra_core::PaperConfig;
 use ipra_driver::{compile, CompileOptions, SourceFile};
+use ipra_telemetry::CountersSnapshot;
 use ipra_workloads::scaled::scaled_sim_program;
 use serde::Serialize;
 use std::process::ExitCode;
@@ -83,6 +84,13 @@ struct SimRow {
     parity_hash: String,
     /// Full `RunResult` equality between the engines.
     parity_ok: bool,
+    /// Deterministic simulator counters of one run (cycles, memory and
+    /// call traffic, instructions retired per opcode class), from a
+    /// separate profiled run so the timed legs stay unperturbed.
+    counters: CountersSnapshot,
+    /// The counters were identical across two fast-engine runs *and* a
+    /// reference-engine run (run-to-run and cross-engine identity).
+    counters_ok: bool,
 }
 
 /// The whole run, as serialized to `BENCH_sim.json`.
@@ -147,6 +155,19 @@ fn measure(name: &str, sources: &[SourceFile], input: &[i64], attributed: bool) 
     let fast =
         fast.unwrap_or_else(|e| panic!("{name}: bench workload trapped under fast engine: {e}"));
 
+    // Counters snapshot: profiled runs (outside the timed legs), twice on
+    // the fast engine and once on the reference, to certify the counters
+    // are identical run-to-run and across engines.
+    let prof_opts = vpr::SimOptions { profile: true, ..opts.clone() };
+    let prof_ref = vpr::SimOptions { engine: vpr::Engine::Reference, ..prof_opts.clone() };
+    let snap = |r: Result<vpr::RunResult, vpr::SimError>| {
+        let r = r.expect("profiled bench run trapped");
+        r.profile.as_ref().expect("profiling was requested").sim_counters(exe, &r.stats)
+    };
+    let fast_counters = snap(decoded.run_with(&prof_opts));
+    let counters_ok = fast_counters == snap(decoded.run_with(&prof_opts))
+        && fast_counters == snap(vpr::run_with(exe, &prof_ref));
+
     let cycles_per_run = fast.stats.cycles;
     let runs = (TARGET_INSTRUCTIONS / cycles_per_run.max(1)).max(1);
     let fast_leg = time_leg(runs, cycles_per_run, || {
@@ -166,6 +187,8 @@ fn measure(name: &str, sources: &[SourceFile], input: &[i64], attributed: bool) 
         reference: reference_leg,
         parity_hash: format!("{:016x}", parity_hash(&fast)),
         parity_ok,
+        counters: CountersSnapshot(fast_counters),
+        counters_ok,
     }
 }
 
@@ -233,6 +256,15 @@ fn main() -> ExitCode {
     if check {
         if !report.parity_ok {
             failures.push("engines disagreed on at least one workload".to_string());
+        }
+        for row in &report.rows {
+            if !row.counters_ok {
+                failures.push(format!(
+                    "{}{}: simulator counters not identical across runs/engines",
+                    row.workload,
+                    if row.attributed { " +attr" } else { "" },
+                ));
+            }
         }
         if report.scaled_speedup < min_speedup {
             failures.push(format!(

@@ -33,7 +33,9 @@ use ipra_core::trace::AnalyzerTrace;
 use ipra_core::{ProfileData, ProgramDatabase};
 use ipra_driver::SourceFile;
 use ipra_summary::{summarize_module, ModuleSummary, ProgramSummary};
-use serde::Serialize;
+use ipra_telemetry::Telemetry;
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -54,6 +56,8 @@ fn main() -> ExitCode {
         "verify" => verify_cmd(rest),
         "run" => run_cmd(rest),
         "build" => build_cmd(rest),
+        "profile" => profile_cmd(rest),
+        "stats" => stats_cmd(rest),
         "explain" => explain_cmd(rest),
         "report" => report_cmd(rest),
         "fuzz" => fuzz_cmd(rest),
@@ -78,14 +82,16 @@ const USAGE: &str = "usage:
   cminc link <mod.vo|lib.vlib>... [--allow-undefined] -o <prog.vx>
   cminc lib <mod.vo>... -o <lib.vlib>
   cminc verify <mod.vo>... [--db <prog.cdir>]
-  cminc run <prog.vx> [--input \"v v v\"] [--engine fast|ref] [--stats] [--stats-json <out.json>] [--profile-out <prof.json>] [--asm]
-  cminc build <src.cmin>... [--config ...] [-o <prog.vx>] [--cache-dir DIR] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--input \"v v v\"]
+  cminc run <prog.vx> [--input \"v v v\"] [--engine fast|ref] [--stats] [--stats-json <out.json>] [--metrics-out <m.json>] [--profile-out <prof.json>] [--asm]
+  cminc build <src.cmin>... [--config ...] [-o <prog.vx>] [--cache-dir DIR] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--trace-out <t.json>] [--metrics-out <m.json>] [--stats-json <s.json>] [--input \"v v v\"]
+  cminc profile <prog.vx | src.cmin...> [--config ...] [--input \"v v v\"] [--engine fast|ref] [--top N] [--json <out.json>]
+  cminc stats <src.cmin>... [--config ...] [--input \"v v v\"] [-j|--jobs N] [--run]
   cminc objdump <artifact-file>
   cminc phase1 <src.cmin> [--summary <out.sum>] [--ir <out.ir>]
   cminc phase2 <mod.ir> --db <prog.cdir> -o <mod.obj>
   cminc explain <symbol> (--trace <trace.json> | <src.cmin>... [--config ...])
   cminc report <src.cmin>... --config-b L2|A|B|C|D|E|F|P [--config-a ...] [--input \"v v v\"] [--json <out.json>]
-  cminc fuzz [--seed N] [--iters N | --time-budget SECS] [-j|--jobs N] [--corpus DIR] [--reduce-budget N] [--self-validate]
+  cminc fuzz [--seed N] [--iters N | --time-budget SECS] [-j|--jobs N] [--corpus DIR] [--reduce-budget N] [--self-validate] [--metrics-out <m.json>]
 
 artifacts (`objdump` prints any of them):
   .csum  per-module summary     .cdir  analyzer directives   .vo  object code
@@ -107,6 +113,21 @@ build flags:
   -o FILE        write the linked executable (artifact iff FILE ends in .vx)
   --stats        per-phase wall-clock and cache hit/miss table (plus run stats with --run)
   --trace FILE   persist the analyzer's decision trace as JSON (also: analyze)
+
+telemetry (spans + counters, see docs/telemetry.md):
+  --trace-out FILE    (build) export pipeline spans as Chrome trace-event
+                      JSON — open in Perfetto or about://tracing; per-module
+                      phase tasks carry their worker lane as the tid
+  --metrics-out FILE  (build, run, fuzz) export the counters registry as
+                      canonical JSON: byte-identical across --jobs widths,
+                      engines, and machines (never contains wall-clock data)
+  --stats-json FILE   (build) machine-readable build stats: cache hit/miss
+                      tiers + counters, deterministic (no wall-clock)
+  profile             run a program with per-pc execution counts and print
+                      symbolized per-procedure / hot-block / opcode tables;
+                      identical on both engines, totals equal run cycles
+  stats               build (and optionally run) sources, print the
+                      canonical metrics JSON on stdout
 
 observability:
   explain        render every analyzer decision that mentions one global or
@@ -176,6 +197,9 @@ pub(crate) fn positionals(args: &[String]) -> Vec<String> {
                     | "--dir"
                     | "--cache-dir"
                     | "--engine"
+                    | "--trace-out"
+                    | "--metrics-out"
+                    | "--top"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
@@ -388,6 +412,35 @@ fn report_verify(report: &ipra_verify::VerifyReport) -> Result<(), String> {
     }
 }
 
+/// Deterministic simulator counters for one run: `sim.cycles`, memory and
+/// call totals, and `sim.op.<class>` instructions-retired per opcode class
+/// (from the run's [`vpr::ExecProfile`], so both engines agree exactly).
+fn sim_counters(exe: &vpr::Executable, result: &vpr::RunResult) -> BTreeMap<String, u64> {
+    let mut c = match &result.profile {
+        Some(p) => p.sim_counters(exe, &result.stats),
+        None => {
+            // No profile recorded (no `sim.op.*` breakdown), but the
+            // RunStats totals are still deterministic counters.
+            let mut c = BTreeMap::new();
+            c.insert("sim.cycles".to_string(), result.stats.cycles);
+            c.insert("sim.loads".to_string(), result.stats.loads);
+            c.insert("sim.stores".to_string(), result.stats.stores);
+            c.insert("sim.calls".to_string(), result.stats.calls);
+            c
+        }
+    };
+    c.insert("sim.runs".to_string(), 1);
+    c
+}
+
+fn parse_engine(args: &[String]) -> Result<vpr::Engine, String> {
+    match flag_value(args, "--engine").as_deref() {
+        None | Some("fast") => Ok(vpr::Engine::Fast),
+        Some("ref") | Some("reference") => Ok(vpr::Engine::Reference),
+        Some(other) => Err(format!("unknown engine `{other}` (use fast or ref)")),
+    }
+}
+
 fn run_cmd(args: &[String]) -> Result<(), String> {
     let files = positionals(args);
     let [exe_path] = files.as_slice() else {
@@ -400,14 +453,12 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     }
     let input = parse_input(args)?;
     let stats_json = flag_value(args, "--stats-json");
-    let engine = match flag_value(args, "--engine").as_deref() {
-        None | Some("fast") => vpr::Engine::Fast,
-        Some("ref") | Some("reference") => vpr::Engine::Reference,
-        Some(other) => return Err(format!("unknown engine `{other}` (use fast or ref)")),
-    };
+    let metrics_out = flag_value(args, "--metrics-out");
+    let engine = parse_engine(args)?;
     let opts = vpr::SimOptions {
         input,
         attribute: stats_json.is_some(),
+        profile: metrics_out.is_some(),
         engine,
         ..vpr::SimOptions::default()
     };
@@ -435,6 +486,10 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
         };
         write(path, &serde_json::to_string_pretty(&dump).expect("serialize"))?;
         eprintln!("stats: -> {path}");
+    }
+    if let Some(path) = &metrics_out {
+        write(path, &ipra_telemetry::metrics_json_from(&sim_counters(&exe, &result)))?;
+        eprintln!("metrics: -> {path}");
     }
     if has_flag(args, "--stats") {
         let s = &result.stats;
@@ -583,6 +638,13 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
         let outcome = ipra_fuzz::fuzz(&opts);
         print!("{}", outcome.render());
         failed = outcome.total_failures > 0;
+        if let Some(path) = flag_value(args, "--metrics-out") {
+            let mut counters = BTreeMap::new();
+            counters.insert("fuzz.iterations".to_string(), outcome.iterations as u64);
+            counters.insert("fuzz.failures".to_string(), outcome.total_failures as u64);
+            write(&path, &ipra_telemetry::metrics_json_from(&counters))?;
+            eprintln!("metrics: -> {path}");
+        }
     }
     eprintln!("fuzz: {:.1}s", start.elapsed().as_secs_f64());
     if failed {
@@ -648,12 +710,18 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
     // cache hits when nothing changed. With --cache-dir the cache is also
     // persistent, so the story holds across separate cminc processes.
     let trace_path = flag_value(args, "--trace");
+    let trace_out = flag_value(args, "--trace-out");
+    let metrics_out = flag_value(args, "--metrics-out");
+    let stats_json = flag_value(args, "--stats-json");
+    let telemetry =
+        (trace_out.is_some() || metrics_out.is_some() || stats_json.is_some()).then(Telemetry::new);
     let mut cache = artifacts::open_cache(args)?;
     let mut program = None;
     for i in 0..repeat {
         let opts = ipra_driver::CompileOptions {
             jobs,
             trace: trace_path.is_some(),
+            telemetry: telemetry.clone(),
             ..ipra_driver::CompileOptions::default()
         };
         let built = ipra_driver::compile_configured(&sources, config, &input, &opts, &mut cache)
@@ -690,7 +758,23 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
         report_verify(&ipra_driver::verify_program(&program))?;
     }
     if has_flag(args, "--run") {
-        let result = ipra_driver::run_program(&program, &input).map_err(|e| e.to_string())?;
+        // With a collector attached, the run also profiles so `sim.*`
+        // counters (cycles, memory traffic, per-opcode-class retirement)
+        // land in the exported metrics. Profiling is pure observation.
+        let opts = vpr::SimOptions {
+            input: input.clone(),
+            profile: telemetry.is_some(),
+            ..vpr::SimOptions::default()
+        };
+        let tele = telemetry.as_ref();
+        let run_span = ipra_telemetry::span(tele, "sim", "run");
+        let result = vpr::run_with(&program.exe, &opts).map_err(|e| e.to_string())?;
+        run_span.finish();
+        if let Some(t) = tele {
+            for (k, n) in sim_counters(&program.exe, &result) {
+                t.add(&k, n);
+            }
+        }
         for v in &result.output {
             println!("{v}");
         }
@@ -705,5 +789,177 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    if let Some(t) = &telemetry {
+        if let Some(path) = &trace_out {
+            write(path, &t.chrome_trace_json())?;
+            eprintln!("trace-out: {} span events -> {path}", t.event_count());
+        }
+        if let Some(path) = &metrics_out {
+            write(path, &t.metrics_json())?;
+            eprintln!("metrics: {} counters -> {path}", t.counters().len());
+        }
+        if let Some(path) = &stats_json {
+            write(path, &build_stats_json(config, &sources, &program.build, t))?;
+            eprintln!("stats-json: -> {path}");
+        }
+    }
+    Ok(())
+}
+
+/// The `--stats-json` payload: machine-readable build statistics with the
+/// wall-clock columns deliberately left out, so the bytes are deterministic
+/// across runs, `--jobs` widths, and machines. Timings belong in
+/// `--trace-out`; this file is the counted work.
+fn build_stats_json(
+    config: PaperConfig,
+    sources: &[SourceFile],
+    build: &ipra_driver::BuildReport,
+    tele: &Telemetry,
+) -> String {
+    let names = |it: &[String]| Value::Array(it.iter().map(|s| Value::Str(s.clone())).collect());
+    let phase = |p: &ipra_driver::PhaseStats| {
+        Value::Object(vec![
+            ("hits".to_string(), Value::UInt(p.hits as u64)),
+            ("misses".to_string(), Value::UInt(p.misses as u64)),
+            ("disk_hits".to_string(), Value::UInt(p.disk_hits as u64)),
+        ])
+    };
+    let modules: Vec<String> = sources.iter().map(|s| s.name.clone()).collect();
+    let doc = Value::Object(vec![
+        ("schema".to_string(), Value::Str("ipra-build-stats-v1".to_string())),
+        ("config".to_string(), Value::Str(config.to_string())),
+        ("modules".to_string(), names(&modules)),
+        ("phase1".to_string(), phase(&build.phase1)),
+        ("phase2".to_string(), phase(&build.phase2)),
+        ("recompiled".to_string(), names(&build.recompiled)),
+        ("counters".to_string(), ipra_telemetry::counters_value(&tele.counters())),
+    ]);
+    let mut s = serde_json::to_string_pretty(&doc).expect("serialize");
+    s.push('\n');
+    s
+}
+
+/// `cminc profile`: run a program (an existing `.vx`, or sources compiled
+/// on the spot) with per-pc execution counts, and print symbolized
+/// per-procedure, hot-block and opcode-class tables. The profile is
+/// recorded identically by both engines, and every table totals to the
+/// run's cycle count exactly.
+fn profile_cmd(args: &[String]) -> Result<(), String> {
+    let files = positionals(args);
+    if files.is_empty() {
+        return Err("profile needs an executable or source files".into());
+    }
+    let input = parse_input(args)?;
+    let engine = parse_engine(args)?;
+    let top = match flag_value(args, "--top") {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("bad --top value `{v}`: {e}"))?,
+        None => 10,
+    };
+    let exe = if files.len() == 1 && !files[0].ends_with(".cmin") {
+        artifacts::load_executable(&files[0])?
+    } else {
+        let sources = read_sources(&files)?;
+        let config = parse_config(args)?;
+        let mut cache = ipra_driver::CompilationCache::new();
+        let opts = ipra_driver::CompileOptions::default();
+        ipra_driver::compile_configured(&sources, config, &input, &opts, &mut cache)
+            .map_err(|e| e.to_string())?
+            .map_err(|e| format!("training run trapped: {e}"))?
+            .exe
+    };
+    let opts = vpr::SimOptions { input, profile: true, engine, ..vpr::SimOptions::default() };
+    let result = vpr::run_with(&exe, &opts).map_err(|e| e.to_string())?;
+    let profile = result.profile.as_ref().expect("profiling was requested");
+    if profile.total() != result.stats.cycles {
+        return Err("internal error: profile total diverges from cycle count".into());
+    }
+
+    let mut procs = profile.proc_table(&exe);
+    procs.sort_by(|a, b| b.self_cycles.cmp(&a.self_cycles).then_with(|| a.name.cmp(&b.name)));
+    let blocks = {
+        let mut bs = profile.block_counts(&exe);
+        bs.retain(|b| b.cycles > 0);
+        bs.sort_by(|a, b| b.cycles.cmp(&a.cycles).then_with(|| a.start.cmp(&b.start)));
+        bs
+    };
+    let histogram = profile.opcode_histogram(&exe);
+
+    if let Some(path) = flag_value(args, "--json") {
+        let doc = Value::Object(vec![
+            ("schema".to_string(), Value::Str("ipra-profile-v1".to_string())),
+            ("total_cycles".to_string(), Value::UInt(result.stats.cycles)),
+            ("procs".to_string(), procs.serialize()),
+            ("blocks".to_string(), blocks.serialize()),
+            ("opcode_histogram".to_string(), ipra_telemetry::counters_value(&histogram)),
+        ]);
+        let mut s = serde_json::to_string_pretty(&doc).expect("serialize");
+        s.push('\n');
+        write(&path, &s)?;
+        eprintln!("profile: -> {path}");
+    }
+
+    let total = result.stats.cycles.max(1);
+    println!("profile: {} cycles, exit {}", result.stats.cycles, result.exit);
+    println!("\nprocedures (self cycles):");
+    for row in procs.iter().take(top) {
+        println!(
+            "  {:<20} {:>12} {:>6.2}%",
+            row.name,
+            row.self_cycles,
+            row.self_cycles as f64 * 100.0 / total as f64
+        );
+    }
+    println!("\nhot blocks:");
+    for b in blocks.iter().take(top) {
+        println!(
+            "  {:<20} pc {:>5}..{:<5} {:>10} entries {:>12} cycles {:>6.2}%",
+            b.sym.as_deref().unwrap_or("?"),
+            b.start,
+            b.end,
+            b.entries,
+            b.cycles,
+            b.cycles as f64 * 100.0 / total as f64
+        );
+    }
+    println!("\ninstructions retired by opcode class:");
+    for (class, n) in &histogram {
+        println!("  {:<8} {:>12} {:>6.2}%", class, n, *n as f64 * 100.0 / total as f64);
+    }
+    Ok(())
+}
+
+/// `cminc stats`: build the sources with a collector attached (optionally
+/// running the program too) and print the canonical metrics JSON on
+/// stdout — the byte-deterministic counters registry, never wall-clock.
+fn stats_cmd(args: &[String]) -> Result<(), String> {
+    let srcs = positionals(args);
+    if srcs.is_empty() {
+        return Err("stats needs at least one source file".into());
+    }
+    let sources = read_sources(&srcs)?;
+    let config = parse_config(args)?;
+    let input = parse_input(args)?;
+    let jobs = match flag_value(args, "--jobs").or_else(|| flag_value(args, "-j")) {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("bad --jobs value `{v}`: {e}"))?,
+        None => 1,
+    };
+    let telemetry = Telemetry::new();
+    let opts = ipra_driver::CompileOptions {
+        jobs,
+        telemetry: Some(telemetry.clone()),
+        ..ipra_driver::CompileOptions::default()
+    };
+    let mut cache = ipra_driver::CompilationCache::new();
+    let program = ipra_driver::compile_configured(&sources, config, &input, &opts, &mut cache)
+        .map_err(|e| e.to_string())?
+        .map_err(|e| format!("training run trapped: {e}"))?;
+    if has_flag(args, "--run") {
+        let opts = vpr::SimOptions { input, profile: true, ..vpr::SimOptions::default() };
+        let result = vpr::run_with(&program.exe, &opts).map_err(|e| e.to_string())?;
+        for (k, n) in sim_counters(&program.exe, &result) {
+            telemetry.add(&k, n);
+        }
+    }
+    print!("{}", telemetry.metrics_json());
     Ok(())
 }

@@ -20,6 +20,7 @@
 use cmin_ir::IrModule;
 use ipra_core::fingerprint::Fnv64;
 use ipra_summary::ModuleSummary;
+use ipra_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -126,6 +127,9 @@ pub(crate) struct Phase2Entry {
 pub struct DiskCache {
     root: PathBuf,
     pending: Vec<(PathBuf, Vec<u8>)>,
+    /// Telemetry sink for tier traffic (reads/writes with byte counts);
+    /// attached per build by [`CompilationCache::set_telemetry`].
+    tele: Option<Telemetry>,
 }
 
 impl DiskCache {
@@ -138,7 +142,7 @@ impl DiskCache {
         let root = root.into();
         std::fs::create_dir_all(root.join("p1"))?;
         std::fs::create_dir_all(root.join("p2"))?;
-        Ok(DiskCache { root, pending: Vec::new() })
+        Ok(DiskCache { root, pending: Vec::new(), tele: None })
     }
 
     /// The cache directory this tier persists under.
@@ -157,31 +161,62 @@ impl DiskCache {
         self.root.join("p2").join(format!("{:016x}.bin", h.finish()))
     }
 
+    /// Records the outcome of one disk-tier load attempt: read traffic in
+    /// bytes, plus a corrupt-frame counter when a file read fine but failed
+    /// to decode or fingerprint-check (it degrades to a miss).
+    fn count_load<T>(&self, bytes: &[u8], decoded: &Option<T>) {
+        if let Some(t) = &self.tele {
+            t.add("cache.disk.reads", 1);
+            t.add("cache.disk.read_bytes", bytes.len() as u64);
+            if decoded.is_none() {
+                t.add("cache.disk.corrupt", 1);
+            }
+        }
+    }
+
     pub(crate) fn load_phase1(&self, key: u64) -> Option<Phase1Entry> {
         let bytes = std::fs::read(self.phase1_path(key)).ok()?;
-        let e: Phase1Entry = crate::framed::decode_frame(&bytes, crate::framed::KIND_PHASE1)?;
-        (e.key == key).then_some(e)
+        let e: Option<Phase1Entry> =
+            crate::framed::decode_frame(&bytes, crate::framed::KIND_PHASE1)
+                .filter(|e: &Phase1Entry| e.key == key);
+        self.count_load(&bytes, &e);
+        e
     }
 
     pub(crate) fn store_phase1(&mut self, entry: &Phase1Entry) {
         let frame = crate::framed::encode_frame(crate::framed::KIND_PHASE1, entry);
+        self.count_store(&frame);
         self.pending.push((self.phase1_path(entry.key), frame));
     }
 
     pub(crate) fn load_phase2(&self, ir_fp: u64, db_fp: u64) -> Option<Phase2Entry> {
         let bytes = std::fs::read(self.phase2_path(ir_fp, db_fp)).ok()?;
-        let e: Phase2Entry = crate::framed::decode_frame(&bytes, crate::framed::KIND_PHASE2)?;
-        (e.ir_fp == ir_fp && e.db_fp == db_fp).then_some(e)
+        let e: Option<Phase2Entry> =
+            crate::framed::decode_frame(&bytes, crate::framed::KIND_PHASE2)
+                .filter(|e: &Phase2Entry| e.ir_fp == ir_fp && e.db_fp == db_fp);
+        self.count_load(&bytes, &e);
+        e
     }
 
     pub(crate) fn store_phase2(&mut self, entry: &Phase2Entry) {
         let frame = crate::framed::encode_frame(crate::framed::KIND_PHASE2, entry);
+        self.count_store(&frame);
         self.pending.push((self.phase2_path(entry.ir_fp, entry.db_fp), frame));
+    }
+
+    /// Records one buffered disk-tier store (counted at encode time; the
+    /// actual write happens at [`flush`](DiskCache::flush)).
+    fn count_store(&self, frame: &[u8]) {
+        if let Some(t) = &self.tele {
+            t.add("cache.disk.writes", 1);
+            t.add("cache.disk.write_bytes", frame.len() as u64);
+        }
     }
 
     /// Writes all buffered entries to disk. Best-effort per entry: a failed
     /// write leaves the disk tier cold for that key, not wrong.
     pub fn flush(&mut self) {
+        let _s = ipra_telemetry::span(self.tele.as_ref(), "cache", "cache:flush");
         for (path, bytes) in self.pending.drain(..) {
             let _ = std::fs::write(path, bytes);
         }
@@ -202,6 +237,7 @@ pub struct CompilationCache {
     pub(crate) phase2: HashMap<String, Phase2Entry>,
     pub(crate) stats: CacheStats,
     pub(crate) disk: Option<DiskCache>,
+    pub(crate) tele: Option<Telemetry>,
 }
 
 impl CompilationCache {
@@ -224,6 +260,29 @@ impl CompilationCache {
     /// The on-disk tier's directory, when one is attached.
     pub fn cache_dir(&self) -> Option<&Path> {
         self.disk.as_ref().map(DiskCache::root)
+    }
+
+    /// Attaches (or detaches, with `None`) a telemetry collector. Cache
+    /// lookups, promotions, and disk-tier traffic are counted into it, and
+    /// the pipeline layers above ([`crate::separate`]) read it back via
+    /// [`telemetry`](CompilationCache::telemetry) so artifact staging shares
+    /// the build's collector without widening every signature.
+    pub fn set_telemetry(&mut self, tele: Option<Telemetry>) {
+        if let Some(d) = &mut self.disk {
+            d.tele = tele.clone();
+        }
+        self.tele = tele;
+    }
+
+    /// The attached telemetry collector, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tele.as_ref()
+    }
+
+    fn count(&self, key: &str) {
+        if let Some(t) = &self.tele {
+            t.add(key, 1);
+        }
     }
 
     /// Drops all in-memory cached phase results (counters survive; the
@@ -261,10 +320,18 @@ impl CompilationCache {
     ) -> Option<(Arc<Phase1Entry>, bool)> {
         if let Some(e) = self.phase1.get(name) {
             if e.key == key {
+                self.count("cache.p1.mem_hits");
                 return Some((Arc::clone(e), false));
             }
         }
-        let e = Arc::new(self.disk.as_ref()?.load_phase1(key)?);
+        let loaded = self.disk.as_ref().and_then(|d| d.load_phase1(key));
+        let Some(e) = loaded else {
+            self.count("cache.p1.misses");
+            return None;
+        };
+        self.count("cache.p1.disk_hits");
+        self.count("cache.p1.promotes");
+        let e = Arc::new(e);
         self.phase1.insert(name.to_string(), Arc::clone(&e));
         Some((e, true))
     }
@@ -291,10 +358,17 @@ impl CompilationCache {
     ) -> Option<(ObjectModule, bool)> {
         if let Some(e) = self.phase2.get(name) {
             if e.ir_fp == ir_fp && e.db_fp == db_fp {
+                self.count("cache.p2.mem_hits");
                 return Some((e.object.clone(), false));
             }
         }
-        let e = self.disk.as_ref()?.load_phase2(ir_fp, db_fp)?;
+        let loaded = self.disk.as_ref().and_then(|d| d.load_phase2(ir_fp, db_fp));
+        let Some(e) = loaded else {
+            self.count("cache.p2.misses");
+            return None;
+        };
+        self.count("cache.p2.disk_hits");
+        self.count("cache.p2.promotes");
         let object = e.object.clone();
         self.phase2.insert(name.to_string(), e);
         Some((object, true))

@@ -68,11 +68,11 @@ use ipra_core::trace::AnalyzerTrace;
 use ipra_core::{ProfileData, ProgramDatabase};
 use ipra_obsv::DiffReport;
 use ipra_summary::ProgramSummary;
+use ipra_telemetry::{span, Telemetry};
 use ipra_verify::VerifyReport;
 use stages::{parallel_map, phase1_key, run_phase1};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 use vpr::program::{link, Executable, LinkError, ObjectModule};
 use vpr::sim::{run_with, RunResult, SimError, SimOptions};
 
@@ -114,6 +114,12 @@ pub struct CompileOptions {
     /// [`CompiledProgram::trace`]. Tracing is pure observation: the
     /// resulting program is bit-identical with or without it.
     pub trace: bool,
+    /// Telemetry collector for this build: timed spans (whole build,
+    /// per-module phase tasks tagged with their worker lane, analyze,
+    /// link, cache I/O) and deterministic counters. `None` records
+    /// nothing; either way the compiled program is bit-identical —
+    /// telemetry is pure observation, like [`trace`](CompileOptions::trace).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for CompileOptions {
@@ -125,6 +131,7 @@ impl Default for CompileOptions {
             optimize: true,
             jobs: 1,
             trace: false,
+            telemetry: None,
         }
     }
 }
@@ -262,12 +269,14 @@ pub fn compile_incremental(
     options: &CompileOptions,
     cache: &mut CompilationCache,
 ) -> Result<CompiledProgram, DriverError> {
-    let build_start = Instant::now();
+    let tele = options.telemetry.as_ref();
+    cache.set_telemetry(options.telemetry.clone());
+    let build_timer = span(tele, "build", "build");
     let jobs = options.effective_jobs();
     let mut report = BuildReport::default();
 
     // ---- Compiler first phase, cache-probed then fanned out per module.
-    let phase1_start = Instant::now();
+    let phase1_timer = span(tele, "build", "phase1");
     let keys: Vec<u64> = sources.iter().map(|s| phase1_key(s, options.optimize)).collect();
     let mut entries: Vec<Option<Arc<Phase1Entry>>> = Vec::with_capacity(sources.len());
     let mut miss_idx: Vec<usize> = Vec::new();
@@ -287,8 +296,10 @@ pub fn compile_incremental(
     }
     let work: Vec<(usize, &SourceFile, u64)> =
         miss_idx.iter().map(|&i| (i, &sources[i], keys[i])).collect();
-    let computed =
-        parallel_map(&work, jobs, |&(_, src, key)| run_phase1(src, options.optimize, key));
+    let computed = parallel_map(&work, jobs, |&(_, src, key)| {
+        let _task = span(tele, "phase1", &format!("phase1:{}", src.name));
+        run_phase1(src, options.optimize, key)
+    });
     let mut first_error: Option<(usize, CompileError)> = None;
     for (&(i, src, _), result) in work.iter().zip(computed) {
         match result {
@@ -311,10 +322,10 @@ pub fn compile_incremental(
     }
     let entries: Vec<Arc<Phase1Entry>> =
         entries.into_iter().map(|e| e.expect("all phase-1 slots filled")).collect();
-    report.phase1.seconds = phase1_start.elapsed().as_secs_f64();
+    report.phase1.seconds = phase1_timer.finish();
 
     // ---- The program analyzer (whole-program; always runs).
-    let analyze_start = Instant::now();
+    let analyze_timer = span(tele, "build", "analyze");
     let summary = ProgramSummary { modules: entries.iter().map(|e| e.summary.clone()).collect() };
     let analyzer_opts = stages::analyzer_options(options);
     let (analysis, trace) = if options.trace {
@@ -323,10 +334,10 @@ pub fn compile_incremental(
     } else {
         (analyze(&summary, &analyzer_opts), None)
     };
-    report.analyze_seconds = analyze_start.elapsed().as_secs_f64();
+    report.analyze_seconds = analyze_timer.finish();
 
     // ---- Compiler second phase: per module, keyed on (IR, database slice).
-    let phase2_start = Instant::now();
+    let phase2_timer = span(tele, "build", "phase2");
     let database = &analysis.database;
     let db_fps: Vec<u64> = entries
         .iter()
@@ -354,7 +365,10 @@ pub fn compile_incremental(
         }
     }
     let stale: Vec<&Phase1Entry> = stale_idx.iter().map(|&i| &*entries[i]).collect();
-    let compiled = parallel_map(&stale, jobs, |e| cmin_codegen::compile_module(&e.ir, database));
+    let compiled = parallel_map(&stale, jobs, |e| {
+        let _task = span(tele, "phase2", &format!("phase2:{}", e.ir.name));
+        cmin_codegen::compile_module(&e.ir, database)
+    });
     for (&i, object) in stale_idx.iter().zip(compiled) {
         let e = &entries[i];
         report.recompiled.push(e.ir.name.clone());
@@ -368,17 +382,33 @@ pub fn compile_incremental(
     cache.stats.phase2_misses += report.phase2.misses as u64;
     let objects: Vec<ObjectModule> =
         objects.into_iter().map(|o| o.expect("all phase-2 slots filled")).collect();
-    report.phase2.seconds = phase2_start.elapsed().as_secs_f64();
+    report.phase2.seconds = phase2_timer.finish();
 
     // ---- Link (whole-program; always runs).
-    let link_start = Instant::now();
+    let link_timer = span(tele, "build", "link");
     let exe = link(&objects)?;
-    report.link_seconds = link_start.elapsed().as_secs_f64();
+    report.link_seconds = link_timer.finish();
 
     // One burst of disk-tier writes per build (entries stay served from
     // memory either way; see `DiskCache`). Charged to the build total.
     cache.flush();
-    report.total_seconds = build_start.elapsed().as_secs_f64();
+    report.total_seconds = build_timer.finish();
+
+    if let Some(t) = tele {
+        t.add("build.builds", 1);
+        t.add("build.modules", sources.len() as u64);
+        t.add("phase1.hits", report.phase1.hits as u64);
+        t.add("phase1.disk_hits", report.phase1.disk_hits as u64);
+        t.add("phase1.misses", report.phase1.misses as u64);
+        t.add("phase2.hits", report.phase2.hits as u64);
+        t.add("phase2.disk_hits", report.phase2.disk_hits as u64);
+        t.add("phase2.misses", report.phase2.misses as u64);
+        t.add("phase2.recompiled", report.recompiled.len() as u64);
+        t.add("analyze.nodes", analysis.stats.nodes as u64);
+        t.add("analyze.webs", analysis.stats.webs_total as u64);
+        t.add("link.objects", objects.len() as u64);
+        t.add("link.insts", exe.code_len() as u64);
+    }
 
     Ok(CompiledProgram {
         exe,
@@ -537,10 +567,17 @@ pub fn compile_configured(
         ..options.clone()
     };
     let baseline = compile_incremental(sources, &baseline_opts, cache)?;
+    let tele = options.telemetry.as_ref();
+    let training_timer = span(tele, "sim", "training-run");
     let training = match run_program(&baseline, training_input) {
         Ok(r) => r,
         Err(e) => return Ok(Err(e)),
     };
+    training_timer.finish();
+    if let Some(t) = tele {
+        t.add("sim.training.runs", 1);
+        t.add("sim.training.cycles", training.stats.cycles);
+    }
     let profile = collect_profile(&baseline, &training);
     let opts = CompileOptions { config: Some(config), profile: Some(profile), ..options.clone() };
     Ok(Ok(compile_incremental(sources, &opts, cache)?))

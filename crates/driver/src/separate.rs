@@ -26,6 +26,7 @@ use ipra_artifact::{
 use ipra_core::analyzer::{analyze, AnalyzerOptions, PaperConfig};
 use ipra_core::{ProfileData, ProgramDatabase};
 use ipra_summary::ProgramSummary;
+use ipra_telemetry::{span, Telemetry};
 use std::path::{Path, PathBuf};
 use vpr::program::Executable;
 use vpr::sim::{run_with, SimError, SimOptions};
@@ -133,6 +134,28 @@ fn io_err(path: &Path, e: std::io::Error) -> DriverError {
     })
 }
 
+/// Counts one artifact write into the build's telemetry (file count plus
+/// on-disk bytes; artifact encodings are byte-deterministic, so so are
+/// these counters).
+fn count_artifact_write(tele: Option<&Telemetry>, path: &Path) {
+    if let Some(t) = tele {
+        t.add("artifact.writes", 1);
+        if let Ok(m) = std::fs::metadata(path) {
+            t.add("artifact.write_bytes", m.len());
+        }
+    }
+}
+
+/// Counts one artifact read-back into the build's telemetry.
+fn count_artifact_read(tele: Option<&Telemetry>, path: &Path) {
+    if let Some(t) = tele {
+        t.add("artifact.reads", 1);
+        if let Ok(m) = std::fs::metadata(path) {
+            t.add("artifact.read_bytes", m.len());
+        }
+    }
+}
+
 /// Runs the four-stage separate-compilation pipeline into `dir`, staging
 /// every intermediate product through its on-disk artifact format (each
 /// stage re-reads its inputs from the files the previous stage wrote).
@@ -149,8 +172,12 @@ pub fn artifact_build(
     cache: &mut CompilationCache,
 ) -> Result<ArtifactBuild, DriverError> {
     std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let tele = cache.telemetry().cloned();
+    let tele = tele.as_ref();
+    let _staged = span(tele, "build", "artifact-build");
 
     // ---- Stage 1: summaries to disk, one `.csum` per module.
+    let stage1 = span(tele, "artifact", "stage1:summaries");
     let mut summary_paths = Vec::with_capacity(sources.len());
     for src in sources {
         let key = stages::phase1_key(src, true);
@@ -170,13 +197,17 @@ pub fn artifact_build(
         let payload =
             SummaryArtifact { summary: entry.summary.clone(), source_fp: key, ir_fp: entry.ir_fp };
         ipra_artifact::write_file(ArtifactKind::Summary, &path, &payload)?;
+        count_artifact_write(tele, &path);
         summary_paths.push(path);
     }
+    stage1.finish();
 
     // ---- Stage 2: the analyzer, over summaries re-read from disk.
+    let stage2 = span(tele, "artifact", "stage2:analyze");
     let mut modules = Vec::with_capacity(summary_paths.len());
     for path in &summary_paths {
         let a: SummaryArtifact = ipra_artifact::read_file(ArtifactKind::Summary, path)?;
+        count_artifact_read(tele, path);
         modules.push(a.summary);
     }
     let summary = ProgramSummary { modules };
@@ -184,10 +215,14 @@ pub fn artifact_build(
     let directives_path = dir.join("program.cdir");
     let payload = DirectivesArtifact { config: config.to_string(), database: analysis.database };
     ipra_artifact::write_file(ArtifactKind::Directives, &directives_path, &payload)?;
+    count_artifact_write(tele, &directives_path);
+    stage2.finish();
 
     // ---- Stage 3: phase 2 per module, under directives re-read from disk.
+    let stage3 = span(tele, "artifact", "stage3:objects");
     let directives: DirectivesArtifact =
         ipra_artifact::read_file(ArtifactKind::Directives, &directives_path)?;
+    count_artifact_read(tele, &directives_path);
     let mut object_paths = Vec::with_capacity(sources.len());
     let mut recompiled = Vec::new();
     for src in sources {
@@ -197,14 +232,18 @@ pub fn artifact_build(
         }
         let path = dir.join(format!("{}.vo", src.name));
         ipra_artifact::write_file(ArtifactKind::Object, &path, &product.object)?;
+        count_artifact_write(tele, &path);
         object_paths.push(path);
     }
+    stage3.finish();
 
     // ---- Stage 4: link objects re-read from disk; write and re-read the
     // executable so what we return is literally what is on disk.
+    let stage4 = span(tele, "artifact", "stage4:link");
     let mut objects = Vec::with_capacity(object_paths.len());
     for path in &object_paths {
         let a: ObjectArtifact = ipra_artifact::read_file(ArtifactKind::Object, path)?;
+        count_artifact_read(tele, path);
         objects.push(a.object);
     }
     let exe = vpr::link(&objects)?;
@@ -214,9 +253,12 @@ pub fn artifact_build(
         &executable_path,
         &ExecutableArtifact { exe },
     )?;
+    count_artifact_write(tele, &executable_path);
     let exe =
         ipra_artifact::read_file::<ExecutableArtifact>(ArtifactKind::Executable, &executable_path)?
             .exe;
+    count_artifact_read(tele, &executable_path);
+    stage4.finish();
 
     Ok(ArtifactBuild {
         exe,

@@ -31,14 +31,21 @@ pub(crate) fn parallel_map<T: Sync, R: Send>(
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..jobs.min(n) {
+            let (next, slots, f) = (&next, &slots, &f);
+            scope.spawn(move || {
+                // Lane 0 is the main thread; workers are lanes 1..=jobs.
+                // Telemetry spans recorded inside `f` carry this lane as
+                // their trace `tid`, making pool utilization visible.
+                ipra_telemetry::set_lane(w as u64 + 1);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *slots[i].lock().expect("worker result slot poisoned") = Some(r);
                 }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("worker result slot poisoned") = Some(r);
             });
         }
     });

@@ -168,16 +168,20 @@ impl DecodedProgram<'_> {
     /// See [`SimError`] — identical kinds, pcs, and symbolization as the
     /// reference interpreter.
     pub fn run_with(&self, opts: &SimOptions) -> Result<RunResult, SimError> {
-        if opts.attribute {
-            self.exec::<true>(opts)
-        } else {
-            self.exec::<false>(opts)
+        match (opts.attribute, opts.profile) {
+            (false, false) => self.exec::<false, false>(opts),
+            (false, true) => self.exec::<false, true>(opts),
+            (true, false) => self.exec::<true, false>(opts),
+            (true, true) => self.exec::<true, true>(opts),
         }
     }
 
-    /// The dispatch loop, monomorphized on whether attribution is on so
-    /// the plain configuration pays nothing for it.
-    fn exec<const ATTR: bool>(&self, opts: &SimOptions) -> Result<RunResult, SimError> {
+    /// The dispatch loop, monomorphized on whether attribution and
+    /// profiling are on so the plain configuration pays nothing for them.
+    fn exec<const ATTR: bool, const PROF: bool>(
+        &self,
+        opts: &SimOptions,
+    ) -> Result<RunResult, SimError> {
         let ops = &self.ops[..];
         let nfuncs = self.nfuncs;
         let mut mem = vec![0i64; opts.mem_words];
@@ -218,6 +222,9 @@ impl DecodedProgram<'_> {
         let mut cur_slot = nfuncs;
         let mut seg_start: u64 = 0;
 
+        // Per-pc execution counts; empty (never touched) unless `PROF`.
+        let mut prof: Vec<u64> = vec![0; if PROF { ops.len() } else { 0 }];
+
         let mut pc = 0usize;
         loop {
             if cycles >= max_steps {
@@ -228,6 +235,9 @@ impl DecodedProgram<'_> {
                 None => return Err(SimError::BadPc { pc, sym: self.exe.symbolize(pc) }),
             };
             cycles += 1;
+            if PROF {
+                prof[pc] += 1;
+            }
             let mut next = pc + 1;
             match op {
                 Op::Ldi { rd, imm } => set(&mut regs, rd, imm),
@@ -397,7 +407,8 @@ impl DecodedProgram<'_> {
                     } else {
                         None
                     };
-                    return Ok(RunResult { output, exit, stats, attribution });
+                    let profile = PROF.then_some(crate::profile::ExecProfile { pc_counts: prof });
+                    return Ok(RunResult { output, exit, stats, attribution, profile });
                 }
                 Op::Nop => {}
                 Op::Unresolved => {

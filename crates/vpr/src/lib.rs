@@ -22,6 +22,8 @@
 //!   (singleton vs. other), and call-profile accounting,
 //! * [`exec`] — the fast pre-decoded execution engine, bit-identical to
 //!   [`sim`] in every observable (selected via [`sim::Engine`]),
+//! * [`profile`] — per-pc execution profiles recorded by both engines and
+//!   their derived opcode/block/procedure hot tables,
 //! * [`asm`] — diagnostic assembly rendering.
 //!
 //! # Examples
@@ -48,6 +50,7 @@ pub mod cfg;
 pub mod exec;
 pub mod inst;
 pub mod object;
+pub mod profile;
 pub mod program;
 pub mod regs;
 pub mod sim;
@@ -55,6 +58,7 @@ pub mod sim;
 pub use exec::{decode, DecodedProgram};
 pub use inst::{AluOp, Cond, Inst, Label, MemClass};
 pub use object::{program_symbols, RelocKind, Relocation, SymbolTable};
+pub use profile::{BlockCount, ExecProfile, ProcProfileRow};
 pub use program::{
     link, link_with, Executable, GlobalDef, LinkError, LinkOptions, MachineFunction, ObjectModule,
 };

@@ -68,6 +68,10 @@ pub struct SimOptions {
     /// shadow call stack ([`RunResult::attribution`]). Exact, not sampled;
     /// never changes the run's [`RunStats`].
     pub attribute: bool,
+    /// Record per-pc execution counts ([`RunResult::profile`]). Exact, not
+    /// sampled; never changes the run's [`RunStats`], and both engines
+    /// produce identical profiles.
+    pub profile: bool,
     /// Which execution engine to use; observables never depend on it.
     pub engine: Engine,
 }
@@ -79,6 +83,7 @@ impl Default for SimOptions {
             max_steps: 2_000_000_000,
             input: Vec::new(),
             attribute: false,
+            profile: false,
             engine: Engine::default(),
         }
     }
@@ -213,6 +218,10 @@ pub struct RunResult {
     /// attribution was off.
     #[serde(default)]
     pub attribution: Option<Attribution>,
+    /// Per-pc execution counts ([`SimOptions::profile`]); `None` when
+    /// profiling was off.
+    #[serde(default)]
+    pub profile: Option<crate::profile::ExecProfile>,
 }
 
 /// A runtime trap or simulator resource error. Trap variants carry the
@@ -442,6 +451,8 @@ struct Machine<'a> {
     calls: CallCounters,
     // Per-procedure attribution (opt-in; `None` keeps the run untouched).
     attr: Option<AttrState>,
+    // Per-pc execution counts (opt-in; `None` keeps the run untouched).
+    prof: Option<Vec<u64>>,
 }
 
 impl<'a> Machine<'a> {
@@ -469,6 +480,7 @@ impl<'a> Machine<'a> {
             shadow: vec![usize::MAX],
             calls: CallCounters::new(exe.funcs().len()),
             attr: opts.attribute.then(|| AttrState::new(exe.funcs().len())),
+            prof: opts.profile.then(|| vec![0u64; exe.insts().len()]),
         }
     }
 
@@ -597,6 +609,9 @@ impl<'a> Machine<'a> {
             if let Some(a) = &mut self.attr {
                 a.cur(&self.shadow).cycles += 1;
             }
+            if let Some(p) = &mut self.prof {
+                p[self.pc] += 1;
+            }
             let mut next = self.pc + 1;
             match inst {
                 Inst::Ldi { rd, imm } => self.set(*rd, *imm),
@@ -668,11 +683,14 @@ impl<'a> Machine<'a> {
                     let exit = self.get(Reg::RV);
                     self.calls.fold_into(&mut self.stats);
                     let attribution = self.finish_attribution();
+                    let profile =
+                        self.prof.take().map(|pc_counts| crate::profile::ExecProfile { pc_counts });
                     return Ok(RunResult {
                         output: self.output,
                         exit,
                         stats: self.stats,
                         attribution,
+                        profile,
                     });
                 }
                 Inst::Nop => {}

@@ -126,6 +126,50 @@ cmp "$sep/fast-stats.json" "$sep/ref-stats.json"
 "$cminc" objdump "$sep/prog.vx" > /dev/null
 "$cminc" objdump "$sep/prog.cdir" > /dev/null
 
+echo "==> telemetry smoke (Chrome-trace shape; metrics byte-identical across jobs widths)"
+tele="$report_dir/tele"
+mkdir -p "$tele"
+"$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C --run -j 4 \
+  --trace-out "$tele/trace.json" --metrics-out "$tele/m1.json" \
+  --stats-json "$tele/stats.json" > /dev/null 2>&1
+python3 - "$tele/trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty trace"
+stacks = {}
+for e in events:
+    assert e["pid"] == 1, "pid is always 1"
+    assert isinstance(e["tid"], int) and isinstance(e["ts"], int)
+    stack = stacks.setdefault(e["tid"], [])
+    if e["ph"] == "B":
+        stack.append(e["name"])
+    elif e["ph"] == "E":
+        assert stack and stack.pop() == e["name"], f"unbalanced span {e['name']}"
+    else:
+        raise AssertionError(f"unexpected ph {e['ph']!r}")
+assert all(not s for s in stacks.values()), "unfinished spans"
+names = {e["name"] for e in events}
+for want in ("build", "phase1", "analyze", "phase2", "link"):
+    assert want in names, f"missing {want} span"
+assert any(e["tid"] != 0 for e in events), "no worker-lane spans"
+print(f"trace ok: {len(events)} events across {len(stacks)} lanes")
+EOF
+"$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C --run -j 1 \
+  --metrics-out "$tele/m2.json" > /dev/null 2>&1
+cmp "$tele/m1.json" "$tele/m2.json"
+grep -q '"sim.cycles"' "$tele/m1.json"
+grep -q '"schema": "ipra-build-stats-v1"' "$tele/stats.json"
+# The profiler must render identically on both engines.
+"$cminc" profile "$sep/prog.vx" --top 5 > "$tele/profile-fast.txt" 2>/dev/null
+"$cminc" profile "$sep/prog.vx" --top 5 --engine ref > "$tele/profile-ref.txt" 2>/dev/null
+cmp "$tele/profile-fast.txt" "$tele/profile-ref.txt"
+grep -q 'procedures (self cycles):' "$tele/profile-fast.txt"
+"$cminc" stats "$sep/m1.cmin" "$sep/m2.cmin" --config C --run > "$tele/stats-run.json" 2>/dev/null
+grep -q '"sim.op.' "$tele/stats-run.json"
+"$cminc" fuzz --seed 1 --iters 5 --metrics-out "$tele/fuzz.json" > /dev/null 2>&1
+grep -q '"fuzz.iterations": 5' "$tele/fuzz.json"
+
 echo "==> persistent cache smoke (second process recompiles only the edited module)"
 bcache="$sep/.bcache"
 "$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C --cache-dir "$bcache" -o "$sep/cache1.vx" > /dev/null
