@@ -61,6 +61,8 @@ fn main() -> ExitCode {
         "explain" => explain_cmd(rest),
         "report" => report_cmd(rest),
         "fuzz" => fuzz_cmd(rest),
+        "serve" => serve_cmd(rest),
+        "remote" => remote_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -92,6 +94,9 @@ const USAGE: &str = "usage:
   cminc explain <symbol> (--trace <trace.json> | <src.cmin>... [--config ...])
   cminc report <src.cmin>... --config-b L2|A|B|C|D|E|F|P [--config-a ...] [--input \"v v v\"] [--json <out.json>]
   cminc fuzz [--seed N] [--iters N | --time-budget SECS] [-j|--jobs N] [--corpus DIR] [--reduce-budget N] [--self-validate] [--metrics-out <m.json>]
+  cminc serve --socket PATH [--cache-dir DIR] [-j|--jobs N] [--shards N] [--cap N] [--timeout SECS]
+  cminc remote build <src.cmin>... --socket PATH [--config ...] [-o <prog.vx>] [--input \"v v v\"]
+  cminc remote ping|stats|shutdown --socket PATH
 
 artifacts (`objdump` prints any of them):
   .csum  per-module summary     .cdir  analyzer directives   .vo  object code
@@ -200,6 +205,10 @@ pub(crate) fn positionals(args: &[String]) -> Vec<String> {
                     | "--trace-out"
                     | "--metrics-out"
                     | "--top"
+                    | "--socket"
+                    | "--shards"
+                    | "--cap"
+                    | "--timeout"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
@@ -962,4 +971,147 @@ fn stats_cmd(args: &[String]) -> Result<(), String> {
     }
     print!("{}", telemetry.metrics_json());
     Ok(())
+}
+
+/// `cminc serve`: run `cmind`, the build-service daemon, until a client
+/// sends a shutdown request. All sessions share one sharded, optionally
+/// size-capped, optionally persistent compilation cache.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let socket = flag_value(args, "--socket").ok_or("serve needs --socket PATH")?;
+    let jobs = match flag_value(args, "--jobs").or_else(|| flag_value(args, "-j")) {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("bad --jobs value `{v}`: {e}"))?,
+        None => 1,
+    };
+    let shards = match flag_value(args, "--shards") {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("bad --shards value `{v}`: {e}"))?,
+        None => 4,
+    };
+    let capacity = match flag_value(args, "--cap") {
+        Some(v) => Some(v.parse::<usize>().map_err(|e| format!("bad --cap value `{v}`: {e}"))?),
+        None => None,
+    };
+    let request_timeout = match flag_value(args, "--timeout") {
+        Some(v) => {
+            let secs = v.parse::<u64>().map_err(|e| format!("bad --timeout value `{v}`: {e}"))?;
+            Some(std::time::Duration::from_secs(secs))
+        }
+        None => None,
+    };
+    let opts = ipra_daemon::ServerOptions {
+        socket: socket.clone().into(),
+        jobs,
+        cache_dir: flag_value(args, "--cache-dir").map(Into::into),
+        shards,
+        capacity,
+        request_timeout,
+        telemetry: Telemetry::new(),
+    };
+    let server = ipra_daemon::Server::start(opts).map_err(|e| format!("serve: {socket}: {e}"))?;
+    eprintln!("cmind: listening on {socket}");
+    server.wait();
+    eprintln!("cmind: drained, exiting");
+    Ok(())
+}
+
+/// `cminc remote`: talk to a running `cmind`. `build` falls back to a
+/// local compile when the daemon is unreachable, so scripts can use it
+/// unconditionally.
+fn remote_cmd(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let Some((sub, rest)) = pos.split_first() else {
+        return Err("remote needs a subcommand: build | ping | stats | shutdown".into());
+    };
+    let socket = flag_value(args, "--socket").ok_or("remote needs --socket PATH")?;
+    match sub.as_str() {
+        "build" => remote_build(args, rest, &socket),
+        "ping" => {
+            let mut client = connect_daemon(&socket)?;
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong");
+            Ok(())
+        }
+        "stats" => {
+            let mut client = connect_daemon(&socket)?;
+            let counters = client.stats().map_err(|e| e.to_string())?;
+            let map: BTreeMap<String, u64> =
+                counters.into_iter().map(|c| (c.name, c.value)).collect();
+            print!("{}", ipra_telemetry::metrics_json_from(&map));
+            Ok(())
+        }
+        "shutdown" => {
+            let mut client = connect_daemon(&socket)?;
+            client.shutdown().map_err(|e| e.to_string())?;
+            eprintln!("cmind at {socket}: shutting down");
+            Ok(())
+        }
+        other => Err(format!("unknown remote subcommand `{other}`")),
+    }
+}
+
+fn connect_daemon(socket: &str) -> Result<ipra_daemon::Client, String> {
+    ipra_daemon::Client::connect(socket).map_err(|e| e.to_string())
+}
+
+/// Writes a build result (as `.vx` artifact text) to `-o`: raw artifact
+/// text for `.vx` paths — byte-identical to `cminc build -o` — and legacy
+/// bare JSON otherwise, matching `build`'s conventions.
+fn write_vx_text(out: Option<&str>, vx: &str) -> Result<(), String> {
+    let Some(path) = out else { return Ok(()) };
+    if ipra_artifact::ArtifactKind::for_path(Path::new(path))
+        == Some(ipra_artifact::ArtifactKind::Executable)
+    {
+        write(path, vx)
+    } else {
+        let a: ipra_artifact::ExecutableArtifact =
+            ipra_artifact::decode(ipra_artifact::ArtifactKind::Executable, vx)
+                .map_err(|e| e.to_string())?;
+        write(path, &serde_json::to_string(&a.exe).expect("serialize"))
+    }
+}
+
+fn remote_build(args: &[String], srcs: &[String], socket: &str) -> Result<(), String> {
+    if srcs.is_empty() {
+        return Err("remote build needs at least one source file".into());
+    }
+    let config = parse_config(args)?; // validate locally before shipping
+    let config_name = flag_value(args, "--config").unwrap_or_else(|| "L2".to_string());
+    let input = parse_input(args)?;
+    let sources = read_sources(srcs)?;
+    let out = flag_value(args, "-o");
+    match connect_daemon(socket) {
+        Ok(mut client) => {
+            let request = ipra_daemon::BuildRequest {
+                config: config_name,
+                optimize: true,
+                sources: sources
+                    .iter()
+                    .map(|s| ipra_daemon::WireSource { name: s.name.clone(), text: s.text.clone() })
+                    .collect(),
+                training_input: input,
+            };
+            let built = client.build(&request).map_err(|e| e.to_string())?;
+            write_vx_text(out.as_deref(), &built.vx)?;
+            eprintln!(
+                "cmind: {} modules, {} recompiled{}",
+                sources.len(),
+                built.recompiled.len(),
+                if built.coalesced { " (coalesced with an identical in-flight build)" } else { "" }
+            );
+            Ok(())
+        }
+        Err(e) => {
+            // The daemon being down must not break builds: degrade to a
+            // local compile of the same inputs — byte-identical output by
+            // construction.
+            eprintln!("cminc: daemon unavailable ({e}); building locally");
+            let opts = ipra_driver::CompileOptions::default();
+            let mut cache = ipra_driver::CompilationCache::new();
+            let program =
+                ipra_driver::compile_configured(&sources, config, &input, &opts, &mut cache)
+                    .map_err(|e| e.to_string())?
+                    .map_err(|e| format!("training run trapped: {e}"))?;
+            let (vx, _) = ipra_daemon::protocol::executable_artifact(&program.exe);
+            write_vx_text(out.as_deref(), &vx)
+        }
+    }
 }

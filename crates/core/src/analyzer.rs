@@ -295,7 +295,7 @@ fn analyze_impl(
     let refs = RefSets::compute(&graph, &elig);
 
     if let (Some(t), Some(sol)) = (trace.as_deref_mut(), alias_solution.as_ref()) {
-        emit_alias_events(t, summary, sol);
+        emit_alias_events(t, &graph, summary, sol);
     }
 
     let mut stats = AnalyzerStats {
@@ -458,10 +458,15 @@ fn analyze_impl(
 /// blanket rule would demote, an `AliasDemoted` event (with the witnessing
 /// procedure) when memory residence is confirmed. Emitted in symbol order,
 /// before the web events, since eligibility precedes web formation.
-fn emit_alias_events(t: &mut AnalyzerTrace, summary: &ProgramSummary, sol: &ipra_alias::Solution) {
+fn emit_alias_events(
+    t: &mut AnalyzerTrace,
+    graph: &CallGraph,
+    summary: &ProgramSummary,
+    sol: &ipra_alias::Solution,
+) {
     let mut blanket = Eligibility::blanket_aliased(summary);
     blanket.sort();
-    let demoted = Eligibility::alias_aliased(summary, sol);
+    let demoted = Eligibility::alias_aliased(graph, summary, sol);
     for sym in &blanket {
         if demoted.contains(sym) {
             continue;
@@ -485,7 +490,11 @@ fn emit_alias_events(t: &mut AnalyzerTrace, summary: &ProgramSummary, sol: &ipra
         } else if let Some(w) = sol.ind_ref_witness(sym) {
             format!("read through a pointer in {w} while also written directly")
         } else {
-            "aliased".to_string()
+            // Demoted by the call-graph/points-to reachability gap: the
+            // pointer access sits in code only the §7.3 indirect-call rule
+            // can reach, but that code is emitted and checked.
+            "accessed through a pointer in emitted code the points-to solve cannot prove live"
+                .to_string()
         };
         t.push(TraceEvent::AliasDemoted { sym: sym.clone(), justification });
     }

@@ -100,15 +100,54 @@ impl Eligibility {
     ///
     /// Read-only aliasing of a never-written global is harmless: memory
     /// always holds the initial value, and so does the register.
-    pub fn alias_aliased(summary: &ProgramSummary, solution: &ipra_alias::Solution) -> Vec<String> {
+    ///
+    /// "Reachable" here is the *call graph's* over-approximation (§7.3:
+    /// any indirect call may target any address-taken procedure), not the
+    /// points-to solve's sharper notion. The solver can prove a taken
+    /// address never flows into a call, but the procedure's code is still
+    /// emitted and its register discipline is still independently checked
+    /// (`ipra-verify` resolves indirect calls the §7.3 way), so a pointer
+    /// write in that gap must keep blocking promotion; the solver's
+    /// pruning applies only to procedures dead under *both* notions.
+    pub fn alias_aliased(
+        graph: &CallGraph,
+        summary: &ProgramSummary,
+        solution: &ipra_alias::Solution,
+    ) -> Vec<String> {
+        // Call-graph reachability from the entry, indirect edges included.
+        let mut coarse: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        if let Some(root) = graph.by_name("main") {
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                if coarse.insert(graph.node(n).name.as_str()) {
+                    stack.extend(graph.successors(n));
+                }
+            }
+        }
         let mut dir_mod: Vec<&str> = Vec::new();
+        // Pointer facts of "gap" procedures — call-graph-reachable but
+        // pruned by the points-to solve. Their emitted code is checked,
+        // so their local bits count, conservatively (the solver has no
+        // sharper interprocedural facts for them by construction).
+        let mut gap_mod: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut gap_ref: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
         for p in summary.procs() {
-            if !solution.reachable.contains(&p.name) {
+            let precise = solution.reachable.contains(&p.name);
+            let gap = !precise && coarse.contains(p.name.as_str());
+            if !precise && !gap {
                 continue;
             }
             for r in &p.global_refs {
                 if r.written && !dir_mod.contains(&r.sym.as_str()) {
                     dir_mod.push(&r.sym);
+                }
+                if gap {
+                    if r.ptr_mod || r.escapes {
+                        gap_mod.insert(&r.sym);
+                    }
+                    if r.ptr_ref {
+                        gap_ref.insert(&r.sym);
+                    }
                 }
             }
         }
@@ -117,12 +156,16 @@ impl Eligibility {
         for syms in solution.proc_ind_mod.values().chain(solution.proc_ind_ref.values()) {
             candidates.extend(syms.iter().map(String::as_str));
         }
+        candidates.extend(gap_mod.iter());
+        candidates.extend(gap_ref.iter());
         candidates
             .into_iter()
             .filter(|g| {
                 solution.is_escaped(g)
                     || solution.ind_mod_witness(g).is_some()
-                    || (solution.ind_ref_witness(g).is_some() && dir_mod.contains(g))
+                    || gap_mod.contains(g)
+                    || ((solution.ind_ref_witness(g).is_some() || gap_ref.contains(g))
+                        && dir_mod.contains(g))
             })
             .map(str::to_string)
             .collect()
@@ -137,7 +180,7 @@ impl Eligibility {
     ) -> Eligibility {
         let aliased: Vec<String> = match solution {
             None => Self::blanket_aliased(summary),
-            Some(sol) => Self::alias_aliased(summary, sol),
+            Some(sol) => Self::alias_aliased(graph, summary, sol),
         };
         let mut referenced: Vec<String> = Vec::new();
         for p in summary.procs() {

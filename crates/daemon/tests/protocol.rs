@@ -1,0 +1,78 @@
+//! Replays the checked-in malformed-frame corpus (`frames.txt`) against
+//! the request decoder: every hostile frame must yield exactly the typed
+//! [`ProtocolError`] the corpus expects — never a panic, never a decode.
+//!
+//! The corpus is data, not code, so a frame that once confused the
+//! decoder can be checked in verbatim as a regression (the same policy as
+//! `cminc fuzz`'s corpus).
+
+use ipra_daemon::protocol::{decode_request, Request};
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2), "odd hex length");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex byte"))
+        .collect()
+}
+
+#[test]
+fn corpus_frames_yield_their_expected_typed_errors() {
+    let corpus = include_str!("frames.txt");
+    let mut cases = 0;
+    let mut oks = 0;
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '|');
+        let name = parts.next().expect("name field");
+        let expected = parts.next().expect("expected-kind field");
+        let hex = parts.next().expect("hex field");
+        let frame = unhex(hex);
+        cases += 1;
+        match decode_request(&frame) {
+            Ok(req) => {
+                assert_eq!(expected, "ok", "{name}: decoded {req:?} but expected {expected}");
+                assert_eq!(req, Request::Ping, "{name}: the corpus anchor is a Ping");
+                oks += 1;
+            }
+            Err(e) => {
+                assert_eq!(
+                    e.kind(),
+                    expected,
+                    "{name}: got {e} (kind {}), expected kind {expected}",
+                    e.kind()
+                );
+            }
+        }
+    }
+    assert!(cases >= 15, "corpus unexpectedly small: {cases} cases");
+    assert_eq!(oks, 1, "exactly one sanity anchor decodes");
+}
+
+/// Every corpus error kind is distinct wire evidence; make sure the
+/// corpus actually covers the headline rejection classes from the issue:
+/// bad magic, oversize prefix, unknown tag, and a v1 frame.
+#[test]
+fn corpus_covers_the_required_rejection_classes() {
+    let corpus = include_str!("frames.txt");
+    let kinds: Vec<&str> = corpus
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| l.split('|').nth(1).expect("kind field"))
+        .collect();
+    for required in [
+        "bad-magic",
+        "unsupported-version",
+        "unknown-tag",
+        "oversize",
+        "truncated",
+        "checksum",
+        "decode",
+        "trailing-bytes",
+    ] {
+        assert!(kinds.contains(&required), "corpus lacks a `{required}` case");
+    }
+}

@@ -37,6 +37,12 @@ pub struct PhaseStats {
     pub disk_hits: usize,
     /// Modules recomputed.
     pub misses: usize,
+    /// Entries pushed out of the in-memory tier by the size cap while this
+    /// phase ran (always zero for an uncapped cache). Evicted entries stay
+    /// on the disk tier when one is attached, so an eviction degrades a
+    /// future memory hit to a disk hit — or to a recompute, never to a
+    /// wrong object.
+    pub evictions: usize,
     /// Wall-clock seconds spent in the phase (including cache probing).
     pub seconds: f64,
 }
@@ -83,6 +89,10 @@ pub struct CacheStats {
     pub phase2_hits: u64,
     /// Phase-2 cache misses.
     pub phase2_misses: u64,
+    /// Phase-1 entries evicted from the in-memory tier by the size cap.
+    pub phase1_evictions: u64,
+    /// Phase-2 entries evicted from the in-memory tier by the size cap.
+    pub phase2_evictions: u64,
 }
 
 /// Everything phase 1 produces for one module, plus the fingerprints that
@@ -238,6 +248,14 @@ pub struct CompilationCache {
     pub(crate) stats: CacheStats,
     pub(crate) disk: Option<DiskCache>,
     pub(crate) tele: Option<Telemetry>,
+    /// In-memory size cap, in entries *per tier map* (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Monotonic operation clock driving LRU order; bumped on every hit,
+    /// promotion and store, so recency is a pure function of the operation
+    /// sequence — eviction order is deterministic, never hash-map order.
+    tick: u64,
+    used1: HashMap<String, u64>,
+    used2: HashMap<String, u64>,
 }
 
 impl CompilationCache {
@@ -257,9 +275,41 @@ impl CompilationCache {
         Ok(CompilationCache { disk: Some(DiskCache::open(dir)?), ..CompilationCache::default() })
     }
 
+    /// An empty, memory-only cache that holds at most `cap` entries per
+    /// tier map, evicting least-recently-used entries past that (`cap` is
+    /// clamped to at least 1). See [`set_capacity`](Self::set_capacity).
+    pub fn with_capacity(cap: usize) -> CompilationCache {
+        CompilationCache { capacity: Some(cap.max(1)), ..CompilationCache::default() }
+    }
+
     /// The on-disk tier's directory, when one is attached.
     pub fn cache_dir(&self) -> Option<&Path> {
         self.disk.as_ref().map(DiskCache::root)
+    }
+
+    /// Sets (or removes, with `None`) the in-memory size cap and enforces
+    /// it immediately. The cap bounds each tier map separately — a cache
+    /// with capacity `n` keeps at most `n` phase-1 and `n` phase-2 entries.
+    ///
+    /// Eviction is LRU with a deterministic order: recency is a monotonic
+    /// per-operation tick (not wall clock), and the victim is the entry
+    /// with the smallest `(tick, name)` pair. Evicting never loses work
+    /// permanently — entries were written through to the disk tier (when
+    /// attached) at store time, so a re-request degrades to a disk hit, or
+    /// to a recompute on a memory-only cache.
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.capacity = cap.map(|c| c.max(1));
+        let e1 = Self::shrink(self.capacity, &mut self.phase1, &mut self.used1);
+        let e2 = Self::shrink(self.capacity, &mut self.phase2, &mut self.used2);
+        self.count_evictions("cache.p1.evictions", e1);
+        self.count_evictions("cache.p2.evictions", e2);
+        self.stats.phase1_evictions += e1;
+        self.stats.phase2_evictions += e2;
+    }
+
+    /// The in-memory size cap, if one is set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Attaches (or detaches, with `None`) a telemetry collector. Cache
@@ -285,11 +335,57 @@ impl CompilationCache {
         }
     }
 
+    fn count_evictions(&self, key: &str, n: u64) {
+        if n > 0 {
+            if let Some(t) = &self.tele {
+                t.add(key, n);
+            }
+        }
+    }
+
+    /// Removes least-recently-used entries from one tier map until it fits
+    /// the cap; returns how many were evicted. The victim each round is
+    /// the minimal `(last-use tick, name)` pair — ticks are unique per
+    /// operation, so the order is fully determined by the lookup/store
+    /// sequence, with the name as a belt-and-braces tie-break.
+    fn shrink<T>(
+        cap: Option<usize>,
+        map: &mut HashMap<String, T>,
+        used: &mut HashMap<String, u64>,
+    ) -> u64 {
+        let Some(cap) = cap else { return 0 };
+        let mut evicted = 0;
+        while map.len() > cap {
+            let victim = map
+                .keys()
+                .map(|k| (used.get(k).copied().unwrap_or(0), k.clone()))
+                .min()
+                .map(|(_, k)| k)
+                .expect("tier map above its cap is non-empty");
+            map.remove(&victim);
+            used.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn touch1(&mut self, name: &str) {
+        self.tick += 1;
+        self.used1.insert(name.to_string(), self.tick);
+    }
+
+    fn touch2(&mut self, name: &str) {
+        self.tick += 1;
+        self.used2.insert(name.to_string(), self.tick);
+    }
+
     /// Drops all in-memory cached phase results (counters survive; the
     /// on-disk tier, if any, is untouched).
     pub fn clear(&mut self) {
         self.phase1.clear();
         self.phase2.clear();
+        self.used1.clear();
+        self.used2.clear();
     }
 
     /// Cumulative hit/miss counters across all builds served so far.
@@ -320,8 +416,10 @@ impl CompilationCache {
     ) -> Option<(Arc<Phase1Entry>, bool)> {
         if let Some(e) = self.phase1.get(name) {
             if e.key == key {
+                let e = Arc::clone(e);
                 self.count("cache.p1.mem_hits");
-                return Some((Arc::clone(e), false));
+                self.touch1(name);
+                return Some((e, false));
             }
         }
         let loaded = self.disk.as_ref().and_then(|d| d.load_phase1(key));
@@ -333,6 +431,10 @@ impl CompilationCache {
         self.count("cache.p1.promotes");
         let e = Arc::new(e);
         self.phase1.insert(name.to_string(), Arc::clone(&e));
+        self.touch1(name);
+        let evicted = Self::shrink(self.capacity, &mut self.phase1, &mut self.used1);
+        self.count_evictions("cache.p1.evictions", evicted);
+        self.stats.phase1_evictions += evicted;
         Some((e, true))
     }
 
@@ -345,6 +447,10 @@ impl CompilationCache {
         }
         let entry = Arc::new(entry);
         self.phase1.insert(name.to_string(), Arc::clone(&entry));
+        self.touch1(name);
+        let evicted = Self::shrink(self.capacity, &mut self.phase1, &mut self.used1);
+        self.count_evictions("cache.p1.evictions", evicted);
+        self.stats.phase1_evictions += evicted;
         entry
     }
 
@@ -358,8 +464,10 @@ impl CompilationCache {
     ) -> Option<(ObjectModule, bool)> {
         if let Some(e) = self.phase2.get(name) {
             if e.ir_fp == ir_fp && e.db_fp == db_fp {
+                let object = e.object.clone();
                 self.count("cache.p2.mem_hits");
-                return Some((e.object.clone(), false));
+                self.touch2(name);
+                return Some((object, false));
             }
         }
         let loaded = self.disk.as_ref().and_then(|d| d.load_phase2(ir_fp, db_fp));
@@ -371,6 +479,10 @@ impl CompilationCache {
         self.count("cache.p2.promotes");
         let object = e.object.clone();
         self.phase2.insert(name.to_string(), e);
+        self.touch2(name);
+        let evicted = Self::shrink(self.capacity, &mut self.phase2, &mut self.used2);
+        self.count_evictions("cache.p2.evictions", evicted);
+        self.stats.phase2_evictions += evicted;
         Some((object, true))
     }
 
@@ -381,6 +493,10 @@ impl CompilationCache {
             d.store_phase2(&entry);
         }
         self.phase2.insert(name.to_string(), entry);
+        self.touch2(name);
+        let evicted = Self::shrink(self.capacity, &mut self.phase2, &mut self.used2);
+        self.count_evictions("cache.p2.evictions", evicted);
+        self.stats.phase2_evictions += evicted;
     }
 
     /// Flushes the disk tier's buffered writes, if one is attached. Called
@@ -391,5 +507,134 @@ impl CompilationCache {
         if let Some(d) = &mut self.disk {
             d.flush();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p1(name: &str, key: u64) -> Phase1Entry {
+        Phase1Entry {
+            key,
+            ir_fp: key ^ 0xABCD,
+            callees: Vec::new(),
+            ir: IrModule { name: name.to_string(), globals: Vec::new(), functions: Vec::new() },
+            summary: ModuleSummary {
+                module: name.to_string(),
+                procs: Vec::new(),
+                globals: Vec::new(),
+            },
+        }
+    }
+
+    fn p2(ir_fp: u64, db_fp: u64) -> Phase2Entry {
+        Phase2Entry { ir_fp, db_fp, object: ObjectModule::default() }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ipra-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn uncapped_cache_never_evicts() {
+        let mut c = CompilationCache::new();
+        for i in 0..100u64 {
+            let name = format!("m{i}");
+            c.store_phase1(&name, p1(&name, i));
+            c.store_phase2(&name, p2(i, i));
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.stats().phase1_evictions, 0);
+        assert_eq!(c.stats().phase2_evictions, 0);
+    }
+
+    #[test]
+    fn cap_evicts_the_least_recently_used_entry() {
+        let mut c = CompilationCache::with_capacity(2);
+        c.store_phase1("a", p1("a", 1));
+        c.store_phase1("b", p1("b", 2));
+        // Touch "a": "b" becomes the LRU victim despite being stored later.
+        assert!(c.lookup_phase1("a", 1).is_some());
+        c.store_phase1("c", p1("c", 3));
+        assert_eq!(c.stats().phase1_evictions, 1);
+        assert!(c.lookup_phase1("b", 2).is_none(), "LRU entry evicted");
+        assert!(c.lookup_phase1("a", 1).is_some(), "recently used entry kept");
+        assert!(c.lookup_phase1("c", 3).is_some(), "new entry kept");
+    }
+
+    #[test]
+    fn phase2_tier_is_capped_independently() {
+        let mut c = CompilationCache::with_capacity(2);
+        for i in 0..5u64 {
+            let name = format!("m{i}");
+            c.store_phase2(&name, p2(i, i));
+        }
+        assert_eq!(c.phase2.len(), 2);
+        assert_eq!(c.stats().phase2_evictions, 3);
+        // Oldest entries went first; the two most recent survive.
+        assert!(c.lookup_phase2("m3", 3, 3).is_some());
+        assert!(c.lookup_phase2("m4", 4, 4).is_some());
+        assert!(c.lookup_phase2("m0", 0, 0).is_none());
+    }
+
+    #[test]
+    fn set_capacity_shrinks_immediately_and_none_lifts_the_cap() {
+        let mut c = CompilationCache::new();
+        for i in 0..8u64 {
+            let name = format!("m{i}");
+            c.store_phase1(&name, p1(&name, i));
+        }
+        c.set_capacity(Some(3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().phase1_evictions, 5);
+        c.set_capacity(None);
+        for i in 8..20u64 {
+            let name = format!("m{i}");
+            c.store_phase1(&name, p1(&name, i));
+        }
+        assert_eq!(c.len(), 15);
+        assert_eq!(c.stats().phase1_evictions, 5, "no further evictions once uncapped");
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_across_identical_runs() {
+        let run = || {
+            let mut c = CompilationCache::with_capacity(3);
+            let mut survivors = Vec::new();
+            for i in 0..12u64 {
+                let name = format!("m{i}");
+                c.store_phase1(&name, p1(&name, i));
+                // Re-touch a rolling window so recency differs from
+                // insertion order.
+                for j in i.saturating_sub(1)..=i {
+                    let n = format!("m{j}");
+                    let _ = c.lookup_phase1(&n, j);
+                }
+                let mut present: Vec<String> = c.phase1.keys().cloned().collect();
+                present.sort();
+                survivors.push(present);
+            }
+            (survivors, c.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn evicted_entries_degrade_to_disk_hits_not_losses() {
+        let dir = tmpdir("evict-disk");
+        let mut c = CompilationCache::with_disk(&dir).unwrap();
+        c.set_capacity(Some(1));
+        c.store_phase1("a", p1("a", 1));
+        c.store_phase1("b", p1("b", 2)); // evicts "a" from memory
+        c.flush();
+        assert_eq!(c.stats().phase1_evictions, 1);
+        let (e, from_disk) = c.lookup_phase1("a", 1).expect("evicted entry still on disk");
+        assert!(from_disk, "served from the disk tier after eviction");
+        assert_eq!(e.key, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -277,6 +277,7 @@ pub fn compile_incremental(
 
     // ---- Compiler first phase, cache-probed then fanned out per module.
     let phase1_timer = span(tele, "build", "phase1");
+    let evictions_before = (cache.stats.phase1_evictions, cache.stats.phase2_evictions);
     let keys: Vec<u64> = sources.iter().map(|s| phase1_key(s, options.optimize)).collect();
     let mut entries: Vec<Option<Arc<Phase1Entry>>> = Vec::with_capacity(sources.len());
     let mut miss_idx: Vec<usize> = Vec::new();
@@ -317,6 +318,7 @@ pub fn compile_incremental(
     }
     cache.stats.phase1_hits += report.phase1.hits as u64;
     cache.stats.phase1_misses += report.phase1.misses as u64;
+    report.phase1.evictions = (cache.stats.phase1_evictions - evictions_before.0) as usize;
     if let Some((_, e)) = first_error {
         return Err(e.into());
     }
@@ -380,6 +382,7 @@ pub fn compile_incremental(
     }
     cache.stats.phase2_hits += report.phase2.hits as u64;
     cache.stats.phase2_misses += report.phase2.misses as u64;
+    report.phase2.evictions = (cache.stats.phase2_evictions - evictions_before.1) as usize;
     let objects: Vec<ObjectModule> =
         objects.into_iter().map(|o| o.expect("all phase-2 slots filled")).collect();
     report.phase2.seconds = phase2_timer.finish();
@@ -400,9 +403,11 @@ pub fn compile_incremental(
         t.add("phase1.hits", report.phase1.hits as u64);
         t.add("phase1.disk_hits", report.phase1.disk_hits as u64);
         t.add("phase1.misses", report.phase1.misses as u64);
+        t.add("phase1.evictions", report.phase1.evictions as u64);
         t.add("phase2.hits", report.phase2.hits as u64);
         t.add("phase2.disk_hits", report.phase2.disk_hits as u64);
         t.add("phase2.misses", report.phase2.misses as u64);
+        t.add("phase2.evictions", report.phase2.evictions as u64);
         t.add("phase2.recompiled", report.recompiled.len() as u64);
         t.add("analyze.nodes", analysis.stats.nodes as u64);
         t.add("analyze.webs", analysis.stats.webs_total as u64);

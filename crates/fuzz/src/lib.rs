@@ -165,15 +165,17 @@ pub struct Shape {
 /// The shape rotation: iteration `i` uses `shape_for(i)`. Mostly cheap
 /// all-configuration differentials; the expensive build-level scenarios
 /// (incremental rebuilds, trace purity, artifact-staged separate
-/// compilation) run on three of every ten iterations. The simulator
+/// compilation) run on three of every eleven iterations. The simulator
 /// engine rotates too: most iterations run the default fast engine, two
 /// pin the reference interpreter (so the oracle keeps exercising it), and
 /// two run *both* engines demanding identical results
-/// ([`CheckOptions::cross_engine`]).
+/// ([`CheckOptions::cross_engine`]). One slot per cycle additionally
+/// round-trips the program through the `cmind` daemon wire codec
+/// ([`CheckOptions::daemon_protocol`]).
 pub fn shape_for(i: usize) -> Shape {
     let plain = CheckOptions::default();
     let g = GenConfig::default;
-    match i % 10 {
+    match i % 11 {
         0 => Shape { name: "default", gen: g(), check: plain },
         1 => Shape {
             name: "wide",
@@ -227,10 +229,18 @@ pub fn shape_for(i: usize) -> Shape {
         // Pointer-heavy: globals flowing into pointer parameters and
         // reassigned pointers, the shapes whose promotion decisions hinge
         // on the interprocedural points-to solve (configuration P).
-        _ => Shape {
+        9 => Shape {
             name: "ptr",
             gen: GenConfig { globals_per_module: 6, alias_mix: true, ptr_shapes: true, ..g() },
             check: CheckOptions { cross_engine: true, ..plain },
+        },
+        // The daemon's wire protocol: multi-module programs (the sources
+        // travel inside the request) round-tripped through the `cmind`
+        // codec, with single-byte corruptions proven to be rejected.
+        _ => Shape {
+            name: "daemon",
+            gen: GenConfig { modules: 3, alias_mix: true, ..g() },
+            check: CheckOptions { daemon_protocol: true, ..plain },
         },
     }
 }
@@ -470,7 +480,7 @@ mod tests {
 
     #[test]
     fn shape_rotation_covers_all_extended_shapes() {
-        let shapes: Vec<Shape> = (0..10).map(shape_for).collect();
+        let shapes: Vec<Shape> = (0..11).map(shape_for).collect();
         assert!(shapes.iter().any(|s| s.gen.recursion));
         assert!(shapes.iter().any(|s| s.gen.alias_mix));
         assert!(shapes.iter().any(|s| s.gen.global_fn_ptrs));
@@ -483,7 +493,8 @@ mod tests {
         assert!(shapes.iter().any(|s| s.check.engine == vpr::Engine::Reference));
         assert!(shapes.iter().any(|s| s.check.engine == vpr::Engine::Fast));
         assert!(shapes.iter().any(|s| s.check.cross_engine));
-        assert_eq!(shape_for(0).name, shape_for(10).name);
+        assert!(shapes.iter().any(|s| s.check.daemon_protocol));
+        assert_eq!(shape_for(0).name, shape_for(11).name);
     }
 
     #[test]

@@ -140,6 +140,12 @@ pub enum Failure {
         /// The first observable that differed, with both engines' values.
         detail: String,
     },
+    /// The `cmind` wire codec failed to round-trip a request/response
+    /// built from the generated program, or accepted a corrupted frame.
+    DaemonProtocol {
+        /// What went wrong (which leg, which byte).
+        detail: String,
+    },
 }
 
 impl Failure {
@@ -158,13 +164,16 @@ impl Failure {
             Failure::TraceImpurity { .. } => "trace-impurity",
             Failure::SeparateDivergence { .. } => "separate-divergence",
             Failure::EngineDivergence { .. } => "engine-divergence",
+            Failure::DaemonProtocol { .. } => "daemon-protocol",
         }
     }
 
     /// The configuration the failure occurred under, when it has one.
     pub fn config(&self) -> Option<PaperConfig> {
         match self {
-            Failure::Frontend { .. } | Failure::InterpTrap { .. } => None,
+            Failure::Frontend { .. }
+            | Failure::InterpTrap { .. }
+            | Failure::DaemonProtocol { .. } => None,
             Failure::Compile { config, .. }
             | Failure::TrainingTrap { config, .. }
             | Failure::Verify { config, .. }
@@ -222,6 +231,9 @@ impl fmt::Display for Failure {
             Failure::EngineDivergence { config, detail } => {
                 write!(f, "[{config}] simulator engines diverged: {detail}")
             }
+            Failure::DaemonProtocol { detail } => {
+                write!(f, "daemon wire codec violation: {detail}")
+            }
         }
     }
 }
@@ -249,6 +261,11 @@ pub struct CheckOptions {
     /// Additionally run every configuration's program under the *other*
     /// engine and demand an identical `Result<RunResult, SimError>`.
     pub cross_engine: bool,
+    /// Round-trip a build request/response synthesized from the generated
+    /// program through the `cmind` wire codec, then prove every
+    /// single-byte corruption of the request frame is rejected with a
+    /// typed error (never a panic, never a silent decode).
+    pub daemon_protocol: bool,
 }
 
 /// The configuration used for the build-level scenarios (incremental
@@ -330,6 +347,9 @@ pub fn check(sources: &[SourceFile], opts: &CheckOptions) -> Result<(), Failure>
     }
     if opts.separate {
         check_separate(sources)?;
+    }
+    if opts.daemon_protocol {
+        check_daemon(sources)?;
     }
     Ok(())
 }
@@ -480,6 +500,94 @@ fn check_separate(sources: &[SourceFile]) -> Result<(), Failure> {
         });
     }
     let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// The daemon wire-protocol leg: synthesize a build request from the
+/// generated program (config, flags and training input all derived from
+/// the request fingerprint, so the leg is deterministic per seed but
+/// walks the space across iterations), demand a lossless encode → decode
+/// round-trip with a stable fingerprint, do the same for a response
+/// carrying the program text, and then prove that flipping any sampled
+/// single byte of the request frame yields a typed [`ProtocolError`] —
+/// the corruption-rejection contract the shared-cache daemon leans on.
+fn check_daemon(sources: &[SourceFile]) -> Result<(), Failure> {
+    use ipra_daemon::protocol::{self, BuildRequest, BuildResponse, Request, Response, WireSource};
+
+    let fail = |detail: String| Failure::DaemonProtocol { detail };
+    let wire: Vec<WireSource> =
+        sources.iter().map(|s| WireSource { name: s.name.clone(), text: s.text.clone() }).collect();
+    let base = BuildRequest {
+        config: "L2".to_string(),
+        optimize: true,
+        sources: wire,
+        training_input: Vec::new(),
+    };
+    let salt = base.fingerprint();
+    let configs = ["L2", "A", "B", "C", "D", "E", "F", "P"];
+    let request = BuildRequest {
+        config: configs[(salt % configs.len() as u64) as usize].to_string(),
+        optimize: salt & 8 == 0,
+        training_input: vec![(salt >> 4) as i64 & 0xff],
+        ..base
+    };
+    let fp = request.fingerprint();
+    let req = Request::Build(request);
+    let frame = protocol::encode_request(&req);
+    match protocol::decode_request(&frame) {
+        Err(e) => return Err(fail(format!("freshly encoded request rejected: {e}"))),
+        Ok(decoded) => {
+            if decoded != req {
+                return Err(fail("request round-trip changed the payload".to_string()));
+            }
+            if let Request::Build(rt) = &decoded {
+                if rt.fingerprint() != fp {
+                    return Err(fail(format!(
+                        "fingerprint unstable across round-trip: {fp:#x} != {:#x}",
+                        rt.fingerprint()
+                    )));
+                }
+            }
+        }
+    }
+
+    // A response carrying the generated program text as its payload: the
+    // reply channel must round-trip arbitrary artifact bytes too.
+    let resp = Response::Built(BuildResponse {
+        vx: crate::corpus::join_sources(sources),
+        fingerprint: fp,
+        coalesced: salt & 16 == 0,
+        recompiled: sources.iter().map(|s| s.name.clone()).collect(),
+    });
+    match protocol::decode_response(&protocol::encode_response(&resp)) {
+        Err(e) => return Err(fail(format!("freshly encoded response rejected: {e}"))),
+        Ok(decoded) if decoded != resp => {
+            return Err(fail("response round-trip changed the payload".to_string()))
+        }
+        Ok(_) => {}
+    }
+
+    // Single-byte corruption: every flipped byte lands in the header, the
+    // payload, or the trailing checksum, and each region is guarded — so
+    // a typed error is mandatory and a clean decode is an oracle failure.
+    // Sample positions pseudo-randomly (splitmix-style walk from the
+    // fingerprint) plus the frame's edges.
+    let mut probe = salt | 1;
+    let mut positions = vec![0, frame.len() / 2, frame.len() - 1];
+    for _ in 0..8 {
+        probe = crate::mix(probe, 0x6461656d6f6e);
+        positions.push((probe % frame.len() as u64) as usize);
+    }
+    for pos in positions {
+        let mut bad = frame.clone();
+        bad[pos] ^= 0x5a;
+        if let Ok(decoded) = protocol::decode_request(&bad) {
+            return Err(fail(format!(
+                "corrupted byte {pos} of {} decoded cleanly as {decoded:?}",
+                frame.len()
+            )));
+        }
+    }
     Ok(())
 }
 

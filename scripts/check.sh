@@ -260,4 +260,45 @@ done
 cmp "$al/report1.json" "$al/report2.json"
 cmp "$al/table1.txt" "$al/table2.txt"
 
+echo "==> daemon smoke (serve, concurrent remote builds == local build, drain, fallback)"
+dm="$report_dir/daemon"
+mkdir -p "$dm"
+dsock="$dm/cmind.sock"
+"$cminc" serve --socket "$dsock" --shards 2 --cap 64 2> "$dm/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$dsock" ] && break
+  sleep 0.1
+done
+[ -S "$dsock" ] || { echo "daemon socket never appeared" >&2; exit 1; }
+"$cminc" remote ping --socket "$dsock" | grep -qx 'pong'
+# Two concurrent clients submitting the same program: both must return
+# bytes identical to each other and to a plain local `cminc build`.
+"$cminc" remote build --socket "$dsock" "$sep/m1.cmin" "$sep/m2.cmin" \
+  --config C -o "$dm/r1.vx" 2>/dev/null &
+c1=$!
+"$cminc" remote build --socket "$dsock" "$sep/m1.cmin" "$sep/m2.cmin" \
+  --config C -o "$dm/r2.vx" 2>/dev/null &
+c2=$!
+wait "$c1" "$c2"
+"$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C -o "$dm/local.vx" > /dev/null
+cmp "$dm/r1.vx" "$dm/r2.vx"
+cmp "$dm/r1.vx" "$dm/local.vx"
+"$cminc" remote stats --socket "$dsock" > "$dm/stats.json"
+grep -q '"daemon.builds"' "$dm/stats.json"
+"$cminc" remote shutdown --socket "$dsock"
+wait "$serve_pid"
+[ ! -e "$dsock" ] || { echo "daemon left its socket file behind" >&2; exit 1; }
+# Daemon gone: `remote build` must degrade to a byte-identical local compile.
+"$cminc" remote build --socket "$dsock" "$sep/m1.cmin" "$sep/m2.cmin" \
+  --config C -o "$dm/fallback.vx" 2> "$dm/fallback.log"
+grep -q 'building locally' "$dm/fallback.log"
+cmp "$dm/fallback.vx" "$dm/local.vx"
+
+echo "==> daemon benchmark (cold/warm/N-client throughput, dedup gated)"
+cargo run --release -q -p ipra-bench --bin daemon_bench -- --check \
+  --out BENCH_daemon.json
+test -s BENCH_daemon.json
+grep -q '"warm_n_over_cold_1"' BENCH_daemon.json
+
 echo "All checks passed."
