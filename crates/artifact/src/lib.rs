@@ -44,6 +44,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
 use vpr::program::{Executable, ObjectModule};
+use vpr::target::TargetId;
 
 /// The one format version this build reads and writes. Bump on any
 /// incompatible payload or header change; readers reject other versions
@@ -167,6 +168,12 @@ pub enum ArtifactError {
         /// The parse error.
         detail: String,
     },
+    /// The header's `target:` token names a target this build does not
+    /// know.
+    UnknownTarget {
+        /// The unrecognized target name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -187,6 +194,9 @@ impl fmt::Display for ArtifactError {
                 write!(f, "corrupt artifact: header fingerprint {expected}, body is {found}")
             }
             ArtifactError::Json { detail } => write!(f, "malformed artifact body: {detail}"),
+            ArtifactError::UnknownTarget { name } => {
+                write!(f, "unknown artifact target `{name}`")
+            }
         }
     }
 }
@@ -200,14 +210,27 @@ fn fp_hex(body: &str) -> String {
 /// Encodes a payload into artifact text (header line + canonical JSON).
 /// Deterministic: equal payloads encode to identical bytes.
 pub fn encode<T: Serialize>(kind: ArtifactKind, payload: &T) -> String {
+    encode_for(kind, payload, TargetId::Vpr)
+}
+
+/// [`encode`] with a target stamp: a non-VPR target is recorded as a
+/// fifth `target:<name>` header token, so `objdump` can name the
+/// convention without decoding the body. VPR emits no token — every
+/// pre-machine-description artifact byte stays exactly as it was.
+pub fn encode_for<T: Serialize>(kind: ArtifactKind, payload: &T, target: TargetId) -> String {
     let body = serde_json::to_string(payload).expect("artifact payloads always serialize");
-    format!("{MAGIC} {} v{FORMAT_VERSION} fnv64:{}\n{body}\n", kind.tag(), fp_hex(&body))
+    let stamp = match target {
+        TargetId::Vpr => String::new(),
+        t => format!(" target:{}", t.name()),
+    };
+    format!("{MAGIC} {} v{FORMAT_VERSION} fnv64:{}{stamp}\n{body}\n", kind.tag(), fp_hex(&body))
 }
 
 /// Header fields plus the body slice.
 struct Parsed<'a> {
     kind: ArtifactKind,
     version: u32,
+    target: TargetId,
     fp: &'a str,
     body: &'a str,
 }
@@ -228,18 +251,28 @@ fn parse(text: &str) -> Result<Parsed<'_>, ArtifactError> {
         .and_then(|t| t.parse::<u32>().ok())
         .ok_or(ArtifactError::BadMagic)?;
     let fp = tokens.next().and_then(|t| t.strip_prefix("fnv64:")).ok_or(ArtifactError::BadMagic)?;
+    // An optional `target:<name>` token; absent means VPR (the format
+    // predates second targets, so old files never carry one).
+    let target = match tokens.next() {
+        None => TargetId::Vpr,
+        Some(tok) => {
+            let name = tok.strip_prefix("target:").ok_or(ArtifactError::BadMagic)?;
+            TargetId::parse(name)
+                .ok_or_else(|| ArtifactError::UnknownTarget { name: name.to_string() })?
+        }
+    };
     if tokens.next().is_some() {
         return Err(ArtifactError::BadMagic);
     }
-    Ok(Parsed { kind, version, fp, body })
+    Ok(Parsed { kind, version, target, fp, body })
 }
 
-/// Reads the header only: the declared kind and version. Never inspects
-/// the body, so it works on artifacts from other format versions —
-/// `objdump`'s first step.
-pub fn sniff(text: &str) -> Result<(ArtifactKind, u32), ArtifactError> {
+/// Reads the header only: the declared kind, version and target. Never
+/// inspects the body, so it works on artifacts from other format
+/// versions — `objdump`'s first step.
+pub fn sniff(text: &str) -> Result<(ArtifactKind, u32, TargetId), ArtifactError> {
     let p = parse(text)?;
-    Ok((p.kind, p.version))
+    Ok((p.kind, p.version, p.target))
 }
 
 /// Decodes artifact text as `kind`, checking magic, kind, version, and
@@ -272,7 +305,21 @@ pub fn write_file<T: Serialize>(
     path: &Path,
     payload: &T,
 ) -> Result<(), ArtifactError> {
-    std::fs::write(path, encode(kind, payload))
+    write_file_for(kind, path, payload, TargetId::Vpr)
+}
+
+/// [`encode_for`] + write to `path`.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] on filesystem failure.
+pub fn write_file_for<T: Serialize>(
+    kind: ArtifactKind,
+    path: &Path,
+    payload: &T,
+    target: TargetId,
+) -> Result<(), ArtifactError> {
+    std::fs::write(path, encode_for(kind, payload, target))
         .map_err(|e| ArtifactError::Io { path: path.display().to_string(), detail: e.to_string() })
 }
 
@@ -295,7 +342,7 @@ pub fn read_file<T: Deserialize>(kind: ArtifactKind, path: &Path) -> Result<T, A
 /// # Errors
 ///
 /// [`ArtifactError::Io`] or a header problem.
-pub fn sniff_file(path: &Path) -> Result<(ArtifactKind, u32), ArtifactError> {
+pub fn sniff_file(path: &Path) -> Result<(ArtifactKind, u32, TargetId), ArtifactError> {
     sniff(&read_text(path)?)
 }
 
@@ -447,10 +494,30 @@ mod tests {
     #[test]
     fn sniff_reads_kind_and_version_only() {
         let text = encode(ArtifactKind::Summary, &sample_summary());
-        assert_eq!(sniff(&text).unwrap(), (ArtifactKind::Summary, FORMAT_VERSION));
+        assert_eq!(sniff(&text).unwrap(), (ArtifactKind::Summary, FORMAT_VERSION, TargetId::Vpr));
         // Sniff tolerates future versions and corrupt bodies.
         let future = text.replace("v2 ", "v99 ");
         assert_eq!(sniff(&future).unwrap().1, 99);
+    }
+
+    #[test]
+    fn target_stamp_round_trips_and_vpr_stays_bare() {
+        let a = sample_summary();
+        // VPR emits no token: byte-identical to the pre-target encoder.
+        assert_eq!(
+            encode_for(ArtifactKind::Summary, &a, TargetId::Vpr),
+            encode(ArtifactKind::Summary, &a)
+        );
+        let stamped = encode_for(ArtifactKind::Summary, &a, TargetId::Rv32);
+        assert!(stamped.lines().next().unwrap().ends_with(" target:rv32"), "{stamped}");
+        assert_eq!(sniff(&stamped).unwrap().2, TargetId::Rv32);
+        // The stamp is header provenance only; decoding still works.
+        let back: SummaryArtifact = decode(ArtifactKind::Summary, &stamped).unwrap();
+        assert_eq!(back, a);
+        // An unknown target name is a clean, typed error.
+        let bad = stamped.replace("target:rv32", "target:pdp11");
+        let e = sniff(&bad).unwrap_err();
+        assert_eq!(e, ArtifactError::UnknownTarget { name: "pdp11".into() });
     }
 
     #[test]
@@ -515,7 +582,12 @@ mod tests {
             functions.push(mf);
         }
         LibraryMember {
-            object: ObjectModule { name: name.into(), functions, globals: vec![] },
+            object: ObjectModule {
+                name: name.into(),
+                functions,
+                globals: vec![],
+                ..Default::default()
+            },
             summary: ModuleSummary { module: name.into(), procs: vec![], globals: vec![] },
         }
     }
@@ -534,7 +606,12 @@ mod tests {
         let mut main = MachineFunction::new("main");
         main.push(Inst::Call { target: "api_entry".into() });
         main.push(Inst::Bv { base: Reg::RP });
-        let root = ObjectModule { name: "app".into(), functions: vec![main], globals: vec![] };
+        let root = ObjectModule {
+            name: "app".into(),
+            functions: vec![main],
+            globals: vec![],
+            ..Default::default()
+        };
         assert_eq!(lib.select(&[root]), vec![1, 2]);
         assert_eq!(lib.select(&[]), Vec::<usize>::new());
     }

@@ -111,6 +111,25 @@ struct AliasReport {
     singleton_refs_p: u64,
 }
 
+/// One machine description's leg of the target regime: the same scaled
+/// workload compiled cold for each target, verified under that target's
+/// register convention, and run once.
+#[derive(Debug, Serialize)]
+struct TargetRow {
+    target: String,
+    modules: usize,
+    /// Serial cold build (empty cache).
+    cold_seconds: f64,
+    /// Linked executable size, in instructions.
+    instructions: usize,
+    /// `ipra-verify` was clean under this target's convention.
+    verify_clean: bool,
+    /// Cycles of one run on the empty input.
+    cycles: u64,
+    /// Exit code of that run (must agree across targets).
+    exit: i64,
+}
+
 /// The simulator regime, echoed from `sim_bench`'s report so the compile
 /// and execution trend lines travel together.
 #[derive(Debug, Serialize)]
@@ -131,6 +150,9 @@ struct BenchReport {
     jobs: usize,
     sizes: Vec<SizeReport>,
     alias: AliasReport,
+    /// One row per machine description: compile-time and run observables
+    /// of the same workload on every target the backend supports.
+    targets: Vec<TargetRow>,
     /// Present when the `--sim-json` report was found and well-formed.
     sim: Option<SimRegime>,
 }
@@ -291,6 +313,34 @@ fn measure(modules: usize, jobs: usize, config: PaperConfig) -> SizeReport {
     }
 }
 
+/// The target regime: one cold build of the scaled workload per machine
+/// description, each verified under its own convention and run once. The
+/// exit codes must agree — register conventions differ, observable
+/// semantics must not.
+fn measure_targets(modules: usize, config: PaperConfig) -> Vec<TargetRow> {
+    let sources = scaled_program(modules);
+    vpr::target::TargetId::ALL
+        .iter()
+        .map(|&target| {
+            let opts = CompileOptions { target, ..CompileOptions::paper(config) };
+            let (_, program, cold_seconds) = timed_best(CompilationCache::new, |cache| {
+                compile_incremental(&sources, &opts, cache).expect("target regime build")
+            });
+            let verify_clean = ipra_driver::verify_program(&program).is_clean();
+            let r = run_program(&program, &[]).expect("target regime run");
+            TargetRow {
+                target: target.name().to_string(),
+                modules,
+                cold_seconds,
+                instructions: program.exe.code_len(),
+                verify_clean,
+                cycles: r.stats.cycles,
+                exit: r.exit,
+            }
+        })
+        .collect()
+}
+
 /// Distinct globals promoted anywhere in the program database.
 fn promoted_globals(p: &CompiledProgram) -> usize {
     let syms: BTreeSet<&str> =
@@ -365,6 +415,18 @@ fn main() -> ExitCode {
         alias.cycles_p,
         alias.cycle_delta,
     );
+    let targets = measure_targets(8, config);
+    for t in &targets {
+        eprintln!(
+            "  target {:>4}: {} modules cold {:>6.1}ms, {} instructions, {} cycles, verify {}",
+            t.target,
+            t.modules,
+            t.cold_seconds * 1e3,
+            t.instructions,
+            t.cycles,
+            if t.verify_clean { "clean" } else { "DIRTY" },
+        );
+    }
     let sim = read_sim_regime(&sim_path);
     match &sim {
         Some(s) => eprintln!(
@@ -376,8 +438,14 @@ fn main() -> ExitCode {
         ),
         None => eprintln!("  sim regime: no report at {sim_path}, skipping"),
     }
-    let mut report =
-        BenchReport { config: config.to_string(), jobs: effective, sizes: Vec::new(), alias, sim };
+    let mut report = BenchReport {
+        config: config.to_string(),
+        jobs: effective,
+        sizes: Vec::new(),
+        alias,
+        targets,
+        sim,
+    };
     let mut failures: Vec<String> = Vec::new();
     if check {
         if let Some(s) = &report.sim {
@@ -388,6 +456,20 @@ fn main() -> ExitCode {
                 failures.push(format!(
                     "sim regime: fast engine slower than reference ({:.2}x)",
                     s.scaled_speedup
+                ));
+            }
+        }
+        for t in &report.targets {
+            if !t.verify_clean {
+                failures.push(format!(
+                    "target regime: {} build failed verification under its own convention",
+                    t.target
+                ));
+            }
+            if t.exit != report.targets[0].exit {
+                failures.push(format!(
+                    "target regime: {} exit {} differs from {} exit {}",
+                    t.target, t.exit, report.targets[0].target, report.targets[0].exit
                 ));
             }
         }

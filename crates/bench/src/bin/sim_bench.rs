@@ -70,6 +70,8 @@ struct EngineLeg {
 #[derive(Debug, Serialize)]
 struct SimRow {
     workload: String,
+    /// Machine description the workload was compiled for.
+    target: String,
     /// Whether exact per-procedure attribution was on.
     attributed: bool,
     /// Cycles of one run (identical across engines, by parity).
@@ -135,8 +137,15 @@ fn time_leg(runs: u64, cycles_per_run: u64, mut one: impl FnMut()) -> EngineLeg 
     EngineLeg { seconds, ips: (cycles_per_run * runs) as f64 / seconds.max(1e-9) }
 }
 
-fn measure(name: &str, sources: &[SourceFile], input: &[i64], attributed: bool) -> SimRow {
-    let program = compile(sources, &CompileOptions::paper(PaperConfig::C))
+fn measure(
+    name: &str,
+    sources: &[SourceFile],
+    input: &[i64],
+    attributed: bool,
+    target: vpr::target::TargetId,
+) -> SimRow {
+    let copts = CompileOptions { target, ..CompileOptions::paper(PaperConfig::C) };
+    let program = compile(sources, &copts)
         .unwrap_or_else(|e| panic!("{name}: bench workload failed to compile: {e}"));
     let exe = &program.exe;
     let decoded = vpr::decode(exe);
@@ -179,6 +188,7 @@ fn measure(name: &str, sources: &[SourceFile], input: &[i64], attributed: bool) 
 
     SimRow {
         workload: name.to_string(),
+        target: target.name().to_string(),
         attributed,
         cycles_per_run,
         runs,
@@ -213,27 +223,39 @@ fn main() -> ExitCode {
     eprintln!("sim_bench: config {config}, {} KiB memory, both engines", MEM_WORDS * 8 / 1024);
     let mut rows = Vec::new();
     for (name, sources, input) in &jobs {
-        for attributed in [false, true] {
-            let row = measure(name, sources, input, attributed);
-            eprintln!(
-                "  {:>12}{}: {:>9} cycles x {:<5} fast {:>6.1}M ips, reference {:>6.1}M ips \
-                 ({:.1}x){}",
-                row.workload,
-                if attributed { " +attr" } else { "      " },
-                row.cycles_per_run,
-                row.runs,
-                row.fast.ips / 1e6,
-                row.reference.ips / 1e6,
-                row.speedup,
-                if row.parity_ok { "" } else { "  PARITY BROKEN" },
-            );
-            rows.push(row);
+        // The scaled dispatch-loop workload runs on both machine
+        // descriptions (the engines are target-parameterized; the RV32
+        // rows keep the second target's throughput on the trend line);
+        // the small table workloads stay VPR-only.
+        let targets: &[vpr::target::TargetId] = if name == &scaled_name {
+            &vpr::target::TargetId::ALL
+        } else {
+            &[vpr::target::TargetId::Vpr]
+        };
+        for &target in targets {
+            for attributed in [false, true] {
+                let row = measure(name, sources, input, attributed, target);
+                eprintln!(
+                    "  {:>12}{} [{:>4}]: {:>9} cycles x {:<5} fast {:>6.1}M ips, \
+                     reference {:>6.1}M ips ({:.1}x){}",
+                    row.workload,
+                    if attributed { " +attr" } else { "      " },
+                    row.target,
+                    row.cycles_per_run,
+                    row.runs,
+                    row.fast.ips / 1e6,
+                    row.reference.ips / 1e6,
+                    row.speedup,
+                    if row.parity_ok { "" } else { "  PARITY BROKEN" },
+                );
+                rows.push(row);
+            }
         }
     }
 
     let scaled_row = |attr: bool| {
         rows.iter()
-            .find(|r| r.workload == scaled_name && r.attributed == attr)
+            .find(|r| r.workload == scaled_name && r.attributed == attr && r.target == "vpr")
             .expect("scaled row present")
     };
     let report = SimBenchReport {

@@ -15,6 +15,8 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use vpr::inst::Inst;
 use vpr::program::{Executable, ObjectModule};
+use vpr::regs::RegSet;
+use vpr::target::{TargetDesc, TargetId};
 
 fn artifact_err(e: ipra_artifact::ArtifactError) -> String {
     e.to_string()
@@ -76,11 +78,18 @@ pub fn load_database(path: &str) -> Result<ProgramDatabase, String> {
 }
 
 /// Writes a program database as a `.cdir` artifact when the output path
-/// carries that extension, legacy bare JSON otherwise.
-pub fn write_database(path: &str, config: &str, database: &ProgramDatabase) -> Result<(), String> {
+/// carries that extension (header stamped for `target`: the directive
+/// registers are target-specific, so `objdump` needs the provenance),
+/// legacy bare JSON otherwise.
+pub fn write_database_for(
+    path: &str,
+    config: &str,
+    database: &ProgramDatabase,
+    target: TargetId,
+) -> Result<(), String> {
     if ArtifactKind::for_path(Path::new(path)) == Some(ArtifactKind::Directives) {
         let payload = DirectivesArtifact { config: config.to_string(), database: database.clone() };
-        ipra_artifact::write_file(ArtifactKind::Directives, Path::new(path), &payload)
+        ipra_artifact::write_file_for(ArtifactKind::Directives, Path::new(path), &payload, target)
             .map_err(artifact_err)
     } else {
         write(path, &database.to_json())
@@ -104,10 +113,11 @@ pub fn load_executable(path: &str) -> Result<Executable, String> {
 /// that extension, legacy bare JSON otherwise.
 pub fn write_executable(path: &str, exe: &Executable) -> Result<(), String> {
     if ArtifactKind::for_path(Path::new(path)) == Some(ArtifactKind::Executable) {
-        ipra_artifact::write_file(
+        ipra_artifact::write_file_for(
             ArtifactKind::Executable,
             Path::new(path),
             &ExecutableArtifact { exe: exe.clone() },
+            exe.target(),
         )
         .map_err(artifact_err)
     } else {
@@ -141,11 +151,15 @@ pub fn c_cmd(args: &[String]) -> Result<(), String> {
         Some(p) => load_database(&p)?,
         None => ProgramDatabase::new(),
     };
+    let target = crate::parse_target(args)?;
     let mut cache = open_cache(args)?;
     let src = SourceFile::new(stem, read(src_path)?);
-    let product = ipra_driver::separate::build_module(&src, &database, true, &mut cache)
-        .map_err(|e| e.to_string())?;
-    ipra_artifact::write_file(ArtifactKind::Object, Path::new(&out), &product.object)
+    let product =
+        ipra_driver::separate::build_module_for(&src, &database, true, &mut cache, target)
+            .map_err(|e| e.to_string())?;
+    // The object carries machine code for `target`; the summary is phase-1
+    // output (target-independent) and stays unstamped.
+    ipra_artifact::write_file_for(ArtifactKind::Object, Path::new(&out), &product.object, target)
         .map_err(artifact_err)?;
     ipra_artifact::write_file(ArtifactKind::Summary, Path::new(&sum_out), &product.summary)
         .map_err(artifact_err)?;
@@ -212,8 +226,9 @@ pub fn objdump_cmd(args: &[String]) -> Result<(), String> {
     let [path] = files.as_slice() else {
         return Err("objdump takes exactly one artifact file".into());
     };
-    let (kind, version) = ipra_artifact::sniff_file(Path::new(path)).map_err(artifact_err)?;
-    println!("{path}: {kind} artifact v{version}");
+    let (kind, version, target) =
+        ipra_artifact::sniff_file(Path::new(path)).map_err(artifact_err)?;
+    println!("{path}: {kind} artifact v{version} (target {target})");
     let p = Path::new(path);
     match kind {
         ArtifactKind::Summary => {
@@ -224,7 +239,9 @@ pub fn objdump_cmd(args: &[String]) -> Result<(), String> {
         ArtifactKind::Directives => {
             let a: DirectivesArtifact = ipra_artifact::read_file(kind, p).map_err(artifact_err)?;
             println!("config {}  ({} procedures)", a.config, a.database.len());
-            print!("{}", dump_directives(&a.database));
+            // The directive registers are target-specific; the header
+            // stamp names which convention to render them in.
+            print!("{}", dump_directives(&a.database, target.desc()));
         }
         ArtifactKind::Object => {
             let a: ObjectArtifact = ipra_artifact::read_file(kind, p).map_err(artifact_err)?;
@@ -286,24 +303,30 @@ fn dump_summary(s: &ModuleSummary) -> String {
     out
 }
 
-fn dump_directives(db: &ProgramDatabase) -> String {
+/// Renders a register set with the target's ABI names (`{a0, s3}`).
+fn fmt_regset(set: RegSet, desc: &TargetDesc) -> String {
+    let names: Vec<&str> = set.iter().map(|r| desc.reg_name(r)).collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+fn dump_directives(db: &ProgramDatabase, desc: &TargetDesc) -> String {
     let mut out = String::new();
     for d in db.iter() {
         let _ = writeln!(
             out,
             "proc {:<16} mspill {}{}  claimed {}  safe-across {}",
             d.name,
-            d.usage.mspill,
+            fmt_regset(d.usage.mspill, desc),
             if d.is_cluster_root { "  cluster-root" } else { "" },
-            d.claimed_caller,
-            d.safe_caller_across
+            fmt_regset(d.claimed_caller, desc),
+            fmt_regset(d.safe_caller_across, desc)
         );
         for p in &d.promotions {
             let _ = writeln!(
                 out,
                 "  promote {:<14} -> {}{}{}",
                 p.sym,
-                p.reg,
+                desc.reg_name(p.reg),
                 if p.is_entry { "  (entry: load here)" } else { "" },
                 if p.store_at_exit { "  (store at exit)" } else { "" }
             );
@@ -313,13 +336,14 @@ fn dump_directives(db: &ProgramDatabase) -> String {
 }
 
 fn dump_object(m: &ObjectModule) -> String {
+    let desc = m.target.desc();
     let mut out = String::new();
-    let _ = writeln!(out, "module {}", m.name);
+    let _ = writeln!(out, "module {} (target {})", m.name, m.target);
     for g in &m.globals {
         let _ = writeln!(out, "global {} ({} words)", g.sym, g.size);
     }
     for f in &m.functions {
-        out.push_str(&vpr::asm::function_asm(f));
+        out.push_str(&vpr::asm::function_asm_for(f, desc));
     }
     let relocs = m.relocations();
     let _ = writeln!(out, "; {} relocation(s)", relocs.len());
@@ -340,12 +364,13 @@ fn dump_object(m: &ObjectModule) -> String {
 /// Linked disassembly with call targets symbolized back to `proc+offset`
 /// through [`Executable::symbolize`].
 fn dump_executable(exe: &Executable) -> String {
+    let desc = exe.target().desc();
     let mut out = String::new();
     for (pc, inst) in exe.insts().iter().enumerate() {
         if let Some(fi) = exe.funcs().iter().find(|fi| fi.entry == pc) {
             let _ = writeln!(out, "\n{}:  ; @{}", fi.name, fi.entry);
         }
-        let _ = write!(out, "  {pc:6}  {inst}");
+        let _ = write!(out, "  {pc:6}  {}", vpr::asm::inst_asm(inst, desc));
         if let Inst::CallAbs { entry } = inst {
             if let Some(sym) = exe.symbolize(*entry as usize) {
                 let _ = write!(out, "  ; -> {sym}");

@@ -79,19 +79,19 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  cminc c <src.cmin> [-o <mod.vo>] [--summary <mod.csum>] [--dir <prog.cdir>] [--cache-dir DIR]
-  cminc analyze <mod.csum|lib.vlib>... [--config L2|A|B|C|D|E|F|P] [--profile <prof.json>] [--report] [--dot <graph.dot>] [--trace <trace.json>] -o <prog.cdir>
+  cminc c <src.cmin> [-o <mod.vo>] [--summary <mod.csum>] [--dir <prog.cdir>] [--cache-dir DIR] [--target vpr|rv32]
+  cminc analyze <mod.csum|lib.vlib>... [--config L2|A|B|C|D|E|F|P] [--profile <prof.json>] [--report] [--dot <graph.dot>] [--trace <trace.json>] [--target vpr|rv32] -o <prog.cdir>
   cminc link <mod.vo|lib.vlib>... [--allow-undefined] -o <prog.vx>
   cminc lib <mod.vo>... -o <lib.vlib>
   cminc verify <mod.vo>... [--db <prog.cdir>]
   cminc run <prog.vx> [--input \"v v v\"] [--engine fast|ref] [--stats] [--stats-json <out.json>] [--metrics-out <m.json>] [--profile-out <prof.json>] [--asm]
-  cminc build <src.cmin>... [--config ...] [-o <prog.vx>] [--cache-dir DIR] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--trace-out <t.json>] [--metrics-out <m.json>] [--stats-json <s.json>] [--input \"v v v\"]
+  cminc build <src.cmin>... [--config ...] [--target vpr|rv32] [-o <prog.vx>] [--cache-dir DIR] [-j|--jobs N] [--repeat N] [--verify] [--run] [--stats] [--trace <trace.json>] [--trace-out <t.json>] [--metrics-out <m.json>] [--stats-json <s.json>] [--input \"v v v\"]
   cminc profile <prog.vx | src.cmin...> [--config ...] [--input \"v v v\"] [--engine fast|ref] [--top N] [--json <out.json>]
   cminc stats <src.cmin>... [--config ...] [--input \"v v v\"] [-j|--jobs N] [--run]
   cminc objdump <artifact-file>
   cminc phase1 <src.cmin> [--summary <out.sum>] [--ir <out.ir>]
-  cminc phase2 <mod.ir> --db <prog.cdir> -o <mod.obj>
-  cminc explain <symbol> (--trace <trace.json> | <src.cmin>... [--config ...])
+  cminc phase2 <mod.ir> --db <prog.cdir> [--target vpr|rv32] -o <mod.obj>
+  cminc explain <symbol> (--trace <trace.json> | <src.cmin>... [--config ...]) [--target vpr|rv32]
   cminc report <src.cmin>... --config-b L2|A|B|C|D|E|F|P [--config-a ...] [--input \"v v v\"] [--json <out.json>]
   cminc fuzz [--seed N] [--iters N | --time-budget SECS] [-j|--jobs N] [--corpus DIR] [--reduce-budget N] [--self-validate] [--metrics-out <m.json>]
   cminc serve --socket PATH [--cache-dir DIR] [-j|--jobs N] [--shards N] [--cap N] [--timeout SECS]
@@ -113,6 +113,8 @@ separate compilation:
                  against a .vlib pulls only the members the program needs
 
 build flags:
+  --target T     machine description to compile for: vpr (default) or rv32;
+                 link/verify/run read the target from the artifacts themselves
   -j, --jobs N   worker threads for the per-module phases (default 1, 0 = all cores)
   --repeat N     build N times through one incremental cache (recompilation demo)
   -o FILE        write the linked executable (artifact iff FILE ends in .vx)
@@ -209,6 +211,7 @@ pub(crate) fn positionals(args: &[String]) -> Vec<String> {
                     | "--shards"
                     | "--cap"
                     | "--timeout"
+                    | "--target"
             );
             skip = takes_value && args.get(i + 1).is_some();
             continue;
@@ -253,6 +256,17 @@ fn config_by_name(name: Option<&str>) -> Result<PaperConfig, String> {
 
 fn parse_config(args: &[String]) -> Result<PaperConfig, String> {
     config_by_name(flag_value(args, "--config").as_deref())
+}
+
+/// Resolves `--target` to a machine description id (default: VPR).
+pub(crate) fn parse_target(args: &[String]) -> Result<vpr::target::TargetId, String> {
+    match flag_value(args, "--target") {
+        None => Ok(vpr::target::TargetId::Vpr),
+        Some(s) => vpr::target::TargetId::parse(&s).ok_or_else(|| {
+            let names: Vec<&str> = vpr::target::TargetId::ALL.iter().map(|t| t.name()).collect();
+            format!("unknown target `{s}` (targets: {})", names.join(", "))
+        }),
+    }
 }
 
 fn parse_input(args: &[String]) -> Result<Vec<i64>, String> {
@@ -316,7 +330,8 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
             None
         }
     };
-    let analyzer_opts = AnalyzerOptions::paper_config(config, profile);
+    let target = parse_target(args)?;
+    let analyzer_opts = AnalyzerOptions::paper_config_for(config, profile, target);
     let trace_path = flag_value(args, "--trace");
     let (analysis, trace) = match &trace_path {
         Some(_) => {
@@ -325,7 +340,7 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
         }
         None => (analyze(&program, &analyzer_opts), None),
     };
-    artifacts::write_database(&out, &config.to_string(), &analysis.database)?;
+    artifacts::write_database_for(&out, &config.to_string(), &analysis.database, target)?;
     if let (Some(path), Some(t)) = (&trace_path, &trace) {
         write(path, &t.to_json())?;
         eprintln!("trace: {} events -> {path}", t.events.len());
@@ -369,9 +384,10 @@ fn phase2(args: &[String]) -> Result<(), String> {
         Some(p) => artifacts::load_database(&p)?,
         None => ProgramDatabase::new(),
     };
+    let target = parse_target(args)?;
     let ir: cmin_ir::IrModule =
         serde_json::from_str(&read(ir_path)?).map_err(|e| format!("{ir_path}: {e}"))?;
-    let object = cmin_codegen::compile_module(&ir, &db);
+    let object = cmin_codegen::compile_module_for(&ir, &db, target);
     write(&out, &serde_json::to_string(&object).expect("serialize"))?;
     eprintln!("phase2: {ir_path} -> {out} ({} procedures)", object.functions.len());
     Ok(())
@@ -550,6 +566,7 @@ fn explain_cmd(args: &[String]) -> Result<(), String> {
             let input = parse_input(args)?;
             let opts = ipra_driver::CompileOptions {
                 trace: true,
+                target: parse_target(args)?,
                 ..ipra_driver::CompileOptions::default()
             };
             let mut cache = ipra_driver::CompilationCache::new();
@@ -560,7 +577,7 @@ fn explain_cmd(args: &[String]) -> Result<(), String> {
             program.trace.expect("tracing was requested")
         }
     };
-    print!("{}", ipra_obsv::explain(&trace, symbol));
+    print!("{}", ipra_obsv::explain_for(&trace, symbol, parse_target(args)?.desc()));
     Ok(())
 }
 
@@ -710,6 +727,7 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
         None => 1,
     };
     let stats = has_flag(args, "--stats");
+    let target = parse_target(args)?;
     let mut sources = Vec::new();
     for s in &srcs {
         sources.push(SourceFile::new(module_name(s), read(s)?));
@@ -731,6 +749,7 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
             jobs,
             trace: trace_path.is_some(),
             telemetry: telemetry.clone(),
+            target,
             ..ipra_driver::CompileOptions::default()
         };
         let built = ipra_driver::compile_configured(&sources, config, &input, &opts, &mut cache)

@@ -24,6 +24,7 @@ use ipra_core::caller_prealloc::claim_pool_set;
 use ipra_core::regsets::RegUsage;
 use std::collections::HashMap;
 use vpr::regs::{Reg, RegSet};
+use vpr::target::TargetDesc;
 
 /// The caller-saves preallocation contract for one procedure (paper §7.6.2
 /// extension): the claim this procedure must stay within, plus the per-
@@ -41,6 +42,11 @@ impl CallerPrealloc<'_> {
     pub fn standard() -> CallerPrealloc<'static> {
         CallerPrealloc { claimed: claim_pool_set(), safe_lookup: &|_| RegSet::new() }
     }
+
+    /// [`CallerPrealloc::standard`] for an explicit target description.
+    pub fn standard_for(desc: &TargetDesc) -> CallerPrealloc<'static> {
+        CallerPrealloc { claimed: desc.claim_pool_set(), safe_lookup: &|_| RegSet::new() }
+    }
 }
 
 /// Per-temp caller-saves clobber set: for each temp, the claim-pool
@@ -51,9 +57,9 @@ fn cross_clobbers(
     f: &Function,
     liveness: &Liveness,
     safe_lookup: &dyn Fn(&str) -> RegSet,
+    pool: RegSet,
 ) -> Vec<RegSet> {
     let mut clobber: Vec<RegSet> = vec![RegSet::new(); f.temp_count as usize];
-    let pool = claim_pool_set();
     for b in f.block_ids() {
         let mut live = liveness.live_out(b).clone();
         let block = f.block(b);
@@ -113,9 +119,14 @@ impl Allocation {
     }
 }
 
-/// Registers reserved for the emitter's operand materialization.
+/// Registers reserved for the emitter's operand materialization (VPR).
 pub fn scratch_regs() -> (Reg, Reg) {
-    (Reg::AT, Reg::new(31))
+    scratch_regs_for(&vpr::target::VPR)
+}
+
+/// Registers `desc` reserves for the emitter's operand materialization.
+pub fn scratch_regs_for(desc: &TargetDesc) -> (Reg, Reg) {
+    (desc.scratch1, desc.scratch2)
 }
 
 /// Allocates registers for `f` under the analyzer's `usage` directives.
@@ -142,6 +153,20 @@ pub fn allocate_with(
     forbidden: RegSet,
     pins: &HashMap<Temp, Reg>,
     prealloc: &CallerPrealloc<'_>,
+) -> Allocation {
+    allocate_for(f, usage, forbidden, pins, prealloc, &vpr::target::VPR)
+}
+
+/// [`allocate_with`] against an explicit target description: scratch
+/// registers, the argument/return roles and the claim pool all come from
+/// `desc` instead of the VPR convention.
+pub fn allocate_for(
+    f: &Function,
+    usage: &RegUsage,
+    forbidden: RegSet,
+    pins: &HashMap<Temp, Reg>,
+    prealloc: &CallerPrealloc<'_>,
+    desc: &TargetDesc,
 ) -> Allocation {
     let cfg = Cfg::new(f);
     let liveness = Liveness::compute(f, &cfg);
@@ -207,24 +232,25 @@ pub fn allocate_with(
     }
 
     // Register pools, in allocation preference order.
-    let (s1, s2) = scratch_regs();
+    let (s1, s2) = scratch_regs_for(desc);
+    let pool = desc.claim_pool_set();
     let mut reserved = forbidden;
     reserved.insert(s1);
     reserved.insert(s2);
-    reserved.insert(Reg::RV);
-    for a in Reg::ARGS {
+    reserved.insert(desc.rv);
+    for &a in desc.args {
         reserved.insert(a);
     }
     // Claim-pool registers beyond this procedure's claim are untouchable:
     // ancestors may be keeping values in them across calls to us.
-    let unclaimed = claim_pool_set() - prealloc.claimed;
+    let unclaimed = pool - prealloc.claimed;
     let caller_pool: Vec<Reg> =
         ((usage.caller | usage.mspill) - reserved - unclaimed).iter().collect();
     let free_pool: Vec<Reg> = (usage.free - reserved).iter().collect();
     let callee_pool: Vec<Reg> = (usage.callee - reserved).iter().collect();
-    let clobber = cross_clobbers(f, &liveness, prealloc.safe_lookup);
+    let clobber = cross_clobbers(f, &liveness, prealloc.safe_lookup, pool);
     // Claimed caller registers usable by a crossing temp, per temp.
-    let safe_base = (claim_pool_set() & prealloc.claimed & usage.caller) - reserved;
+    let safe_base = (pool & prealloc.claimed & usage.caller) - reserved;
 
     // Priority order: hottest temps first. Pinned temps are pre-assigned.
     let mut order: Vec<Temp> = (0..f.temp_count)
@@ -299,10 +325,24 @@ pub fn validate_with(
     alloc: &Allocation,
     prealloc: &CallerPrealloc<'_>,
 ) -> Result<(), String> {
+    validate_for(f, usage, forbidden, pins, alloc, prealloc, &vpr::target::VPR)
+}
+
+/// [`validate_with`] against an explicit target description.
+pub fn validate_for(
+    f: &Function,
+    usage: &RegUsage,
+    forbidden: RegSet,
+    pins: &HashMap<Temp, Reg>,
+    alloc: &Allocation,
+    prealloc: &CallerPrealloc<'_>,
+    desc: &TargetDesc,
+) -> Result<(), String> {
     let cfg = Cfg::new(f);
     let liveness = Liveness::compute(f, &cfg);
     let crossing = live_across_calls(f, &liveness);
-    let clobber = cross_clobbers(f, &liveness, prealloc.safe_lookup);
+    let pool = desc.claim_pool_set();
+    let clobber = cross_clobbers(f, &liveness, prealloc.safe_lookup, pool);
 
     let caller_class = (usage.caller | usage.mspill) - usage.free;
     #[allow(clippy::needless_range_loop)]
@@ -313,14 +353,14 @@ pub fn validate_with(
             }
             if crossing.contains(t) && caller_class.contains(r) {
                 // Permitted only under the §7.6.2 contract.
-                let allowed = claim_pool_set().contains(r)
+                let allowed = pool.contains(r)
                     && prealloc.claimed.contains(r)
                     && !clobber[t.0 as usize].contains(r);
                 if !allowed {
                     return Err(format!("call-crossing {t} allocated to caller-class {r}"));
                 }
             }
-            if claim_pool_set().contains(r) && !prealloc.claimed.contains(r) {
+            if pool.contains(r) && !prealloc.claimed.contains(r) {
                 return Err(format!("{t} allocated to unclaimed caller register {r}"));
             }
         }

@@ -25,18 +25,29 @@
 //! Callers store outgoing stack arguments *below* their own `SP` — exactly
 //! where the callee's frame will place its incoming area.
 
-use crate::alloc::{allocate_with, scratch_regs, Allocation, CallerPrealloc, Loc};
+use crate::alloc::{allocate_for, scratch_regs_for, validate_for, Allocation, CallerPrealloc, Loc};
 use crate::promote::rewrite_promotions;
 use cmin_ir::ir::{self, BlockId, Callee, Function, IrModule, Operand, Temp};
 use ipra_core::{ProcDirectives, ProgramDatabase};
 use vpr::inst::{AluOp, Cond, Inst, Label, MemClass};
 use vpr::program::{GlobalDef, MachineFunction, ObjectModule};
 use vpr::regs::{Reg, RegSet};
+use vpr::target::{TargetDesc, TargetId};
 
 /// Compiles one optimized IR module into an object module, consulting the
 /// program database for each procedure's directives (falling back to the
-/// standard convention for procedures the analyzer never saw).
+/// standard convention for procedures the analyzer never saw). VPR target;
+/// see [`compile_module_for`].
 pub fn compile_module(ir: &IrModule, db: &ProgramDatabase) -> ObjectModule {
+    compile_module_for(ir, db, TargetId::Vpr)
+}
+
+/// [`compile_module`] for an explicit target: the linkage roles, argument
+/// registers and claim pool all come from `target`'s machine description,
+/// and the object module is tagged so the linker can reject mixed-target
+/// links.
+pub fn compile_module_for(ir: &IrModule, db: &ProgramDatabase, target: TargetId) -> ObjectModule {
+    let desc = target.desc();
     let safe_lookup = |name: &str| -> vpr::regs::RegSet {
         db.get(name).map(|d| d.safe_caller_across).unwrap_or_default()
     };
@@ -44,8 +55,8 @@ pub fn compile_module(ir: &IrModule, db: &ProgramDatabase) -> ObjectModule {
         .functions
         .iter()
         .map(|f| {
-            let directives = db.lookup(&f.name);
-            compile_function_with(f, &directives, &safe_lookup)
+            let directives = db.lookup_for(&f.name, target);
+            compile_function_for(f, &directives, &safe_lookup, desc)
         })
         .collect();
     let globals = ir
@@ -53,7 +64,7 @@ pub fn compile_module(ir: &IrModule, db: &ProgramDatabase) -> ObjectModule {
         .iter()
         .map(|g| GlobalDef { sym: g.sym.clone(), size: g.size as usize, init: g.init.clone() })
         .collect();
-    ObjectModule { name: ir.name.clone(), functions, globals }
+    ObjectModule { name: ir.name.clone(), functions, globals, target }
 }
 
 /// Compiles a single function under `directives` (no cross-procedure safe
@@ -63,11 +74,21 @@ pub fn compile_function(f: &Function, directives: &ProcDirectives) -> MachineFun
 }
 
 /// Compiles a single function under `directives`, consulting `safe_lookup`
-/// for the §7.6.2 per-callee safe caller-saves sets.
+/// for the §7.6.2 per-callee safe caller-saves sets. VPR convention.
 pub fn compile_function_with(
     f: &Function,
     directives: &ProcDirectives,
     safe_lookup: &dyn Fn(&str) -> vpr::regs::RegSet,
+) -> MachineFunction {
+    compile_function_for(f, directives, safe_lookup, &vpr::target::VPR)
+}
+
+/// [`compile_function_with`] against an explicit machine description.
+pub fn compile_function_for(
+    f: &Function,
+    directives: &ProcDirectives,
+    safe_lookup: &dyn Fn(&str) -> vpr::regs::RegSet,
+    desc: &TargetDesc,
 ) -> MachineFunction {
     // Rewrite promoted-global accesses against pinned temps; their
     // registers are off limits to the allocator for anything else.
@@ -80,20 +101,20 @@ pub fn compile_function_with(
         forbidden.insert(p.reg);
     }
     let prealloc = CallerPrealloc { claimed: directives.claimed_caller, safe_lookup };
-    let alloc = allocate_with(&f, &directives.usage, forbidden, &pins, &prealloc);
+    let alloc = allocate_for(&f, &directives.usage, forbidden, &pins, &prealloc, desc);
     debug_assert!(
-        crate::alloc::validate_with(&f, &directives.usage, forbidden, &pins, &alloc, &prealloc)
-            .is_ok(),
+        validate_for(&f, &directives.usage, forbidden, &pins, &alloc, &prealloc, desc).is_ok(),
         "allocator produced an invalid assignment for {}",
         f.name
     );
-    Emitter::new(&f, directives, alloc).run()
+    Emitter::new(&f, directives, alloc, desc).run()
 }
 
 struct Emitter<'a> {
     f: &'a Function,
     directives: &'a ProcDirectives,
     alloc: Allocation,
+    desc: &'a TargetDesc,
     out: MachineFunction,
     block_labels: Vec<Label>,
     epilogue: Label,
@@ -108,8 +129,13 @@ struct Emitter<'a> {
 }
 
 impl<'a> Emitter<'a> {
-    fn new(f: &'a Function, directives: &'a ProcDirectives, alloc: Allocation) -> Emitter<'a> {
-        let (s1, s2) = scratch_regs();
+    fn new(
+        f: &'a Function,
+        directives: &'a ProcDirectives,
+        alloc: Allocation,
+        desc: &'a TargetDesc,
+    ) -> Emitter<'a> {
+        let (s1, s2) = scratch_regs_for(desc);
         let mut out = MachineFunction::new(f.name.clone());
         let block_labels: Vec<Label> = f.blocks.iter().map(|_| out.new_label()).collect();
         let epilogue = out.new_label();
@@ -149,13 +175,14 @@ impl<'a> Emitter<'a> {
             }
         }
         // Incoming stack arguments occupy the top of the frame.
-        let extra_in = f.params.len().saturating_sub(4) as i64;
+        let extra_in = f.params.len().saturating_sub(desc.args.len()) as i64;
         let frame_size = next + extra_in;
 
         Emitter {
             f,
             directives,
             alloc,
+            desc,
             out,
             block_labels,
             epilogue,
@@ -183,10 +210,11 @@ impl<'a> Emitter<'a> {
             Some(Loc::Reg(r)) => r,
             Some(Loc::Slot(s)) => {
                 let disp = self.slot_disp(s);
-                self.push(Inst::Ldw { rd: scratch, base: Reg::SP, disp, class: MemClass::Spill });
+                let sp = self.desc.sp;
+                self.push(Inst::Ldw { rd: scratch, base: sp, disp, class: MemClass::Spill });
                 scratch
             }
-            None => Reg::ZERO, // dead temp: any value will do
+            None => self.desc.zero, // dead temp: any value will do
         }
     }
 
@@ -194,7 +222,7 @@ impl<'a> Emitter<'a> {
     fn read_operand(&mut self, o: Operand, scratch: Reg) -> Reg {
         match o {
             Operand::Temp(t) => self.read_temp(t, scratch),
-            Operand::Const(0) => Reg::ZERO,
+            Operand::Const(0) => self.desc.zero,
             Operand::Const(c) => {
                 self.push(Inst::Ldi { rd: scratch, imm: c });
                 scratch
@@ -214,7 +242,8 @@ impl<'a> Emitter<'a> {
 
     fn finish_def(&mut self, spill: Option<i64>) {
         if let Some(disp) = spill {
-            self.push(Inst::Stw { rs: self.s1, base: Reg::SP, disp, class: MemClass::Spill });
+            let sp = self.desc.sp;
+            self.push(Inst::Stw { rs: self.s1, base: sp, disp, class: MemClass::Spill });
         }
     }
 
@@ -241,19 +270,16 @@ impl<'a> Emitter<'a> {
     }
 
     fn prologue(&mut self) {
+        let sp = self.desc.sp;
+        let rp = self.desc.rp;
         if self.frame_size > 0 {
-            self.push(Inst::Alui {
-                op: AluOp::Sub,
-                rd: Reg::SP,
-                rs1: Reg::SP,
-                imm: self.frame_size,
-            });
+            self.push(Inst::Alui { op: AluOp::Sub, rd: sp, rs1: sp, imm: self.frame_size });
         }
         if let Some(slot) = self.rp_slot {
-            self.push(Inst::Stw { rs: Reg::RP, base: Reg::SP, disp: slot, class: MemClass::Frame });
+            self.push(Inst::Stw { rs: rp, base: sp, disp: slot, class: MemClass::Frame });
         }
         for (r, slot) in self.saves.clone() {
-            self.push(Inst::Stw { rs: r, base: Reg::SP, disp: slot, class: MemClass::Spill });
+            self.push(Inst::Stw { rs: r, base: sp, disp: slot, class: MemClass::Spill });
         }
         // Web entry: load the promoted globals into their registers.
         for p in self.directives.promotions.clone() {
@@ -268,20 +294,21 @@ impl<'a> Emitter<'a> {
         }
         // Move parameters from the argument registers / incoming slots to
         // their allocated homes.
+        let argc = self.desc.args.len();
         for (i, &p) in self.f.params.iter().enumerate().collect::<Vec<_>>() {
-            let src: Reg = if i < 4 {
-                Reg::ARGS[i]
+            let src: Reg = if i < argc {
+                self.desc.args[i]
             } else {
-                let k = (i - 4) as i64;
+                let k = (i - argc) as i64;
                 let disp = self.frame_size - 1 - k;
-                self.push(Inst::Ldw { rd: self.s1, base: Reg::SP, disp, class: MemClass::Frame });
+                self.push(Inst::Ldw { rd: self.s1, base: sp, disp, class: MemClass::Frame });
                 self.s1
             };
             match self.alloc.loc(p) {
                 Some(Loc::Reg(r)) => self.push(Inst::Copy { rd: r, rs: src }),
                 Some(Loc::Slot(s)) => {
                     let disp = self.slot_disp(s);
-                    self.push(Inst::Stw { rs: src, base: Reg::SP, disp, class: MemClass::Spill });
+                    self.push(Inst::Stw { rs: src, base: sp, disp, class: MemClass::Spill });
                 }
                 None => {}
             }
@@ -301,21 +328,18 @@ impl<'a> Emitter<'a> {
                 });
             }
         }
+        let sp = self.desc.sp;
+        let rp = self.desc.rp;
         for (r, slot) in self.saves.clone().into_iter().rev() {
-            self.push(Inst::Ldw { rd: r, base: Reg::SP, disp: slot, class: MemClass::Spill });
+            self.push(Inst::Ldw { rd: r, base: sp, disp: slot, class: MemClass::Spill });
         }
         if let Some(slot) = self.rp_slot {
-            self.push(Inst::Ldw { rd: Reg::RP, base: Reg::SP, disp: slot, class: MemClass::Frame });
+            self.push(Inst::Ldw { rd: rp, base: sp, disp: slot, class: MemClass::Frame });
         }
         if self.frame_size > 0 {
-            self.push(Inst::Alui {
-                op: AluOp::Add,
-                rd: Reg::SP,
-                rs1: Reg::SP,
-                imm: self.frame_size,
-            });
+            self.push(Inst::Alui { op: AluOp::Add, rd: sp, rs1: sp, imm: self.frame_size });
         }
-        self.push(Inst::Bv { base: Reg::RP });
+        self.push(Inst::Bv { base: rp });
     }
 
     fn inst(&mut self, inst: &ir::Inst) {
@@ -336,12 +360,13 @@ impl<'a> Emitter<'a> {
             ir::Inst::Un { op, dst, src } => {
                 let rs = self.read_operand(*src, self.s2);
                 let (rd, spill) = self.def_target(*dst);
+                let zero = self.desc.zero;
                 match op {
                     ir::UnOp::Neg => {
-                        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1: Reg::ZERO, rs2: rs })
+                        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1: zero, rs2: rs })
                     }
                     ir::UnOp::Not => {
-                        self.push(Inst::Cmp { cond: Cond::Eq, rd, rs1: rs, rs2: Reg::ZERO })
+                        self.push(Inst::Cmp { cond: Cond::Eq, rd, rs1: rs, rs2: zero })
                     }
                 }
                 self.finish_def(spill);
@@ -493,11 +518,14 @@ impl<'a> Emitter<'a> {
     }
 
     fn call(&mut self, dst: &Option<Temp>, callee: &Callee, args: &[Operand]) {
-        // Arguments: first four in registers, the rest below SP (the
-        // callee's incoming area).
+        // Arguments: the leading ones in the convention's argument
+        // registers, the rest below SP (the callee's incoming area).
+        let argc = self.desc.args.len();
+        let sp = self.desc.sp;
+        let zero = self.desc.zero;
         for (i, a) in args.iter().enumerate() {
-            if i < 4 {
-                let target = Reg::ARGS[i];
+            if i < argc {
+                let target = self.desc.args[i];
                 match a {
                     Operand::Const(c) => self.push(Inst::Ldi { rd: target, imm: *c }),
                     Operand::Temp(t) => match self.alloc.loc(*t) {
@@ -506,18 +534,18 @@ impl<'a> Emitter<'a> {
                             let disp = self.slot_disp(s);
                             self.push(Inst::Ldw {
                                 rd: target,
-                                base: Reg::SP,
+                                base: sp,
                                 disp,
                                 class: MemClass::Spill,
                             });
                         }
-                        None => self.push(Inst::Copy { rd: target, rs: Reg::ZERO }),
+                        None => self.push(Inst::Copy { rd: target, rs: zero }),
                     },
                 }
             } else {
                 let rs = self.read_operand(*a, self.s1);
-                let disp = -1 - (i as i64 - 4);
-                self.push(Inst::Stw { rs, base: Reg::SP, disp, class: MemClass::Frame });
+                let disp = -1 - (i as i64 - argc as i64);
+                self.push(Inst::Stw { rs, base: sp, disp, class: MemClass::Frame });
             }
         }
         match callee {
@@ -528,9 +556,10 @@ impl<'a> Emitter<'a> {
             }
         }
         if let Some(d) = dst {
+            let rv = self.desc.rv;
             let (rd, spill) = self.def_target(*d);
-            if rd != Reg::RV {
-                self.push(Inst::Copy { rd, rs: Reg::RV });
+            if rd != rv {
+                self.push(Inst::Copy { rd, rs: rv });
             }
             self.finish_def(spill);
         }
@@ -582,14 +611,15 @@ impl<'a> Emitter<'a> {
                 }
             }
             ir::Term::Ret(v) => {
+                let rv = self.desc.rv;
                 match v {
                     Some(o) => {
-                        let r = self.read_operand(*o, Reg::RV);
-                        if r != Reg::RV {
-                            self.push(Inst::Copy { rd: Reg::RV, rs: r });
+                        let r = self.read_operand(*o, rv);
+                        if r != rv {
+                            self.push(Inst::Copy { rd: rv, rs: r });
                         }
                     }
-                    None => self.push(Inst::Ldi { rd: Reg::RV, imm: 0 }),
+                    None => self.push(Inst::Ldi { rd: rv, imm: 0 }),
                 }
                 // Jump to the single epilogue unless it is next.
                 if current.index() + 1 != self.f.blocks.len() {

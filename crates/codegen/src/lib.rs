@@ -35,4 +35,4 @@ pub mod emit;
 pub mod promote;
 
 pub use alloc::{allocate, Allocation, Loc};
-pub use emit::{compile_function, compile_module};
+pub use emit::{compile_function, compile_module, compile_module_for};

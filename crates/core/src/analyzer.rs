@@ -5,13 +5,13 @@
 use crate::callgraph::{CallGraph, NodeId};
 use crate::cluster::{identify_clusters, ClusterHeuristics, Clustering};
 use crate::color::{
-    blanket_webs, color_webs, prioritize, web_benefit, web_entry_cost, Coloring, ColoringStrategy,
-    DiscardHeuristics, Prioritization, WebOutcome,
+    blanket_webs, color_webs_for, prioritize, web_benefit, web_entry_cost, Coloring,
+    ColoringStrategy, DiscardHeuristics, Prioritization, WebOutcome,
 };
 use crate::database::{ProcDirectives, ProgramDatabase, Promotion};
 use crate::dataflow::{Eligibility, RefSets};
 use crate::profile::ProfileData;
-use crate::regsets::{compute_register_sets, RegUsage};
+use crate::regsets::{compute_register_sets_for, RegUsage};
 use crate::trace::{AnalyzerTrace, DiscardReason, TraceEvent};
 use crate::webs::{identify_webs, Web, WebStats};
 use ipra_summary::ProgramSummary;
@@ -135,6 +135,10 @@ pub struct AnalyzerOptions {
     /// Replace the blanket address-taken rejection with the interprocedural
     /// points-to/mod-ref analysis (configuration P).
     pub alias_precision: bool,
+    /// The target convention the directives are expressed over. The
+    /// analysis itself is target-independent (§2); only the concrete
+    /// register names drawn for webs, clusters and claims depend on this.
+    pub target: vpr::target::TargetId,
 }
 
 impl Default for AnalyzerOptions {
@@ -148,11 +152,21 @@ impl Default for AnalyzerOptions {
             precise_web_cluster_interaction: false,
             caller_preallocation: false,
             alias_precision: false,
+            target: vpr::target::TargetId::Vpr,
         }
     }
 }
 
 impl AnalyzerOptions {
+    /// [`AnalyzerOptions::paper_config`] for an explicit target.
+    pub fn paper_config_for(
+        config: PaperConfig,
+        profile: Option<ProfileData>,
+        target: vpr::target::TargetId,
+    ) -> AnalyzerOptions {
+        AnalyzerOptions { target, ..AnalyzerOptions::paper_config(config, profile) }
+    }
+
     /// Options matching one of the paper's measured configurations.
     /// Configurations B and F require `profile` to be supplied.
     pub fn paper_config(config: PaperConfig, profile: Option<ProfileData>) -> AnalyzerOptions {
@@ -289,6 +303,7 @@ fn analyze_impl(
     opts: &AnalyzerOptions,
     mut trace: Option<&mut AnalyzerTrace>,
 ) -> Analysis {
+    let desc = opts.target.desc();
     let graph = CallGraph::build(summary, opts.profile.as_ref());
     let alias_solution = if opts.alias_precision { Some(solve_alias(summary)) } else { None };
     let elig = Eligibility::compute_with_alias(&graph, summary, alias_solution.as_ref());
@@ -314,8 +329,13 @@ fn analyze_impl(
             let (webs, wstats) = identify_webs(&graph, &elig, &refs);
             let prio = prioritize(&webs, &graph, &elig, &opts.discard);
             record_web_stats(&mut stats, &wstats, &prio);
-            let coloring =
-                color_webs(&webs, &prio, ColoringStrategy::Reserved { count: registers }, &graph);
+            let coloring = color_webs_for(
+                &webs,
+                &prio,
+                ColoringStrategy::Reserved { count: registers },
+                &graph,
+                desc,
+            );
             stats.webs_colored = coloring.colored;
             wstats_opt = Some(wstats);
             prio_opt = Some(prio);
@@ -325,7 +345,7 @@ fn analyze_impl(
             let (webs, wstats) = identify_webs(&graph, &elig, &refs);
             let prio = prioritize(&webs, &graph, &elig, &opts.discard);
             record_web_stats(&mut stats, &wstats, &prio);
-            let coloring = color_webs(&webs, &prio, ColoringStrategy::Greedy, &graph);
+            let coloring = color_webs_for(&webs, &prio, ColoringStrategy::Greedy, &graph, desc);
             stats.webs_colored = coloring.colored;
             wstats_opt = Some(wstats);
             prio_opt = Some(prio);
@@ -343,11 +363,12 @@ fn analyze_impl(
                     .collect(),
                 ..Prioritization::default()
             };
-            let coloring = color_webs(
+            let coloring = color_webs_for(
                 &webs,
                 &prio,
                 ColoringStrategy::Reserved { count: webs.len() as u32 },
                 &graph,
+                desc,
             );
             stats.webs_colored = coloring.colored;
             (webs, coloring)
@@ -388,8 +409,13 @@ fn analyze_impl(
     stats.clusters = clustering.clusters.len();
     stats.avg_cluster_size = clustering.average_size();
 
-    let usage =
-        compute_register_sets(&graph, &clustering, &web_regs, opts.precise_web_cluster_interaction);
+    let usage = compute_register_sets_for(
+        &graph,
+        &clustering,
+        &web_regs,
+        opts.precise_web_cluster_interaction,
+        desc,
+    );
 
     if let Some(t) = trace.as_deref_mut() {
         emit_cluster_events(t, &graph, &clustering, &usage);
@@ -397,7 +423,7 @@ fn analyze_impl(
 
     // --- Caller-saves preallocation (§7.6.2 extension) ---
     let tree_caller = if opts.caller_preallocation {
-        Some(crate::caller_prealloc::compute_tree_caller(&graph))
+        Some(crate::caller_prealloc::compute_tree_caller_for(&graph, desc))
     } else {
         None
     };
@@ -408,8 +434,8 @@ fn analyze_impl(
             }
             t.push(TraceEvent::CallerClaimGranted {
                 proc: graph.node(n).name.clone(),
-                claimed: crate::caller_prealloc::own_claim(&graph, n),
-                safe_across: crate::caller_prealloc::claim_pool_set() - tree[n.index()],
+                claimed: crate::caller_prealloc::own_claim_for(&graph, n, desc),
+                safe_across: crate::caller_prealloc::claim_pool_set_for(desc) - tree[n.index()],
             });
         }
     }
@@ -436,10 +462,10 @@ fn analyze_impl(
         promotions.sort_by(|a, b| a.sym.cmp(&b.sym));
         let (claimed_caller, safe_caller_across) = match &tree_caller {
             Some(tree) => (
-                crate::caller_prealloc::own_claim(&graph, n),
-                crate::caller_prealloc::claim_pool_set() - tree[n.index()],
+                crate::caller_prealloc::own_claim_for(&graph, n, desc),
+                crate::caller_prealloc::claim_pool_set_for(desc) - tree[n.index()],
             ),
-            None => (crate::caller_prealloc::claim_pool_set(), vpr::regs::RegSet::new()),
+            None => (crate::caller_prealloc::claim_pool_set_for(desc), vpr::regs::RegSet::new()),
         };
         database.insert(ProcDirectives {
             name: graph.node(n).name.clone(),
@@ -717,6 +743,56 @@ mod tests {
         let a = analysis.database.lookup("A");
         let regs: std::collections::HashSet<Reg> = a.promotions.iter().map(|p| p.reg).collect();
         assert_eq!(regs.len(), 3);
+    }
+
+    /// The paper's directives are target-independent *structure* (§2):
+    /// which globals form webs over which nodes, and where clusters root,
+    /// are properties of the call graph and reference sets — only the
+    /// concrete registers the structure is colored onto belong to the
+    /// machine description. Figure 3 must therefore produce the same
+    /// webs/clusters shape on both targets.
+    #[test]
+    fn figure3_directives_are_structurally_portable_across_targets() {
+        let s = figure3();
+        let on =
+            |target| analyze(&s, &AnalyzerOptions::paper_config_for(PaperConfig::C, None, target));
+        let v = on(vpr::target::TargetId::Vpr);
+        let r = on(vpr::target::TargetId::Rv32);
+
+        // Same web/cluster structure in the aggregate...
+        assert_eq!(v.stats.webs_total, r.stats.webs_total);
+        assert_eq!(v.stats.webs_colored, r.stats.webs_colored);
+        assert_eq!(v.stats.clusters, r.stats.clusters);
+        assert_eq!(v.stats.eligible_globals, r.stats.eligible_globals);
+
+        // ...and web by web: same globals over the same nodes with the
+        // same entries, both colored — onto each target's own registers.
+        assert_eq!(v.webs.len(), r.webs.len());
+        for (wv, wr) in v.webs.iter().zip(&r.webs) {
+            assert_eq!(wv.sym, wr.sym);
+            assert_eq!(wv.nodes, wr.nodes);
+            assert_eq!(wv.entries, wr.entries);
+            assert_eq!(wv.reg.is_some(), wr.reg.is_some(), "web {}", wv.sym);
+            if let Some(reg) = wv.reg {
+                assert!(vpr::target::VPR.callee_saves.contains(reg));
+            }
+            if let Some(reg) = wr.reg {
+                assert!(vpr::target::RV32.callee_saves.contains(reg));
+            }
+        }
+
+        // Per-procedure: identical promotion and cluster structure.
+        for d in v.database.iter() {
+            let other = r.database.lookup(&d.name);
+            assert_eq!(d.is_cluster_root, other.is_cluster_root, "{}", d.name);
+            let shape = |p: &crate::database::ProcDirectives| {
+                p.promotions
+                    .iter()
+                    .map(|x| (x.sym.clone(), x.is_entry, x.store_at_exit))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(shape(d), shape(&other), "{}", d.name);
+        }
     }
 
     #[test]

@@ -23,39 +23,61 @@
 
 use crate::callgraph::{CallGraph, NodeId};
 use vpr::regs::{Reg, RegSet};
+use vpr::target::TargetDesc;
 
 /// The claimable caller-saves registers, in the second phase's selection
 /// order: the caller-saves file minus argument registers, the return-value
-/// register and the emitter's scratch registers.
+/// register and the emitter's scratch registers. VPR convention; see
+/// [`claim_pool_for`] for the target-parameterized form.
 pub fn claim_pool() -> Vec<Reg> {
-    vec![Reg::new(19), Reg::new(20), Reg::new(21), Reg::new(22), Reg::new(29)]
+    claim_pool_for(&vpr::target::VPR)
 }
 
-/// The full claim pool as a set.
+/// The claimable caller-saves registers of `desc`, in hand-out order.
+pub fn claim_pool_for(desc: &TargetDesc) -> Vec<Reg> {
+    desc.claim_pool.to_vec()
+}
+
+/// The full claim pool as a set (VPR convention).
 pub fn claim_pool_set() -> RegSet {
     claim_pool().into_iter().collect()
 }
 
+/// The full claim pool of `desc` as a set.
+pub fn claim_pool_set_for(desc: &TargetDesc) -> RegSet {
+    desc.claim_pool_set()
+}
+
 /// The claim of one node: the first `estimate` registers of the pool.
 pub fn own_claim(graph: &CallGraph, n: NodeId) -> RegSet {
+    own_claim_for(graph, n, &vpr::target::VPR)
+}
+
+/// [`own_claim`] against `desc`'s claim pool.
+pub fn own_claim_for(graph: &CallGraph, n: NodeId, desc: &TargetDesc) -> RegSet {
     if !graph.node(n).defined {
-        return claim_pool_set(); // library code may use anything
+        return claim_pool_set_for(desc); // library code may use anything
     }
-    claim_pool().into_iter().take(graph.node(n).caller_saves_estimate as usize).collect()
+    claim_pool_for(desc).into_iter().take(graph.node(n).caller_saves_estimate as usize).collect()
 }
 
 /// Computes `tree_caller` for every node: the claim-pool registers a call
-/// to that node may clobber, transitively.
+/// to that node may clobber, transitively (VPR convention).
 pub fn compute_tree_caller(graph: &CallGraph) -> Vec<RegSet> {
+    compute_tree_caller_for(graph, &vpr::target::VPR)
+}
+
+/// [`compute_tree_caller`] against `desc`'s claim pool.
+pub fn compute_tree_caller_for(graph: &CallGraph, desc: &TargetDesc) -> Vec<RegSet> {
     let n = graph.len();
     let mut tree: Vec<RegSet> = vec![RegSet::new(); n];
     // Bottom-up over the condensation; recursive SCCs clobber everything
     // (re-entry makes per-activation claims meaningless).
     let order: Vec<NodeId> = graph.topo_order().iter().rev().copied().collect();
     for &p in &order {
-        let mut acc = own_claim(graph, p);
+        let mut acc = own_claim_for(graph, p, desc);
         if graph.is_recursive(p) || !graph.node(p).defined {
-            acc = claim_pool_set();
+            acc = claim_pool_set_for(desc);
         } else {
             for s in graph.successors(p) {
                 acc |= tree[s.index()];

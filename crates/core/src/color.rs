@@ -21,9 +21,7 @@ use crate::callgraph::{CallGraph, NodeId};
 use crate::dataflow::{Eligibility, GlobalId};
 use crate::webs::Web;
 use vpr::regs::{Reg, RegSet};
-
-/// First callee-saves register; webs are colored from here upward.
-const FIRST_CALLEE_SAVES: u8 = 3;
+use vpr::target::TargetDesc;
 
 /// Promotion strategy (Table 4 legend).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,13 +209,27 @@ pub struct Coloring {
     pub colored: usize,
 }
 
-/// Colors the prioritized webs.
+/// Colors the prioritized webs (VPR convention).
 pub fn color_webs(
     webs: &[Web],
     prio: &Prioritization,
     strategy: ColoringStrategy,
     graph: &CallGraph,
 ) -> Coloring {
+    color_webs_for(webs, prio, strategy, graph, &vpr::target::VPR)
+}
+
+/// [`color_webs`] drawing candidate registers from `desc`'s callee-saves
+/// class, in ascending order — the same order the local allocator consumes
+/// them, which is what makes the Greedy skip-prefix rule sound.
+pub fn color_webs_for(
+    webs: &[Web],
+    prio: &Prioritization,
+    strategy: ColoringStrategy,
+    graph: &CallGraph,
+    desc: &TargetDesc,
+) -> Coloring {
+    let callee_order = desc.callee_order();
     let mut assignment: Vec<Option<Reg>> = vec![None; webs.len()];
     let mut colored = 0;
     for pw in &prio.considered {
@@ -235,7 +247,7 @@ pub fn color_webs(
         }
         let candidates: Vec<Reg> = match strategy {
             ColoringStrategy::Reserved { count } => {
-                (0..count.min(16) as u8).map(|i| Reg::new(FIRST_CALLEE_SAVES + i)).collect()
+                callee_order.iter().copied().take(count as usize).collect()
             }
             ColoringStrategy::Greedy => {
                 // §6: "tries to color as many webs as possible without
@@ -243,14 +255,10 @@ pub fn color_webs(
                 // any individual procedure" — skip the first `need` registers
                 // of every member, since the local allocator takes
                 // callee-saves in ascending order.
-                let max_need = w
-                    .nodes
-                    .iter()
-                    .map(|&n| graph.node(n).callee_saves_estimate)
-                    .max()
-                    .unwrap_or(0)
-                    .min(16) as u8;
-                (max_need..16).map(|i| Reg::new(FIRST_CALLEE_SAVES + i)).collect()
+                let max_need =
+                    w.nodes.iter().map(|&n| graph.node(n).callee_saves_estimate).max().unwrap_or(0)
+                        as usize;
+                callee_order.iter().copied().skip(max_need).collect()
             }
         };
         if let Some(r) = candidates.into_iter().find(|r| !taken.contains(*r)) {

@@ -58,14 +58,20 @@ fn full_claim() -> vpr::regs::RegSet {
 impl ProcDirectives {
     /// Directives equivalent to the standard linkage convention (what a
     /// procedure gets when interprocedural allocation is off or the
-    /// database has no entry for it).
+    /// database has no entry for it). VPR convention.
     pub fn standard(name: impl Into<String>) -> ProcDirectives {
+        ProcDirectives::standard_for(name, vpr::target::TargetId::Vpr)
+    }
+
+    /// The standard-convention directives of `target`.
+    pub fn standard_for(name: impl Into<String>, target: vpr::target::TargetId) -> ProcDirectives {
+        let desc = target.desc();
         ProcDirectives {
             name: name.into(),
             promotions: Vec::new(),
-            usage: RegUsage::standard(),
+            usage: RegUsage::standard_for(desc),
             is_cluster_root: false,
-            claimed_caller: crate::caller_prealloc::claim_pool_set(),
+            claimed_caller: desc.claim_pool_set(),
             safe_caller_across: vpr::regs::RegSet::new(),
         }
     }
@@ -94,9 +100,19 @@ impl ProgramDatabase {
         self.entries.get(name)
     }
 
-    /// The directives for `name`, falling back to the standard convention.
+    /// The directives for `name`, falling back to the standard convention
+    /// (VPR).
     pub fn lookup(&self, name: &str) -> ProcDirectives {
-        self.entries.get(name).cloned().unwrap_or_else(|| ProcDirectives::standard(name))
+        self.lookup_for(name, vpr::target::TargetId::Vpr)
+    }
+
+    /// The directives for `name`, falling back to `target`'s standard
+    /// convention for procedures the analyzer never saw.
+    pub fn lookup_for(&self, name: &str, target: vpr::target::TargetId) -> ProcDirectives {
+        self.entries
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| ProcDirectives::standard_for(name, target))
     }
 
     /// Number of entries.

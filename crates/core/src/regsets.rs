@@ -31,6 +31,7 @@ use crate::cluster::Clustering;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vpr::regs::{Reg, RegSet};
+use vpr::target::TargetDesc;
 
 /// The per-procedure register directive set.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,12 +47,18 @@ pub struct RegUsage {
 }
 
 impl RegUsage {
-    /// The standard linkage convention (no interprocedural information).
+    /// The standard linkage convention (no interprocedural information),
+    /// for the VPR target.
     pub fn standard() -> RegUsage {
+        RegUsage::standard_for(&vpr::target::VPR)
+    }
+
+    /// The standard linkage convention of `desc`.
+    pub fn standard_for(desc: &TargetDesc) -> RegUsage {
         RegUsage {
             free: RegSet::new(),
-            caller: RegSet::caller_saves(),
-            callee: RegSet::callee_saves(),
+            caller: desc.caller_saves,
+            callee: desc.callee_saves,
             mspill: RegSet::new(),
         }
     }
@@ -78,9 +85,21 @@ pub fn compute_register_sets(
     web_regs: &[RegSet],
     precise: bool,
 ) -> Vec<RegUsage> {
+    compute_register_sets_for(graph, clustering, web_regs, precise, &vpr::target::VPR)
+}
+
+/// [`compute_register_sets`] against an explicit machine description: the
+/// callee-saves universe the clusters draw from is `desc`'s.
+pub fn compute_register_sets_for(
+    graph: &CallGraph,
+    clustering: &Clustering,
+    web_regs: &[RegSet],
+    precise: bool,
+    desc: &TargetDesc,
+) -> Vec<RegUsage> {
     let n = graph.len();
     assert_eq!(web_regs.len(), n, "web_regs must cover every node");
-    let mut usage: Vec<RegUsage> = vec![RegUsage::standard(); n];
+    let mut usage: Vec<RegUsage> = vec![RegUsage::standard_for(desc); n];
 
     // Bottom-up over cluster roots (clusters are stored in root topological
     // order, so reverse iteration is bottom-up).
@@ -96,10 +115,11 @@ pub fn compute_register_sets(
                 child_mspill |= usage[m.index()].mspill;
             }
         }
-        let priority: Vec<Reg> = RegSet::callee_saves()
+        let priority: Vec<Reg> = desc
+            .callee_saves
             .iter()
             .filter(|r| !child_mspill.contains(*r))
-            .chain(RegSet::callee_saves().iter().filter(|r| child_mspill.contains(*r)))
+            .chain(desc.callee_saves.iter().filter(|r| child_mspill.contains(*r)))
             .collect();
 
         // Select the root's own callee-saves registers by its estimate,
@@ -113,7 +133,7 @@ pub fn compute_register_sets(
             .take(est)
             .collect();
         usage[root.index()].callee = root_callee;
-        let mut avail_root = RegSet::callee_saves() - root_callee;
+        let mut avail_root = desc.callee_saves - root_callee;
         if precise {
             avail_root -= web_regs[root.index()];
         } else {

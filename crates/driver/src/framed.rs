@@ -32,7 +32,10 @@ use ipra_core::fingerprint::Fnv64;
 use serde::{BinDeserialize, BinSerialize};
 
 const MAGIC: [u8; 4] = *b"IPRF";
-const VERSION: u8 = 2;
+// v3: RegSet's positional binary encoding widened from 4 to 8 bytes with
+// the u64 backing; v2 frames from older cache directories must read as
+// misses, not as shifted garbage.
+const VERSION: u8 = 3;
 
 /// Frame kind for phase-1 cache entries.
 pub(crate) const KIND_PHASE1: u8 = 1;

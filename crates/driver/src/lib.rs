@@ -120,6 +120,10 @@ pub struct CompileOptions {
     /// nothing; either way the compiled program is bit-identical —
     /// telemetry is pure observation, like [`trace`](CompileOptions::trace).
     pub telemetry: Option<Telemetry>,
+    /// The machine description codegen, the analyzer and the linker build
+    /// against. The driver's target is authoritative: it overrides the
+    /// `target` field of an explicit [`CompileOptions::analyzer`].
+    pub target: vpr::target::TargetId,
 }
 
 impl Default for CompileOptions {
@@ -132,6 +136,7 @@ impl Default for CompileOptions {
             jobs: 1,
             trace: false,
             telemetry: None,
+            target: vpr::target::TargetId::Vpr,
         }
     }
 }
@@ -344,10 +349,11 @@ pub fn compile_incremental(
     let db_fps: Vec<u64> = entries
         .iter()
         .map(|e| {
-            database.module_slice_fingerprint(
+            let fp = database.module_slice_fingerprint(
                 e.ir.functions.iter().map(|f| f.name.as_str()),
                 e.callees.iter().map(|s| s.as_str()),
-            )
+            );
+            stages::mix_target(fp, options.target)
         })
         .collect();
     let mut objects: Vec<Option<ObjectModule>> = Vec::with_capacity(entries.len());
@@ -369,7 +375,7 @@ pub fn compile_incremental(
     let stale: Vec<&Phase1Entry> = stale_idx.iter().map(|&i| &*entries[i]).collect();
     let compiled = parallel_map(&stale, jobs, |e| {
         let _task = span(tele, "phase2", &format!("phase2:{}", e.ir.name));
-        cmin_codegen::compile_module(&e.ir, database)
+        cmin_codegen::compile_module_for(&e.ir, database, options.target)
     });
     for (&i, object) in stale_idx.iter().zip(compiled) {
         let e = &entries[i];
@@ -926,10 +932,14 @@ mod tests {
         for p in staged.summary_paths.iter().chain(staged.object_paths.iter()) {
             assert!(p.exists(), "{} missing", p.display());
         }
-        let (kind, v) = ipra_artifact::sniff_file(&staged.executable_path).unwrap();
+        let (kind, v, target) = ipra_artifact::sniff_file(&staged.executable_path).unwrap();
         assert_eq!(
-            (kind, v),
-            (ipra_artifact::ArtifactKind::Executable, ipra_artifact::FORMAT_VERSION)
+            (kind, v, target),
+            (
+                ipra_artifact::ArtifactKind::Executable,
+                ipra_artifact::FORMAT_VERSION,
+                vpr::target::TargetId::Vpr
+            )
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

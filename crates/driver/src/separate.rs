@@ -30,6 +30,7 @@ use ipra_telemetry::{span, Telemetry};
 use std::path::{Path, PathBuf};
 use vpr::program::Executable;
 use vpr::sim::{run_with, SimError, SimOptions};
+use vpr::target::TargetId;
 
 /// One module's separate-compilation products (`cminc c` output).
 #[derive(Debug, Clone)]
@@ -61,6 +62,23 @@ pub fn build_module(
     optimize: bool,
     cache: &mut CompilationCache,
 ) -> Result<ModuleProduct, CompileError> {
+    build_module_for(src, database, optimize, cache, TargetId::Vpr)
+}
+
+/// [`build_module`] against an explicit machine description. The target
+/// participates in the phase-2 cache key, so VPR and RV32 builds of the
+/// same module coexist in one cache directory.
+///
+/// # Errors
+///
+/// Returns the module's first frontend diagnostic.
+pub fn build_module_for(
+    src: &SourceFile,
+    database: &ProgramDatabase,
+    optimize: bool,
+    cache: &mut CompilationCache,
+    target: TargetId,
+) -> Result<ModuleProduct, CompileError> {
     let key = stages::phase1_key(src, optimize);
     let (entry, phase1_hit) = match cache.lookup_phase1(&src.name, key) {
         Some((e, _)) => {
@@ -74,9 +92,12 @@ pub fn build_module(
             (e, false)
         }
     };
-    let db_fp = database.module_slice_fingerprint(
-        entry.ir.functions.iter().map(|f| f.name.as_str()),
-        entry.callees.iter().map(|s| s.as_str()),
+    let db_fp = stages::mix_target(
+        database.module_slice_fingerprint(
+            entry.ir.functions.iter().map(|f| f.name.as_str()),
+            entry.callees.iter().map(|s| s.as_str()),
+        ),
+        target,
     );
     let (object, phase2_hit) = match cache.lookup_phase2(&src.name, entry.ir_fp, db_fp) {
         Some((o, _)) => {
@@ -84,7 +105,7 @@ pub fn build_module(
             (o, true)
         }
         None => {
-            let object = cmin_codegen::compile_module(&entry.ir, database);
+            let object = cmin_codegen::compile_module_for(&entry.ir, database, target);
             cache.stats.phase2_misses += 1;
             cache.store_phase2(
                 &src.name,
@@ -171,6 +192,26 @@ pub fn artifact_build(
     dir: &Path,
     cache: &mut CompilationCache,
 ) -> Result<ArtifactBuild, DriverError> {
+    artifact_build_for(sources, config, profile, dir, cache, TargetId::Vpr)
+}
+
+/// [`artifact_build`] against an explicit machine description: the
+/// analyzer draws directive registers from it, phase 2 compiles for it,
+/// and the linked executable records it (so the simulators pick the right
+/// convention on re-read).
+///
+/// # Errors
+///
+/// Frontend diagnostics, link failures, and artifact I/O all surface as
+/// [`DriverError`].
+pub fn artifact_build_for(
+    sources: &[SourceFile],
+    config: PaperConfig,
+    profile: Option<ProfileData>,
+    dir: &Path,
+    cache: &mut CompilationCache,
+    target: TargetId,
+) -> Result<ArtifactBuild, DriverError> {
     std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
     let tele = cache.telemetry().cloned();
     let tele = tele.as_ref();
@@ -211,10 +252,13 @@ pub fn artifact_build(
         modules.push(a.summary);
     }
     let summary = ProgramSummary { modules };
-    let analysis = analyze(&summary, &AnalyzerOptions::paper_config(config, profile));
+    let analysis = analyze(&summary, &AnalyzerOptions::paper_config_for(config, profile, target));
     let directives_path = dir.join("program.cdir");
     let payload = DirectivesArtifact { config: config.to_string(), database: analysis.database };
-    ipra_artifact::write_file(ArtifactKind::Directives, &directives_path, &payload)?;
+    // Directives, objects and the executable are target-dependent, so
+    // their headers carry the build's target stamp (`.csum` summaries are
+    // phase-1 products — target-independent and left unstamped).
+    ipra_artifact::write_file_for(ArtifactKind::Directives, &directives_path, &payload, target)?;
     count_artifact_write(tele, &directives_path);
     stage2.finish();
 
@@ -226,12 +270,12 @@ pub fn artifact_build(
     let mut object_paths = Vec::with_capacity(sources.len());
     let mut recompiled = Vec::new();
     for src in sources {
-        let product = build_module(src, &directives.database, true, cache)?;
+        let product = build_module_for(src, &directives.database, true, cache, target)?;
         if !product.phase2_hit {
             recompiled.push(src.name.clone());
         }
         let path = dir.join(format!("{}.vo", src.name));
-        ipra_artifact::write_file(ArtifactKind::Object, &path, &product.object)?;
+        ipra_artifact::write_file_for(ArtifactKind::Object, &path, &product.object, target)?;
         count_artifact_write(tele, &path);
         object_paths.push(path);
     }
@@ -248,10 +292,11 @@ pub fn artifact_build(
     }
     let exe = vpr::link(&objects)?;
     let executable_path = dir.join("prog.vx");
-    ipra_artifact::write_file(
+    ipra_artifact::write_file_for(
         ArtifactKind::Executable,
         &executable_path,
         &ExecutableArtifact { exe },
+        target,
     )?;
     count_artifact_write(tele, &executable_path);
     let exe =
@@ -286,15 +331,36 @@ pub fn artifact_build_configured(
     dir: &Path,
     cache: &mut CompilationCache,
 ) -> Result<Result<ArtifactBuild, SimError>, DriverError> {
+    artifact_build_configured_for(sources, config, training_input, dir, cache, TargetId::Vpr)
+}
+
+/// [`artifact_build_configured`] against an explicit machine description.
+/// The training baseline runs on the same target as the final build: the
+/// profile weights it collects are counts over source-level events, so
+/// they feed the analyzer identically on either convention.
+///
+/// # Errors
+///
+/// Returns a [`DriverError`] for compilation/artifact problems; a
+/// training-run trap surfaces as the `Err` of the inner result.
+pub fn artifact_build_configured_for(
+    sources: &[SourceFile],
+    config: PaperConfig,
+    training_input: &[i64],
+    dir: &Path,
+    cache: &mut CompilationCache,
+    target: TargetId,
+) -> Result<Result<ArtifactBuild, SimError>, DriverError> {
     if !config.wants_profile() {
-        return Ok(Ok(artifact_build(sources, config, None, dir, cache)?));
+        return Ok(Ok(artifact_build_for(sources, config, None, dir, cache, target)?));
     }
-    let baseline = artifact_build(sources, PaperConfig::L2, None, &dir.join("training"), cache)?;
+    let baseline =
+        artifact_build_for(sources, PaperConfig::L2, None, &dir.join("training"), cache, target)?;
     let opts = SimOptions { input: training_input.to_vec(), ..SimOptions::default() };
     let training = match run_with(&baseline.exe, &opts) {
         Ok(r) => r,
         Err(e) => return Ok(Err(e)),
     };
     let profile = crate::collect_profile_from(&baseline.exe, &training);
-    Ok(Ok(artifact_build(sources, config, Some(profile), dir, cache)?))
+    Ok(Ok(artifact_build_for(sources, config, Some(profile), dir, cache, target)?))
 }

@@ -66,6 +66,22 @@ pub(crate) fn phase1_key(src: &SourceFile, optimize: bool) -> u64 {
     h.finish()
 }
 
+/// Mixes the build target into a phase-2 cache key so cached VPR objects
+/// are never served to an RV32 build (and vice versa). VPR mixes nothing,
+/// keeping every pre-machine-description fingerprint — and on-disk cache
+/// entry — valid.
+pub(crate) fn mix_target(fp: u64, target: vpr::target::TargetId) -> u64 {
+    match target {
+        vpr::target::TargetId::Vpr => fp,
+        t => {
+            let mut h = Fnv64::new();
+            h.write_u64(fp);
+            h.write_str(t.name());
+            h.finish()
+        }
+    }
+}
+
 /// Every direct callee named anywhere in the module's IR, sorted and
 /// deduplicated: the procedures whose `safe_caller_across` sets codegen
 /// reads at call sites.
@@ -106,11 +122,13 @@ pub(crate) fn run_phase1(
 
 /// Resolves the analyzer options a build will run under: explicit
 /// [`CompileOptions::analyzer`] wins, then `config`+`profile`, then plain
-/// level-2.
+/// level-2. The build's target is threaded in either way.
 pub(crate) fn analyzer_options(options: &CompileOptions) -> AnalyzerOptions {
-    match (&options.analyzer, options.config) {
+    let mut opts = match (&options.analyzer, options.config) {
         (Some(a), _) => a.clone(),
         (None, Some(c)) => AnalyzerOptions::paper_config(c, options.profile.clone()),
         (None, None) => AnalyzerOptions::paper_config(PaperConfig::L2, None),
-    }
+    };
+    opts.target = options.target;
+    opts
 }

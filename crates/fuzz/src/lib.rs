@@ -165,17 +165,19 @@ pub struct Shape {
 /// The shape rotation: iteration `i` uses `shape_for(i)`. Mostly cheap
 /// all-configuration differentials; the expensive build-level scenarios
 /// (incremental rebuilds, trace purity, artifact-staged separate
-/// compilation) run on three of every eleven iterations. The simulator
+/// compilation) run on three of every twelve iterations. The simulator
 /// engine rotates too: most iterations run the default fast engine, two
 /// pin the reference interpreter (so the oracle keeps exercising it), and
 /// two run *both* engines demanding identical results
 /// ([`CheckOptions::cross_engine`]). One slot per cycle additionally
 /// round-trips the program through the `cmind` daemon wire codec
-/// ([`CheckOptions::daemon_protocol`]).
+/// ([`CheckOptions::daemon_protocol`]), and one compiles every
+/// configuration for *both* machine descriptions and demands identical
+/// observable semantics ([`CheckOptions::cross_target`]).
 pub fn shape_for(i: usize) -> Shape {
     let plain = CheckOptions::default();
     let g = GenConfig::default;
-    match i % 11 {
+    match i % 12 {
         0 => Shape { name: "default", gen: g(), check: plain },
         1 => Shape {
             name: "wide",
@@ -237,10 +239,20 @@ pub fn shape_for(i: usize) -> Shape {
         // The daemon's wire protocol: multi-module programs (the sources
         // travel inside the request) round-tripped through the `cmind`
         // codec, with single-byte corruptions proven to be rejected.
-        _ => Shape {
+        10 => Shape {
             name: "daemon",
             gen: GenConfig { modules: 3, alias_mix: true, ..g() },
             check: CheckOptions { daemon_protocol: true, ..plain },
+        },
+        // Both machine descriptions: every configuration is compiled for
+        // VPR *and* RV32 (through one shared cache), verified under each
+        // target's register convention, and must produce identical
+        // observable RunResult semantics. Aliasing keeps the promotion
+        // decisions — the target-sensitive part of the analysis — busy.
+        _ => Shape {
+            name: "cross-target",
+            gen: GenConfig { modules: 3, alias_mix: true, recursion: true, ..g() },
+            check: CheckOptions { cross_target: true, ..plain },
         },
     }
 }
@@ -480,7 +492,7 @@ mod tests {
 
     #[test]
     fn shape_rotation_covers_all_extended_shapes() {
-        let shapes: Vec<Shape> = (0..11).map(shape_for).collect();
+        let shapes: Vec<Shape> = (0..12).map(shape_for).collect();
         assert!(shapes.iter().any(|s| s.gen.recursion));
         assert!(shapes.iter().any(|s| s.gen.alias_mix));
         assert!(shapes.iter().any(|s| s.gen.global_fn_ptrs));
@@ -494,7 +506,8 @@ mod tests {
         assert!(shapes.iter().any(|s| s.check.engine == vpr::Engine::Fast));
         assert!(shapes.iter().any(|s| s.check.cross_engine));
         assert!(shapes.iter().any(|s| s.check.daemon_protocol));
-        assert_eq!(shape_for(0).name, shape_for(11).name);
+        assert!(shapes.iter().any(|s| s.check.cross_target));
+        assert_eq!(shape_for(0).name, shape_for(12).name);
     }
 
     #[test]

@@ -28,7 +28,15 @@
 //!    engine (fast pre-decoded vs reference interpreter,
 //!    [`vpr::Engine`]) produces an identical `Result<RunResult, SimError>`
 //!    under every configuration — output, exit, stats, attribution, and
-//!    trap kind/pc/symbolization must all agree bit-for-bit.
+//!    trap kind/pc/symbolization must all agree bit-for-bit;
+//! 8. optionally ([`CheckOptions::cross_target`]) the whole program is
+//!    *also* compiled for the RV32 machine description under every
+//!    configuration — through the same incremental cache, so per-target
+//!    fingerprint separation is on trial too — and must pass
+//!    `ipra-verify` under the RV32 convention and produce the same
+//!    observable semantics (output stream and exit code) as both the
+//!    interpreter and the VPR build. Register conventions differ per
+//!    target; observable behavior must not.
 
 use ipra_core::PaperConfig;
 use ipra_driver::{
@@ -146,6 +154,15 @@ pub enum Failure {
         /// What went wrong (which leg, which byte).
         detail: String,
     },
+    /// The RV32 build of the same program failed, failed verification
+    /// under the RV32 convention, or produced different observable
+    /// semantics than the VPR build.
+    CrossTargetDivergence {
+        /// The configuration under test.
+        config: PaperConfig,
+        /// Which leg diverged, with both targets' observables.
+        detail: String,
+    },
 }
 
 impl Failure {
@@ -165,6 +182,7 @@ impl Failure {
             Failure::SeparateDivergence { .. } => "separate-divergence",
             Failure::EngineDivergence { .. } => "engine-divergence",
             Failure::DaemonProtocol { .. } => "daemon-protocol",
+            Failure::CrossTargetDivergence { .. } => "cross-target-divergence",
         }
     }
 
@@ -183,7 +201,8 @@ impl Failure {
             | Failure::IncrementalDivergence { config, .. }
             | Failure::TraceImpurity { config }
             | Failure::SeparateDivergence { config, .. }
-            | Failure::EngineDivergence { config, .. } => Some(*config),
+            | Failure::EngineDivergence { config, .. }
+            | Failure::CrossTargetDivergence { config, .. } => Some(*config),
         }
     }
 
@@ -234,6 +253,9 @@ impl fmt::Display for Failure {
             Failure::DaemonProtocol { detail } => {
                 write!(f, "daemon wire codec violation: {detail}")
             }
+            Failure::CrossTargetDivergence { config, detail } => {
+                write!(f, "[{config}] rv32 build diverged from vpr: {detail}")
+            }
         }
     }
 }
@@ -266,6 +288,11 @@ pub struct CheckOptions {
     /// single-byte corruption of the request frame is rejected with a
     /// typed error (never a panic, never a silent decode).
     pub daemon_protocol: bool,
+    /// Additionally compile every configuration for the RV32 machine
+    /// description (through the same cache) and demand a clean
+    /// `ipra-verify` report plus observable semantics — output and exit —
+    /// identical to the VPR build's [`vpr::RunResult`].
+    pub cross_target: bool,
 }
 
 /// The configuration used for the build-level scenarios (incremental
@@ -337,6 +364,9 @@ pub fn check(sources: &[SourceFile], opts: &CheckOptions) -> Result<(), Failure>
         if !attribution.matches(&r.stats) {
             return Err(Failure::AttributionMismatch { config });
         }
+        if opts.cross_target {
+            check_cross_target(sources, config, &copts, &mut cache, &r)?;
+        }
     }
 
     if opts.incremental {
@@ -350,6 +380,54 @@ pub fn check(sources: &[SourceFile], opts: &CheckOptions) -> Result<(), Failure>
     }
     if opts.daemon_protocol {
         check_daemon(sources)?;
+    }
+    Ok(())
+}
+
+/// The cross-target leg: the same program, same configuration, compiled
+/// for the RV32 machine description through the same shared cache (so the
+/// per-target fingerprint separation of [`ipra_driver`]'s phase-2 keys is
+/// exercised), verified under the RV32 register convention, and run —
+/// output stream, exit code and attribution consistency must match the
+/// VPR build's. Cycle and memory-reference counts legitimately differ
+/// (the conventions partition the register file differently), so only
+/// the observable semantics are compared.
+fn check_cross_target(
+    sources: &[SourceFile],
+    config: PaperConfig,
+    copts: &CompileOptions,
+    cache: &mut CompilationCache,
+    vpr_result: &vpr::RunResult,
+) -> Result<(), Failure> {
+    let fail = |detail: String| Failure::CrossTargetDivergence { config, detail };
+    let rv_opts = CompileOptions { target: vpr::target::TargetId::Rv32, ..copts.clone() };
+    let program = match compile_configured(sources, config, &[], &rv_opts, cache) {
+        Err(e) => return Err(fail(format!("rv32 compile failed: {e}"))),
+        Ok(Err(e)) => return Err(fail(format!("rv32 training run trapped: {e}"))),
+        Ok(Ok(p)) => p,
+    };
+    let report = verify_program(&program);
+    if !report.is_clean() {
+        return Err(fail(format!("rv32 verification failed:\n{report}")));
+    }
+    let sim_opts = vpr::SimOptions {
+        attribute: true,
+        max_steps: ORACLE_SIM_STEPS,
+        ..vpr::SimOptions::default()
+    };
+    let r = match vpr::run_with(&program.exe, &sim_opts) {
+        Err(e) => return Err(fail(format!("rv32 simulator trap: {e}"))),
+        Ok(r) => r,
+    };
+    if r.output != vpr_result.output || r.exit != vpr_result.exit {
+        return Err(fail(format!(
+            "vpr exit {} out {:?} vs rv32 exit {} out {:?}",
+            vpr_result.exit, vpr_result.output, r.exit, r.output
+        )));
+    }
+    let attribution = r.attribution.as_ref().expect("attribution was requested");
+    if !attribution.matches(&r.stats) {
+        return Err(fail("rv32 attribution does not sum to run totals".into()));
     }
     Ok(())
 }

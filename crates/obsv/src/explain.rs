@@ -1,6 +1,12 @@
 //! Rendering of analyzer trace events as human-readable causal statements.
+//!
+//! Registers render with their ABI names (`a0`, `sp`, `s3`, …) from the
+//! machine description the program was analyzed for, never as raw `r<N>`
+//! indices — the same convention `cminc objdump` uses.
 
 use ipra_core::trace::{AnalyzerTrace, TraceEvent};
+use vpr::regs::RegSet;
+use vpr::target::TargetDesc;
 
 /// Renders a name list, truncating long ones (blanket webs span every
 /// procedure in the program).
@@ -13,8 +19,20 @@ fn list(names: &[String]) -> String {
     }
 }
 
-/// Renders one trace event as a single human-readable line.
+/// Renders a register set with the target's ABI names, e.g. `{s0, s1, t3}`.
+pub(crate) fn regset_names(set: RegSet, desc: &TargetDesc) -> String {
+    let names: Vec<&str> = set.iter().map(|r| desc.reg_name(r)).collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+/// [`render_event_for`] under the default (VPR) machine description.
 pub fn render_event(e: &TraceEvent) -> String {
+    render_event_for(e, &vpr::target::VPR)
+}
+
+/// Renders one trace event as a single human-readable line, naming
+/// registers in `desc`'s ABI convention.
+pub fn render_event_for(e: &TraceEvent, desc: &TargetDesc) -> String {
     match e {
         TraceEvent::WebFormed { web, sym, nodes, entries, written, benefit, entry_cost } => {
             format!(
@@ -39,8 +57,9 @@ pub fn render_event(e: &TraceEvent) -> String {
         }
         TraceEvent::WebColored { web, sym, nodes, entries, reg, priority } => {
             format!(
-                "web #{web}: global `{sym}` promoted to {reg} across {} \
+                "web #{web}: global `{sym}` promoted to {} across {} \
                  (loaded at entries {}); priority {priority}",
+                desc.reg_name(*reg),
                 list(nodes),
                 list(entries),
             )
@@ -59,16 +78,25 @@ pub fn render_event(e: &TraceEvent) -> String {
             format!("cluster rooted at `{root}` with members {}", list(members))
         }
         TraceEvent::SpillHoisted { root, regs, members } => {
-            format!("MSPILL {regs} hoisted to cluster root `{root}` on behalf of {}", list(members))
+            format!(
+                "MSPILL {} hoisted to cluster root `{root}` on behalf of {}",
+                regset_names(*regs, desc),
+                list(members)
+            )
         }
         TraceEvent::FreeRegsGranted { proc, regs } => {
             format!(
-                "`{proc}` granted FREE {regs} \
-                 (save/restore executed by an enclosing cluster root)"
+                "`{proc}` granted FREE {} \
+                 (save/restore executed by an enclosing cluster root)",
+                regset_names(*regs, desc),
             )
         }
         TraceEvent::CallerClaimGranted { proc, claimed, safe_across } => {
-            format!("`{proc}`: caller-saves claim {claimed}; safe across its calls {safe_across}")
+            format!(
+                "`{proc}`: caller-saves claim {}; safe across its calls {}",
+                regset_names(*claimed, desc),
+                regset_names(*safe_across, desc),
+            )
         }
         TraceEvent::AliasPromotable { sym, justification } => {
             format!("`{sym}` stays promotable despite its address being taken: {justification}")
@@ -79,9 +107,15 @@ pub fn render_event(e: &TraceEvent) -> String {
     }
 }
 
-/// Renders the causal chain for one symbol (a global or a procedure) from a
-/// decision trace, one event per line in emission order.
+/// [`explain_for`] under the default (VPR) machine description.
 pub fn explain(trace: &AnalyzerTrace, symbol: &str) -> String {
+    explain_for(trace, symbol, &vpr::target::VPR)
+}
+
+/// Renders the causal chain for one symbol (a global or a procedure) from a
+/// decision trace, one event per line in emission order, naming registers
+/// in `desc`'s ABI convention.
+pub fn explain_for(trace: &AnalyzerTrace, symbol: &str, desc: &TargetDesc) -> String {
     let events = trace.for_symbol(symbol);
     if events.is_empty() {
         return format!("no analyzer decisions mention `{symbol}`\n");
@@ -93,7 +127,7 @@ pub fn explain(trace: &AnalyzerTrace, symbol: &str) -> String {
     );
     for e in events {
         out.push_str("  - ");
-        out.push_str(&render_event(e));
+        out.push_str(&render_event_for(e, desc));
         out.push('\n');
     }
     out
@@ -118,9 +152,27 @@ mod tests {
         t.push(TraceEvent::ClusterFormed { root: "main".into(), members: vec!["f".into()] });
         let text = explain(&t, "f");
         assert!(text.contains("web #3"), "{text}");
-        assert!(text.contains("r12"), "{text}");
+        // r12 is s9 in the VPR ABI naming; raw r<N> indices never appear.
+        assert!(text.contains("promoted to s9"), "{text}");
         assert!(text.contains("cluster rooted at `main`"), "{text}");
         assert!(explain(&t, "zzz").contains("no analyzer decisions"));
+    }
+
+    #[test]
+    fn abi_names_follow_the_target_description() {
+        let mut t = AnalyzerTrace::default();
+        t.push(TraceEvent::WebColored {
+            web: 0,
+            sym: "g".into(),
+            nodes: vec!["f".into()],
+            entries: vec!["f".into()],
+            reg: Reg::new(8),
+            priority: 10,
+        });
+        let vpr_text = explain_for(&t, "g", &vpr::target::VPR);
+        let rv_text = explain_for(&t, "g", &vpr::target::RV32);
+        assert!(vpr_text.contains("promoted to s5"), "{vpr_text}");
+        assert!(rv_text.contains("promoted to s0"), "{rv_text}");
     }
 
     #[test]

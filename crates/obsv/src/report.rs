@@ -1,7 +1,7 @@
 //! Explainable diff reports: per-procedure dynamic cost deltas between two
 //! configurations, joined with the analyzer decisions that caused them.
 
-use crate::explain::render_event;
+use crate::explain::{regset_names, render_event};
 use ipra_core::database::{ProcDirectives, ProgramDatabase};
 use ipra_core::trace::AnalyzerTrace;
 use serde::{Deserialize, Serialize};
@@ -98,9 +98,12 @@ fn delta(b: u64, a: u64) -> i64 {
 /// Configuration B's directive summary for one procedure, if it deviates
 /// from the standard linkage convention.
 fn directive_summary(d: &ProcDirectives) -> Option<String> {
+    // Reports explain VPR builds; registers render with the VPR ABI names,
+    // matching `explain` and `objdump`.
+    let desc = &vpr::target::VPR;
     let mut parts: Vec<String> = Vec::new();
     for p in &d.promotions {
-        let mut s = format!("holds `{}` in {}", p.sym, p.reg);
+        let mut s = format!("holds `{}` in {}", p.sym, desc.reg_name(p.reg));
         if p.is_entry {
             s.push_str(if p.store_at_exit {
                 " (web entry; stores back at exit)"
@@ -111,10 +114,10 @@ fn directive_summary(d: &ProcDirectives) -> Option<String> {
         parts.push(s);
     }
     if d.is_cluster_root {
-        parts.push(format!("cluster root spilling MSPILL {}", d.usage.mspill));
+        parts.push(format!("cluster root spilling MSPILL {}", regset_names(d.usage.mspill, desc)));
     }
     if !d.usage.free.is_empty() {
-        parts.push(format!("FREE {}", d.usage.free));
+        parts.push(format!("FREE {}", regset_names(d.usage.free, desc)));
     }
     if parts.is_empty() {
         None
@@ -309,8 +312,9 @@ mod tests {
         assert_eq!(r.procs[0].name, "f");
         assert_eq!(r.procs[0].cycles_delta, -1240);
         assert_eq!(r.procs[0].mem_refs_delta, -60);
-        // The delta is linked to the promotion event.
-        assert!(r.procs[0].reasons.iter().any(|s| s.contains("r12")), "{:?}", r.procs[0].reasons);
+        // The delta is linked to the promotion event (r12 renders as its
+        // VPR ABI name, s9).
+        assert!(r.procs[0].reasons.iter().any(|s| s.contains("s9")), "{:?}", r.procs[0].reasons);
     }
 
     #[test]
@@ -328,7 +332,7 @@ mod tests {
         let r = sample();
         let t = r.render_table();
         assert!(t.contains("`f` saved 1240 cycles"), "{t}");
-        assert!(t.contains("promoted to r12"), "{t}");
+        assert!(t.contains("promoted to s9"), "{t}");
         assert!(t.contains("total"), "{t}");
     }
 

@@ -107,6 +107,13 @@ pub fn unexpected<T>(ty: &str, want: &str, got: &Value) -> Result<T, DeError> {
     Err(DeError(format!("{ty}: expected {want}, found {}", got.kind())))
 }
 
+/// Whether a field still holds its type's default value — the test behind
+/// `#[serde(skip_default)]`, which omits such fields from serialized
+/// objects (pair it with `#[serde(default)]` so they also read back).
+pub fn is_default<T: Default + PartialEq>(v: &T) -> bool {
+    *v == T::default()
+}
+
 /// Types that can turn themselves into a [`Value`].
 pub trait Serialize {
     /// Converts `self` to the value tree.

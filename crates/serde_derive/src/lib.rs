@@ -28,6 +28,11 @@ struct ContainerAttrs {
 struct FieldAttrs {
     /// `Some(None)` = `#[serde(default)]`; `Some(Some(p))` = `default = "p"`.
     default: Option<Option<String>>,
+    /// `#[serde(skip_default)]`: omit the field from serialized objects
+    /// while it holds its type's default value (pair with `default` so the
+    /// absent field also reads back). The binary codec ignores this — it
+    /// always carries every field.
+    skip_default: bool,
 }
 
 struct Field {
@@ -177,9 +182,10 @@ fn parse_field_attr(attrs: &mut FieldAttrs, stream: &TokenStream) {
                 None
             }
         };
-        match key.as_str() {
-            "default" => attrs.default = Some(value),
-            other => panic!("serde_derive: unsupported field attribute #[serde({other})]"),
+        match (key.as_str(), value) {
+            ("default", value) => attrs.default = Some(value),
+            ("skip_default", None) => attrs.skip_default = true,
+            (other, _) => panic!("serde_derive: unsupported field attribute #[serde({other})]"),
         }
         if matches!(items.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
@@ -414,17 +420,37 @@ fn gen_serialize_shape(shape: &Shape, name: &str, _prefix: Option<&str>) -> Stri
         }
         Shape::Named(fields) => {
             let _ = name;
-            let entries = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0}))",
-                        f.name
-                    )
-                })
-                .collect::<Vec<_>>()
-                .join(", ");
-            format!("::serde::Value::Object(::std::vec![{entries}])")
+            if fields.iter().any(|f| f.attrs.skip_default) {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        let push = format!(
+                            "__entries.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0})));\n",
+                            f.name
+                        );
+                        if f.attrs.skip_default {
+                            format!("if !::serde::is_default(&self.{}) {{ {push} }}\n", f.name)
+                        } else {
+                            push
+                        }
+                    })
+                    .collect();
+                format!(
+                    "{{\nlet mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__entries)\n}}"
+                )
+            } else {
+                let entries = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0}))",
+                            f.name
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Object(::std::vec![{entries}])")
+            }
         }
     }
 }

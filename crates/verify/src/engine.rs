@@ -21,6 +21,7 @@ use vpr::cfg::Cfg;
 use vpr::inst::{AluOp, Inst};
 use vpr::program::MachineFunction;
 use vpr::regs::{Reg, RegSet};
+use vpr::target::TargetDesc;
 
 /// Abstract value: the entry value of a specific register, or anything else.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,21 +68,21 @@ impl State {
     /// Reads `rs` as an operand value. Reading SP at a nonzero displacement
     /// yields `Other`: `Entry(SP)` means the *entry* SP, which is only what
     /// the register contains while the displacement is 0.
-    fn read(&self, rs: Reg) -> RegVal {
-        if rs == Reg::SP && self.sp != 0 {
+    fn read(&self, rs: Reg, desc: &TargetDesc) -> RegVal {
+        if rs == desc.sp && self.sp != 0 {
             RegVal::Other
         } else {
             self.reg(rs)
         }
     }
 
-    /// Writes `v` to `rd`. ZERO, SP and DP are not value-tracked: ZERO is
-    /// hardwired, SP is tracked through `sp`, and a DP write is always a
-    /// discipline violation (flagged by the checker) — keeping their
-    /// abstract values pinned stops one bad write from cascading into
-    /// unrelated diagnostics downstream.
-    fn write(&mut self, rd: Reg, v: RegVal) {
-        if rd == Reg::ZERO || rd == Reg::SP || rd == Reg::DP {
+    /// Writes `v` to `rd`. The zero, stack and data-pointer roles are not
+    /// value-tracked: zero is hardwired, SP is tracked through `sp`, and a
+    /// DP write is always a discipline violation (flagged by the checker)
+    /// — keeping their abstract values pinned stops one bad write from
+    /// cascading into unrelated diagnostics downstream.
+    fn write(&mut self, rd: Reg, v: RegVal, desc: &TargetDesc) {
+        if rd == desc.zero || rd == desc.sp || rd == desc.dp {
             return;
         }
         self.regs[rd.index()] = v;
@@ -115,16 +116,16 @@ impl State {
 
 /// Applies one instruction to the state. `call_clobbers` is the register
 /// set a call instruction may change (the callee's interprocedural clobber
-/// set; ignored for non-calls). The implicit `RP` write of the call itself
-/// is added here.
-pub fn transfer(inst: &Inst, st: &mut State, call_clobbers: RegSet) {
+/// set; ignored for non-calls). The implicit return-pointer write of the
+/// call itself is added here.
+pub fn transfer(inst: &Inst, st: &mut State, call_clobbers: RegSet, desc: &TargetDesc) {
     match inst {
         Inst::Copy { rd, rs } => {
-            let v = st.read(*rs);
-            st.write(*rd, v);
+            let v = st.read(*rs, desc);
+            st.write(*rd, v, desc);
         }
-        Inst::Alui { op, rd, rs1, imm } if *rd == Reg::SP => {
-            if *rs1 == Reg::SP {
+        Inst::Alui { op, rd, rs1, imm } if *rd == desc.sp => {
+            if *rs1 == desc.sp {
                 match op {
                     AluOp::Add => st.sp += imm,
                     AluOp::Sub => st.sp -= imm,
@@ -135,22 +136,22 @@ pub fn transfer(inst: &Inst, st: &mut State, call_clobbers: RegSet) {
             }
         }
         Inst::Ldw { rd, base, disp, .. } => {
-            let v = if *base == Reg::SP {
+            let v = if *base == desc.sp {
                 st.slots.get(&(st.sp + disp)).copied().unwrap_or(RegVal::Other)
             } else {
                 RegVal::Other
             };
-            st.write(*rd, v);
+            st.write(*rd, v, desc);
         }
-        Inst::Stw { rs, base, disp, .. } if *base == Reg::SP => {
-            let v = st.read(*rs);
+        Inst::Stw { rs, base, disp, .. } if *base == desc.sp => {
+            let v = st.read(*rs, desc);
             st.slots.insert(st.sp + disp, v);
         }
         Inst::Call { .. } | Inst::CallAbs { .. } | Inst::CallInd { .. } => {
             let mut eff = call_clobbers;
-            eff.insert(Reg::RP);
+            eff.insert(desc.rp);
             for r in eff.iter() {
-                st.write(r, RegVal::Other);
+                st.write(r, RegVal::Other, desc);
             }
             // The callee's frame occupies everything below the current SP
             // (including this call's outgoing-argument slots).
@@ -159,7 +160,7 @@ pub fn transfer(inst: &Inst, st: &mut State, call_clobbers: RegSet) {
         }
         _ => {
             if let Some(rd) = inst.def() {
-                st.write(rd, RegVal::Other);
+                st.write(rd, RegVal::Other, desc);
             }
         }
     }
@@ -176,8 +177,14 @@ pub struct Flow {
 
 /// Runs the forward analysis to fixpoint. `call_clobbers(i)` must return
 /// the clobber set for the call instruction at index `i` (and is only
-/// consulted for calls).
-pub fn analyze(f: &MachineFunction, cfg: &Cfg, call_clobbers: &dyn Fn(usize) -> RegSet) -> Flow {
+/// consulted for calls). `desc` names the SP/DP/RP roles the transfer
+/// function keys on.
+pub fn analyze(
+    f: &MachineFunction,
+    cfg: &Cfg,
+    call_clobbers: &dyn Fn(usize) -> RegSet,
+    desc: &TargetDesc,
+) -> Flow {
     let insts = f.insts();
     let n = insts.len();
     let mut in_states: Vec<Option<State>> = vec![None; n];
@@ -190,7 +197,7 @@ pub fn analyze(f: &MachineFunction, cfg: &Cfg, call_clobbers: &dyn Fn(usize) -> 
         queued[i] = false;
         let mut st = in_states[i].clone().expect("queued node has a state");
         let eff = if insts[i].is_call() { call_clobbers(i) } else { RegSet::EMPTY };
-        transfer(&insts[i], &mut st, eff);
+        transfer(&insts[i], &mut st, eff, desc);
         for &s in cfg.succs(i) {
             let grew = match &mut in_states[s] {
                 slot @ None => {
@@ -220,7 +227,7 @@ mod tests {
 
     fn run(f: &MachineFunction) -> Flow {
         let cfg = Cfg::build(f).unwrap();
-        analyze(f, &cfg, &|_| RegSet::caller_saves())
+        analyze(f, &cfg, &|_| RegSet::caller_saves(), &vpr::target::VPR)
     }
 
     fn ret() -> Inst {

@@ -5,8 +5,9 @@
 //! root above it spills it", "global `x` lives in `r5` throughout this
 //! web", "these caller-saves registers survive calls to `f`". The code
 //! generator is supposed to emit machine code that honors them. This crate
-//! closes the loop: it re-derives, from the *emitted VPR object code
-//! alone* plus the database, whether those promises actually hold — an
+//! closes the loop: it re-derives, from the *emitted object code alone*
+//! plus the database (under the machine description the modules were
+//! compiled for), whether those promises actually hold — an
 //! independent checker in the spirit of translation validation, so a bug
 //! in promotion or spill-code motion surfaces as a typed diagnostic at the
 //! offending instruction instead of a silently wrong benchmark number.
@@ -61,6 +62,7 @@ use vpr::cfg::{Cfg, CfgError};
 use vpr::inst::Inst;
 use vpr::program::{MachineFunction, ObjectModule};
 use vpr::regs::{Reg, RegSet};
+use vpr::target::TargetDesc;
 
 use engine::State;
 
@@ -220,22 +222,22 @@ struct Proc<'a> {
     dirs: ProcDirectives,
 }
 
-/// What an unknown callee may clobber under the standard convention: all
-/// caller-saves registers plus the assembler temporary (`RP` is added by
-/// the call transfer itself).
-fn convention_clobber() -> RegSet {
-    let mut s = RegSet::caller_saves();
-    s.insert(Reg::AT);
+/// What an unknown callee may clobber under the target's convention: all
+/// caller-saves registers plus the assembler temporary (the return pointer
+/// is added by the call transfer itself).
+fn convention_clobber(desc: &TargetDesc) -> RegSet {
+    let mut s = desc.caller_saves;
+    s.insert(desc.scratch1);
     s
 }
 
 /// What structurally malformed code may clobber: everything that is
-/// trackable at all (`r0`/`SP`/`DP` are pinned by the engine).
-fn worst_clobber() -> RegSet {
+/// trackable at all (zero/SP/DP are pinned by the engine).
+fn worst_clobber(desc: &TargetDesc) -> RegSet {
     let mut s = RegSet::EMPTY;
     for i in 0..Reg::COUNT as u8 {
         let r = Reg::new(i);
-        if r != Reg::ZERO && r != Reg::SP && r != Reg::DP {
+        if r != desc.zero && r != desc.sp && r != desc.dp {
             s.insert(r);
         }
     }
@@ -260,19 +262,20 @@ fn inst_clobbers(
     by_name: &HashMap<&str, usize>,
     taken: &[usize],
     clobber: &[RegSet],
+    desc: &TargetDesc,
 ) -> RegSet {
     match inst {
         Inst::Call { target } => {
-            by_name.get(target.as_str()).map_or_else(convention_clobber, |&t| clobber[t])
+            by_name.get(target.as_str()).map_or_else(|| convention_clobber(desc), |&t| clobber[t])
         }
         Inst::CallInd { .. } => {
             if taken.is_empty() {
-                convention_clobber()
+                convention_clobber(desc)
             } else {
                 taken.iter().fold(RegSet::EMPTY, |acc, &t| acc | clobber[t])
             }
         }
-        Inst::CallAbs { .. } => convention_clobber(),
+        Inst::CallAbs { .. } => convention_clobber(desc),
         _ => RegSet::EMPTY,
     }
 }
@@ -309,11 +312,11 @@ fn inst_arg_uses(
 /// Registers a procedure syntactically saves into its own frame
 /// (`STW r, SP+d` with `d >= 0`; negative displacements are outgoing
 /// arguments in the callee's frame).
-fn saved_regs(f: &MachineFunction) -> RegSet {
+fn saved_regs(f: &MachineFunction, sp: Reg) -> RegSet {
     let mut saved = RegSet::EMPTY;
     for inst in f.insts() {
-        if let Inst::Stw { rs, base: Reg::SP, disp, .. } = inst {
-            if *disp >= 0 {
+        if let Inst::Stw { rs, base, disp, .. } = inst {
+            if *base == sp && *disp >= 0 {
                 saved.insert(*rs);
             }
         }
@@ -325,8 +328,8 @@ fn saved_regs(f: &MachineFunction) -> RegSet {
 /// without saving: its FREE set, plus any callee-saves register the
 /// cluster post-pass (Figure 7) granted into its caller-saves scratch
 /// class. Both are covered by a cluster root's MSPILL save above.
-fn own_auth(p: &Proc<'_>) -> RegSet {
-    p.dirs.usage.free | (p.dirs.usage.caller & RegSet::callee_saves())
+fn own_auth(p: &Proc<'_>, desc: &TargetDesc) -> RegSet {
+    p.dirs.usage.free | (p.dirs.usage.caller & desc.callee_saves)
 }
 
 /// Least-fixpoint authorized-dirty sets: the callee-saves registers a
@@ -342,8 +345,9 @@ fn fix_auth_dirty(
     by_name: &HashMap<&str, usize>,
     taken: &[usize],
     saved: &[RegSet],
+    desc: &TargetDesc,
 ) -> Vec<RegSet> {
-    let mut auth: Vec<RegSet> = procs.iter().map(own_auth).collect();
+    let mut auth: Vec<RegSet> = procs.iter().map(|p| own_auth(p, desc)).collect();
     loop {
         let prev = auth.clone();
         for (i, p) in procs.iter().enumerate() {
@@ -357,7 +361,7 @@ fn fix_auth_dirty(
             if p.dirs.is_cluster_root {
                 a -= p.dirs.usage.mspill;
             }
-            auth[i] = a | own_auth(p);
+            auth[i] = a | own_auth(p, desc);
         }
         if auth == prev {
             return auth;
@@ -374,18 +378,23 @@ fn fix_clobbers(
     procs: &[Proc<'_>],
     by_name: &HashMap<&str, usize>,
     taken: &[usize],
+    desc: &TargetDesc,
 ) -> Vec<RegSet> {
     let mut clobber: Vec<RegSet> = procs
         .iter()
-        .map(|p| if p.cfg.is_some() { RegSet::EMPTY } else { worst_clobber() })
+        .map(|p| if p.cfg.is_some() { RegSet::EMPTY } else { worst_clobber(desc) })
         .collect();
     loop {
         let prev = clobber.clone();
         for (i, p) in procs.iter().enumerate() {
             let Some(cfg) = &p.cfg else { continue };
             let insts = p.func.insts();
-            let flow =
-                engine::analyze(p.func, cfg, &|j| inst_clobbers(&insts[j], by_name, taken, &prev));
+            let flow = engine::analyze(
+                p.func,
+                cfg,
+                &|j| inst_clobbers(&insts[j], by_name, taken, &prev, desc),
+                desc,
+            );
             let mut cl = prev[i];
             for &e in cfg.exits() {
                 if !matches!(insts[e], Inst::Bv { .. }) {
@@ -520,12 +529,12 @@ fn machine_reachable(
 /// Those are the only defs that cannot change the promoted value; any
 /// other def means this web member really writes the global, so the
 /// memory home can hold a stale value while the web runs.
-fn modifies_register_copy(p: &Proc<'_>, q: &Promotion) -> bool {
+fn modifies_register_copy(p: &Proc<'_>, q: &Promotion, sp: Reg) -> bool {
     p.func.insts().iter().any(|inst| {
         inst.def() == Some(q.reg)
             && match inst {
                 Inst::Ldg { sym, .. } => *sym != q.sym,
-                Inst::Ldw { base: Reg::SP, .. } => false,
+                Inst::Ldw { base, .. } if *base == sp => false,
                 _ => true,
             }
     })
@@ -550,6 +559,7 @@ fn check_indirect_stores(
     cfg: &Cfg,
     promoted: &BTreeSet<String>,
     written: &BTreeSet<String>,
+    desc: &TargetDesc,
     diags: &mut Vec<Diagnostic>,
 ) {
     use vpr::inst::AluOp;
@@ -575,8 +585,8 @@ fn check_indirect_stores(
             st[rd.index()] = st[rs1.index()].clone();
         }
         Inst::Call { .. } | Inst::CallAbs { .. } | Inst::CallInd { .. } => {
-            let mut killed = convention_clobber();
-            killed.insert(Reg::RP);
+            let mut killed = convention_clobber(desc);
+            killed.insert(desc.rp);
             for r in killed.iter() {
                 st[r.index()].clear();
             }
@@ -621,7 +631,7 @@ fn check_indirect_stores(
     for (idx, inst) in insts.iter().enumerate() {
         let Some(st) = &in_states[idx] else { continue };
         match inst {
-            Inst::Stw { base, .. } if *base != Reg::SP => {
+            Inst::Stw { base, .. } if *base != desc.sp => {
                 for sym in st[base.index()].intersection(promoted) {
                     diags.push(Diagnostic {
                         kind: DiagKind::IndirectStoreToPromoted,
@@ -635,7 +645,7 @@ fn check_indirect_stores(
                     });
                 }
             }
-            Inst::Ldw { base, .. } if *base != Reg::SP => {
+            Inst::Ldw { base, .. } if *base != desc.sp => {
                 for sym in st[base.index()].intersection(promoted) {
                     if written.contains(sym) {
                         diags.push(Diagnostic {
@@ -657,17 +667,18 @@ fn check_indirect_stores(
 }
 
 /// Least-fixpoint argument-register demand per procedure: which of the
-/// four argument registers a call to it may actually read (directly or by
-/// passing them through to its own callees). Using this instead of a
-/// blanket "all four" keeps a stale argument register from looking live
-/// across an earlier, unrelated call.
+/// target's argument registers a call to it may actually read (directly
+/// or by passing them through to its own callees). Using this instead of
+/// a blanket "all of them" keeps a stale argument register from looking
+/// live across an earlier, unrelated call.
 fn fix_arg_uses(
     procs: &[Proc<'_>],
     by_name: &HashMap<&str, usize>,
     taken: &[usize],
     clobber: &[RegSet],
+    desc: &TargetDesc,
 ) -> Vec<RegSet> {
-    let all_args: RegSet = Reg::ARGS.into_iter().collect();
+    let all_args: RegSet = desc.args.iter().copied().collect();
     let mut arg_uses: Vec<RegSet> =
         procs.iter().map(|p| if p.cfg.is_some() { RegSet::EMPTY } else { all_args }).collect();
     loop {
@@ -680,10 +691,11 @@ fn fix_arg_uses(
                 cfg,
                 &|j| inst_arg_uses(&insts[j], by_name, taken, &prev, all_args),
                 &|j| {
-                    let mut d = inst_clobbers(&insts[j], by_name, taken, clobber);
-                    d.insert(Reg::RP);
+                    let mut d = inst_clobbers(&insts[j], by_name, taken, clobber, desc);
+                    d.insert(desc.rp);
                     d
                 },
+                desc,
             );
             arg_uses[i] = prev[i] | (live.live_in[0] & all_args);
         }
@@ -701,10 +713,27 @@ fn fix_arg_uses(
 /// a call to a procedure defined nowhere is itself reported as
 /// [`DiagKind::MalformedCode`].
 pub fn verify_modules(modules: &[ObjectModule], db: &ProgramDatabase) -> VerifyReport {
+    // The machine description the checks run against is the one the
+    // modules were compiled for. Modules carry their target; mixing
+    // targets in one program is itself a malformed program.
+    let target = modules.first().map(|m| m.target).unwrap_or_default();
+    let desc = target.desc();
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut procs: Vec<Proc<'_>> = Vec::new();
     let mut by_name: HashMap<&str, usize> = HashMap::new();
     for m in modules {
+        if m.target != target {
+            diags.push(Diagnostic {
+                kind: DiagKind::MalformedCode,
+                module: m.name.clone(),
+                proc: String::new(),
+                inst: None,
+                detail: format!(
+                    "module compiled for target `{}` mixed into a `{}` program",
+                    m.target, target
+                ),
+            });
+        }
         for f in &m.functions {
             let idx = procs.len();
             match by_name.entry(f.name()) {
@@ -746,8 +775,8 @@ pub fn verify_modules(modules: &[ObjectModule], db: &ProgramDatabase) -> VerifyR
     // `LDFA` can actually execute: the possible targets of every CallInd.
     let (reach, taken) = machine_reachable(&procs, &by_name);
 
-    let saved: Vec<RegSet> = procs.iter().map(|p| saved_regs(p.func)).collect();
-    let clobber = fix_clobbers(&procs, &by_name, &taken);
+    let saved: Vec<RegSet> = procs.iter().map(|p| saved_regs(p.func, desc.sp)).collect();
+    let clobber = fix_clobbers(&procs, &by_name, &taken, desc);
     let mem = fix_mem_access(&procs, &by_name, &taken, &|i| match i {
         Inst::Ldg { sym, .. } | Inst::Stg { sym, .. } | Inst::Lga { sym, .. } => Some(sym.clone()),
         _ => None,
@@ -756,8 +785,8 @@ pub fn verify_modules(modules: &[ObjectModule], db: &ProgramDatabase) -> VerifyR
         Inst::Stg { sym, .. } => Some(sym.clone()),
         _ => None,
     });
-    let arg_uses = fix_arg_uses(&procs, &by_name, &taken, &clobber);
-    let auth = fix_auth_dirty(&procs, &by_name, &taken, &saved);
+    let arg_uses = fix_arg_uses(&procs, &by_name, &taken, &clobber, desc);
+    let auth = fix_auth_dirty(&procs, &by_name, &taken, &saved, desc);
 
     // Alias-sensitive facts, restricted to code reachable from `main`:
     // which globals are promoted at all, and which of those belong to a
@@ -772,7 +801,11 @@ pub fn verify_modules(modules: &[ObjectModule], db: &ProgramDatabase) -> VerifyR
         live_procs().flat_map(|p| p.dirs.promotions.iter().map(|q| q.sym.clone())).collect();
     let written_webs: BTreeSet<String> = live_procs()
         .flat_map(|p| {
-            p.dirs.promotions.iter().filter(|q| modifies_register_copy(p, q)).map(|q| q.sym.clone())
+            p.dirs
+                .promotions
+                .iter()
+                .filter(|q| modifies_register_copy(p, q, desc.sp))
+                .map(|q| q.sym.clone())
         })
         .collect();
 
@@ -789,11 +822,12 @@ pub fn verify_modules(modules: &[ObjectModule], db: &ProgramDatabase) -> VerifyR
             reach[i],
             &arg_uses,
             auth[i],
+            desc,
             &mut diags,
         );
         if reach[i] {
             if let Some(cfg) = &p.cfg {
-                check_indirect_stores(p, cfg, &promoted, &written_webs, &mut diags);
+                check_indirect_stores(p, cfg, &promoted, &written_webs, desc, &mut diags);
             }
         }
     }
@@ -845,6 +879,7 @@ fn check_proc(
     reachable: bool,
     arg_uses: &[RegSet],
     auth: RegSet,
+    desc: &TargetDesc,
     diags: &mut Vec<Diagnostic>,
 ) {
     let insts = p.func.insts();
@@ -860,7 +895,7 @@ fn check_proc(
 
     // ---- Syntactic pass: reserved registers, unresolved symbols,
     //      promotion residuals, call-edge web checks.
-    let saved = saved_regs(p.func);
+    let saved = saved_regs(p.func, desc.sp);
     for (idx, inst) in insts.iter().enumerate() {
         match inst {
             Inst::CallAbs { .. } => report(
@@ -878,7 +913,7 @@ fn check_proc(
                 Some(idx),
                 format!("takes the address of undefined procedure `{func}`"),
             ),
-            Inst::Bv { base } if *base != Reg::RP => report(
+            Inst::Bv { base } if *base != desc.rp => report(
                 DiagKind::NonReturnIndirectJump,
                 Some(idx),
                 format!("indirect jump through {base} (returns must go through RP)"),
@@ -891,26 +926,26 @@ fn check_proc(
             _ => {}
         }
         if let Some(rd) = inst.def() {
-            if rd == Reg::ZERO {
+            if rd == desc.zero {
                 report(
                     DiagKind::ReservedRegWrite,
                     Some(idx),
                     "writes the hardwired zero register r0".to_string(),
                 );
-            } else if rd == Reg::DP {
+            } else if rd == desc.dp {
                 report(
                     DiagKind::ReservedRegWrite,
                     Some(idx),
                     "writes the global data pointer DP".to_string(),
                 );
-            } else if rd == Reg::SP
+            } else if rd == desc.sp
                 && !matches!(
                     inst,
                     Inst::Alui {
                         op: vpr::inst::AluOp::Add | vpr::inst::AluOp::Sub,
-                        rs1: Reg::SP,
+                        rs1,
                         ..
-                    }
+                    } if *rs1 == desc.sp
                 )
             {
                 report(
@@ -918,11 +953,17 @@ fn check_proc(
                     Some(idx),
                     "writes SP other than by immediate frame adjustment".to_string(),
                 );
-            } else if rd == Reg::RP && !matches!(inst, Inst::Ldw { .. }) {
+            } else if rd == desc.rp && !matches!(inst, Inst::Ldw { .. }) {
                 report(
                     DiagKind::ReservedRegWrite,
                     Some(idx),
                     "writes RP other than by a frame restore".to_string(),
+                );
+            } else if desc.reserved.contains(rd) {
+                report(
+                    DiagKind::ReservedRegWrite,
+                    Some(idx),
+                    format!("writes reserved register {} ({rd})", desc.reg_name(rd)),
                 );
             }
         }
@@ -1060,7 +1101,12 @@ fn check_proc(
 
     // ---- Forward symbolic pass: frame bounds, stack balance, and the
     //      callee-saves discipline at every return.
-    let flow = engine::analyze(p.func, cfg, &|j| inst_clobbers(&insts[j], by_name, taken, clobber));
+    let flow = engine::analyze(
+        p.func,
+        cfg,
+        &|j| inst_clobbers(&insts[j], by_name, taken, clobber, desc),
+        desc,
+    );
     for &j in &flow.sp_mismatch {
         report(
             DiagKind::SpUnbalanced,
@@ -1071,7 +1117,9 @@ fn check_proc(
     for (idx, inst) in insts.iter().enumerate() {
         let Some(st) = &flow.in_states[idx] else { continue };
         match inst {
-            Inst::Ldw { base: Reg::SP, disp, .. } if *disp < 0 || st.sp + disp >= 0 => {
+            Inst::Ldw { base, disp, .. }
+                if *base == desc.sp && (*disp < 0 || st.sp + disp >= 0) =>
+            {
                 report(
                     DiagKind::FrameOutOfBounds,
                     Some(idx),
@@ -1080,15 +1128,15 @@ fn check_proc(
             }
             // Negative displacements are the outgoing-argument area; at or
             // above the entry SP is the caller's frame.
-            Inst::Stw { base: Reg::SP, disp, .. } if st.sp + disp >= 0 => {
+            Inst::Stw { base, disp, .. } if *base == desc.sp && st.sp + disp >= 0 => {
                 report(
                     DiagKind::FrameOutOfBounds,
                     Some(idx),
                     format!("store at SP{disp:+} tramples the caller's frame (SP is at {})", st.sp),
                 );
             }
-            Inst::Bv { base: Reg::RP } => {
-                check_return(p, st, saved, auth, idx, &mut report);
+            Inst::Bv { base } if *base == desc.rp => {
+                check_return(p, st, saved, auth, desc, idx, &mut report);
             }
             _ => {}
         }
@@ -1103,27 +1151,28 @@ fn check_proc(
     if !reachable {
         return;
     }
-    let all_args: RegSet = Reg::ARGS.into_iter().collect();
+    let all_args: RegSet = desc.args.iter().copied().collect();
     let live = liveness::analyze(
         p.func,
         cfg,
         &|j| inst_arg_uses(&insts[j], by_name, taken, arg_uses, all_args),
         &|j| {
-            let mut d = inst_clobbers(&insts[j], by_name, taken, clobber);
-            d.insert(Reg::RP);
+            let mut d = inst_clobbers(&insts[j], by_name, taken, clobber, desc);
+            d.insert(desc.rp);
             d
         },
+        desc,
     );
     for (idx, inst) in insts.iter().enumerate() {
         if !inst.is_call() || flow.in_states[idx].is_none() {
             continue;
         }
         let mut exposed = live.live_out[idx]
-            & inst_clobbers(inst, by_name, taken, clobber)
-            & RegSet::caller_saves();
+            & inst_clobbers(inst, by_name, taken, clobber, desc)
+            & desc.caller_saves;
         // RV is how a call returns its result; a use after the call reads
         // the callee's value by design.
-        exposed.remove(Reg::RV);
+        exposed.remove(desc.rv);
         let callee = match inst {
             Inst::Call { target } => format!("`{target}`"),
             _ => "indirect callee".to_string(),
@@ -1145,6 +1194,7 @@ fn check_return(
     st: &State,
     saved: RegSet,
     auth: RegSet,
+    desc: &TargetDesc,
     idx: usize,
     report: &mut impl FnMut(DiagKind, Option<usize>, String),
 ) {
@@ -1155,14 +1205,14 @@ fn check_return(
             format!("returns with the stack displaced by {} word(s)", st.sp),
         );
     }
-    if !st.holds_entry(Reg::RP) {
+    if !st.holds_entry(desc.rp) {
         report(
             DiagKind::ReturnAddressClobbered,
             Some(idx),
             "returns without RP holding the caller's return address".to_string(),
         );
     }
-    for r in RegSet::callee_saves().iter() {
+    for r in desc.callee_saves.iter() {
         if st.holds_entry(r) {
             continue;
         }

@@ -13,15 +13,16 @@
 use vpr::cfg::Cfg;
 use vpr::inst::Inst;
 use vpr::program::MachineFunction;
-use vpr::regs::{Reg, RegSet};
+use vpr::regs::RegSet;
+use vpr::target::TargetDesc;
 
 /// What the caller may still need when a procedure returns: its
 /// callee-saves registers, the frame and global pointers, and the result.
-pub fn exit_live() -> RegSet {
-    let mut s = RegSet::callee_saves();
-    s.insert(Reg::SP);
-    s.insert(Reg::DP);
-    s.insert(Reg::RV);
+pub fn exit_live(desc: &TargetDesc) -> RegSet {
+    let mut s = desc.callee_saves;
+    s.insert(desc.sp);
+    s.insert(desc.dp);
+    s.insert(desc.rv);
     s
 }
 
@@ -42,16 +43,17 @@ pub fn analyze(
     cfg: &Cfg,
     call_uses: &dyn Fn(usize) -> RegSet,
     call_defs: &dyn Fn(usize) -> RegSet,
+    desc: &TargetDesc,
 ) -> Liveness {
     let insts = f.insts();
     let n = insts.len();
+    let exit = exit_live(desc);
     let mut live_in = vec![RegSet::EMPTY; n];
     let mut live_out = vec![RegSet::EMPTY; n];
     loop {
         let mut changed = false;
         for i in (0..n).rev() {
-            let mut out =
-                if matches!(insts[i], Inst::Bv { .. }) { exit_live() } else { RegSet::EMPTY };
+            let mut out = if matches!(insts[i], Inst::Bv { .. }) { exit } else { RegSet::EMPTY };
             for &s in cfg.succs(i) {
                 out |= live_in[s];
             }
@@ -81,6 +83,7 @@ pub fn analyze(
 mod tests {
     use super::*;
     use vpr::inst::{AluOp, Cond};
+    use vpr::regs::Reg;
 
     fn ret() -> Inst {
         Inst::Bv { base: Reg::RP }
@@ -88,11 +91,17 @@ mod tests {
 
     fn run(f: &MachineFunction) -> Liveness {
         let cfg = Cfg::build(f).unwrap();
-        analyze(f, &cfg, &|_| RegSet::EMPTY, &|_| {
-            let mut d = RegSet::caller_saves();
-            d.insert(Reg::RP);
-            d
-        })
+        analyze(
+            f,
+            &cfg,
+            &|_| RegSet::EMPTY,
+            &|_| {
+                let mut d = RegSet::caller_saves();
+                d.insert(Reg::RP);
+                d
+            },
+            &vpr::target::VPR,
+        )
     }
 
     #[test]

@@ -13,7 +13,7 @@ fn ret() -> Inst {
 }
 
 fn module(funcs: Vec<MachineFunction>) -> ObjectModule {
-    ObjectModule { name: "t".into(), functions: funcs, globals: vec![] }
+    ObjectModule { name: "t".into(), functions: funcs, globals: vec![], ..Default::default() }
 }
 
 /// A function with the standard prologue/epilogue shape: allocate a frame

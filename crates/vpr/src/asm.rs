@@ -5,53 +5,100 @@
 
 use crate::inst::Inst;
 use crate::program::{Executable, MachineFunction};
+use crate::regs::Reg;
+use crate::target::TargetDesc;
 use std::fmt;
 
-impl fmt::Display for Inst {
+/// An instruction paired with an optional machine description: with one,
+/// registers render as their ABI names (`a0`, `sp`, `rv`, …); without,
+/// as raw `r<N>`.
+struct InstWith<'a> {
+    inst: &'a Inst,
+    desc: Option<&'a TargetDesc>,
+}
+
+impl InstWith<'_> {
+    fn reg(&self, r: Reg) -> String {
+        match self.desc {
+            Some(d) => d.reg_name(r).to_string(),
+            None => r.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for InstWith<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Inst::Ldi { rd, imm } => write!(f, "ldi     {rd}, {imm}"),
-            Inst::Copy { rd, rs } => write!(f, "copy    {rd}, {rs}"),
-            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op:<7} {rd}, {rs1}, {rs2}"),
+        let r = |x: Reg| self.reg(x);
+        match self.inst {
+            Inst::Ldi { rd, imm } => write!(f, "ldi     {}, {imm}", r(*rd)),
+            Inst::Copy { rd, rs } => write!(f, "copy    {}, {}", r(*rd), r(*rs)),
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{op:<7} {}, {}, {}", r(*rd), r(*rs1), r(*rs2))
+            }
             Inst::Alui { op, rd, rs1, imm } => write!(
                 f,
-                "{op}i{:<width$} {rd}, {rs1}, {imm}",
+                "{op}i{:<width$} {}, {}, {imm}",
                 "",
+                r(*rd),
+                r(*rs1),
                 width = 6usize.saturating_sub(op.to_string().len() + 1)
             ),
-            Inst::Cmp { cond, rd, rs1, rs2 } => write!(f, "cmp{cond:<4} {rd}, {rs1}, {rs2}"),
+            Inst::Cmp { cond, rd, rs1, rs2 } => {
+                write!(f, "cmp{cond:<4} {}, {}, {}", r(*rd), r(*rs1), r(*rs2))
+            }
             Inst::Ldw { rd, base, disp, class } => {
-                write!(f, "ldw     {rd}, {disp}({base})  ; {class:?}")
+                write!(f, "ldw     {}, {disp}({})  ; {class:?}", r(*rd), r(*base))
             }
             Inst::Stw { rs, base, disp, class } => {
-                write!(f, "stw     {rs}, {disp}({base})  ; {class:?}")
+                write!(f, "stw     {}, {disp}({})  ; {class:?}", r(*rs), r(*base))
             }
             Inst::Ldg { rd, sym, offset, class } => {
-                write!(f, "ldg     {rd}, {sym}+{offset}  ; {class:?}")
+                write!(f, "ldg     {}, {sym}+{offset}  ; {class:?}", r(*rd))
             }
             Inst::Stg { rs, sym, offset, class } => {
-                write!(f, "stg     {rs}, {sym}+{offset}  ; {class:?}")
+                write!(f, "stg     {}, {sym}+{offset}  ; {class:?}", r(*rs))
             }
-            Inst::Lga { rd, sym, offset } => write!(f, "lga     {rd}, {sym}+{offset}"),
-            Inst::Ldfa { rd, func } => write!(f, "ldfa    {rd}, {func}"),
+            Inst::Lga { rd, sym, offset } => write!(f, "lga     {}, {sym}+{offset}", r(*rd)),
+            Inst::Ldfa { rd, func } => write!(f, "ldfa    {}, {func}", r(*rd)),
             Inst::Call { target } => write!(f, "call    {target}"),
             Inst::CallAbs { entry } => write!(f, "call    @{entry}"),
-            Inst::CallInd { base } => write!(f, "callind ({base})"),
-            Inst::Bv { base } => write!(f, "bv      ({base})"),
+            Inst::CallInd { base } => write!(f, "callind ({})", r(*base)),
+            Inst::Bv { base } => write!(f, "bv      ({})", r(*base)),
             Inst::B { target } => write!(f, "b       {target}"),
             Inst::Comb { cond, rs1, rs2, target } => {
-                write!(f, "comb{cond:<3} {rs1}, {rs2}, {target}")
+                write!(f, "comb{cond:<3} {}, {}, {target}", r(*rs1), r(*rs2))
             }
-            Inst::Out { rs } => write!(f, "out     {rs}"),
-            Inst::In { rd } => write!(f, "in      {rd}"),
+            Inst::Out { rs } => write!(f, "out     {}", r(*rs)),
+            Inst::In { rd } => write!(f, "in      {}", r(*rd)),
             Inst::Halt => write!(f, "halt"),
             Inst::Nop => write!(f, "nop"),
         }
     }
 }
 
-/// Renders a single pre-link function, with label markers.
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        InstWith { inst: self, desc: None }.fmt(f)
+    }
+}
+
+/// Renders one instruction with `desc`'s ABI register names.
+pub fn inst_asm(inst: &Inst, desc: &TargetDesc) -> String {
+    InstWith { inst, desc: Some(desc) }.to_string()
+}
+
+/// Renders a single pre-link function, with label markers and raw `r<N>`
+/// register names.
 pub fn function_asm(f: &MachineFunction) -> String {
+    function_asm_impl(f, None)
+}
+
+/// [`function_asm`] with `desc`'s ABI register names.
+pub fn function_asm_for(f: &MachineFunction, desc: &TargetDesc) -> String {
+    function_asm_impl(f, Some(desc))
+}
+
+fn function_asm_impl(f: &MachineFunction, desc: Option<&TargetDesc>) -> String {
     use std::fmt::Write;
     let mut labels_at: Vec<Vec<usize>> = vec![Vec::new(); f.insts().len() + 1];
     for l in 0..f.label_count() {
@@ -65,7 +112,7 @@ pub fn function_asm(f: &MachineFunction) -> String {
         for l in &labels_at[i] {
             let _ = writeln!(out, "  L{l}:");
         }
-        let _ = writeln!(out, "    {inst}");
+        let _ = writeln!(out, "    {}", InstWith { inst, desc });
     }
     for l in &labels_at[f.insts().len()] {
         let _ = writeln!(out, "  L{l}:");
@@ -74,15 +121,17 @@ pub fn function_asm(f: &MachineFunction) -> String {
 }
 
 /// Renders a full linked executable with function headers and addresses.
+/// Registers render as the ABI names of the executable's own target.
 pub fn executable_asm(exe: &Executable) -> String {
     use std::fmt::Write;
+    let desc = exe.target().desc();
     let mut out = String::new();
-    let _ = writeln!(out, "; --- startup stub ---");
+    let _ = writeln!(out, "; --- startup stub ({}) ---", desc.id.name());
     for (pc, inst) in exe.insts().iter().enumerate() {
         if let Some(fi) = exe.funcs().iter().find(|fi| fi.entry == pc) {
             let _ = writeln!(out, "\n{}:  ; @{}", fi.name, fi.entry);
         }
-        let _ = writeln!(out, "  {pc:6}  {inst}");
+        let _ = writeln!(out, "  {pc:6}  {}", InstWith { inst, desc: Some(desc) });
     }
     let _ = writeln!(out, "\n; --- data ---");
     for g in exe.globals() {
@@ -136,6 +185,7 @@ mod tests {
             name: "m".into(),
             functions: vec![f],
             globals: vec![crate::program::GlobalDef { sym: "g".into(), size: 2, init: vec![] }],
+            ..Default::default()
         };
         let exe = link(&[m]).unwrap();
         let text = executable_asm(&exe);

@@ -190,9 +190,14 @@ impl DecodedProgram<'_> {
                 mem[addr as usize] = v;
             }
         }
+        // Both supported targets hardwire index 0 to zero (`set` relies on
+        // it); the data/stack/link/return roles come from the description.
+        let desc = self.exe.target().desc();
+        let rp_idx = desc.rp.index() as u8;
+        let rv_idx = desc.rv.index() as u8;
         let mut regs = [0i64; Reg::COUNT];
-        regs[Reg::DP.index()] = GLOBALS_BASE;
-        regs[Reg::SP.index()] = opts.mem_words as i64;
+        regs[desc.dp.index()] = GLOBALS_BASE;
+        regs[desc.sp.index()] = opts.mem_words as i64;
 
         let max_steps = opts.max_steps;
         let input = &opts.input[..];
@@ -296,7 +301,7 @@ impl DecodedProgram<'_> {
                     }
                 }
                 Op::Call { entry, callee } => {
-                    set(&mut regs, Reg::RP.index() as u8, next as i64);
+                    set(&mut regs, rp_idx, next as i64);
                     total_calls += 1;
                     let callee_slot =
                         if (callee as usize) < nfuncs { callee as usize } else { nfuncs };
@@ -322,7 +327,7 @@ impl DecodedProgram<'_> {
                     if entry < 0 || entry as usize >= ops.len() {
                         return Err(SimError::BadPc { pc, sym: self.exe.symbolize(pc) });
                     }
-                    set(&mut regs, Reg::RP.index() as u8, next as i64);
+                    set(&mut regs, rp_idx, next as i64);
                     total_calls += 1;
                     let callee = self.entry_func[entry as usize];
                     let callee_slot =
@@ -379,7 +384,7 @@ impl DecodedProgram<'_> {
                     set(&mut regs, rd, v);
                 }
                 Op::Halt => {
-                    let exit = get(&regs, Reg::RV.index() as u8);
+                    let exit = get(&regs, rv_idx);
                     let mut stats = RunStats {
                         cycles,
                         loads,
@@ -444,7 +449,8 @@ mod tests {
     }
 
     fn exe_of(functions: Vec<MachineFunction>, globals: Vec<GlobalDef>) -> Executable {
-        link(&[ObjectModule { name: "t".into(), functions, globals }]).unwrap()
+        link(&[ObjectModule { name: "t".into(), functions, globals, ..Default::default() }])
+            .unwrap()
     }
 
     /// A small program exercising calls, recursion, memory, globals, and

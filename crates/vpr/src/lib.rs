@@ -36,7 +36,7 @@
 //! let mut f = MachineFunction::new("main");
 //! f.push(Inst::Ldi { rd: Reg::RV, imm: 42 });
 //! f.push(Inst::Bv { base: Reg::RP });
-//! let exe = link(&[ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] }])?;
+//! let exe = link(&[ObjectModule { name: "m".into(), functions: vec![f], globals: vec![], ..Default::default() }])?;
 //! let result = vpr::sim::run(&exe)?;
 //! assert_eq!(result.exit, 42);
 //! # Ok(())
@@ -54,6 +54,7 @@ pub mod profile;
 pub mod program;
 pub mod regs;
 pub mod sim;
+pub mod target;
 
 pub use exec::{decode, DecodedProgram};
 pub use inst::{AluOp, Cond, Inst, Label, MemClass};
@@ -67,3 +68,4 @@ pub use sim::{
     run, run_with, Attribution, Engine, ProcCost, RunResult, RunStats, SimError, SimOptions,
     STARTUP_PROC,
 };
+pub use target::{TargetDesc, TargetId};

@@ -173,6 +173,7 @@ mod tests {
             name: "m".into(),
             functions: vec![f, helper],
             globals: vec![GlobalDef { sym: "g".into(), size: 1, init: vec![] }],
+            ..Default::default()
         }
     }
 
@@ -214,6 +215,7 @@ mod tests {
             name: "lib".into(),
             functions: vec![ext],
             globals: vec![GlobalDef { sym: "h".into(), size: 1, init: vec![] }],
+            ..Default::default()
         };
         let t = program_symbols(&[module(), lib]);
         assert!(t.is_closed(), "{t:?}");

@@ -239,8 +239,13 @@ mod tests {
         f.push(Inst::Call { target: "leaf".into() });
         f.push(Inst::Copy { rd: Reg::RP, rs: Reg::new(3) });
         f.push(Inst::Bv { base: Reg::RP });
-        link(&[ObjectModule { name: "t".into(), functions: vec![leaf, f], globals: vec![] }])
-            .unwrap()
+        link(&[ObjectModule {
+            name: "t".into(),
+            functions: vec![leaf, f],
+            globals: vec![],
+            ..Default::default()
+        }])
+        .unwrap()
     }
 
     #[test]

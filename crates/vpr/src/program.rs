@@ -7,7 +7,7 @@
 //! [simulator](crate::sim).
 
 use crate::inst::{AluOp, Inst, Label, MemClass};
-use crate::regs::Reg;
+use crate::target::{TargetDesc, TargetId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -140,6 +140,24 @@ pub struct ObjectModule {
     pub functions: Vec<MachineFunction>,
     /// Globals *defined* by this module (not mere `extern` references).
     pub globals: Vec<GlobalDef>,
+    /// The target the module was compiled for. The linker refuses to mix
+    /// targets. Serialized only when not [`TargetId::Vpr`], so VPR `.vo`
+    /// artifacts keep their pre-machine-description bytes.
+    #[serde(default, skip_default)]
+    pub target: TargetId,
+}
+
+impl ObjectModule {
+    /// A VPR-target module with the given functions and no globals (the
+    /// common test and doc-example shape).
+    pub fn new(name: impl Into<String>, functions: Vec<MachineFunction>) -> ObjectModule {
+        ObjectModule {
+            name: name.into(),
+            functions,
+            globals: Vec::new(),
+            target: TargetId::default(),
+        }
+    }
 }
 
 /// Information about one linked procedure.
@@ -173,12 +191,21 @@ pub struct Executable {
     data_init: Vec<(i64, i64)>,
     // Ordered so serialized executables are byte-stable run-to-run.
     entry_to_func: BTreeMap<usize, usize>,
+    // Serialized only when not VPR, keeping pre-existing `.vx` bytes.
+    #[serde(default, skip_default)]
+    target: TargetId,
 }
 
 impl Executable {
     /// The linked instruction stream. Execution starts at address 0.
     pub fn insts(&self) -> &[Inst] {
         &self.insts
+    }
+
+    /// The target the program was linked for. The simulators fetch their
+    /// role registers (`sp`, `dp`, `rp`, `rv`) from this.
+    pub fn target(&self) -> TargetId {
+        self.target
     }
 
     /// Per-procedure link information, in link order.
@@ -246,6 +273,8 @@ pub enum LinkError {
     NoMain,
     /// A branch used a label that was never bound.
     UnboundLabel { label: Label, in_func: String },
+    /// Object modules compiled for different targets were linked together.
+    TargetMismatch { expected: TargetId, found: TargetId, module: String },
 }
 
 impl fmt::Display for LinkError {
@@ -264,6 +293,12 @@ impl fmt::Display for LinkError {
             LinkError::NoMain => write!(f, "no `main` procedure"),
             LinkError::UnboundLabel { label, in_func } => {
                 write!(f, "unbound label {label} in `{in_func}`")
+            }
+            LinkError::TargetMismatch { expected, found, module } => {
+                write!(
+                    f,
+                    "module `{module}` was compiled for target `{found}`, expected `{expected}`"
+                )
             }
         }
     }
@@ -305,7 +340,7 @@ pub struct LinkOptions {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut f = MachineFunction::new("main");
 /// f.push(Inst::Bv { base: Reg::RP });
-/// let module = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
+/// let module = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![], ..Default::default() };
 /// let exe = link(&[module])?;
 /// assert_eq!(exe.func_named("main").unwrap().entry, 2);
 /// # Ok(())
@@ -330,6 +365,20 @@ pub fn link(modules: &[ObjectModule]) -> Result<Executable, LinkError> {
 /// Returns a [`LinkError`] as for [`link`]; undefined procedures are
 /// errors only when not allowed by `opts`.
 pub fn link_with(modules: &[ObjectModule], opts: &LinkOptions) -> Result<Executable, LinkError> {
+    // 0. Every module must agree on the target; the executable carries it
+    //    so the simulators can fetch their role registers.
+    let target = modules.first().map(|m| m.target).unwrap_or_default();
+    for m in modules {
+        if m.target != target {
+            return Err(LinkError::TargetMismatch {
+                expected: target,
+                found: m.target,
+                module: m.name.clone(),
+            });
+        }
+    }
+    let desc = target.desc();
+
     // 1. Lay out globals: scalars first, then aggregates.
     let mut globals: Vec<GlobalInfo> = Vec::new();
     let mut global_addr: HashMap<&str, i64> = HashMap::new();
@@ -416,18 +465,23 @@ pub fn link_with(modules: &[ObjectModule], opts: &LinkOptions) -> Result<Executa
     insts.push(Inst::Halt);
     for m in modules {
         for f in &m.functions {
-            emit_function(f, &global_addr, &func_entry, &mut insts)?;
+            emit_function(f, desc, &global_addr, &func_entry, &mut insts)?;
         }
     }
     for _ in &stubs {
         // Unconditional memory fault: address −1 is below every mapped
         // word, so an activated stub traps at `sym+0` (see `symbolize`).
-        insts.push(Inst::Ldw { rd: Reg::AT, base: Reg::ZERO, disp: -1, class: MemClass::Indirect });
+        insts.push(Inst::Ldw {
+            rd: desc.scratch1,
+            base: desc.zero,
+            disp: -1,
+            class: MemClass::Indirect,
+        });
     }
     debug_assert_eq!(insts.len(), pc);
 
     let entry_to_func = infos.iter().enumerate().map(|(i, fi)| (fi.entry, i)).collect();
-    Ok(Executable { insts, funcs: infos, globals, data_init, entry_to_func })
+    Ok(Executable { insts, funcs: infos, globals, data_init, entry_to_func, target })
 }
 
 /// How many real instructions `inst` expands to once linked.
@@ -452,6 +506,7 @@ fn expansion_len(inst: &Inst, global_addr: &HashMap<&str, i64>) -> usize {
 
 fn emit_function(
     f: &MachineFunction,
+    desc: &TargetDesc,
     global_addr: &HashMap<&str, i64>,
     func_entry: &HashMap<&str, usize>,
     out: &mut Vec<Inst>,
@@ -491,21 +546,31 @@ fn emit_function(
                 let addr = resolve_global(sym)?;
                 let disp = addr - GLOBALS_BASE + offset;
                 if disp < DP_DISP_LIMIT {
-                    out.push(Inst::Ldw { rd: *rd, base: Reg::DP, disp, class: *class });
+                    out.push(Inst::Ldw { rd: *rd, base: desc.dp, disp, class: *class });
                 } else {
                     // Base setup through the assembler temporary.
-                    out.push(Inst::Alui { op: AluOp::Add, rd: Reg::AT, rs1: Reg::DP, imm: disp });
-                    out.push(Inst::Ldw { rd: *rd, base: Reg::AT, disp: 0, class: *class });
+                    out.push(Inst::Alui {
+                        op: AluOp::Add,
+                        rd: desc.scratch1,
+                        rs1: desc.dp,
+                        imm: disp,
+                    });
+                    out.push(Inst::Ldw { rd: *rd, base: desc.scratch1, disp: 0, class: *class });
                 }
             }
             Inst::Stg { rs, sym, offset, class } => {
                 let addr = resolve_global(sym)?;
                 let disp = addr - GLOBALS_BASE + offset;
                 if disp < DP_DISP_LIMIT {
-                    out.push(Inst::Stw { rs: *rs, base: Reg::DP, disp, class: *class });
+                    out.push(Inst::Stw { rs: *rs, base: desc.dp, disp, class: *class });
                 } else {
-                    out.push(Inst::Alui { op: AluOp::Add, rd: Reg::AT, rs1: Reg::DP, imm: disp });
-                    out.push(Inst::Stw { rs: *rs, base: Reg::AT, disp: 0, class: *class });
+                    out.push(Inst::Alui {
+                        op: AluOp::Add,
+                        rd: desc.scratch1,
+                        rs1: desc.dp,
+                        imm: disp,
+                    });
+                    out.push(Inst::Stw { rs: *rs, base: desc.scratch1, disp: 0, class: *class });
                 }
             }
             Inst::Lga { rd, sym, offset } => {
@@ -537,6 +602,7 @@ fn emit_function(
 mod tests {
     use super::*;
     use crate::inst::{Cond, MemClass};
+    use crate::regs::Reg;
 
     fn ret_fn(name: &str) -> MachineFunction {
         let mut f = MachineFunction::new(name);
@@ -546,16 +612,29 @@ mod tests {
 
     #[test]
     fn link_requires_main() {
-        let m = ObjectModule { name: "m".into(), functions: vec![ret_fn("f")], globals: vec![] };
+        let m = ObjectModule {
+            name: "m".into(),
+            functions: vec![ret_fn("f")],
+            globals: vec![],
+            ..Default::default()
+        };
         assert_eq!(link(&[m]).unwrap_err(), LinkError::NoMain);
     }
 
     #[test]
     fn link_rejects_duplicates() {
-        let m1 =
-            ObjectModule { name: "a".into(), functions: vec![ret_fn("main")], globals: vec![] };
-        let m2 =
-            ObjectModule { name: "b".into(), functions: vec![ret_fn("main")], globals: vec![] };
+        let m1 = ObjectModule {
+            name: "a".into(),
+            functions: vec![ret_fn("main")],
+            globals: vec![],
+            ..Default::default()
+        };
+        let m2 = ObjectModule {
+            name: "b".into(),
+            functions: vec![ret_fn("main")],
+            globals: vec![],
+            ..Default::default()
+        };
         assert!(matches!(
             link(&[m1, m2]).unwrap_err(),
             LinkError::DuplicateFunction(name) if name == "main"
@@ -566,8 +645,14 @@ mod tests {
             name: "a".into(),
             functions: vec![ret_fn("main")],
             globals: vec![g.clone()],
+            ..Default::default()
         };
-        let m2 = ObjectModule { name: "b".into(), functions: vec![], globals: vec![g] };
+        let m2 = ObjectModule {
+            name: "b".into(),
+            functions: vec![],
+            globals: vec![g],
+            ..Default::default()
+        };
         assert!(matches!(link(&[m1, m2]).unwrap_err(), LinkError::DuplicateGlobal(_)));
     }
 
@@ -580,6 +665,7 @@ mod tests {
                 GlobalDef { sym: "arr".into(), size: 100, init: vec![] },
                 GlobalDef { sym: "x".into(), size: 1, init: vec![7] },
             ],
+            ..Default::default()
         };
         let exe = link(&[m]).unwrap();
         let x = exe.global_addr("x").unwrap();
@@ -608,6 +694,7 @@ mod tests {
                 GlobalDef { sym: "pad".into(), size: DP_DISP_LIMIT as usize + 8, init: vec![] },
                 GlobalDef { sym: "far".into(), size: 4, init: vec![] },
             ],
+            ..Default::default()
         };
         let exe = link(&[m]).unwrap();
         let main = exe.func_named("main").unwrap();
@@ -638,6 +725,7 @@ mod tests {
                 GlobalDef { sym: "pad".into(), size: DP_DISP_LIMIT as usize, init: vec![] },
                 GlobalDef { sym: "far".into(), size: 4, init: vec![] },
             ],
+            ..Default::default()
         };
         let exe = link(&[m]).unwrap();
         let main = exe.func_named("main").unwrap();
@@ -656,8 +744,18 @@ mod tests {
         let mut f = MachineFunction::new("main");
         f.push(Inst::Ldi { rd: Reg::RV, imm: 1 });
         f.push(Inst::Bv { base: Reg::RP });
-        let m1 = ObjectModule { name: "a".into(), functions: vec![ret_fn("f")], globals: vec![] };
-        let m2 = ObjectModule { name: "b".into(), functions: vec![f], globals: vec![] };
+        let m1 = ObjectModule {
+            name: "a".into(),
+            functions: vec![ret_fn("f")],
+            globals: vec![],
+            ..Default::default()
+        };
+        let m2 = ObjectModule {
+            name: "b".into(),
+            functions: vec![f],
+            globals: vec![],
+            ..Default::default()
+        };
         let exe = link(&[m1, m2]).unwrap();
         // Layout: stub (0..2), f (2..3), main (3..5).
         assert_eq!(exe.symbolize(0), None); // startup stub
@@ -673,7 +771,12 @@ mod tests {
     fn undefined_symbols_are_reported() {
         let mut f = MachineFunction::new("main");
         f.push(Inst::Call { target: "ghost".into() });
-        let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
+        let m = ObjectModule {
+            name: "m".into(),
+            functions: vec![f],
+            globals: vec![],
+            ..Default::default()
+        };
         assert!(matches!(
             link(&[m]).unwrap_err(),
             LinkError::UndefinedFunction { name, .. } if name == "ghost"
@@ -686,7 +789,12 @@ mod tests {
             offset: 0,
             class: MemClass::ScalarGlobal,
         });
-        let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
+        let m = ObjectModule {
+            name: "m".into(),
+            functions: vec![f],
+            globals: vec![],
+            ..Default::default()
+        };
         assert!(matches!(link(&[m]).unwrap_err(), LinkError::UndefinedGlobal { .. }));
     }
 
@@ -695,7 +803,12 @@ mod tests {
         let mut f = MachineFunction::new("main");
         let l = f.new_label();
         f.push(Inst::B { target: l });
-        let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
+        let m = ObjectModule {
+            name: "m".into(),
+            functions: vec![f],
+            globals: vec![],
+            ..Default::default()
+        };
         assert!(matches!(link(&[m]).unwrap_err(), LinkError::UnboundLabel { .. }));
     }
 
@@ -714,6 +827,7 @@ mod tests {
             name: "m".into(),
             functions: vec![f, ret_fn("present")],
             globals: vec![],
+            ..Default::default()
         };
 
         // Without the option the link still fails.
@@ -742,7 +856,12 @@ mod tests {
         let mut f = MachineFunction::new("main");
         f.push(Inst::Call { target: "ghost".into() });
         f.push(Inst::Bv { base: Reg::RP });
-        let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
+        let m = ObjectModule {
+            name: "m".into(),
+            functions: vec![f],
+            globals: vec![],
+            ..Default::default()
+        };
         let exe = link_with(&[m], &LinkOptions { allow_undefined_functions: true }).unwrap();
         match crate::sim::run(&exe).unwrap_err() {
             crate::sim::SimError::MemFault { sym, addr, .. } => {
@@ -762,7 +881,12 @@ mod tests {
             offset: 0,
             class: MemClass::ScalarGlobal,
         });
-        let m = ObjectModule { name: "m".into(), functions: vec![f], globals: vec![] };
+        let m = ObjectModule {
+            name: "m".into(),
+            functions: vec![f],
+            globals: vec![],
+            ..Default::default()
+        };
         assert!(matches!(
             link_with(&[m], &LinkOptions { allow_undefined_functions: true }).unwrap_err(),
             LinkError::UndefinedGlobal { .. }

@@ -61,18 +61,19 @@ impl Reg {
     /// PA-RISC's descending argument register numbering).
     pub const ARGS: [Reg; 4] = [Reg(26), Reg(25), Reg(24), Reg(23)];
 
-    /// Creates a register from its index.
+    /// Creates a register from its index (`const` so machine descriptions
+    /// can be statics).
     ///
     /// # Panics
     ///
     /// Panics if `index >= Reg::COUNT`.
-    pub fn new(index: u8) -> Reg {
-        assert!((index as usize) < Reg::COUNT, "register index {index} out of range");
+    pub const fn new(index: u8) -> Reg {
+        assert!((index as usize) < Reg::COUNT, "register index out of range");
         Reg(index)
     }
 
     /// The register's index in `0..32`.
-    pub fn index(self) -> usize {
+    pub const fn index(self) -> usize {
         self.0 as usize
     }
 
@@ -93,11 +94,17 @@ impl fmt::Display for Reg {
     }
 }
 
-/// A set of registers, represented as a 32-bit mask.
+/// A set of registers, represented as a 64-bit mask (bit *i* ⇔ `r{i}`).
 ///
 /// `RegSet` is the currency of the paper's §4.2.3 register usage sets
 /// (`FREE`, `CALLER`, `CALLEE`, `MSPILL`) and of the analyzer's `AVAIL`
 /// bookkeeping, so it implements the full set algebra.
+///
+/// The backing is 64-bit so a target description may define register files
+/// wider than VPR's 32 without a representation change; every mask a
+/// 32-register target produces fits in the low half, so serialized sets
+/// (decimal integers in the JSON codecs) are byte-identical to the
+/// historical 32-bit encoding.
 ///
 /// # Examples
 ///
@@ -109,7 +116,7 @@ impl fmt::Display for Reg {
 /// assert_eq!((b - a).len(), 14);
 /// ```
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct RegSet(u32);
+pub struct RegSet(u64);
 
 impl RegSet {
     /// The empty register set.
@@ -141,33 +148,36 @@ impl RegSet {
         s
     }
 
-    /// Raw bitmask accessor (bit *i* set ⇔ `r{i}` in the set).
-    pub fn bits(self) -> u32 {
+    /// Raw bitmask accessor (bit *i* set ⇔ `r{i}` in the set). Widened
+    /// from `u32` with the 64-bit backing; the low 32 bits carry the
+    /// historical layout unchanged.
+    pub const fn bits(self) -> u64 {
         self.0
     }
 
-    /// Builds a set from a raw bitmask.
-    pub fn from_bits(bits: u32) -> RegSet {
+    /// Builds a set from a raw bitmask (`const` so target descriptions can
+    /// precompute their partitions as statics).
+    pub const fn from_bits(bits: u64) -> RegSet {
         RegSet(bits)
     }
 
     /// Inserts a register; returns `true` if it was newly added.
     pub fn insert(&mut self, r: Reg) -> bool {
         let added = !self.contains(r);
-        self.0 |= 1 << r.0;
+        self.0 |= 1u64 << r.0;
         added
     }
 
     /// Removes a register; returns `true` if it was present.
     pub fn remove(&mut self, r: Reg) -> bool {
         let present = self.contains(r);
-        self.0 &= !(1 << r.0);
+        self.0 &= !(1u64 << r.0);
         present
     }
 
     /// Membership test.
     pub fn contains(self, r: Reg) -> bool {
-        self.0 & (1 << r.0) != 0
+        self.0 & (1u64 << r.0) != 0
     }
 
     /// Number of registers in the set.
@@ -395,6 +405,34 @@ mod tests {
         assert_eq!(s.to_string(), "{r3, r4}");
         assert_eq!(RegSet::EMPTY.to_string(), "{}");
         assert_eq!(format!("{:?}", RegSet::EMPTY), "RegSet{}");
+    }
+
+    /// The 64-bit widening must not move a single bit: bit *i* is `r{i}`,
+    /// exactly as in the historical `u32` backing, and the convention
+    /// masks are pinned as raw integers so any layout drift is loud.
+    #[test]
+    fn bit_layout_golden() {
+        for i in 0..Reg::COUNT as u8 {
+            let mut s = RegSet::new();
+            s.insert(Reg::new(i));
+            assert_eq!(s.bits(), 1u64 << i, "r{i} must map to bit {i}");
+        }
+        assert_eq!(RegSet::callee_saves().bits(), 0x0007_fff8); // r3..=r18
+        assert_eq!(RegSet::caller_saves().bits(), 0xb7f8_0000); // r19..=r26, r28, r29, r31
+        assert_eq!(RegSet::from_bits(0x0007_fff8), RegSet::callee_saves());
+    }
+
+    /// Serialized sets are decimal integers; every mask a 32-register
+    /// target can produce fits in 32 bits, so `.cdir`/`.csum` artifacts
+    /// written before the widening read back (and re-serialize) unchanged.
+    #[test]
+    fn serialization_stable_across_widening() {
+        let callee = RegSet::callee_saves();
+        assert_eq!(serde_json::to_string(&callee).unwrap(), "524280");
+        let top: RegSet = [Reg::new(31)].into_iter().collect();
+        assert_eq!(serde_json::to_string(&top).unwrap(), "2147483648");
+        let back: RegSet = serde_json::from_str("524280").unwrap();
+        assert_eq!(back, callee);
     }
 
     #[test]

@@ -453,6 +453,9 @@ struct Machine<'a> {
     attr: Option<AttrState>,
     // Per-pc execution counts (opt-in; `None` keeps the run untouched).
     prof: Option<Vec<u64>>,
+    // Linkage roles of the executable's target convention.
+    rp: Reg,
+    rv: Reg,
 }
 
 impl<'a> Machine<'a> {
@@ -463,9 +466,13 @@ impl<'a> Machine<'a> {
                 mem[addr as usize] = v;
             }
         }
+        // Both supported targets keep the hardwired zero at index 0 (the
+        // `get`/`set` suppression below relies on it); the data pointer,
+        // stack pointer and link/return roles come from the description.
+        let desc = exe.target().desc();
         let mut regs = [0i64; Reg::COUNT];
-        regs[Reg::DP.index()] = GLOBALS_BASE;
-        regs[Reg::SP.index()] = opts.mem_words as i64;
+        regs[desc.dp.index()] = GLOBALS_BASE;
+        regs[desc.sp.index()] = opts.mem_words as i64;
         Machine {
             exe,
             regs,
@@ -481,6 +488,8 @@ impl<'a> Machine<'a> {
             calls: CallCounters::new(exe.funcs().len()),
             attr: opts.attribute.then(|| AttrState::new(exe.funcs().len())),
             prof: opts.profile.then(|| vec![0u64; exe.insts().len()]),
+            rp: desc.rp,
+            rv: desc.rv,
         }
     }
 
@@ -644,7 +653,7 @@ impl<'a> Machine<'a> {
                     self.store(*base, *disp, v, class.is_singleton())?;
                 }
                 Inst::CallAbs { entry } => {
-                    self.set(Reg::RP, next as i64);
+                    self.set(self.rp, next as i64);
                     self.record_call(*entry as usize);
                     next = *entry as usize;
                 }
@@ -653,7 +662,7 @@ impl<'a> Machine<'a> {
                     if entry < 0 || entry as usize >= code.len() {
                         return Err(SimError::BadPc { pc: self.pc, sym: self.here() });
                     }
-                    self.set(Reg::RP, next as i64);
+                    self.set(self.rp, next as i64);
                     self.record_call(entry as usize);
                     next = entry as usize;
                 }
@@ -680,7 +689,7 @@ impl<'a> Machine<'a> {
                     self.set(*rd, v);
                 }
                 Inst::Halt => {
-                    let exit = self.get(Reg::RV);
+                    let exit = self.get(self.rv);
                     self.calls.fold_into(&mut self.stats);
                     let attribution = self.finish_attribution();
                     let profile =
@@ -714,7 +723,8 @@ mod tests {
     use crate::program::{link, GlobalDef, MachineFunction, ObjectModule};
 
     fn exe_of(functions: Vec<MachineFunction>, globals: Vec<GlobalDef>) -> Executable {
-        link(&[ObjectModule { name: "t".into(), functions, globals }]).unwrap()
+        link(&[ObjectModule { name: "t".into(), functions, globals, ..Default::default() }])
+            .unwrap()
     }
 
     #[test]

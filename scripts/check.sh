@@ -126,6 +126,21 @@ cmp "$sep/fast-stats.json" "$sep/ref-stats.json"
 "$cminc" objdump "$sep/prog.vx" > /dev/null
 "$cminc" objdump "$sep/prog.cdir" > /dev/null
 
+echo "==> cross-target smoke (vpr bytes match the golden; rv32 builds, verifies, runs identically)"
+# The machine-description refactor must never move a VPR byte: the linked
+# executable is compared against the pre-refactor golden.
+cmp "$sep/prog.vx" scripts/goldens/sep_C.vx
+"$cminc" build "$sep/m1.cmin" "$sep/m2.cmin" --config C --target rv32 --verify \
+  -o "$sep/prog-rv32.vx" > /dev/null
+"$cminc" run "$sep/prog-rv32.vx" 2>/dev/null > "$sep/rv32-run.txt"
+cmp "$sep/sep-run.txt" "$sep/rv32-run.txt"
+# Headers name the target (objdump output lands in a file first: `grep -q`
+# on a pipe would close it mid-print and SIGPIPE the tool under pipefail).
+"$cminc" objdump "$sep/prog-rv32.vx" > "$sep/rv32-dump.txt"
+grep -q 'target rv32' "$sep/rv32-dump.txt"
+"$cminc" objdump "$sep/prog.vx" > "$sep/vpr-dump.txt"
+grep -q 'target vpr' "$sep/vpr-dump.txt"
+
 echo "==> telemetry smoke (Chrome-trace shape; metrics byte-identical across jobs widths)"
 tele="$report_dir/tele"
 mkdir -p "$tele"

@@ -209,7 +209,10 @@ fn header_mismatches_are_clean_errors() {
         }
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
-    assert_eq!(ipra_artifact::sniff(&future).unwrap(), (ArtifactKind::Executable, 999));
+    assert_eq!(
+        ipra_artifact::sniff(&future).unwrap(),
+        (ArtifactKind::Executable, 999, vpr::TargetId::Vpr)
+    );
 
     // Unknown kind tag.
     let unknown = good.replacen(" executable ", " hologram ", 1);

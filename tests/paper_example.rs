@@ -157,7 +157,7 @@ fn explain_renders_the_figure3_decision_chain_exactly() {
         "analyzer decisions mentioning `g1` (2 of 8 events):\n  \
          - web #0: formed for global `g1` over {B, D, E} (entries {B}), written; \
          benefit 50, entry cost 4\n  \
-         - web #0: global `g1` promoted to r3 across {B, D, E} (loaded at entries {B}); \
+         - web #0: global `g1` promoted to s0 across {B, D, E} (loaded at entries {B}); \
          priority 46\n"
     );
     assert_eq!(
@@ -165,11 +165,11 @@ fn explain_renders_the_figure3_decision_chain_exactly() {
         "analyzer decisions mentioning `B` (4 of 8 events):\n  \
          - web #0: formed for global `g1` over {B, D, E} (entries {B}), written; \
          benefit 50, entry cost 4\n  \
-         - web #0: global `g1` promoted to r3 across {B, D, E} (loaded at entries {B}); \
+         - web #0: global `g1` promoted to s0 across {B, D, E} (loaded at entries {B}); \
          priority 46\n  \
          - web #3: formed for global `g3` over {A, B, C} (entries {A}), written; \
          benefit 30, entry cost 4\n  \
-         - web #3: global `g3` promoted to r4 across {A, B, C} (loaded at entries {A}); \
+         - web #3: global `g3` promoted to s1 across {A, B, C} (loaded at entries {A}); \
          priority 26\n"
     );
     assert_eq!(ipra_obsv::explain(&trace, "zzz"), "no analyzer decisions mention `zzz`\n");
